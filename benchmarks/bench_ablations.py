@@ -1,0 +1,53 @@
+"""Bench A-ABL/A-MULTI: design-choice ablations from DESIGN.md section 5."""
+
+from conftest import emit
+
+from repro.experiments import (
+    ablation_ets,
+    ablation_multiwire,
+    ablation_pdm,
+    ablation_trigger,
+)
+from repro.experiments.common import ExperimentScale
+
+
+def test_ablation_pdm(benchmark):
+    result = benchmark.pedantic(
+        ablation_pdm.run, kwargs={"repetitions": 4800}, rounds=1, iterations=1
+    )
+    emit("Ablation — PDM on/off and ladder density", result.report())
+    assert result.pdm_wins_on_wide_signals()
+    assert result.dense_ladder_wins()
+
+
+def test_ablation_trigger(benchmark):
+    result = benchmark.pedantic(ablation_trigger.run, rounds=1, iterations=1)
+    emit(
+        "Ablation — trigger gating (paper II-E: ungated rising/falling "
+        "edges cancel)",
+        result.report(),
+    )
+    assert result.cancellation_demonstrated()
+
+
+def test_ablation_ets_step(benchmark):
+    result = benchmark.pedantic(ablation_ets.run, rounds=1, iterations=1)
+    emit("Ablation — ETS phase-step size", result.report())
+    assert result.finer_is_sharper()
+
+
+def test_ablation_multiwire(benchmark, scale):
+    mw_scale = ExperimentScale(
+        n_lines=4,
+        n_measurements=min(scale.n_measurements, 1024),
+        n_enroll=scale.n_enroll,
+    )
+    result = benchmark.pedantic(
+        ablation_multiwire.run, kwargs={"scale": mw_scale}, rounds=1, iterations=1
+    )
+    emit(
+        "Ablation — multi-wire fusion (paper IV-C: monitoring multiple "
+        "wires can exponentially increase accuracy)",
+        result.report(),
+    )
+    assert result.accuracy_improves()

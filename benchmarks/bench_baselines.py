@@ -1,0 +1,20 @@
+"""Bench A-BASE: DIVOT vs prior countermeasures (section V comparison)."""
+
+from conftest import emit
+
+from repro.experiments import baseline_comparison
+
+
+def test_baseline_comparison(benchmark):
+    result = benchmark.pedantic(
+        baseline_comparison.run,
+        kwargs={"divot_averaging": 256},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Prior-art comparison (paper section V: only DIVOT is concurrent, "
+        "runtime, integrated, and sensitive to non-contact EM probes)",
+        result.report(),
+    )
+    assert result.divot_dominates()

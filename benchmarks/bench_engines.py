@@ -1,0 +1,56 @@
+"""Micro-benchmarks: simulator throughput (not a paper artefact).
+
+These time the hot paths so performance regressions in the physics and
+measurement engines are visible: lattice step loop, Born batch rendering,
+single capture, and the vectorised batch-capture path the statistical
+experiments live on.
+"""
+
+import numpy as np
+
+from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.txline.propagation import BornEngine, LatticeEngine
+
+
+def _setup():
+    factory = prototype_line_factory()
+    line = factory.manufacture(seed=1)
+    itdr = prototype_itdr(rng=np.random.default_rng(0))
+    return line, itdr
+
+
+def test_lattice_impulse_throughput(benchmark):
+    line, _ = _setup()
+    profile = line.full_profile
+    engine = LatticeEngine(round_trips=3)
+    result = benchmark(engine.impulse_sequence, profile)
+    assert len(result) > 0
+
+
+def test_born_batch_throughput(benchmark):
+    line, _ = _setup()
+    profile = line.full_profile
+    engine = BornEngine(grid_dt=float(np.mean(profile.tau)))
+    z = np.tile(profile.z, (256, 1))
+    tau = np.tile(profile.tau, (256, 1))
+    result = benchmark(
+        engine.batch_impulse_sequences,
+        z,
+        tau,
+        profile.load_reflection(),
+        profile.loss_per_segment,
+        400,
+    )
+    assert result.shape == (256, 400)
+
+
+def test_single_capture_throughput(benchmark):
+    line, itdr = _setup()
+    capture = benchmark(itdr.capture, line)
+    assert len(capture.waveform) > 0
+
+
+def test_batch_capture_throughput(benchmark):
+    line, itdr = _setup()
+    result = benchmark(itdr.capture_batch, line, 1024)
+    assert result.shape[0] == 1024

@@ -1,0 +1,158 @@
+"""Bench X-CLONE / X-JIT / X-LINK: extension studies beyond the paper.
+
+Cloning (the unclonability curve behind section III's no-ROM-secrecy
+claim), PLL jitter sensitivity (behind the prototype's "timing stability"
+clock choice), and the serial-I/O-link deployment (the paper's stated
+future work).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.attacks import AttackTimeline, WireTap
+from repro.core.auth import Authenticator
+from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.core.tamper import TamperDetector
+from repro.experiments import ext_cloning, ext_jitter
+from repro.iolink import Frame, ProtectedSerialLink, SerialLink
+from repro.txline.materials import FR4
+
+
+def test_cloning_study(benchmark):
+    result = benchmark.pedantic(ext_cloning.run, rounds=1, iterations=1)
+    emit(
+        "Unclonability study (paper III: a stolen fingerprint is useless "
+        "off its exact Tx-line)",
+        result.report(),
+    )
+    assert result.unclonability_holds()
+    bests = [best for _, best, _ in result.tier_rows]
+    assert bests == sorted(bests)  # capability monotonicity
+
+
+def test_jitter_study(benchmark):
+    result = benchmark.pedantic(ext_jitter.run, rounds=1, iterations=1)
+    emit(
+        "PLL jitter study (prototype clocked 'for the sake of timing "
+        "stability')",
+        result.report(),
+    )
+    assert result.clean_is_best()
+    assert result.degrades_beyond_phase_step()
+
+
+def _protected_link():
+    factory = prototype_line_factory()
+    line = factory.manufacture(seed=60, name="serdes-lane0")
+    link = SerialLink(line, bit_rate=5e9)
+    tx = prototype_itdr(rng=np.random.default_rng(1))
+    rx = prototype_itdr(rng=np.random.default_rng(2))
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=tx.probe_edge().duration,
+    )
+    plink = ProtectedSerialLink(
+        link, tx, rx, Authenticator(0.85), detector, captures_per_check=8
+    )
+    plink.calibrate()
+    return plink
+
+
+def test_serial_link_session(benchmark):
+    plink = _protected_link()
+    rng = np.random.default_rng(3)
+    frames = [
+        Frame(sequence=i % 256, payload=tuple(rng.integers(0, 256, 64)))
+        for i in range(3000)
+    ]
+    onset = plink.check_period_s * 1.5
+    timeline = AttackTimeline().add(WireTap(0.12), start_s=onset)
+    result = benchmark.pedantic(
+        plink.send, args=(frames,), kwargs={"timeline": timeline},
+        rounds=1, iterations=1,
+    )
+    latency = result.detection_latency(onset)
+    emit(
+        "Protected serial link (future work: DIVOT on I/O buses)",
+        "\n".join(
+            [
+                f"frames sent           : {len(frames)}",
+                f"delivered before block: {len(result.delivered)}",
+                f"monitoring checks     : {result.checks_run} "
+                f"(period {plink.check_period_s * 1e6:.1f} us, traffic-fed)",
+                f"wire-tap onset        : {onset * 1e6:.1f} us",
+                "detection latency     : "
+                + ("not detected" if latency is None else f"{latency * 1e6:.1f} us"),
+                f"8b/10b trigger rate   : "
+                f"{plink.link.measured_trigger_rate() / plink.link.bit_rate:.4f}/bit",
+            ]
+        ),
+    )
+    assert latency is not None
+
+
+def test_sharing_study(benchmark):
+    from repro.experiments import ext_sharing
+
+    result = benchmark.pedantic(ext_sharing.run, rounds=1, iterations=1)
+    emit(
+        "Shared-datapath scaling (paper: >90% of a DIVOT detector "
+        "multiplexes; the flip side is linear scan latency)",
+        result.report(),
+    )
+    assert result.resources_flat_latency_linear()
+    assert result.attack_found_in_one_scan
+
+
+def test_adaptation_study(benchmark):
+    from repro.experiments import ext_adaptation
+
+    result = benchmark.pedantic(ext_adaptation.run, rounds=1, iterations=1)
+    emit(
+        "Drift-hardened deployments (temperature-compensated enrollment; "
+        "rolling re-enrollment against aging)",
+        result.report(),
+    )
+    assert result.compensation_helps()
+    assert result.adaptation_tracks_aging()
+    assert result.impostor_never_updates
+
+
+def test_stack_composition(benchmark):
+    from repro.experiments import ext_stack
+
+    result = benchmark.pedantic(ext_stack.run, rounds=1, iterations=1)
+    emit(
+        "Protection-stack composition (paper V: encryption is orthogonal; "
+        "integrate it for another layer)",
+        result.report(),
+    )
+    assert result.composition_wins()
+    assert result.divot_costs_nothing()
+
+
+def test_enrollment_depth(benchmark):
+    from repro.experiments import ext_enrollment
+
+    result = benchmark.pedantic(ext_enrollment.run, rounds=1, iterations=1)
+    emit(
+        "Enrollment-depth study (how much installation-time calibration "
+        "the paper's 'calibration process' needs)",
+        result.report(),
+    )
+    assert result.deeper_is_better()
+
+
+def test_sensitivity_tradeoff(benchmark):
+    from repro.experiments import ext_sensitivity
+
+    result = benchmark.pedantic(ext_sensitivity.run, rounds=1, iterations=1)
+    emit(
+        "Averaging depth vs tamper sensitivity (quantifying the latency "
+        "the quietest attack costs)",
+        result.report(),
+    )
+    assert result.margin_grows_with_averaging()
+    assert result.detection_depth() > 0

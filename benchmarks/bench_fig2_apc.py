@@ -1,0 +1,18 @@
+"""Bench F2: regenerate Fig. 2 — the APC transfer curve and 2-sigma window."""
+
+from conftest import emit
+
+from repro.experiments import fig2_apc
+
+
+def test_fig2_apc_transfer(benchmark):
+    result = benchmark.pedantic(
+        fig2_apc.run, kwargs={"repetitions": 8192}, rounds=1, iterations=1
+    )
+    emit(
+        "Fig. 2 — APC transfer curve (paper: CDF-shaped p(V), +/-2 sigma "
+        "linear window)",
+        result.report(),
+    )
+    assert result.window_is_two_sigma()
+    assert result.max_probability_error < 0.03

@@ -1,0 +1,18 @@
+"""Bench F3/F4: regenerate Figs. 3-4 — PDM ladder and widened dynamic range."""
+
+from conftest import emit
+
+from repro.experiments import fig34_pdm
+
+
+def test_fig34_pdm_scheme(benchmark):
+    result = benchmark.pedantic(
+        fig34_pdm.run, kwargs={"repetitions": 8192}, rounds=1, iterations=1
+    )
+    emit(
+        "Figs. 3-4 — PDM (paper: 5f_m=6f_s Vernier ladder widens the linear "
+        "region; f_m=f_s removes PDM's effect)",
+        result.report(),
+    )
+    assert result.dynamic_range_widened()
+    assert not result.degenerate_is_effective

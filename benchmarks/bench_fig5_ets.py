@@ -1,0 +1,16 @@
+"""Bench F5: regenerate Fig. 5 / section II-D — ETS rate and resolution."""
+
+from conftest import emit
+
+from repro.experiments import fig5_ets
+
+
+def test_fig5_ets(benchmark):
+    result = benchmark.pedantic(fig5_ets.run, rounds=1, iterations=1)
+    emit(
+        "Fig. 5 — ETS (paper: 11.16 ps step, >80 GSa/s equivalent, "
+        "0.837 mm spatial resolution)",
+        result.report(),
+    )
+    assert result.matches_paper_numbers()
+    assert result.reconstruction_error == 0.0

@@ -1,0 +1,16 @@
+"""Bench F7: regenerate Fig. 7(a/b) — genuine/impostor distributions, ROC, EER."""
+
+from conftest import emit
+
+from repro.experiments import fig7_auth
+
+
+def test_fig7_authentication(benchmark, scale):
+    result = benchmark.pedantic(
+        fig7_auth.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit("Fig. 7 — authentication (paper: EER < 0.06% at room temperature)",
+         result.report())
+    assert result.meets_paper_band()
+    summary = result.scores.summary()
+    assert summary["genuine_mean"] > summary["impostor_max"]

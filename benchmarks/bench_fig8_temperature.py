@@ -1,0 +1,18 @@
+"""Bench F8: regenerate Fig. 8 — the 23->75 C genuine-distribution shift."""
+
+from conftest import emit
+
+from repro.experiments import fig8_temperature
+
+
+def test_fig8_temperature_swing(benchmark, scale):
+    result = benchmark.pedantic(
+        fig8_temperature.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(
+        "Fig. 8 — temperature swing (paper: EER 0.06% -> 0.14%, genuine "
+        "distribution moves left)",
+        result.report(),
+    )
+    assert result.shape_holds()
+    assert result.hot_eer <= 0.02  # still a small fraction of a percent

@@ -1,0 +1,16 @@
+"""Bench T-LAT: detection latency — the 50 us point and GHz scaling."""
+
+from conftest import emit
+
+from repro.experiments import tab_latency
+
+
+def test_detection_latency(benchmark):
+    result = benchmark.pedantic(tab_latency.run, rounds=1, iterations=1)
+    emit(
+        "Detection latency (paper: authentication + tamper detection within "
+        "50 us at 156.25 MHz; GHz clocks reach memory-operation time frame)",
+        result.report(),
+    )
+    assert result.prototype_matches_paper()
+    assert result.scales_inversely_with_clock()

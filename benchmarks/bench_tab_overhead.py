@@ -1,0 +1,17 @@
+"""Bench T-OVH: hardware overhead — 71 registers / 124 LUTs and scaling."""
+
+from conftest import emit
+
+from repro.experiments import tab_overhead
+
+
+def test_hardware_overhead(benchmark):
+    result = benchmark.pedantic(tab_overhead.run, rounds=1, iterations=1)
+    emit(
+        "Hardware overhead (paper: 71 registers, 124 LUTs, ~80% counters, "
+        ">90% shareable)",
+        result.report_text(),
+    )
+    assert result.matches_paper_totals()
+    assert result.counter_dominated()
+    assert result.report.shared_fraction > 0.90

@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one paper figure/table (see DESIGN.md
+section 4): it runs the corresponding ``repro.experiments`` module, prints
+the same rows/series the paper reports, and asserts the shape predicates.
+pytest-benchmark times the experiment itself.
+
+Scale: benches default to a reduced-but-meaningful scale so the whole
+harness finishes in minutes.  Set ``REPRO_FULL_SCALE=1`` to run the paper's
+full 6-lines x 8192-measurements protocol.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import FULL, ExperimentScale
+
+
+def harness_scale() -> ExperimentScale:
+    """The scale benches run at (env-var switchable to paper scale)."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return FULL
+    return ExperimentScale(n_lines=6, n_measurements=1024, n_enroll=16)
+
+
+@pytest.fixture
+def scale():
+    """Experiment scale fixture shared by the statistical benches."""
+    return harness_scale()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench's reproduction report (captured into bench output)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,101 @@
+"""The paper's Fig. 6 design in action: a DIVOT-protected SDRAM channel.
+
+Three scenarios on a trace-driven memory system with two-way DIVOT
+endpoints (CPU memory controller + DIMM control logic):
+
+1. clean traffic — monitoring runs concurrently with zero latency cost;
+2. a bus-monitor pod snoops the channel mid-run — detected and located
+   within one monitoring period;
+3. a cold-boot theft — the module, moved to the attacker's machine, sees a
+   foreign bus fingerprint and refuses every column access.
+
+Run:  python examples/memory_bus_protection.py
+"""
+
+import numpy as np
+
+from repro.attacks import AttackTimeline, CapacitiveSnoop
+from repro.experiments.fig6_membus import build_system
+from repro.core.config import prototype_line_factory
+from repro.membus import AddressMap, SDRAMDevice, TraceGenerator
+
+
+def scenario_clean() -> None:
+    print("=" * 64)
+    print("scenario 1 — clean traffic (transparency)")
+    print("=" * 64)
+    system, gen = build_system(seed=10)
+    requests = gen.random(12_000, write_fraction=0.4)
+    protected = system.run(requests)
+
+    # The same trace on an unprotected device, for comparison.
+    amap = AddressMap(n_banks=4, n_rows=256, n_columns=128)
+    plain = SDRAMDevice(address_map=amap)
+    gen0 = TraceGenerator(amap, seed=13)
+    plain_latency = np.mean(
+        [plain.access(r).latency_cycles for r in gen0.random(12_000, write_fraction=0.4)]
+    )
+    print(f"requests completed : {len(protected.completed)}")
+    print(f"mean latency       : {protected.mean_latency_cycles:.2f} cycles "
+          f"(unprotected: {plain_latency:.2f})")
+    print(f"monitoring checks  : {len(protected.events)}")
+    print(f"false alerts       : {len(protected.alerts())}")
+    print("=> DIVOT monitoring rides on existing bus edges: zero added "
+          "latency on the data path\n")
+
+
+def scenario_snoop() -> None:
+    print("=" * 64)
+    print("scenario 2 — bus snooping pod attaches mid-run")
+    print("=" * 64)
+    system, gen = build_system(seed=10)
+    onset = system.capture_period_s * 1.2
+    timeline = AttackTimeline().add(CapacitiveSnoop(0.12), start_s=onset)
+    result = system.run(gen.random(16_000, write_fraction=0.4), timeline=timeline)
+    latency = result.detection_latency(onset)
+    print(f"attack onset       : {onset * 1e6:.1f} us into the run")
+    print(f"alerts raised      : {len(result.alerts())}")
+    if latency is not None:
+        first = next(e for e in result.alerts() if e.time_s >= onset)
+        where = "unlocated" if first.location_m is None else (
+            f"{first.location_m * 100:.1f} cm from the controller"
+        )
+        print(f"detection latency  : {latency * 1e6:.1f} us "
+              f"(monitoring period {system.capture_period_s * 1e6:.1f} us)")
+        print(f"located            : {where} (pod actually at 12.0 cm)")
+    print("=> the pod's capacitive loading dents the IIP; the error "
+          "function pinpoints it\n")
+
+
+def scenario_cold_boot() -> None:
+    print("=" * 64)
+    print("scenario 3 — cold-boot theft of the DIMM")
+    print("=" * 64)
+    system, gen = build_system(seed=10)
+    # Secrets are written during normal operation at home.
+    secrets = {addr: addr * 0x9E3779B9 % 2**31 for addr in range(64)}
+    from repro.membus import MemoryOp, MemoryRequest
+
+    writes = [MemoryRequest(MemoryOp.WRITE, a, data=v) for a, v in secrets.items()]
+    system.run(writes)
+    print(f"victim wrote {len(secrets)} secret words to the module")
+
+    # The attacker freezes the module and reads it on another machine.
+    foreign_bus = prototype_line_factory().manufacture(seed=777, name="attacker")
+    reads = [MemoryRequest(MemoryOp.READ, a) for a in secrets]
+    theft = system.simulate_cold_boot_theft(foreign_bus, reads)
+    leaked = [r for r in theft.completed if r.result.ok]
+    print(f"attacker attempted : {len(theft.completed)} reads")
+    print(f"blocked by module  : {theft.n_blocked_accesses}")
+    print(f"secrets leaked     : {len(leaked)}")
+    module_state = [e.action.value for e in theft.events if e.side == "module"][:3]
+    print(f"module-side actions: {module_state}")
+    print("=> the module's own iTDR sees a foreign bus fingerprint and "
+          "gates the column access — the frozen DRAM is unreadable off its "
+          "paired bus\n")
+
+
+if __name__ == "__main__":
+    scenario_clean()
+    scenario_snoop()
+    scenario_cold_boot()

@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .` works without PEP 660 wheel support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — a full reproduction of DIVOT (ISCA 2020).
+
+DIVOT (Detecting Impedance Variations Of Transmission-lines) authenticates
+buses and detects physical probing by fingerprinting each Tx-line's
+Impedance Inhomogeneity Pattern with an integrated time-domain
+reflectometer built from analog-to-probability conversion, probability
+density modulation, and equivalent-time sampling.
+
+Package layout:
+
+* :mod:`repro.signals` — waveforms, edges, line codes, PRBS, noise.
+* :mod:`repro.txline` — transmission-line physics and manufacturing.
+* :mod:`repro.env` — temperature, vibration, EMI conditions.
+* :mod:`repro.attacks` — probing, wire-tapping, Trojan/cold-boot models.
+* :mod:`repro.core` — the iTDR, fingerprints, authentication, DIVOT
+  endpoints, overhead and latency models.
+* :mod:`repro.membus` — the protected memory-bus example design (Fig. 6).
+* :mod:`repro.baselines` — prior-art countermeasures for comparison.
+* :mod:`repro.experiments` — one module per paper figure/table.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import prototype_itdr, prototype_line_factory
+    from repro.core import Fingerprint, capture_similarity
+
+    factory = prototype_line_factory()
+    line_a, line_b = factory.manufacture_batch(2)
+    itdr = prototype_itdr(rng=np.random.default_rng(0))
+    ref = Fingerprint.from_captures([itdr.capture(line_a)])
+    print(capture_similarity(itdr.capture(line_a), ref))  # ~1.0 genuine
+    print(capture_similarity(itdr.capture(line_b), ref))  # ~0.5 impostor
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "signals",
+    "txline",
+    "env",
+    "attacks",
+    "core",
+    "membus",
+    "iolink",
+    "baselines",
+    "experiments",
+    "analysis",
+]

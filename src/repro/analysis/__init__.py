@@ -1,0 +1,31 @@
+"""Reporting and statistics helpers shared by the experiment harness."""
+
+from .export import (
+    capture_from_json,
+    capture_to_json,
+    scores_to_csv,
+    waveform_to_csv,
+)
+from .report import format_histogram, format_series, format_table
+from .stats import (
+    BootstrapResult,
+    bootstrap_eer,
+    d_prime,
+    det_points,
+    overlap_coefficient,
+)
+
+__all__ = [
+    "format_table",
+    "format_histogram",
+    "format_series",
+    "d_prime",
+    "overlap_coefficient",
+    "bootstrap_eer",
+    "BootstrapResult",
+    "det_points",
+    "waveform_to_csv",
+    "scores_to_csv",
+    "capture_to_json",
+    "capture_from_json",
+]

@@ -1,0 +1,104 @@
+"""Data export: getting waveforms and scores out of the simulator.
+
+Downstream users plot IIPs and score distributions in their own tools;
+these helpers write the standard interchange forms — CSV for waveforms and
+score sets, JSON for capture bundles — with enough metadata to reconstruct
+axes (time grids, distance conversion) without the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.itdr import IIPCapture
+from ..signals.waveform import Waveform
+
+__all__ = [
+    "waveform_to_csv",
+    "scores_to_csv",
+    "capture_to_json",
+    "capture_from_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def waveform_to_csv(
+    waveform: Waveform,
+    path: PathLike,
+    velocity: Optional[float] = None,
+) -> Path:
+    """Write a waveform as ``time_s[,distance_m],voltage`` rows.
+
+    ``velocity`` adds the round-trip distance column (``v * t / 2``) TDR
+    plots are usually drawn against.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["time_s"]
+        if velocity is not None:
+            if velocity <= 0:
+                raise ValueError("velocity must be positive")
+            header.append("distance_m")
+        header.append("voltage")
+        writer.writerow(header)
+        for t, v in zip(waveform.times, waveform.samples):
+            row = [f"{t:.6e}"]
+            if velocity is not None:
+                row.append(f"{velocity * t / 2.0:.6e}")
+            row.append(f"{v:.9e}")
+            writer.writerow(row)
+    return path
+
+
+def scores_to_csv(
+    genuine: Sequence[float],
+    impostor: Sequence[float],
+    path: PathLike,
+) -> Path:
+    """Write labelled similarity scores as ``label,score`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", "score"])
+        for score in genuine:
+            writer.writerow(["genuine", f"{float(score):.9f}"])
+        for score in impostor:
+            writer.writerow(["impostor", f"{float(score):.9f}"])
+    return path
+
+
+def capture_to_json(capture: IIPCapture, path: PathLike) -> Path:
+    """Serialise a capture (waveform + metadata) to JSON."""
+    path = Path(path)
+    payload = {
+        "line_name": capture.line_name,
+        "n_triggers": capture.n_triggers,
+        "duration_s": capture.duration_s,
+        "dt": capture.waveform.dt,
+        "t0": capture.waveform.t0,
+        "samples": capture.waveform.samples.tolist(),
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def capture_from_json(path: PathLike) -> IIPCapture:
+    """Rebuild a capture written by :func:`capture_to_json`."""
+    payload = json.loads(Path(path).read_text())
+    return IIPCapture(
+        waveform=Waveform(
+            np.asarray(payload["samples"], dtype=float),
+            dt=float(payload["dt"]),
+            t0=float(payload["t0"]),
+        ),
+        line_name=payload["line_name"],
+        n_triggers=int(payload["n_triggers"]),
+        duration_s=float(payload["duration_s"]),
+    )

@@ -1,0 +1,67 @@
+"""Plain-text report formatting shared by the experiment harness.
+
+Every experiment prints the rows/series the paper reports; these helpers
+keep that output aligned and consistent without pulling in plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_histogram", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_histogram(
+    values, n_bins: int = 30, width: int = 50, title: str = ""
+) -> str:
+    """Render a one-line-per-bin ASCII histogram of a score distribution."""
+    import numpy as np
+
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return f"{title}\n(empty)"
+    counts, edges = np.histogram(values, bins=n_bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  [{lo:8.4f}, {hi:8.4f})  {count:7d} {bar}")
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as aligned value pairs."""
+    rows: List[List] = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)

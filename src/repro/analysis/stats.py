@@ -1,0 +1,129 @@
+"""Statistics helpers for authentication-performance claims.
+
+EER point estimates from finite samples wobble; these helpers put numbers
+on that wobble (bootstrap confidence intervals) and provide the standard
+biometric separation metrics (d-prime, distribution overlap) plus DET
+curve points for log-scale error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.auth import equal_error_rate
+
+__all__ = [
+    "d_prime",
+    "overlap_coefficient",
+    "bootstrap_eer",
+    "det_points",
+    "BootstrapResult",
+]
+
+
+def d_prime(genuine: np.ndarray, impostor: np.ndarray) -> float:
+    """The biometric separation index (mean gap over pooled spread)."""
+    genuine = np.asarray(genuine, dtype=float)
+    impostor = np.asarray(impostor, dtype=float)
+    if len(genuine) < 2 or len(impostor) < 2:
+        raise ValueError("need at least 2 scores per class")
+    pooled = np.sqrt((genuine.var() + impostor.var()) / 2.0)
+    if pooled == 0:
+        return float("inf")
+    return float((genuine.mean() - impostor.mean()) / pooled)
+
+
+def overlap_coefficient(
+    genuine: np.ndarray, impostor: np.ndarray, n_bins: int = 200
+) -> float:
+    """Shared area of the two score distributions, in [0, 1].
+
+    0 means perfectly separated; 1 means identical.  Histogram-based; the
+    bin count trades resolution against small-sample noise.
+    """
+    genuine = np.asarray(genuine, dtype=float)
+    impostor = np.asarray(impostor, dtype=float)
+    if len(genuine) == 0 or len(impostor) == 0:
+        raise ValueError("both score sets must be non-empty")
+    lo = min(genuine.min(), impostor.min())
+    hi = max(genuine.max(), impostor.max())
+    if lo == hi:
+        return 1.0
+    edges = np.linspace(lo, hi, n_bins + 1)
+    g, _ = np.histogram(genuine, bins=edges, density=False)
+    i, _ = np.histogram(impostor, bins=edges, density=False)
+    g = g / g.sum()
+    i = i / i.sum()
+    return float(np.minimum(g, i).sum())
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A bootstrap estimate with its confidence interval."""
+
+    point: float
+    low: float
+    high: float
+    n_resamples: int
+    confidence: float
+
+
+def bootstrap_eer(
+    genuine: np.ndarray,
+    impostor: np.ndarray,
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Percentile-bootstrap confidence interval on the EER."""
+    if not 0.5 < confidence < 1.0:
+        raise ValueError("confidence must be in (0.5, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be >= 10")
+    genuine = np.asarray(genuine, dtype=float)
+    impostor = np.asarray(impostor, dtype=float)
+    rng = rng if rng is not None else np.random.default_rng()
+    point, _ = equal_error_rate(genuine, impostor)
+    estimates = np.empty(n_resamples)
+    for k in range(n_resamples):
+        g = rng.choice(genuine, size=len(genuine), replace=True)
+        i = rng.choice(impostor, size=len(impostor), replace=True)
+        estimates[k], _ = equal_error_rate(g, i)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        point=point,
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        n_resamples=n_resamples,
+        confidence=confidence,
+    )
+
+
+def det_points(
+    genuine: np.ndarray,
+    impostor: np.ndarray,
+    fpr_targets: Tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1),
+) -> list:
+    """(FPR target, achieved FNR) pairs — the DET curve at log anchors.
+
+    For each target false-positive rate, the threshold is the matching
+    impostor quantile and the reported value is the genuine miss rate
+    there.
+    """
+    genuine = np.sort(np.asarray(genuine, dtype=float))
+    impostor = np.asarray(impostor, dtype=float)
+    if len(genuine) == 0 or len(impostor) == 0:
+        raise ValueError("both score sets must be non-empty")
+    points = []
+    for target in fpr_targets:
+        if not 0 < target < 1:
+            raise ValueError("FPR targets must be in (0, 1)")
+        threshold = float(np.quantile(impostor, 1.0 - target))
+        fnr = float(np.searchsorted(genuine, threshold, side="left")) / len(
+            genuine
+        )
+        points.append((target, fnr))
+    return points

@@ -1,0 +1,38 @@
+"""Physical attack models.
+
+Each attack perturbs a line's impedance profile the way the corresponding
+physical act does: magnetic probing adds mutual inductance, wire-tapping
+parallels a stub onto the trace, Trojan/cold-boot load modification changes
+the termination network.  :class:`AttackTimeline` schedules attacks over a
+monitoring run for detection-latency measurements.
+"""
+
+from .base import Attack, AttackTimeline, TimedAttack
+from .cloning import (
+    COMMERCIAL,
+    HOBBYIST,
+    STATE_OF_THE_ART,
+    CloningAttacker,
+    FabCapability,
+)
+from .probe import CapacitiveSnoop, MagneticProbe
+from .trojan import ChipSwap, ColdBootSwap, LoadModification
+from .wiretap import WireTap, WireTapResidue
+
+__all__ = [
+    "Attack",
+    "TimedAttack",
+    "AttackTimeline",
+    "MagneticProbe",
+    "CapacitiveSnoop",
+    "WireTap",
+    "WireTapResidue",
+    "LoadModification",
+    "ChipSwap",
+    "ColdBootSwap",
+    "CloningAttacker",
+    "FabCapability",
+    "HOBBYIST",
+    "COMMERCIAL",
+    "STATE_OF_THE_ART",
+]

@@ -1,0 +1,105 @@
+"""Attack abstractions: what a physical attack is, and when it happens.
+
+Every physical attack the paper studies — magnetic probing, wire-tapping,
+Trojan chip insertion, the physical half of a cold-boot attack — has one
+common signature: it perturbs the impedance profile of a Tx-line at some
+location.  An :class:`Attack` is therefore a named, located profile
+modifier.  :class:`AttackTimeline` schedules attacks over a monitoring run
+so detection-latency experiments can measure time-to-alert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..txline.profile import ImpedanceProfile
+
+__all__ = ["Attack", "TimedAttack", "AttackTimeline"]
+
+
+class Attack:
+    """Base class for physical attacks expressed as profile modifiers."""
+
+    #: Short machine-readable attack family name.
+    kind: str = "generic"
+
+    #: Physical coupling mechanisms the attack exercises, a subset of
+    #: {"inductive", "capacitive", "galvanic"}.  Baseline detectors watch a
+    #: single mechanism each (PAD: capacitance; DC resistance: galvanic
+    #: copper), so this tag determines what each prior-art scheme can
+    #: physically see.  The IIP responds to all three — DIVOT's advantage.
+    mechanisms: frozenset = frozenset({"inductive", "capacitive", "galvanic"})
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        """Return the profile as perturbed by this attack."""
+        raise NotImplementedError
+
+    def location_m(self) -> Optional[float]:
+        """Nominal attack position along the line in metres, if localised."""
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable description for alerts and logs."""
+        loc = self.location_m()
+        where = f" at {loc * 100:.1f} cm" if loc is not None else ""
+        return f"{self.kind}{where}"
+
+    def _segment_index(
+        self, profile: ImpedanceProfile, position_m: float, velocity: float
+    ) -> int:
+        """Map a physical position to the nearest segment index."""
+        starts = profile.segment_positions(velocity)
+        if position_m < 0:
+            raise ValueError("position must be non-negative")
+        idx = int(min(range(len(starts)), key=lambda i: abs(starts[i] - position_m)))
+        return idx
+
+
+@dataclass(frozen=True)
+class TimedAttack:
+    """An attack active during ``[start_s, stop_s)`` of a monitoring run.
+
+    ``stop_s = None`` means the attack persists to the end of the run (most
+    physical tampering does not un-happen by itself).
+    """
+
+    attack: Attack
+    start_s: float
+    stop_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.stop_s is not None and self.stop_s <= self.start_s:
+            raise ValueError("stop_s must exceed start_s")
+
+    def active_at(self, t: float) -> bool:
+        """Whether the attack is in effect at absolute time ``t``."""
+        if t < self.start_s:
+            return False
+        return self.stop_s is None or t < self.stop_s
+
+
+@dataclass
+class AttackTimeline:
+    """A schedule of attacks over a monitoring run."""
+
+    events: List[TimedAttack] = field(default_factory=list)
+
+    def add(
+        self, attack: Attack, start_s: float, stop_s: Optional[float] = None
+    ) -> "AttackTimeline":
+        """Schedule ``attack`` and return self for chaining."""
+        self.events.append(TimedAttack(attack, start_s, stop_s))
+        return self
+
+    def active_at(self, t: float) -> Tuple[Attack, ...]:
+        """All attacks in effect at time ``t``, in schedule order."""
+        return tuple(e.attack for e in self.events if e.active_at(t))
+
+    def first_onset(self) -> Optional[float]:
+        """Time of the earliest scheduled attack, or None if empty."""
+        if not self.events:
+            return None
+        return min(e.start_s for e in self.events)

@@ -1,0 +1,163 @@
+"""IIP cloning attempts — why the fingerprint ROM needs no secrecy.
+
+Section III of the paper: "the security of these ROMs storing the
+fingerprint is not critical to this architecture because even if attackers
+gained access to the IIP, they would not be able to use it once an IIP
+leaves the exact Tx-line."  This module makes that claim testable: a
+:class:`CloningAttacker` knows the target's *complete* impedance profile
+and fabricates the best counterfeit a real process allows, limited by two
+physical facts:
+
+* **patterning resolution** — trace width (hence impedance) can only be
+  commanded at lithography/etch feature scales, far coarser than the
+  sub-millimetre inhomogeneity the iTDR resolves; the attacker can only
+  reproduce a low-pass-filtered version of the fingerprint;
+* **process noise** — the attacker's own fab adds fresh uncontrollable
+  inhomogeneity of at least the industry's floor, overwriting fine detail
+  with a *new* random fingerprint.
+
+Sweeping those two capabilities from "hobbyist" to "beyond state of the
+art" yields the unclonability curve the paper's argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from ..txline.profile import ImpedanceProfile, correlated_field
+
+__all__ = ["FabCapability", "CloningAttacker", "HOBBYIST", "COMMERCIAL",
+           "STATE_OF_THE_ART"]
+
+
+@dataclass(frozen=True)
+class FabCapability:
+    """What a counterfeiting fab can physically do.
+
+    Attributes:
+        name: Capability tier label.
+        patterning_resolution_m: Smallest length over which the attacker
+            can command an impedance value (trace-width step pitch).
+        process_sigma: Relative RMS of the attacker's own uncontrollable
+            impedance inhomogeneity — the floor below which no fab goes.
+        impedance_accuracy: Relative RMS error between the commanded and
+            realised *mean* impedance per patterned step.
+    """
+
+    name: str
+    patterning_resolution_m: float
+    process_sigma: float
+    impedance_accuracy: float
+
+    def __post_init__(self) -> None:
+        if self.patterning_resolution_m <= 0:
+            raise ValueError("patterning_resolution_m must be positive")
+        if self.process_sigma < 0 or self.impedance_accuracy < 0:
+            raise ValueError("noise terms must be non-negative")
+
+
+#: Soldering iron and a mill: centimetre patterning, sloppy process.
+HOBBYIST = FabCapability(
+    name="hobbyist",
+    patterning_resolution_m=20e-3,
+    process_sigma=0.015,
+    impedance_accuracy=0.05,
+)
+
+#: A good commercial controlled-impedance fab — the *same* grade that made
+#: the genuine board, so its uncontrollable-inhomogeneity floor equals the
+#: target's own (that floor is what defines the process class).
+COMMERCIAL = FabCapability(
+    name="commercial",
+    patterning_resolution_m=5e-3,
+    process_sigma=0.010,
+    # Commanding a custom impedance *profile* means modulating trace width
+    # feature by feature; etch tolerance (~ +/-10 % of width) translates to
+    # a ~2 % impedance realisation error per commanded step.
+    impedance_accuracy=0.020,
+)
+
+#: A hypothetical fab well beyond today's practice: millimetre patterning
+#: and *half* the industry's inhomogeneity floor.  This tier measures the
+#: security margin rather than a practical attack.
+STATE_OF_THE_ART = FabCapability(
+    name="state-of-the-art",
+    patterning_resolution_m=1e-3,
+    process_sigma=0.005,
+    impedance_accuracy=0.008,
+)
+
+
+class CloningAttacker:
+    """Fabricates the best counterfeit of a target line a fab allows.
+
+    The attacker is maximally informed: it holds the target's exact
+    per-segment impedance array (stolen from the fingerprint ROM, or
+    measured with a bench VNA).  Its clone is the commanded profile —
+    the target low-passed to the patterning resolution — plus the fab's
+    own fresh inhomogeneity.
+    """
+
+    def __init__(
+        self,
+        capability: FabCapability,
+        rng: np.random.Generator,
+    ) -> None:
+        self.capability = capability
+        self.rng = rng
+
+    def commanded_profile(self, target: ImpedanceProfile,
+                          velocity: float) -> np.ndarray:
+        """The impedance the attacker *asks* its fab for.
+
+        A boxcar average of the target over the patterning pitch: the
+        finest structure the attacker can even request.
+        """
+        seg_len = float(np.mean(target.tau)) * velocity
+        step = max(1, int(round(self.capability.patterning_resolution_m / seg_len)))
+        z = target.z
+        commanded = np.empty_like(z)
+        for start in range(0, len(z), step):
+            commanded[start : start + step] = z[start : start + step].mean()
+        return commanded
+
+    def fabricate(
+        self,
+        target: TransmissionLine,
+        name: str = "counterfeit",
+    ) -> TransmissionLine:
+        """Build the clone line the attacker would plug in."""
+        profile = target.full_profile
+        velocity = target.material.velocity_at(target.material.t_ref_c)
+        commanded = self.commanded_profile(profile, velocity)
+        cap = self.capability
+        seg_len = float(np.mean(profile.tau)) * velocity
+        # Fresh process inhomogeneity at the attacker's floor; correlation
+        # follows the physical scale of etch variation (~5 mm).
+        corr = max(1, int(round(5e-3 / seg_len)))
+        fresh = correlated_field(
+            profile.n_segments, cap.process_sigma, corr, self.rng
+        )
+        # Per-step realisation error of the commanded means.
+        step = max(1, int(round(cap.patterning_resolution_m / seg_len)))
+        n_steps = int(np.ceil(profile.n_segments / step))
+        step_err = np.repeat(
+            self.rng.normal(0.0, cap.impedance_accuracy, size=n_steps), step
+        )[: profile.n_segments]
+        z_clone = commanded * (1.0 + fresh + step_err)
+        clone_profile = ImpedanceProfile(
+            z=z_clone,
+            tau=profile.tau.copy(),
+            z_source=profile.z_source,
+            z_load=profile.z_load,
+            loss_per_segment=profile.loss_per_segment,
+        )
+        return TransmissionLine(
+            name=name,
+            board_profile=clone_profile,
+            material=target.material,
+            receiver=None,
+        )

@@ -1,0 +1,127 @@
+"""Load-modification attacks: Trojan chips and cold-boot module swaps.
+
+Fig. 9(a-c) of the paper replaces the receiver chip with a different unit of
+the *same model number* and shows the IIP diverging sharply near the
+termination (~3.5 ns into the 3.8 ns record).  Whether the adversary inserts
+a Trojan chip, re-seats a stolen DIMM into another machine, or swaps modules
+for a cold-boot readout, the electrical event is the same: the load network
+at the end of the line changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from ..txline.profile import ImpedanceProfile
+from ..txline.termination import ReceiverPackage
+from .base import Attack
+
+__all__ = ["LoadModification", "ChipSwap", "ColdBootSwap"]
+
+
+class LoadModification(Attack):
+    """Directly alter the termination network of a profile.
+
+    Attributes:
+        load_scale: Multiplier on the termination resistance (a Trojan
+            interposer adds series/shunt parasitics; 1.0 means unchanged).
+        near_end_delta: Relative impedance change applied to the last
+            ``n_segments`` segments (the package/bond section of the new
+            part differs from the old one's).
+        n_segments: How many trailing segments the new package occupies.
+    """
+
+    kind = "load-modification"
+    mechanisms = frozenset({"galvanic", "capacitive"})
+
+    def __init__(
+        self,
+        load_scale: float = 1.15,
+        near_end_delta: float = 0.08,
+        n_segments: int = 3,
+    ) -> None:
+        if load_scale <= 0:
+            raise ValueError("load_scale must be positive")
+        if n_segments < 1:
+            raise ValueError("n_segments must be >= 1")
+        self.load_scale = float(load_scale)
+        self.near_end_delta = float(near_end_delta)
+        self.n_segments = int(n_segments)
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        n = min(self.n_segments, profile.n_segments)
+        z = profile.z.copy()
+        z[-n:] = z[-n:] * (1.0 + self.near_end_delta)
+        return ImpedanceProfile(
+            z=z,
+            tau=profile.tau,
+            z_source=profile.z_source,
+            z_load=profile.z_load * self.load_scale,
+            loss_per_segment=profile.loss_per_segment,
+        )
+
+    def location_m(self) -> Optional[float]:
+        return None  # resolved at the far end; position depends on the line
+
+
+class ChipSwap(Attack):
+    """Replace the receiver with a different unit of the same model number.
+
+    The new chip's on-die termination and package parasitics differ by
+    normal unit-to-unit manufacturing spread — small numbers, but a clear
+    reflection-peak change at the termination, which is the paper's point:
+    even a "same model number" swap is visible.
+    """
+
+    kind = "chip-swap"
+    mechanisms = frozenset({"galvanic", "capacitive"})
+
+    def __init__(self, replacement_seed: int, spread: float = 0.04) -> None:
+        self.replacement = ReceiverPackage(seed=replacement_seed).instance_variation(
+            spread
+        )
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        # The old package occupies the trailing segments; overwrite them with
+        # the new chip's package impedance and swap the lumped load.
+        n_pkg = max(
+            1,
+            int(round(self.replacement.package_delay / float(np.mean(profile.tau)))),
+        )
+        n_pkg = min(n_pkg, profile.n_segments)
+        z = profile.z.copy()
+        z[-n_pkg:] = self.replacement.package_impedance
+        return ImpedanceProfile(
+            z=z,
+            tau=profile.tau,
+            z_source=profile.z_source,
+            z_load=self.replacement.input_resistance,
+            loss_per_segment=profile.loss_per_segment,
+        )
+
+
+class ColdBootSwap:
+    """The physical half of a cold-boot attack: the module moves machines.
+
+    Not a profile modifier — the attacker connects the (frozen) memory
+    module to a *different* Tx-line in another computer.  From either
+    vantage, the measured IIP is now a different line's fingerprint:
+
+    * attacker's host measuring the stolen module → ``foreign_line``'s IIP,
+      which fails the module's own stored fingerprint check, so the module
+      side blocks access;
+    * the victim machine (if the module was re-seated) sees the original
+      line with a swapped far end, i.e. a :class:`ChipSwap`-like change.
+    """
+
+    kind = "cold-boot-swap"
+
+    def __init__(self, foreign_line: TransmissionLine) -> None:
+        self.foreign_line = foreign_line
+
+    def measured_line(self) -> TransmissionLine:
+        """The line the relocated module actually sits on now."""
+        return self.foreign_line

@@ -1,0 +1,123 @@
+"""Wire-tapping attacks (Fig. 9d-f).
+
+The most invasive tamper the paper tests: scratch the solder mask, solder a
+wire onto the trace, run it to an oscilloscope.  Electrically the tap wire
+is a transmission-line stub in parallel with the trace — at the tap point
+the wave sees the trace impedance in parallel with the stub impedance, a
+large localised drop, plus stub echoes.  The paper also observes the attack
+is *non-reversible*: removing the wire leaves solder residue and a scratched
+mask, so the IIP never returns to its enrolled shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..txline.materials import FR4
+from ..txline.profile import ImpedanceProfile
+from .base import Attack
+
+__all__ = ["WireTap", "WireTapResidue"]
+
+
+class WireTap(Attack):
+    """A soldered tap wire running to an external monitor.
+
+    Attributes:
+        position_m: Tap position along the line, metres from the source.
+        stub_impedance: Characteristic impedance of the tap wire (a hand
+            -soldered jumper is typically 80-120 ohm over a ground plane).
+        extent_m: Length of trace affected by the solder joint.
+        damage: Relative permanent impedance scar left even after removal
+            (scratched mask + residual solder).
+    """
+
+    kind = "wire-tap"
+    mechanisms = frozenset({"galvanic", "capacitive", "inductive"})
+
+    def __init__(
+        self,
+        position_m: float,
+        stub_impedance: float = 100.0,
+        extent_m: float = 2.5e-3,
+        damage: float = 0.02,
+        velocity: float = FR4.velocity_at(FR4.t_ref_c),
+    ) -> None:
+        if stub_impedance <= 0:
+            raise ValueError("stub_impedance must be positive")
+        if extent_m <= 0:
+            raise ValueError("extent_m must be positive")
+        if damage < 0:
+            raise ValueError("damage must be non-negative")
+        self.position_m = float(position_m)
+        self.stub_impedance = float(stub_impedance)
+        self.extent_m = float(extent_m)
+        self.damage = float(damage)
+        self.velocity = float(velocity)
+
+    def location_m(self) -> float:
+        return self.position_m
+
+    def _tap_window(self, profile: ImpedanceProfile) -> np.ndarray:
+        starts = profile.segment_positions(self.velocity)
+        centers = starts + 0.5 * profile.tau * self.velocity
+        return np.exp(
+            -0.5 * ((centers - self.position_m) / (0.5 * self.extent_m)) ** 2
+        )
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        """While the tap is attached: trace parallel stub at the joint."""
+        window = self._tap_window(profile)
+        # Parallel combination Z*Zstub/(Z+Zstub), blended by the joint window.
+        z_parallel = profile.z * self.stub_impedance / (
+            profile.z + self.stub_impedance
+        )
+        z = profile.z * (1.0 - window) + z_parallel * window
+        # The solder scar is present while tapped too.
+        z = z * (1.0 - self.damage * window)
+        return profile.with_impedance(z)
+
+    def residue(self) -> "WireTapResidue":
+        """The permanent damage left after the attacker removes the wire."""
+        return WireTapResidue(
+            position_m=self.position_m,
+            damage=self.damage,
+            extent_m=self.extent_m,
+            velocity=self.velocity,
+        )
+
+
+class WireTapResidue(Attack):
+    """Permanent scar after wire removal: the IIP does not recover.
+
+    The paper notes "even when the wire was removed, the remaining changes
+    on IIP was still large" — the original fingerprint is destroyed.
+    """
+
+    kind = "wire-tap-residue"
+    mechanisms = frozenset({"galvanic"})
+
+    def __init__(
+        self,
+        position_m: float,
+        damage: float = 0.02,
+        extent_m: float = 2.5e-3,
+        velocity: float = FR4.velocity_at(FR4.t_ref_c),
+    ) -> None:
+        if damage < 0:
+            raise ValueError("damage must be non-negative")
+        self.position_m = float(position_m)
+        self.damage = float(damage)
+        self.extent_m = float(extent_m)
+        self.velocity = float(velocity)
+
+    def location_m(self) -> float:
+        return self.position_m
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        starts = profile.segment_positions(self.velocity)
+        centers = starts + 0.5 * profile.tau * self.velocity
+        window = np.exp(
+            -0.5 * ((centers - self.position_m) / (0.5 * self.extent_m)) ** 2
+        )
+        return profile.with_impedance(profile.z * (1.0 - self.damage * window))

@@ -1,0 +1,21 @@
+"""Prior-art countermeasure models for the section-V comparison.
+
+Each baseline watches a different physical quantity with different
+deployment constraints; the comparison experiment runs the same attack
+suite against all of them and against DIVOT.
+"""
+
+from .base import BaselineDetector, DetectorTraits
+from .dc_resistance import DCResistanceMonitor
+from .impedance_puf import InputImpedancePUF
+from .pad import ProbeAttemptDetector
+from .vna_iip import VNAIIPReader
+
+__all__ = [
+    "BaselineDetector",
+    "DetectorTraits",
+    "ProbeAttemptDetector",
+    "DCResistanceMonitor",
+    "InputImpedancePUF",
+    "VNAIIPReader",
+]

@@ -1,0 +1,124 @@
+"""Common interface for prior-art countermeasures (paper section V).
+
+The paper positions DIVOT against four hardware countermeasure families:
+the ring-oscillator probe attempt detector (PAD, Manich et al.), DC trace-
+resistance monitoring (Paley et al.), input-impedance PUFs measured with an
+impedance analyzer (Zhang et al.), and VNA-extracted IIP PUFs (Wei et al.).
+Each differs along the same axes: can it run *concurrently* with data
+transfer, can it run at *runtime* at all, which attack classes perturb the
+physical quantity it watches, and what does it cost.  The baseline models
+here capture those mechanisms so the comparison becomes measurable instead
+of rhetorical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+
+__all__ = ["DetectorTraits", "BaselineDetector"]
+
+
+@dataclass(frozen=True)
+class DetectorTraits:
+    """Deployment properties of a countermeasure.
+
+    Attributes:
+        name: Detector family name.
+        concurrent_with_data: Can it measure while traffic flows?
+        runtime_capable: Can it run in a fielded system at all (versus
+            factory/incoming-inspection only)?
+        integrated: Fits on-chip/on-board (versus bench equipment)?
+        relative_cost: Rough cost score, 1.0 = DIVOT's integrated logic.
+    """
+
+    name: str
+    concurrent_with_data: bool
+    runtime_capable: bool
+    integrated: bool
+    relative_cost: float
+
+
+class BaselineDetector:
+    """A physical-quantity watcher with an enroll/score/detect protocol.
+
+    Subclasses define :meth:`observable`: the scalar or vector physical
+    quantity the detector measures from a line state.  Enrollment captures
+    the clean observable (with measurement noise); detection compares a
+    fresh observation against it.
+    """
+
+    traits: DetectorTraits
+
+    def __init__(
+        self,
+        measurement_noise: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if measurement_noise < 0:
+            raise ValueError("measurement_noise must be non-negative")
+        self.measurement_noise = measurement_noise
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._reference: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def observable(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> np.ndarray:
+        """The noiseless physical quantity this detector watches."""
+        raise NotImplementedError
+
+    def measure(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> np.ndarray:
+        """One noisy measurement of the observable."""
+        clean = np.atleast_1d(self.observable(line, modifiers))
+        noise = self.rng.normal(0.0, self.measurement_noise, size=clean.shape)
+        return clean * (1.0 + noise)
+
+    # ------------------------------------------------------------------
+    def enroll(self, line: TransmissionLine, n_measurements: int = 8) -> None:
+        """Record the clean reference observable."""
+        if n_measurements < 1:
+            raise ValueError("n_measurements must be >= 1")
+        obs = [self.measure(line) for _ in range(n_measurements)]
+        self._reference = np.mean(obs, axis=0)
+
+    def deviation(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> float:
+        """Relative deviation of a fresh measurement from the reference."""
+        if self._reference is None:
+            raise RuntimeError("detector must enroll before measuring deviations")
+        fresh = self.measure(line, modifiers)
+        ref = self._reference
+        scale = np.linalg.norm(ref)
+        if scale == 0:
+            return float(np.linalg.norm(fresh - ref))
+        return float(np.linalg.norm(fresh - ref) / scale)
+
+    def detects(
+        self,
+        line: TransmissionLine,
+        modifiers: Sequence,
+        threshold: float,
+    ) -> bool:
+        """Whether a fresh measurement under attack crosses the threshold."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return self.deviation(line, modifiers) > threshold
+
+    def noise_floor(
+        self, line: TransmissionLine, n_measurements: int = 16
+    ) -> float:
+        """Largest clean-condition deviation over repeated measurements.
+
+        The calibration quantity a deployment threshold must exceed.
+        """
+        if n_measurements < 1:
+            raise ValueError("n_measurements must be >= 1")
+        return max(self.deviation(line) for _ in range(n_measurements))

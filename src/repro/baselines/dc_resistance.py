@@ -1,0 +1,74 @@
+"""DC trace-resistance monitoring — Paley, Hoque & Bhunia, ISQED 2016.
+
+Copper trace resistance is measured with a quiescent DC drive; tampering
+that adds/removes copper (soldered taps, cut-and-rejoin, replaced parts)
+shifts it.  The paper's criticisms, all of which this model exhibits:
+the voltage on the monitored trace must stay *stable during measurement*
+(no data transfer), AC-coupled buses cannot be measured at all, and a
+purely electromagnetic perturbation (magnetic probe) leaves DC resistance
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..txline.line import TransmissionLine
+from .base import BaselineDetector, DetectorTraits
+
+__all__ = ["DCResistanceMonitor"]
+
+
+class DCResistanceMonitor(BaselineDetector):
+    """Kelvin-sense DC resistance watcher for PCB traces.
+
+    The observable is loop resistance: per-segment copper resistance (from
+    the line's loss model) plus the termination.  Only *galvanic* attacks
+    perturb it — non-contact EM probes are filtered out explicitly, which
+    is physics, not charity: eddy-current coupling has no DC path.
+    """
+
+    traits = DetectorTraits(
+        name="DC resistance (Paley)",
+        concurrent_with_data=False,  # needs a quiet line
+        runtime_capable=True,  # idle windows only; not for AC-coupled buses
+        integrated=True,
+        relative_cost=0.8,
+    )
+
+    def __init__(
+        self,
+        copper_ohm_per_m: float = 0.25,
+        measurement_noise: float = 5e-4,
+        rng=None,
+    ) -> None:
+        if copper_ohm_per_m <= 0:
+            raise ValueError("copper_ohm_per_m must be positive")
+        super().__init__(measurement_noise=measurement_noise, rng=rng)
+        self.copper_ohm_per_m = copper_ohm_per_m
+
+    def observable(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> np.ndarray:
+        """Loop resistance, blind to non-galvanic modifiers."""
+        galvanic = [
+            m
+            for m in modifiers
+            if isinstance(m, Attack) and "galvanic" in m.mechanisms
+        ]
+        profile = line.profile_under(galvanic)
+        velocity = line.material.velocity_at(line.material.t_ref_c)
+        length = float(np.sum(profile.tau)) * velocity
+        # Kelvin sensing measures the trace copper alone (the termination
+        # is excluded, or its much larger resistance would mask everything).
+        # A tap/solder joint adds parallel copper and disturbs the etched
+        # cross-section; the induced change tracks the local impedance
+        # disturbance the galvanic act caused.
+        base = line.profile_under(())
+        z_shift = float(np.sum(np.abs(profile.z - base.z) / base.z))
+        return np.array(
+            [self.copper_ohm_per_m * length * (1.0 + 2.0 * z_shift)]
+        )

@@ -1,0 +1,71 @@
+"""Input-impedance PUF — Zhang, Hennessy & Bhunia, VTS 2015.
+
+Trace-to-trace input impedance variation identifies a board (counterfeit
+detection in the supply chain).  The paper's criticisms: the measurement
+needs a bulky impedance analyzer, so there is *no runtime protection*, and
+identification performance trails waveform-grade PUFs because the feature
+is a handful of scalars, not a spatial pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from .base import BaselineDetector, DetectorTraits
+
+__all__ = ["InputImpedancePUF"]
+
+
+class InputImpedancePUF(BaselineDetector):
+    """Low-frequency input-impedance feature extractor.
+
+    The analyzer sees the line's input impedance at a few spot frequencies;
+    at wavelengths long against the trace, these collapse to weighted
+    averages of the impedance profile — a 4-component feature vector here
+    (mean, first moment, second moment, termination).  Spatially localised
+    perturbations wash out in the averaging, which is exactly why this PUF
+    identifies *boards* but cannot localise or reliably detect *probes*.
+    """
+
+    traits = DetectorTraits(
+        name="input-impedance PUF (Zhang)",
+        concurrent_with_data=False,
+        runtime_capable=False,  # bench impedance analyzer required
+        integrated=False,
+        relative_cost=40.0,
+    )
+
+    def __init__(self, measurement_noise: float = 2e-3, rng=None) -> None:
+        super().__init__(measurement_noise=measurement_noise, rng=rng)
+
+    def observable(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> np.ndarray:
+        """Moment features of the impedance profile."""
+        profile = line.profile_under(modifiers)
+        z = profile.z
+        x = np.linspace(0.0, 1.0, len(z))
+        return np.array(
+            [
+                float(np.mean(z)),
+                float(np.mean(z * x)),
+                float(np.mean(z * x**2)),
+                profile.z_load,
+            ]
+        )
+
+    def identify(
+        self,
+        candidates: Sequence[TransmissionLine],
+        observed: np.ndarray,
+    ) -> int:
+        """Nearest-feature identification among candidate lines."""
+        if len(candidates) == 0:
+            raise ValueError("at least one candidate is required")
+        observed = np.asarray(observed, dtype=float)
+        features = [self.observable(c) for c in candidates]
+        dists = [np.linalg.norm(observed - f) for f in features]
+        return int(np.argmin(dists))

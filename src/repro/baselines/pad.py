@@ -1,0 +1,79 @@
+"""Probe Attempt Detector (PAD) — Manich, Wamser & Sigl, HOST 2012.
+
+A ring oscillator is multiplexed onto the victim wire; a physical probe
+adds load capacitance, which slows the oscillator measurably.  The paper's
+criticism: a PAD'd wire is either *decoding* (carrying data) or under
+*surveillance* — never both — so PAD cannot protect a live bus, and it
+senses capacitance only (a purely inductive perturbation such as a magnetic
+probe barely registers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..txline.line import TransmissionLine
+from .base import BaselineDetector, DetectorTraits
+
+__all__ = ["ProbeAttemptDetector"]
+
+
+class ProbeAttemptDetector(BaselineDetector):
+    """Ring-oscillator load-capacitance watcher.
+
+    The oscillator frequency is ``f0 / (1 + C_line / C_ro)``: total wire
+    capacitance loads each inversion stage.  Per-segment capacitance of a
+    Tx-line is ``tau / z`` (from Z = sqrt(L/C), v*tau = length), so the
+    observable reduces to a single scalar — which is both PAD's strength
+    (tiny circuit) and its weakness (no localisation, capacitance only).
+    """
+
+    traits = DetectorTraits(
+        name="PAD (ring oscillator)",
+        concurrent_with_data=False,  # decode XOR surveillance
+        runtime_capable=True,  # but only in idle windows
+        integrated=True,
+        relative_cost=0.5,
+    )
+
+    def __init__(
+        self,
+        f0_hz: float = 900e6,
+        c_ro_farads: float = 10e-12,
+        measurement_noise: float = 3e-5,
+        rng=None,
+    ) -> None:
+        if f0_hz <= 0 or c_ro_farads <= 0:
+            raise ValueError("f0_hz and c_ro_farads must be positive")
+        super().__init__(measurement_noise=measurement_noise, rng=rng)
+        self.f0_hz = f0_hz
+        self.c_ro_farads = c_ro_farads
+
+    def line_capacitance(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> float:
+        """Total wire capacitance: sum of per-segment tau/Z.
+
+        Only *capacitive* perturbations register: an attack that changes
+        inductance alone (a magnetic probe) moves Z and tau together and
+        leaves C untouched, so it is filtered out — the physical reason PAD
+        cannot see EM probes.
+        """
+        visible = [
+            m
+            for m in modifiers
+            if not isinstance(m, Attack) or "capacitive" in m.mechanisms
+        ]
+        profile = line.profile_under(visible)
+        return float(np.sum(profile.tau / profile.z))
+
+    def observable(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> np.ndarray:
+        """The ring-oscillator frequency under the given line state."""
+        c_line = self.line_capacitance(line, modifiers)
+        f = self.f0_hz / (1.0 + c_line / self.c_ro_farads)
+        return np.array([f])

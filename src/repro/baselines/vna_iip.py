@@ -1,0 +1,61 @@
+"""VNA-extracted IIP PUF — Wei & Huang, IEEE J-RFID 2019.
+
+The direct ancestor of DIVOT: the *same* fingerprint (the IIP), measured
+with a vector network analyzer.  Identification quality is excellent — a
+VNA resolves the profile more finely than the iTDR — but the instrument is
+bench equipment: it cannot sit in a computer, cannot share the line with
+live traffic, and costs orders of magnitude more than a comparator and a
+counter.  DIVOT's contribution is precisely closing that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from .base import BaselineDetector, DetectorTraits
+
+__all__ = ["VNAIIPReader"]
+
+
+class VNAIIPReader(BaselineDetector):
+    """High-fidelity offline IIP reader.
+
+    The observable is the full reflection-coefficient profile — essentially
+    the ground-truth IIP with only instrument-grade (very small) noise.
+    """
+
+    traits = DetectorTraits(
+        name="VNA IIP PUF (Wei)",
+        concurrent_with_data=False,
+        runtime_capable=False,  # bench VNA
+        integrated=False,
+        relative_cost=200.0,
+    )
+
+    def __init__(self, measurement_noise: float = 1e-4, rng=None) -> None:
+        super().__init__(measurement_noise=measurement_noise, rng=rng)
+
+    def observable(
+        self, line: TransmissionLine, modifiers: Sequence = ()
+    ) -> np.ndarray:
+        """The interface reflection-coefficient profile (the raw IIP)."""
+        profile = line.profile_under(modifiers)
+        return profile.reflection_coefficients()
+
+    def similarity(
+        self,
+        line_a: TransmissionLine,
+        line_b: TransmissionLine,
+    ) -> float:
+        """Normalised IIP similarity as the VNA would score it."""
+        a = self.measure(line_a)
+        b = self.measure(line_b)
+        a = a - a.mean()
+        b = b - b.mean()
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.5
+        return float((1.0 + np.dot(a, b) / denom) / 2.0)

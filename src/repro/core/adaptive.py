@@ -1,0 +1,144 @@
+"""Adaptive references: surviving temperature and age without new risk.
+
+Two deployment-hardening policies for the drift problems the evaluation
+exposes (Fig. 8's hot-swing EER rise, and long-term aging):
+
+* :class:`MultiConditionAuthenticator` — enroll the line under several
+  conditions (e.g. cold and hot) and score fresh captures against the
+  best-matching reference.  An honest line matches *some* enrolled
+  condition; an impostor matches none, so the max-score fusion buys
+  robustness without giving attackers a wider target than the per-
+  reference threshold already allows.
+
+* :class:`AdaptiveReference` — a rolling exponential update of the stored
+  fingerprint from *accepted* captures only.  Scores far above threshold
+  fold into the reference, tracking slow drift; borderline and rejected
+  captures never update it, so an attacker cannot walk the reference
+  toward a foreign line without first passing authentication outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .auth import capture_similarity, similarity
+from .fingerprint import Fingerprint
+from .itdr import IIPCapture
+
+__all__ = ["MultiConditionAuthenticator", "AdaptiveReference"]
+
+
+@dataclass(frozen=True)
+class _ConditionMatch:
+    """Best-condition scoring outcome."""
+
+    accepted: bool
+    score: float
+    matched_condition: str
+    threshold: float
+
+
+class MultiConditionAuthenticator:
+    """Max-score fusion over references enrolled at several conditions."""
+
+    def __init__(self, threshold: float = 0.85) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self._references: List[Fingerprint] = []
+        self._labels: List[str] = []
+
+    @property
+    def n_conditions(self) -> int:
+        """Enrolled condition count."""
+        return len(self._references)
+
+    def enroll(self, fingerprint: Fingerprint, label: str) -> None:
+        """Add one condition's reference."""
+        if self._references and len(fingerprint.samples) != len(
+            self._references[0].samples
+        ):
+            raise ValueError("all references must share a record length")
+        self._references.append(fingerprint)
+        self._labels.append(label)
+
+    def decide(self, capture: IIPCapture) -> _ConditionMatch:
+        """Score against every condition; accept on the best."""
+        if not self._references:
+            raise RuntimeError("enroll at least one condition first")
+        scores = [
+            capture_similarity(capture, reference)
+            for reference in self._references
+        ]
+        best = int(np.argmax(scores))
+        return _ConditionMatch(
+            accepted=scores[best] >= self.threshold,
+            score=float(scores[best]),
+            matched_condition=self._labels[best],
+            threshold=self.threshold,
+        )
+
+
+class AdaptiveReference:
+    """A stored fingerprint that tracks slow drift from accepted captures.
+
+    Attributes:
+        alpha: Exponential update weight per accepted capture.
+        update_margin: Only captures scoring at least this far *above* the
+            acceptance threshold update the reference — the guard that
+            stops borderline (possibly adversarial) captures from steering
+            it.
+    """
+
+    def __init__(
+        self,
+        fingerprint: Fingerprint,
+        threshold: float = 0.85,
+        alpha: float = 0.05,
+        update_margin: float = 0.02,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if update_margin < 0:
+            raise ValueError("update_margin must be non-negative")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self._samples = fingerprint.samples.copy()
+        self.name = fingerprint.name
+        self.dt = fingerprint.dt
+        self.threshold = threshold
+        self.alpha = alpha
+        self.update_margin = update_margin
+        self.n_updates = 0
+
+    # ------------------------------------------------------------------
+    def current(self) -> Fingerprint:
+        """The reference as it stands now."""
+        return Fingerprint(name=self.name, samples=self._samples, dt=self.dt)
+
+    def score(self, capture: IIPCapture) -> float:
+        """Similarity of a capture against the current reference."""
+        return similarity(capture.waveform.samples, self._samples)
+
+    def consider(self, capture: IIPCapture) -> bool:
+        """Authenticate; fold strongly accepted captures into the reference.
+
+        Returns the acceptance decision.  The reference only moves when
+        the score clears ``threshold + update_margin``.
+        """
+        s = self.score(capture)
+        accepted = s >= self.threshold
+        if s >= self.threshold + self.update_margin:
+            x = capture.waveform.samples - np.mean(capture.waveform.samples)
+            norm = np.linalg.norm(x)
+            if norm > 0:
+                x = x / norm
+                blended = (1.0 - self.alpha) * self._samples + self.alpha * x
+                blended_norm = np.linalg.norm(blended)
+                if blended_norm > 0:
+                    self._samples = blended / blended_norm
+                    self.n_updates += 1
+        return accepted

@@ -1,0 +1,171 @@
+"""Analog-to-probability conversion (APC) — paper section II-B.
+
+APC measures an analog voltage by *counting*: compare the signal against a
+reference many times, estimate ``p = P(Y=1)``, and invert the noise CDF:
+
+    V_sig = V_ref + CDF^{-1}(p)                              (paper Eq. 2)
+
+The sensitivity ``d p / d V_sig`` is the noise PDF (Eq. 3), so conversion is
+linear and sensitive only within about +/-2 sigma of the reference — the
+dynamic-range limitation that PDM later removes.  This module provides the
+single-reference converter and the generic mixture-CDF inverter that PDM
+reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.special import ndtr
+
+from .comparator import Comparator
+
+__all__ = ["APCConverter", "MixtureCdfInverter", "apc_sensitivity"]
+
+
+def apc_sensitivity(v_sig, v_ref, noise_sigma: float) -> np.ndarray:
+    """dP/dV at the given operating point — the Gaussian PDF (Eq. 3)."""
+    v = (np.asarray(v_sig, dtype=float) - v_ref) / noise_sigma
+    return np.exp(-0.5 * v**2) / (noise_sigma * np.sqrt(2.0 * np.pi))
+
+
+class MixtureCdfInverter:
+    """Numerical inverse of a Gaussian-mixture CDF.
+
+    With reference levels ``levels`` visited with equal probability (the
+    Vernier property guarantees uniformity), the observed probability is
+
+        p(V) = mean_j Phi((V - level_j) / sigma)
+
+    which is strictly increasing in ``V`` and therefore invertible.  A dense
+    lookup table plus linear interpolation gives a fast vectorised inverse;
+    accuracy is limited by table pitch (default sigma/50), far below the
+    statistical noise of any finite-trial estimate.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        noise_sigma: float,
+        table_span_sigmas: float = 6.0,
+        table_points_per_sigma: int = 50,
+    ) -> None:
+        if noise_sigma <= 0:
+            raise ValueError("noise_sigma must be positive")
+        levels = np.sort(np.asarray(levels, dtype=float))
+        if len(levels) == 0:
+            raise ValueError("at least one reference level is required")
+        self.levels = levels
+        self.noise_sigma = noise_sigma
+        lo = levels[0] - table_span_sigmas * noise_sigma
+        hi = levels[-1] + table_span_sigmas * noise_sigma
+        n = max(
+            16,
+            int(np.ceil((hi - lo) / noise_sigma * table_points_per_sigma)),
+        )
+        self._v_grid = np.linspace(lo, hi, n)
+        self._p_grid = self.forward(self._v_grid)
+
+    def forward(self, v) -> np.ndarray:
+        """Mixture CDF: probability of Y=1 at signal voltage ``v``."""
+        v = np.asarray(v, dtype=float)
+        z = (v[..., None] - self.levels) / self.noise_sigma
+        return ndtr(z).mean(axis=-1)
+
+    def invert(self, p) -> np.ndarray:
+        """Voltage estimate for observed probability/ies ``p``.
+
+        Probabilities are clipped to the table's range so the estimator
+        saturates (like real hardware) instead of diverging at p in {0, 1}.
+        """
+        p = np.asarray(p, dtype=float)
+        p = np.clip(p, self._p_grid[0], self._p_grid[-1])
+        return np.interp(p, self._p_grid, self._v_grid)
+
+    def linear_window(self, threshold: float = 0.1) -> tuple:
+        """Voltage span where sensitivity exceeds ``threshold`` x its peak.
+
+        For a single reference this recovers the paper's ~+/-2 sigma linear
+        region; for a PDM mixture the window widens to cover the level span.
+        """
+        pdf = np.gradient(self._p_grid, self._v_grid)
+        peak = pdf.max()
+        good = np.flatnonzero(pdf >= threshold * peak)
+        return float(self._v_grid[good[0]]), float(self._v_grid[good[-1]])
+
+
+@dataclass
+class APCConverter:
+    """The bare APC: one comparator, one fixed reference voltage.
+
+    Attributes:
+        comparator: The noisy comparator performing decisions.
+        v_ref: The fixed reference voltage.
+    """
+
+    comparator: Comparator
+    v_ref: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._inverter = MixtureCdfInverter(
+            [self.v_ref + self.comparator.offset], self.comparator.noise_sigma
+        )
+
+    # ------------------------------------------------------------------
+    def measure_probability(
+        self,
+        v_true: np.ndarray,
+        repetitions: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Estimated p-hat at each signal point over ``repetitions`` trials."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        counts = self.comparator.count_ones(v_true, self.v_ref, repetitions, rng)
+        return counts / repetitions
+
+    def estimate_voltage(
+        self,
+        v_true: np.ndarray,
+        repetitions: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Full APC measurement: count, estimate p-hat, invert the CDF."""
+        p_hat = self.measure_probability(v_true, repetitions, rng)
+        return self._inverter.invert(p_hat)
+
+    def invert(self, p_hat) -> np.ndarray:
+        """CDF inversion only (Eq. 2), for externally obtained counts."""
+        return self._inverter.invert(p_hat)
+
+    def linear_window(self, threshold: float = 0.1) -> tuple:
+        """The usable voltage window around ``v_ref`` (about +/-2 sigma)."""
+        return self._inverter.linear_window(threshold)
+
+    @property
+    def dynamic_range(self) -> float:
+        """Width of the linear window in volts."""
+        lo, hi = self.linear_window()
+        return hi - lo
+
+    def expected_estimate_std(
+        self, v_true: float, repetitions: int
+    ) -> float:
+        """Predicted standard deviation of the voltage estimate.
+
+        Delta method: std(V-hat) = sqrt(p(1-p)/R) / pdf(V).  Useful for
+        sizing the repetition count against a target voltage resolution.
+        """
+        p = float(self.comparator.probability_of_one(v_true, self.v_ref))
+        sens = float(
+            apc_sensitivity(
+                v_true,
+                self.v_ref + self.comparator.offset,
+                self.comparator.noise_sigma,
+            )
+        )
+        if sens == 0.0:
+            return np.inf
+        return float(np.sqrt(p * (1.0 - p) / repetitions) / sens)

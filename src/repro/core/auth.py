@@ -1,0 +1,195 @@
+"""Authentication mathematics: similarity, ROC, and EER (section IV-B/C).
+
+The paper's similarity (Eq. 4) is the inner product of two IIP waveforms,
+normalised into [0, 1].  We realise the normalisation as
+
+    S(x, y) = (1 + cos_angle(x - mean, y - mean)) / 2
+
+i.e. the cosine similarity of zero-mean records mapped onto [0, 1]: two
+captures of the same line score near 1, statistically unrelated fingerprints
+score near 1/2, and anti-correlated records score near 0.  The mapping is
+monotone in the raw inner product, so ROC/EER analysis is unaffected by the
+choice of affine normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .fingerprint import Fingerprint
+from .itdr import IIPCapture
+
+__all__ = [
+    "similarity",
+    "capture_similarity",
+    "error_function",
+    "RocCurve",
+    "roc_curve",
+    "equal_error_rate",
+    "Authenticator",
+    "AuthDecision",
+]
+
+
+def _canonical(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    x = x - np.mean(x)
+    norm = np.linalg.norm(x)
+    return x / norm if norm > 0 else x
+
+
+def similarity(x: np.ndarray, y: np.ndarray) -> float:
+    """Normalised IIP similarity in [0, 1] — the paper's Eq. (4).
+
+    Accepts raw sample arrays; both are zero-meaned and unit-normed before
+    the inner product.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    cos = float(np.dot(_canonical(x), _canonical(y)))
+    return float(np.clip((1.0 + cos) / 2.0, 0.0, 1.0))
+
+
+def capture_similarity(capture: IIPCapture, fingerprint: Fingerprint) -> float:
+    """Similarity between a fresh capture and an enrolled fingerprint."""
+    if len(capture.waveform) != len(fingerprint.samples):
+        raise ValueError(
+            "capture and fingerprint lengths differ "
+            f"({len(capture.waveform)} vs {len(fingerprint.samples)}); "
+            "they must come from the same record configuration"
+        )
+    return similarity(capture.waveform.samples, fingerprint.samples)
+
+
+def error_function(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Pointwise squared IIP error E_xy(n) = (x(n) - y(n))^2 — Eq. (5).
+
+    Inputs are canonicalised (zero-mean, unit-norm) first so the error is a
+    pure shape contrast, independent of capture gain.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    return (_canonical(x) - _canonical(y)) ** 2
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A receiver operating characteristic over similarity thresholds.
+
+    Attributes:
+        thresholds: Candidate acceptance thresholds, ascending.
+        false_positive_rate: Fraction of impostor scores >= threshold.
+        false_negative_rate: Fraction of genuine scores < threshold.
+    """
+
+    thresholds: np.ndarray
+    false_positive_rate: np.ndarray
+    false_negative_rate: np.ndarray
+
+    @property
+    def true_positive_rate(self) -> np.ndarray:
+        """1 - FNR, the conventional ROC y-axis."""
+        return 1.0 - self.false_negative_rate
+
+    def eer(self) -> Tuple[float, float]:
+        """(equal error rate, threshold) where FPR crosses FNR.
+
+        Linear interpolation between the bracketing thresholds; when the
+        distributions are perfectly separated the EER is 0 at any threshold
+        inside the gap (the midpoint is returned).
+        """
+        diff = self.false_positive_rate - self.false_negative_rate
+        # diff starts >= 0 (low threshold accepts everyone -> FPR 1, FNR 0)
+        # and ends <= 0; find the sign change.
+        idx = np.flatnonzero(diff <= 0)
+        if len(idx) == 0:
+            return float(self.false_positive_rate[-1]), float(self.thresholds[-1])
+        i = int(idx[0])
+        if i == 0:
+            return float(self.false_negative_rate[0]), float(self.thresholds[0])
+        d0, d1 = diff[i - 1], diff[i]
+        if d0 == d1:
+            w = 0.5
+        else:
+            w = d0 / (d0 - d1)
+        thr = self.thresholds[i - 1] + w * (
+            self.thresholds[i] - self.thresholds[i - 1]
+        )
+        fpr = self.false_positive_rate[i - 1] + w * (
+            self.false_positive_rate[i] - self.false_positive_rate[i - 1]
+        )
+        fnr = self.false_negative_rate[i - 1] + w * (
+            self.false_negative_rate[i] - self.false_negative_rate[i - 1]
+        )
+        return float(0.5 * (fpr + fnr)), float(thr)
+
+
+def roc_curve(
+    genuine: np.ndarray, impostor: np.ndarray, n_thresholds: int = 2001
+) -> RocCurve:
+    """Build the ROC from genuine/impostor similarity score samples."""
+    genuine = np.asarray(genuine, dtype=float)
+    impostor = np.asarray(impostor, dtype=float)
+    if len(genuine) == 0 or len(impostor) == 0:
+        raise ValueError("both score sets must be non-empty")
+    lo = min(genuine.min(), impostor.min())
+    hi = max(genuine.max(), impostor.max())
+    pad = 1e-6 + 0.01 * (hi - lo)
+    thresholds = np.linspace(lo - pad, hi + pad, n_thresholds)
+    # Vectorised counting via sorted searches.
+    g_sorted = np.sort(genuine)
+    i_sorted = np.sort(impostor)
+    fnr = np.searchsorted(g_sorted, thresholds, side="left") / len(g_sorted)
+    fpr = 1.0 - np.searchsorted(i_sorted, thresholds, side="left") / len(i_sorted)
+    return RocCurve(thresholds, fpr, fnr)
+
+
+def equal_error_rate(
+    genuine: np.ndarray, impostor: np.ndarray
+) -> Tuple[float, float]:
+    """(EER, threshold) directly from score samples."""
+    return roc_curve(genuine, impostor).eer()
+
+
+@dataclass(frozen=True)
+class AuthDecision:
+    """Outcome of one authentication attempt."""
+
+    accepted: bool
+    score: float
+    threshold: float
+    line_name: str
+
+
+class Authenticator:
+    """Thresholded fingerprint matcher used by a DIVOT endpoint.
+
+    Attributes:
+        threshold: Acceptance threshold on the similarity score.  Choose it
+            at the EER point of a calibration run, or per the paper's
+            within-+/-0.1 % rule.
+    """
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.threshold = threshold
+
+    def decide(
+        self, capture: IIPCapture, fingerprint: Fingerprint
+    ) -> AuthDecision:
+        """Accept or reject a capture against an enrolled fingerprint."""
+        score = capture_similarity(capture, fingerprint)
+        return AuthDecision(
+            accepted=score >= self.threshold,
+            score=score,
+            threshold=self.threshold,
+            line_name=capture.line_name,
+        )

@@ -1,0 +1,145 @@
+"""Fingerprints and their storage (the calibration step of section III).
+
+At manufacturing or installation time each endpoint measures the bus IIP and
+stores it in a local EPROM.  The paper stresses that this ROM needs no
+secrecy: an IIP is useless off its exact physical line — knowing the
+fingerprint does not let an attacker reproduce the line that generates it.
+We model the ROM as a plain dictionary with JSON import/export, secrecy-free
+by design.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .itdr import IIPCapture
+
+__all__ = ["Fingerprint", "FingerprintROM"]
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """An enrolled IIP reference.
+
+    Attributes:
+        name: Identity of the enrolled line/channel.
+        samples: Zero-mean, unit-norm reference waveform samples.
+        dt: Time grid spacing of the samples, seconds.
+        n_captures: How many captures were averaged at enrollment.
+        enrolled_temperature_c: Ambient temperature at enrollment (matters
+            for interpreting drift, per the Fig. 8 experiment).
+    """
+
+    name: str
+    samples: np.ndarray
+    dt: float
+    n_captures: int = 1
+    enrolled_temperature_c: float = 23.0
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        object.__setattr__(self, "samples", samples)
+        if samples.ndim != 1 or len(samples) == 0:
+            raise ValueError("fingerprint samples must be a non-empty 1-D array")
+
+    @staticmethod
+    def _canonicalize(samples: np.ndarray) -> np.ndarray:
+        x = np.asarray(samples, dtype=float)
+        x = x - np.mean(x)
+        norm = np.linalg.norm(x)
+        return x / norm if norm > 0 else x
+
+    @classmethod
+    def from_captures(
+        cls,
+        captures: Iterable[IIPCapture],
+        name: Optional[str] = None,
+        enrolled_temperature_c: float = 23.0,
+    ) -> "Fingerprint":
+        """Enroll from one or more captures (averaging suppresses APC noise)."""
+        captures = list(captures)
+        if not captures:
+            raise ValueError("at least one capture is required to enroll")
+        first = captures[0]
+        if any(len(c.waveform) != len(first.waveform) for c in captures):
+            raise ValueError("all enrollment captures must share a length")
+        mean = np.mean([c.waveform.samples for c in captures], axis=0)
+        return cls(
+            name=name or first.line_name,
+            samples=cls._canonicalize(mean),
+            dt=first.waveform.dt,
+            n_captures=len(captures),
+            enrolled_temperature_c=enrolled_temperature_c,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "samples": self.samples.tolist(),
+            "dt": self.dt,
+            "n_captures": self.n_captures,
+            "enrolled_temperature_c": self.enrolled_temperature_c,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fingerprint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            samples=np.asarray(data["samples"], dtype=float),
+            dt=float(data["dt"]),
+            n_captures=int(data.get("n_captures", 1)),
+            enrolled_temperature_c=float(data.get("enrolled_temperature_c", 23.0)),
+        )
+
+
+class FingerprintROM:
+    """The endpoint-local fingerprint store (the paper's EPROM).
+
+    Deliberately *not* access-controlled: the architecture's security does
+    not rest on fingerprint secrecy.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, Fingerprint] = {}
+
+    def store(self, fingerprint: Fingerprint) -> None:
+        """Write (or overwrite) the fingerprint under its name."""
+        self._store[fingerprint.name] = fingerprint
+
+    def load(self, name: str) -> Fingerprint:
+        """Read a fingerprint; raises ``KeyError`` if never enrolled."""
+        return self._store[name]
+
+    def get(self, name: str) -> Optional[Fingerprint]:
+        """Read a fingerprint or None if never enrolled."""
+        return self._store.get(name)
+
+    def names(self) -> List[str]:
+        """All enrolled identities."""
+        return sorted(self._store)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def export_json(self) -> str:
+        """Serialise the whole ROM to a JSON string."""
+        return json.dumps(
+            {name: fp.to_dict() for name, fp in self._store.items()}
+        )
+
+    @classmethod
+    def import_json(cls, payload: str) -> "FingerprintROM":
+        """Rebuild a ROM from :meth:`export_json` output."""
+        rom = cls()
+        for _, data in json.loads(payload).items():
+            rom.store(Fingerprint.from_dict(data))
+        return rom

@@ -1,0 +1,414 @@
+"""The integrated time-domain reflectometer (iTDR) — paper section II.
+
+The iTDR chains every mechanism of the DIVOT architecture:
+
+    probe edge (live bus traffic)  -> Tx-line back-reflection (physics)
+    -> directional coupler pick-off -> comparator + PDM reference ladder
+    -> ones counting over repeated triggers (APC)
+    -> mixture-CDF inversion -> IIP waveform estimate on the ETS grid
+
+A :class:`capture` is one complete IIP measurement: the digital artefact
+that authentication and tamper detection consume.  The batch path runs
+thousands of captures with per-capture perturbed line states in vectorised
+numpy — the workhorse of the statistical experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..signals.edges import EdgeShape
+from ..signals.waveform import Waveform
+from ..txline.line import TransmissionLine
+from .apc import APCConverter
+from .comparator import Comparator
+from .ets import ETSSampler, PhaseSteppingPLL
+from .pdm import PDMScheme, TriangleWave, VernierRelation
+from .trigger import TriggerGenerator
+
+__all__ = ["ITDRConfig", "IIPCapture", "MeasurementBudget", "ITDR"]
+
+
+@dataclass(frozen=True)
+class ITDRConfig:
+    """Everything that defines one iTDR instance.
+
+    Attributes:
+        clock_frequency: Data/sampling clock, hertz (156.25 MHz prototype).
+        phase_step: ETS phase increment tau, seconds (11.16 ps prototype).
+        repetitions: Comparator trials per waveform point (APC averaging
+            depth).  Together with the point count this sets both accuracy
+            and measurement time.
+        noise_sigma: Comparator input noise RMS, volts.
+        comparator_offset: Comparator static offset, volts.
+        coupling: Directional coupler pick-off fraction reaching the
+            comparator input.
+        use_pdm: Enable probability density modulation (False = bare APC,
+            the ablation case).
+        pdm_amplitude: Triangle-wave peak deviation, volts.  Sized to cover
+            the expected reflection-signal span.
+        pdm_vernier: The (p, q) Vernier relation between f_m and f_s.
+        edge_rise_time: Probe edge 0-100 % rise time, seconds.
+        edge_amplitude: Driver voltage swing, volts.
+        trigger: Trigger generator (clock-lane default: every cycle fires).
+        record_margin: Extra record time past the line round trip, seconds.
+        phase_jitter_rms: RMS timing jitter of the phase-stepping PLL,
+            seconds.  Each trigger samples the waveform at a slightly wrong
+            instant; over the repetition count this blurs the waveform
+            (deterministic) and leaves a slope-proportional residual noise
+            (statistical).  0 models the paper's "timing stability" setup.
+    """
+
+    clock_frequency: float = 156.25e6
+    phase_step: float = 11.16e-12
+    repetitions: int = 24
+    noise_sigma: float = 3.0e-3
+    comparator_offset: float = 0.0
+    coupling: float = 0.25
+    use_pdm: bool = True
+    pdm_amplitude: float = 18.0e-3
+    pdm_vernier: tuple = (5, 6)
+    edge_rise_time: float = 150e-12
+    edge_amplitude: float = 1.2
+    trigger: TriggerGenerator = field(
+        default_factory=lambda: TriggerGenerator(clock_lane=True)
+    )
+    record_margin: float = 0.3e-9
+    phase_jitter_rms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if not 0 < self.coupling <= 1:
+            raise ValueError("coupling must be in (0, 1]")
+        if self.pdm_amplitude < 0:
+            raise ValueError("pdm_amplitude must be non-negative")
+        if self.phase_jitter_rms < 0:
+            raise ValueError("phase_jitter_rms must be non-negative")
+
+
+@dataclass(frozen=True)
+class IIPCapture:
+    """One complete IIP measurement.
+
+    Attributes:
+        waveform: Estimated reflection waveform (volts at the comparator
+            input) on the ETS time grid.
+        line_name: Which physical line was measured.
+        n_triggers: Probe edges consumed by this capture.
+        duration_s: Wall-clock measurement time at the configured clock.
+    """
+
+    waveform: Waveform
+    line_name: str
+    n_triggers: int
+    duration_s: float
+
+    def normalized_samples(self) -> np.ndarray:
+        """Zero-mean, unit-norm samples — the canonical fingerprint form."""
+        x = self.waveform.samples - np.mean(self.waveform.samples)
+        norm = np.linalg.norm(x)
+        return x / norm if norm > 0 else x
+
+
+@dataclass(frozen=True)
+class MeasurementBudget:
+    """Cost of one capture: triggers consumed and time spent."""
+
+    n_points: int
+    repetitions: int
+    points_per_trigger: int
+    n_triggers: int
+    duration_s: float
+
+
+class ITDR:
+    """An integrated TDR instance attached to one bus interface.
+
+    Args:
+        config: Static configuration.
+        rng: Random source for comparator noise (seed it for reproducible
+            experiments).
+    """
+
+    def __init__(
+        self,
+        config: ITDRConfig = ITDRConfig(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.pll = PhaseSteppingPLL(config.clock_frequency, config.phase_step)
+        self.sampler = ETSSampler(self.pll)
+        self.comparator = Comparator(
+            noise_sigma=config.noise_sigma, offset=config.comparator_offset
+        )
+        self.edge = EdgeShape(
+            rise_time=config.edge_rise_time,
+            amplitude=config.edge_amplitude,
+            kind="raised_cosine",
+        )
+        # Reflected-waveform memo: repeated captures of the same line state
+        # (the averaging and monitoring paths) share one physics solve.
+        # Keyed by object identities, so any new line/modifier object means
+        # a fresh solve; bounded to stay a cache, not a leak.
+        self._reflection_cache: dict = {}
+        self._reflection_cache_max = 16
+        if config.use_pdm:
+            p, q = config.pdm_vernier
+            relation = VernierRelation(p, q)
+            if not relation.is_effective:
+                raise ValueError(
+                    "pdm_vernier must be a non-degenerate (relatively prime, "
+                    "q > 1) relation; f_m = f_s removes PDM's effect entirely"
+                )
+            wave = TriangleWave(
+                amplitude=config.pdm_amplitude,
+                frequency=config.clock_frequency * p / q,
+            )
+            self.pdm: Optional[PDMScheme] = PDMScheme(
+                wave, relation, self.comparator
+            )
+            self.apc: Optional[APCConverter] = None
+        else:
+            self.pdm = None
+            self.apc = APCConverter(self.comparator, v_ref=0.0)
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def probe_edge(self) -> Waveform:
+        """The probe edge on the ETS grid, with settling tail."""
+        return self.edge.rising(
+            self.pll.phase_step, settle=self.config.edge_rise_time
+        )
+
+    def record_length(self, line: TransmissionLine) -> int:
+        """Record length in ETS-grid points covering the full round trip."""
+        profile = line.full_profile
+        span = (
+            profile.round_trip_delay
+            + self.probe_edge().duration
+            + self.config.record_margin
+        )
+        return int(np.ceil(span / self.pll.phase_step))
+
+    def true_reflection(
+        self,
+        line: TransmissionLine,
+        modifiers: Sequence = (),
+        engine: str = "born",
+    ) -> Waveform:
+        """Noiseless reflected waveform at the comparator input.
+
+        This is the physical ground truth the APC estimates; exposed for
+        validation and for computing ideal similarity bounds.  Identical
+        (line, modifiers, engine) states are memoised: repeated captures of
+        an unchanged state — the averaging and monitoring paths — pay for
+        one physics solve.
+        """
+        key = (id(line), tuple(id(m) for m in modifiers), engine)
+        cached = self._reflection_cache.get(key)
+        if cached is not None:
+            return cached[0]
+        n_out = self.record_length(line)
+        wave = line.reflected_waveform(
+            self.probe_edge(), modifiers=modifiers, engine=engine, n_out=n_out
+        )
+        wave = wave.scaled(self.config.coupling)
+        if len(self._reflection_cache) >= self._reflection_cache_max:
+            self._reflection_cache.pop(next(iter(self._reflection_cache)))
+        # The entry pins the keyed objects so their ids cannot be recycled
+        # onto different objects while the entry lives.
+        self._reflection_cache[key] = (wave, line, tuple(modifiers))
+        return wave
+
+    # ------------------------------------------------------------------
+    # measurement cost
+    # ------------------------------------------------------------------
+    def budget(self, n_points: int, trigger_rate: Optional[float] = None) -> MeasurementBudget:
+        """Triggers and time needed to measure ``n_points`` ETS points.
+
+        One trigger launches one probe edge; the comparator, clocked at the
+        sampling rate, takes one decision per clock period that falls inside
+        the record.  Records shorter than the clock period (the prototype
+        case: 3.8 ns record, 6.4 ns period) yield one decision per trigger.
+        """
+        if trigger_rate is None:
+            trigger_rate = self.config.trigger.expected_rate(
+                self.config.clock_frequency
+            )
+        record_span = n_points * self.pll.phase_step
+        points_per_trigger = max(
+            1, int(record_span / self.pll.clock_period)
+        )
+        n_triggers = int(
+            np.ceil(n_points / points_per_trigger) * self.config.repetitions
+        )
+        return MeasurementBudget(
+            n_points=n_points,
+            repetitions=self.config.repetitions,
+            points_per_trigger=points_per_trigger,
+            n_triggers=n_triggers,
+            duration_s=n_triggers / trigger_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # capture paths
+    # ------------------------------------------------------------------
+    def _apply_jitter(self, v: np.ndarray) -> np.ndarray:
+        """Model PLL timing jitter on a true-voltage array (any shape).
+
+        Jitter blurs the waveform with a Gaussian kernel of the jitter
+        width (the average over many mistimed triggers) and leaves a
+        residual per-point error proportional to the local slope, reduced
+        by the repetition averaging: ``slope * jitter / sqrt(R)``.
+        """
+        jitter = self.config.phase_jitter_rms
+        if jitter <= 0:
+            return v
+        from scipy.ndimage import gaussian_filter1d
+
+        sigma_samples = jitter / self.pll.phase_step
+        smoothed = gaussian_filter1d(v, sigma_samples, axis=-1, mode="nearest")
+        slope = np.gradient(smoothed, self.pll.phase_step, axis=-1)
+        residual_rms = jitter / np.sqrt(self.config.repetitions)
+        residual = slope * self.rng.normal(0.0, residual_rms, size=v.shape)
+        return smoothed + residual
+
+    def _estimate(self, v_true: np.ndarray) -> np.ndarray:
+        """APC/PDM voltage estimation of a true-voltage array."""
+        return self._estimate_counts_only(self._apply_jitter(v_true))
+
+    def _estimate_counts_only(self, v_true: np.ndarray) -> np.ndarray:
+        """Estimation without jitter modelling (already applied upstream)."""
+        r = self.config.repetitions
+        if self.pdm is not None:
+            return self.pdm.estimate_voltage(v_true, r, self.rng)
+        return self.apc.estimate_voltage(v_true, r, self.rng)
+
+    def capture(
+        self,
+        line: TransmissionLine,
+        modifiers: Sequence = (),
+        interference=None,
+        engine: str = "born",
+    ) -> IIPCapture:
+        """One complete IIP measurement of ``line`` under ``modifiers``.
+
+        ``interference`` is an optional
+        :class:`~repro.env.emi.EMIEnvironment` adding per-trial aggressor
+        voltage at the comparator input.
+        """
+        true_wave = self.true_reflection(line, modifiers, engine=engine)
+        v = self._apply_jitter(true_wave.samples)
+        r = self.config.repetitions
+        if interference is None:
+            est = self._estimate_counts_only(v)
+        else:
+            emi = interference.trial_voltages(len(v), r, self.rng)
+            if self.pdm is not None:
+                refs = self.pdm.reference_trial_voltages(len(v), r)
+                inverter = self.pdm
+            else:
+                refs = np.zeros((len(v), r))
+                inverter = self.apc
+            counts = self.comparator.count_ones_with_interference(
+                v, refs, r, self.rng, interference_trials=emi
+            )
+            est = inverter.invert(counts / r)
+        budget = self.budget(len(v))
+        return IIPCapture(
+            waveform=Waveform(est, self.pll.phase_step, true_wave.t0),
+            line_name=line.name,
+            n_triggers=budget.n_triggers,
+            duration_s=budget.duration_s,
+        )
+
+    def capture_averaged(
+        self,
+        line: TransmissionLine,
+        n_captures: int,
+        modifiers: Sequence = (),
+        interference=None,
+    ) -> IIPCapture:
+        """Average ``n_captures`` back-to-back captures into one record.
+
+        Averaging suppresses APC estimation noise by ``sqrt(n_captures)``;
+        the paper's published IIP waveforms are averages over its 8192
+        measurements for the same reason.  The trigger and time budgets sum
+        over the constituent captures.
+        """
+        if n_captures < 1:
+            raise ValueError("n_captures must be >= 1")
+        captures = [
+            self.capture(line, modifiers=modifiers, interference=interference)
+            for _ in range(n_captures)
+        ]
+        mean = np.mean([c.waveform.samples for c in captures], axis=0)
+        first = captures[0]
+        return IIPCapture(
+            waveform=Waveform(mean, first.waveform.dt, first.waveform.t0),
+            line_name=first.line_name,
+            n_triggers=sum(c.n_triggers for c in captures),
+            duration_s=sum(c.duration_s for c in captures),
+        )
+
+    def capture_batch(
+        self,
+        line: TransmissionLine,
+        n_captures: int,
+        z_batch: Optional[np.ndarray] = None,
+        tau_batch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorised captures, shape ``(n_captures, N)`` voltage estimates.
+
+        With ``z_batch``/``tau_batch`` (shape ``(n_captures, S)``) each
+        capture sees its own line state — the temperature/vibration path.
+        Without them, all captures measure the same static state and only
+        comparator statistics differ — the room-temperature path.
+        """
+        if n_captures < 1:
+            raise ValueError("n_captures must be >= 1")
+        n_out = self.record_length(line)
+        if z_batch is None:
+            true_wave = self.true_reflection(line)
+            v_batch = np.broadcast_to(
+                true_wave.samples, (n_captures, len(true_wave))
+            )
+        else:
+            if tau_batch is None:
+                raise ValueError("tau_batch is required with z_batch")
+            if len(z_batch) != n_captures:
+                raise ValueError("z_batch rows must equal n_captures")
+            v_batch = (
+                line.batch_reflected_waveforms(
+                    self.probe_edge(), z_batch, tau_batch, n_out=n_out
+                )
+                * self.config.coupling
+            )
+        return self._estimate_batch(v_batch)
+
+    def _estimate_batch(self, v_batch: np.ndarray) -> np.ndarray:
+        """Vectorised APC/PDM estimation over a (C, N) voltage matrix."""
+        v_batch = self._apply_jitter(np.asarray(v_batch, dtype=float))
+        r = self.config.repetitions
+        if self.pdm is not None:
+            levels = self.pdm.reference_levels()
+            q = len(levels)
+            base, extra = divmod(r, q)
+            counts = np.zeros(v_batch.shape, dtype=np.int64)
+            for j, level in enumerate(levels):
+                n_j = base + (1 if j < extra else 0)
+                if n_j:
+                    counts += self.comparator.count_ones(
+                        v_batch, level, n_j, self.rng
+                    )
+            flat = self.pdm.invert((counts / r).ravel())
+            return flat.reshape(v_batch.shape)
+        counts = self.comparator.count_ones(v_batch, 0.0, r, self.rng)
+        flat = self.apc.invert((counts / r).ravel())
+        return flat.reshape(v_batch.shape)

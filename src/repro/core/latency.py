@@ -1,0 +1,119 @@
+"""Measurement-time and detection-latency model.
+
+The paper's headline timing result: "both authentication and tamper
+detection can be completed within 50 us" at the prototype's 156.25 MHz, with
+the remark that GHz clocks in production parts bring detection inside the
+memory-operation time frame.  One capture's time budget is set by
+
+    triggers = ceil(points / points_per_trigger) * repetitions
+    time     = triggers / trigger_rate
+
+where the trigger rate is the clock frequency on the clock lane and roughly
+a quarter of the bit rate on a random-data lane (a specific bit pair fires
+the trigger).  This module evaluates that budget across clock rates, lane
+types, and accuracy settings — the latency experiment's engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from .itdr import ITDRConfig, MeasurementBudget
+from .trigger import TriggerGenerator
+
+__all__ = ["LatencyPoint", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """Detection latency at one operating point."""
+
+    clock_frequency: float
+    lane: str
+    n_points: int
+    repetitions: int
+    n_triggers: int
+    capture_time_s: float
+    compare_time_s: float
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Capture plus fingerprint-comparison pipeline time."""
+        return self.capture_time_s + self.compare_time_s
+
+
+class LatencyModel:
+    """Evaluates capture/detection time across operating points.
+
+    Attributes:
+        config: Baseline iTDR configuration (its clock frequency is
+            overridden per evaluation point).
+        n_points: ETS record length in points.
+    """
+
+    def __init__(self, config: ITDRConfig, n_points: int) -> None:
+        if n_points < 1:
+            raise ValueError("n_points must be >= 1")
+        self.config = config
+        self.n_points = n_points
+
+    # ------------------------------------------------------------------
+    def budget_at(
+        self, clock_frequency: float, clock_lane: bool = True
+    ) -> MeasurementBudget:
+        """The measurement budget at a given clock and lane type."""
+        if clock_frequency <= 0:
+            raise ValueError("clock_frequency must be positive")
+        from .itdr import ITDR  # local import avoids a cycle at module load
+
+        cfg = replace(
+            self.config,
+            clock_frequency=clock_frequency,
+            trigger=TriggerGenerator(clock_lane=clock_lane),
+        )
+        itdr = ITDR(cfg)
+        return itdr.budget(self.n_points)
+
+    def point(
+        self, clock_frequency: float, clock_lane: bool = True
+    ) -> LatencyPoint:
+        """Full latency evaluation at one operating point.
+
+        Comparison time: similarity and error function are streaming
+        multiply-accumulate pipelines — one point per clock after the
+        capture completes.
+        """
+        budget = self.budget_at(clock_frequency, clock_lane)
+        compare_time = self.n_points / clock_frequency
+        return LatencyPoint(
+            clock_frequency=clock_frequency,
+            lane="clock" if clock_lane else "data",
+            n_points=self.n_points,
+            repetitions=self.config.repetitions,
+            n_triggers=budget.n_triggers,
+            capture_time_s=budget.duration_s,
+            compare_time_s=compare_time,
+        )
+
+    def sweep(
+        self,
+        clock_frequencies: Sequence[float],
+        clock_lane: bool = True,
+    ) -> List[LatencyPoint]:
+        """Latency at each clock frequency (the GHz-scaling series)."""
+        return [self.point(f, clock_lane) for f in clock_frequencies]
+
+    def repetition_tradeoff(
+        self, repetitions_values: Sequence[int], clock_frequency: float
+    ) -> List[LatencyPoint]:
+        """Latency versus APC repetition count (accuracy/time ablation)."""
+        points = []
+        for r in repetitions_values:
+            if r < 1:
+                raise ValueError("repetitions must be >= 1")
+            model = LatencyModel(
+                replace(self.config, repetitions=r), self.n_points
+            )
+            points.append(model.point(clock_frequency))
+        return points

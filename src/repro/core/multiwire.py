@@ -1,0 +1,140 @@
+"""Multi-wire authentication: fusing fingerprints across a bus's lanes.
+
+The paper's section IV-C: "Theoretical analysis suggests that monitoring
+multiple wires on a bus can exponentially increase authentication
+accuracy."  A parallel bus offers many conductors, each carrying an
+independent IIP; an attacker must defeat all of them simultaneously, while
+an honest bus only has to be itself on each.  This module promotes the
+idea from an ablation into a library API with selectable fusion policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from .auth import capture_similarity
+from .fingerprint import Fingerprint
+from .itdr import ITDR
+
+__all__ = ["FUSION_POLICIES", "MultiWireDecision", "MultiWireAuthenticator"]
+
+
+def _fuse_mean(scores: np.ndarray) -> float:
+    return float(np.mean(scores))
+
+
+def _fuse_min(scores: np.ndarray) -> float:
+    return float(np.min(scores))
+
+
+def _fuse_median(scores: np.ndarray) -> float:
+    return float(np.median(scores))
+
+
+#: Available fusion policies.
+#: ``mean`` averages per-wire evidence (best for independent noise);
+#: ``min`` demands every wire match (strongest against partial cloning —
+#: one bad wire sinks the bus); ``median`` tolerates a damaged wire.
+FUSION_POLICIES: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": _fuse_mean,
+    "min": _fuse_min,
+    "median": _fuse_median,
+}
+
+
+@dataclass(frozen=True)
+class MultiWireDecision:
+    """Outcome of one fused authentication."""
+
+    accepted: bool
+    fused_score: float
+    per_wire_scores: np.ndarray
+    threshold: float
+    policy: str
+
+    @property
+    def weakest_wire(self) -> int:
+        """Index of the wire with the lowest individual score."""
+        return int(np.argmin(self.per_wire_scores))
+
+
+class MultiWireAuthenticator:
+    """Enrolls and verifies a bundle of wires as one identity.
+
+    Args:
+        itdr: The (shared, multiplexed) measurement engine — the paper's
+            resource-sharing argument means one datapath serves all wires.
+        threshold: Acceptance threshold on the fused score.
+        policy: One of :data:`FUSION_POLICIES`.
+    """
+
+    def __init__(
+        self,
+        itdr: ITDR,
+        threshold: float = 0.85,
+        policy: str = "mean",
+    ) -> None:
+        if policy not in FUSION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {sorted(FUSION_POLICIES)}, got {policy!r}"
+            )
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.itdr = itdr
+        self.threshold = threshold
+        self.policy = policy
+        self._references: List[Fingerprint] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_wires(self) -> int:
+        """Wires enrolled (0 before enrollment)."""
+        return len(self._references)
+
+    def enroll(
+        self, wires: Sequence[TransmissionLine], n_captures: int = 8
+    ) -> List[Fingerprint]:
+        """Fingerprint every wire of the bus."""
+        if len(wires) == 0:
+            raise ValueError("at least one wire is required")
+        if n_captures < 1:
+            raise ValueError("n_captures must be >= 1")
+        self._references = [
+            Fingerprint.from_captures(
+                [self.itdr.capture(wire) for _ in range(n_captures)],
+                name=wire.name,
+            )
+            for wire in wires
+        ]
+        return list(self._references)
+
+    def score(self, wires: Sequence[TransmissionLine]) -> np.ndarray:
+        """Per-wire similarity of fresh captures against enrollment."""
+        if not self._references:
+            raise RuntimeError("enroll before scoring")
+        if len(wires) != len(self._references):
+            raise ValueError(
+                f"expected {len(self._references)} wires, got {len(wires)}"
+            )
+        return np.array(
+            [
+                capture_similarity(self.itdr.capture(wire), reference)
+                for wire, reference in zip(wires, self._references)
+            ]
+        )
+
+    def decide(self, wires: Sequence[TransmissionLine]) -> MultiWireDecision:
+        """Fused accept/reject over the whole bundle."""
+        scores = self.score(wires)
+        fused = FUSION_POLICIES[self.policy](scores)
+        return MultiWireDecision(
+            accepted=fused >= self.threshold,
+            fused_score=fused,
+            per_wire_scores=scores,
+            threshold=self.threshold,
+            policy=self.policy,
+        )

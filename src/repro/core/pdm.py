@@ -1,0 +1,213 @@
+"""Probability density modulation (PDM) — paper section II-C.
+
+Bare APC is linear only within ~+/-2 sigma of its single reference, and the
+chip's intrinsic noise sigma is neither predictable nor controllable.  PDM
+fixes both: an external modulation wave (a quasi-triangle from an RC-shaped
+digital output) rides on the reference input.  If the modulation frequency
+``f_m`` and the sampling clock ``f_s`` are *relatively prime* (a Vernier
+relationship), successive triggers of a fixed waveform point meet the
+triangle at evenly spaced phases, so the point is compared against a uniform
+ladder of reference levels.  The effective transfer curve becomes the
+mixture of the shifted noise CDFs — wide, linear, and designed rather than
+inherited from device physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Tuple
+
+import numpy as np
+
+from .apc import MixtureCdfInverter
+from .comparator import Comparator
+
+__all__ = ["TriangleWave", "VernierRelation", "PDMScheme"]
+
+
+@dataclass(frozen=True)
+class TriangleWave:
+    """A symmetric triangle modulation wave.
+
+    Attributes:
+        amplitude: Peak deviation from the centre, volts (wave spans
+            ``centre +/- amplitude``).
+        frequency: Repetition rate, hertz.
+        centre: DC centre of the wave, volts.
+    """
+
+    amplitude: float
+    frequency: float
+    centre: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+    def value_at(self, t) -> np.ndarray:
+        """Instantaneous wave value at time(s) ``t``."""
+        phase = np.mod(np.asarray(t, dtype=float) * self.frequency, 1.0)
+        tri = 1.0 - 4.0 * np.abs(phase - 0.5)  # +1 at phase 0.5, -1 at 0/1
+        return self.centre + self.amplitude * tri
+
+
+@dataclass(frozen=True)
+class VernierRelation:
+    """The f_m : f_s frequency relationship between modulation and sampling.
+
+    Expressed as the reduced ratio ``f_m / f_s = p / q``.  When ``p`` and
+    ``q`` are coprime and ``q > 1``, a fixed waveform point sampled on
+    successive clock periods sweeps through ``q`` evenly spaced phases of the
+    modulation wave before repeating — the Vernier time delay of Fig. 3
+    (whose example is 5 f_m = 6 f_s, i.e. p=5, q=6).
+    """
+
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.q < 1:
+            raise ValueError("p and q must be positive integers")
+
+    @staticmethod
+    def from_frequencies(f_m: float, f_s: float, max_den: int = 4096) -> "VernierRelation":
+        """Derive the reduced ratio from physical frequencies."""
+        if f_m <= 0 or f_s <= 0:
+            raise ValueError("frequencies must be positive")
+        frac = Fraction(f_m / f_s).limit_denominator(max_den)
+        return VernierRelation(frac.numerator, frac.denominator)
+
+    @property
+    def is_effective(self) -> bool:
+        """Whether the relation actually spreads reference levels.
+
+        ``f_m = f_s`` (p == q == 1 after reduction) compares the signal with
+        the same voltage on every trigger, "completely removing the
+        effectiveness of an external modulation signal" (paper II-C).
+        """
+        return self.distinct_phases > 1
+
+    @property
+    def distinct_phases(self) -> int:
+        """Number of distinct modulation phases a fixed point experiences."""
+        return self.q // gcd(self.p, self.q)
+
+    def phases(self) -> np.ndarray:
+        """The modulation phases visited, as fractions of the wave period.
+
+        Over ``q`` successive sampling periods, trigger ``k`` meets the wave
+        at phase ``(k * p / q) mod 1``; with coprime p, q these are the
+        ``q``-th roots of unity in phase — evenly spaced.
+        """
+        k = np.arange(self.distinct_phases)
+        step = self.p / self.q
+        return np.mod(k * step, 1.0)
+
+
+class PDMScheme:
+    """A complete PDM configuration: wave + Vernier relation + inverter.
+
+    Attributes:
+        wave: The external modulation wave.
+        relation: The f_m:f_s Vernier relation.
+        comparator: The comparator whose noise the scheme is designed around.
+    """
+
+    def __init__(
+        self,
+        wave: TriangleWave,
+        relation: VernierRelation,
+        comparator: Comparator,
+    ) -> None:
+        self.wave = wave
+        self.relation = relation
+        self.comparator = comparator
+        self._inverter = MixtureCdfInverter(
+            self.reference_levels() + comparator.offset,
+            comparator.noise_sigma,
+        )
+
+    # ------------------------------------------------------------------
+    def reference_levels(self) -> np.ndarray:
+        """The distinct reference voltages a fixed waveform point sees."""
+        phases = self.relation.phases()
+        # Evaluate the triangle at each visited phase (time = phase/f).
+        return np.sort(
+            np.asarray(self.wave.value_at(phases / self.wave.frequency))
+        )
+
+    @property
+    def n_levels(self) -> int:
+        """Number of distinct reference levels (q for coprime p, q)."""
+        return len(self.reference_levels())
+
+    # ------------------------------------------------------------------
+    def measure_counts(
+        self,
+        v_true: np.ndarray,
+        repetitions: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Total Y=1 counts per point with references cycling per trial.
+
+        ``repetitions`` trials are distributed over the reference levels as
+        the Vernier cycling distributes them: as evenly as integer division
+        allows, with the remainder spread over the first levels (exactly
+        what happens when the trial count is not a multiple of q).
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        v_true = np.asarray(v_true, dtype=float)
+        levels = self.reference_levels()
+        q = len(levels)
+        base = repetitions // q
+        extra = repetitions % q
+        counts = np.zeros(v_true.shape, dtype=np.int64)
+        for j, level in enumerate(levels):
+            n_j = base + (1 if j < extra else 0)
+            if n_j:
+                counts += self.comparator.count_ones(v_true, level, n_j, rng)
+        return counts
+
+    def estimate_voltage(
+        self,
+        v_true: np.ndarray,
+        repetitions: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Full PDM-APC measurement of a voltage array."""
+        counts = self.measure_counts(v_true, repetitions, rng)
+        return self._inverter.invert(counts / repetitions)
+
+    def invert(self, p_hat) -> np.ndarray:
+        """Mixture-CDF inversion for externally obtained probabilities."""
+        return self._inverter.invert(p_hat)
+
+    # ------------------------------------------------------------------
+    def linear_window(self, threshold: float = 0.1) -> Tuple[float, float]:
+        """Usable voltage window — widened versus bare APC (Fig. 4)."""
+        return self._inverter.linear_window(threshold)
+
+    @property
+    def dynamic_range(self) -> float:
+        """Width of the linear window in volts."""
+        lo, hi = self.linear_window()
+        return hi - lo
+
+    def reference_trial_voltages(
+        self, n_points: int, n_trials: int
+    ) -> np.ndarray:
+        """Reference voltage for every (point, trial), shape ``(N, R)``.
+
+        Used by the interference-aware measurement path, which needs the
+        per-trial reference explicitly rather than binomial shortcuts.
+        """
+        levels = self.reference_levels()
+        q = len(levels)
+        idx = np.arange(n_trials) % q
+        row = levels[idx]
+        return np.broadcast_to(row, (n_points, n_trials)).copy()

@@ -1,0 +1,219 @@
+"""Structural hardware-resource model (section IV-A utilisation numbers).
+
+The prototype's Vivado report: **71 registers and 124 LUTs** for the whole
+DIVOT circuit on an xczu7ev, "where 80 % are used to generate counters", and
+most of the logic is shareable across iTDR instances.  This module rebuilds
+those numbers structurally: each RTL block's register count follows from the
+configuration (counter widths are logarithms of the quantities they count),
+and LUT counts follow standard increment/compare costings.  That lets the
+overhead experiment reproduce the table *and* extrapolate it: what does
+protecting 64 buses cost?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .itdr import ITDRConfig
+
+__all__ = ["RTLBlock", "ResourceReport", "ResourceModel", "XCZU7EV"]
+
+
+@dataclass(frozen=True)
+class FPGAPart:
+    """Available resources of a target FPGA part."""
+
+    name: str
+    luts: int
+    registers: int
+
+
+#: The ZCU104's Zynq Ultrascale+ part used by the prototype.
+XCZU7EV = FPGAPart(name="xczu7ev-ffvc1156-2-e", luts=230_400, registers=460_800)
+
+
+@dataclass(frozen=True)
+class RTLBlock:
+    """One synthesisable block of the DIVOT circuit.
+
+    Attributes:
+        name: Block identity.
+        registers: Flip-flops the block infers.
+        luts: Look-up tables the block infers.
+        is_counter: Whether the block is counter logic (the paper singles
+            out counters as ~80 % of utilisation).
+        shared: Whether one instance serves every iTDR on the chip (PLL
+            phase control and the PDM wave generator are chip-global; the
+            per-bus cost is only the measurement datapath).
+        memory_bits: Block-RAM bits the block consumes (fingerprint ROM,
+            result FIFO).  Memories map to BRAM, not fabric, which is why
+            the paper's 71-FF/124-LUT figure can exclude them; reported
+            separately here for honesty.
+    """
+
+    name: str
+    registers: int
+    luts: int
+    is_counter: bool = False
+    shared: bool = False
+    memory_bits: int = 0
+
+
+def _counter_block(
+    name: str, count_max: int, shared: bool = False, compare: bool = True
+) -> RTLBlock:
+    """A binary up-counter sized for ``count_max``.
+
+    Registers: one per bit.  LUTs: one per bit for the increment chain plus
+    (optionally) one per bit for the terminal-count comparison — the
+    standard Xilinx costing for fabric counters.
+    """
+    width = max(1, math.ceil(math.log2(count_max + 1)))
+    luts = width * (2 if compare else 1)
+    return RTLBlock(
+        name=name, registers=width, luts=luts, is_counter=True, shared=shared
+    )
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Totals plus breakdown for one DIVOT deployment."""
+
+    blocks: List[RTLBlock]
+    n_itdrs: int
+    part: FPGAPart
+
+    @property
+    def registers(self) -> int:
+        """Total flip-flops for ``n_itdrs`` instances with sharing."""
+        return sum(
+            b.registers * (1 if b.shared else self.n_itdrs) for b in self.blocks
+        )
+
+    @property
+    def luts(self) -> int:
+        """Total LUTs for ``n_itdrs`` instances with sharing."""
+        return sum(
+            b.luts * (1 if b.shared else self.n_itdrs) for b in self.blocks
+        )
+
+    @property
+    def memory_bits(self) -> int:
+        """Total BRAM bits (fingerprint storage scales per bus)."""
+        return sum(
+            b.memory_bits * (1 if b.shared else self.n_itdrs)
+            for b in self.blocks
+        )
+
+    @property
+    def counter_register_fraction(self) -> float:
+        """Share of registers spent on counters (paper: ~80 %)."""
+        total = self.registers
+        if total == 0:
+            return 0.0
+        counters = sum(
+            b.registers * (1 if b.shared else self.n_itdrs)
+            for b in self.blocks
+            if b.is_counter
+        )
+        return counters / total
+
+    @property
+    def shared_fraction(self) -> float:
+        """Share of single-instance resources that are chip-global.
+
+        The paper claims "over 90 % of the hardware in a DIVOT detector can
+        be shared/multiplexed" — this is the quantity behind that claim.
+        """
+        total = sum(b.registers + b.luts for b in self.blocks)
+        if total == 0:
+            return 0.0
+        shared = sum(b.registers + b.luts for b in self.blocks if b.shared)
+        return shared / total
+
+    @property
+    def lut_utilization(self) -> float:
+        """Fraction of the part's LUTs consumed."""
+        return self.luts / self.part.luts
+
+    def marginal_cost(self) -> tuple:
+        """(registers, luts) added by each additional protected bus."""
+        regs = sum(b.registers for b in self.blocks if not b.shared)
+        luts = sum(b.luts for b in self.blocks if not b.shared)
+        return regs, luts
+
+    def rows(self) -> List[tuple]:
+        """(name, registers, luts, counter?, shared?) rows for reporting."""
+        return [
+            (b.name, b.registers, b.luts, b.is_counter, b.shared)
+            for b in self.blocks
+        ]
+
+
+class ResourceModel:
+    """Derives the RTL block list from an iTDR configuration."""
+
+    def __init__(self, config: ITDRConfig, n_record_points: int = 400) -> None:
+        if n_record_points < 1:
+            raise ValueError("n_record_points must be >= 1")
+        self.config = config
+        self.n_record_points = n_record_points
+
+    def blocks(self) -> List[RTLBlock]:
+        """The DIVOT circuit's synthesisable blocks for this configuration."""
+        cfg = self.config
+        phases = max(
+            1,
+            math.ceil(
+                (1.0 / cfg.clock_frequency) / cfg.phase_step
+            ),
+        )
+        q = cfg.pdm_vernier[1] if cfg.use_pdm else 1
+        blocks = [
+            # --- per-bus front end (all a new bus needs) ----------------
+            RTLBlock("trigger-detect", registers=2, luts=3),
+            RTLBlock("comparator-sync", registers=2, luts=2),
+            # --- shared measurement datapath, time-multiplexed over the
+            # --- protected buses (the paper's >90 % sharing claim) ------
+            _counter_block("ones-counter", cfg.repetitions, shared=True),
+            _counter_block("trial-counter", cfg.repetitions, shared=True),
+            _counter_block(
+                "point-counter", self.n_record_points, shared=True
+            ),
+            RTLBlock("result-fifo-if", registers=4, luts=6, shared=True),
+            _counter_block("phase-step-counter", phases, shared=True),
+            _counter_block("pdm-divider", max(q * 16, 2), shared=True),
+            _counter_block(
+                "calibration-timer", (1 << 20) - 1, shared=True, compare=False
+            ),
+            RTLBlock("control-fsm", registers=3, luts=13, shared=True),
+            RTLBlock("pll-phase-ctl", registers=4, luts=8, shared=True),
+            # --- memories (BRAM, outside the FF/LUT totals) -------------
+            RTLBlock(
+                "fingerprint-rom",
+                registers=0,
+                luts=0,
+                # One 12-bit word per record point, per protected bus.
+                memory_bits=12 * self.n_record_points,
+            ),
+            RTLBlock(
+                "result-fifo",
+                registers=0,
+                luts=0,
+                shared=True,
+                memory_bits=16 * 13,  # 16-deep, 13-bit results
+            ),
+        ]
+        return blocks
+
+    def report(
+        self, n_itdrs: int = 1, part: Optional[FPGAPart] = None
+    ) -> ResourceReport:
+        """Resource report for ``n_itdrs`` protected buses on ``part``."""
+        if n_itdrs < 1:
+            raise ValueError("n_itdrs must be >= 1")
+        return ResourceReport(
+            blocks=self.blocks(), n_itdrs=n_itdrs, part=part or XCZU7EV
+        )

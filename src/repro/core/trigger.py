@@ -1,0 +1,74 @@
+"""Runtime measurement support: the FIFO trigger generator (section II-E).
+
+Live bus data is random and channel coding balances the symbols, so rising
+and falling edges occur equally often with symmetric shapes — their
+reflections cancel if the iTDR averages over both.  The fix is a trigger
+generated from the transmit data buffer: measure only when a chosen bit
+pattern (e.g. a 1 followed by a 0, a falling edge) is about to launch.  The
+clock lane needs no trigger at all: every cycle is the same edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["TriggerGenerator", "trigger_rate"]
+
+
+@dataclass(frozen=True)
+class TriggerGenerator:
+    """Scans the transmit FIFO for probe-worthy bit patterns.
+
+    Attributes:
+        pattern: The bit pair that fires a trigger; ``(1, 0)`` means "a 1
+            preceding a 0 is ready to launch" — the paper's example, which
+            probes with falling edges.  ``(0, 1)`` probes with rising edges.
+        clock_lane: When True, every clock period triggers (the clock lane's
+            waveform is fully predictable, no gating needed).
+    """
+
+    pattern: tuple = (1, 0)
+    clock_lane: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.pattern) != 2 or any(b not in (0, 1) for b in self.pattern):
+            raise ValueError("pattern must be a pair of bits")
+
+    def trigger_indices(self, bits: Sequence[int]) -> np.ndarray:
+        """Bit positions at which a measurement trigger fires.
+
+        The returned index is the position of the *second* bit of the
+        pattern — the symbol boundary where the probe edge launches.
+        """
+        bits = np.asarray(bits)
+        if self.clock_lane:
+            return np.arange(len(bits))
+        if len(bits) < 2:
+            return np.zeros(0, dtype=int)
+        first, second = self.pattern
+        hits = (bits[:-1] == first) & (bits[1:] == second)
+        return np.flatnonzero(hits) + 1
+
+    def count_triggers(self, bits: Sequence[int]) -> int:
+        """Number of triggers the bit stream yields."""
+        return len(self.trigger_indices(bits))
+
+    def expected_rate(self, bit_rate: float) -> float:
+        """Expected triggers per second on balanced random data.
+
+        A specific ordered bit pair occurs with probability 1/4 per symbol
+        boundary; the clock lane triggers every period.
+        """
+        if bit_rate <= 0:
+            raise ValueError("bit_rate must be positive")
+        if self.clock_lane:
+            return bit_rate
+        return bit_rate / 4.0
+
+
+def trigger_rate(bit_rate: float, clock_lane: bool = False) -> float:
+    """Convenience: expected trigger rate for a lane type."""
+    return TriggerGenerator(clock_lane=clock_lane).expected_rate(bit_rate)

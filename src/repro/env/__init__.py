@@ -1,0 +1,23 @@
+"""Environmental conditions: temperature, vibration, and EMI.
+
+Each condition perturbs either the line profile (temperature, vibration via
+the :class:`~repro.txline.line.ProfileModifier` protocol) or the comparator
+input (EMI), reproducing the robustness experiments of section IV-C.
+"""
+
+from .aging import AgedCondition, AgingModel
+from .emi import EMIEnvironment, nearby_digital_circuit, synchronous_aggressor
+from .temperature import TemperatureCondition, TemperatureSweep
+from .vibration import ChirpExcitation, VibrationCondition
+
+__all__ = [
+    "TemperatureCondition",
+    "TemperatureSweep",
+    "ChirpExcitation",
+    "VibrationCondition",
+    "EMIEnvironment",
+    "nearby_digital_circuit",
+    "synchronous_aggressor",
+    "AgingModel",
+    "AgedCondition",
+]

@@ -1,0 +1,88 @@
+"""Long-term aging of a transmission line.
+
+Boards age: copper oxidises and migrates, laminates absorb moisture,
+connectors fret against their contacts.  Each mechanism drifts the
+impedance profile slowly and cumulatively — unlike temperature, aging does
+not revert, so a fingerprint enrolled at installation slowly walks away
+from the line's present truth.  This model drives the re-enrollment
+policy study: without adaptation the genuine score decays over the
+deployment lifetime; with rolling updates it stays pinned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..txline.profile import ImpedanceProfile, correlated_field
+
+__all__ = ["AgingModel", "AgedCondition"]
+
+
+class AgingModel:
+    """A line's drift trajectory over its service life.
+
+    Attributes:
+        drift_per_year: RMS relative impedance drift accumulated per year
+            of service.  Literature on PCB aging puts long-term impedance
+            drift at the fraction-of-a-percent-per-year scale.
+        connector_fretting: Extra drift concentrated at the line's ends
+            (contact interfaces age fastest), as a multiple of the bulk
+            rate.
+    """
+
+    def __init__(
+        self,
+        drift_per_year: float = 0.004,
+        connector_fretting: float = 3.0,
+    ) -> None:
+        if drift_per_year < 0:
+            raise ValueError("drift_per_year must be non-negative")
+        if connector_fretting < 0:
+            raise ValueError("connector_fretting must be non-negative")
+        self.drift_per_year = drift_per_year
+        self.connector_fretting = connector_fretting
+
+    def _drift_pattern(self, profile: ImpedanceProfile) -> np.ndarray:
+        """The line-specific spatial shape of its drift (fixed per line)."""
+        digest = hashlib.sha256(
+            np.ascontiguousarray(profile.z).tobytes()
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[16:24], "little"))
+        n = profile.n_segments
+        bulk = correlated_field(n, 1.0, correlation_length=6, rng=rng)
+        # Fretting accent at both ends (first/last ~5% of the line).
+        edge = np.zeros(n)
+        k = max(1, n // 20)
+        edge[:k] = np.linspace(self.connector_fretting, 0.0, k)
+        edge[-k:] = np.linspace(0.0, self.connector_fretting, k)
+        pattern = bulk * (1.0 + edge)
+        # Normalise so drift_per_year is the pointwise RMS it claims to be.
+        rms = float(np.sqrt(np.mean(pattern**2)))
+        return pattern / rms if rms > 0 else pattern
+
+    def at_age(self, profile: ImpedanceProfile, years: float) -> "AgedCondition":
+        """The drift condition after ``years`` of service."""
+        if years < 0:
+            raise ValueError("years must be non-negative")
+        return AgedCondition(self, years)
+
+
+class AgedCondition:
+    """Profile modifier freezing a line's state at a given age."""
+
+    def __init__(self, model: AgingModel, years: float) -> None:
+        self.model = model
+        self.years = years
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        """Apply the cumulative drift to the profile.
+
+        The multiplicative factor is clamped to stay physical for extreme
+        ages (aged copper is still copper).
+        """
+        pattern = self.model._drift_pattern(profile)
+        amplitude = self.model.drift_per_year * self.years
+        factor = np.clip(1.0 + amplitude * pattern, 0.5, 1.5)
+        return profile.with_impedance(profile.z * factor)

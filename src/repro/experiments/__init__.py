@@ -1,0 +1,60 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each module exposes ``run(...)`` returning a result dataclass with
+shape-check predicates and a ``report()`` text rendering of the same
+rows/series the paper presents.  See DESIGN.md section 4 for the index.
+"""
+
+from . import (
+    ablation_ets,
+    ablation_multiwire,
+    ablation_pdm,
+    ablation_trigger,
+    baseline_comparison,
+    env_robustness,
+    ext_adaptation,
+    ext_cloning,
+    ext_enrollment,
+    ext_jitter,
+    ext_sensitivity,
+    ext_sharing,
+    ext_stack,
+    fig2_apc,
+    fig34_pdm,
+    fig5_ets,
+    fig6_membus,
+    fig7_auth,
+    fig8_temperature,
+    fig9_tamper,
+    tab_latency,
+    tab_overhead,
+)
+from .common import FULL, SMALL, ExperimentScale
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL",
+    "FULL",
+    "fig2_apc",
+    "fig34_pdm",
+    "fig5_ets",
+    "fig6_membus",
+    "fig7_auth",
+    "fig8_temperature",
+    "fig9_tamper",
+    "env_robustness",
+    "tab_overhead",
+    "tab_latency",
+    "baseline_comparison",
+    "ablation_multiwire",
+    "ablation_pdm",
+    "ablation_ets",
+    "ablation_trigger",
+    "ext_cloning",
+    "ext_jitter",
+    "ext_sharing",
+    "ext_adaptation",
+    "ext_stack",
+    "ext_enrollment",
+    "ext_sensitivity",
+]

@@ -1,0 +1,101 @@
+"""Ablation A-TRIG: why the trigger generator exists (paper section II-E).
+
+On a balanced live-data lane, rising and falling edges occur equally often
+with symmetric shapes; an iTDR that averages reflections from *both*
+polarities sees them cancel, "making DIVOT unusable".  The trigger
+generator gates measurement on one polarity.  This ablation measures the
+fingerprint quality with gating on (one polarity) versus off (both
+polarities averaged), and verifies the trigger statistics on PRBS traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..core.config import prototype_itdr, prototype_line_factory
+from ..core.trigger import TriggerGenerator
+from ..signals.prbs import prbs_bits
+from .common import canonical_rows
+
+__all__ = ["TriggerAblationResult", "run"]
+
+
+@dataclass
+class TriggerAblationResult:
+    """Fingerprint quality with and without polarity gating."""
+
+    gated_genuine_similarity: float
+    ungated_genuine_similarity: float
+    ungated_signal_fraction: float
+    prbs_trigger_rate: float
+    expected_trigger_rate: float
+
+    def cancellation_demonstrated(self) -> bool:
+        """Ungated averaging destroys the reflected signal and the match."""
+        return (
+            self.ungated_signal_fraction < 0.15
+            and self.ungated_genuine_similarity
+            < self.gated_genuine_similarity - 0.2
+        )
+
+    def report(self) -> str:
+        """The gating comparison."""
+        return format_table(
+            ["metric", "value"],
+            [
+                ["genuine similarity, gated", self.gated_genuine_similarity],
+                ["genuine similarity, ungated", self.ungated_genuine_similarity],
+                [
+                    "ungated residual signal fraction",
+                    self.ungated_signal_fraction,
+                ],
+                ["PRBS-15 trigger rate (per bit)", self.prbs_trigger_rate],
+                ["expected rate (random data)", self.expected_trigger_rate],
+            ],
+            title="Trigger gating ablation (section II-E edge cancellation)",
+        )
+
+
+def run(n_captures: int = 200, seed: int = 7) -> TriggerAblationResult:
+    """Compare gated and ungated measurement on the same line."""
+    factory = prototype_line_factory()
+    line = factory.manufacture(seed=1)
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+
+    # Reference and gated captures: rising edges only (the normal path).
+    reference = canonical_rows(
+        itdr.capture_batch(line, 16).mean(axis=0, keepdims=True)
+    )[0]
+    gated = canonical_rows(itdr.capture_batch(line, n_captures))
+    gated_sim = float(np.mean((1.0 + gated @ reference) / 2.0))
+
+    # Ungated: the measured waveform is the average of rising-edge and
+    # falling-edge responses.  By linearity the falling response is the
+    # negation of the rising response's AC part, so the average collapses.
+    rising = itdr.true_reflection(line).samples
+    falling = -rising
+    ungated_true = 0.5 * (rising + falling)
+    signal_fraction = float(
+        np.linalg.norm(ungated_true) / max(np.linalg.norm(rising), 1e-30)
+    )
+    ungated_estimates = itdr._estimate_batch(
+        np.broadcast_to(ungated_true, (n_captures, len(ungated_true))).copy()
+    )
+    ungated = canonical_rows(ungated_estimates)
+    ungated_sim = float(np.mean((1.0 + ungated @ reference) / 2.0))
+
+    # Trigger statistics on realistic traffic.
+    bits = prbs_bits(15, 32767)
+    trigger = TriggerGenerator(pattern=(1, 0))
+    rate = trigger.count_triggers(bits) / len(bits)
+
+    return TriggerAblationResult(
+        gated_genuine_similarity=gated_sim,
+        ungated_genuine_similarity=ungated_sim,
+        ungated_signal_fraction=signal_fraction,
+        prbs_trigger_rate=float(rate),
+        expected_trigger_rate=0.25,
+    )

@@ -1,0 +1,138 @@
+"""Shared setup and scoring machinery for the experiment harness.
+
+Every experiment measures the same prototype: six 25 cm lines, the
+156.25 MHz iTDR, 8192 measurements at full scale.  The helpers here build
+that setup and run the vectorised genuine/impostor scoring loops the
+statistical experiments share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.auth import RocCurve, roc_curve
+from ..core.config import (
+    PROTOTYPE_N_LINES,
+    PROTOTYPE_N_MEASUREMENTS,
+    prototype_itdr,
+    prototype_line_factory,
+)
+from ..core.itdr import ITDR
+from ..txline.line import TransmissionLine
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL",
+    "FULL",
+    "canonical_rows",
+    "AuthScores",
+    "score_lines",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run a statistical experiment.
+
+    ``FULL`` matches the paper (6 lines x 8192 measurements); ``SMALL`` is
+    the fast setting used by tests and default benchmark runs.
+    """
+
+    n_lines: int = PROTOTYPE_N_LINES
+    n_measurements: int = PROTOTYPE_N_MEASUREMENTS
+    n_enroll: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_lines < 2:
+            raise ValueError("need at least 2 lines for impostor scores")
+        if self.n_measurements < 1 or self.n_enroll < 1:
+            raise ValueError("counts must be >= 1")
+
+
+SMALL = ExperimentScale(n_lines=4, n_measurements=500, n_enroll=8)
+FULL = ExperimentScale()
+
+
+def canonical_rows(matrix: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-norm each row (fingerprint canonical form)."""
+    matrix = np.asarray(matrix, dtype=float)
+    matrix = matrix - matrix.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+@dataclass
+class AuthScores:
+    """Genuine/impostor similarity scores plus derived ROC statistics."""
+
+    genuine: np.ndarray
+    impostor: np.ndarray
+
+    def roc(self) -> RocCurve:
+        """The ROC over these scores."""
+        return roc_curve(self.genuine, self.impostor)
+
+    def eer(self) -> Tuple[float, float]:
+        """(EER, threshold)."""
+        return self.roc().eer()
+
+    def summary(self) -> dict:
+        """Headline statistics for reporting."""
+        eer, thr = self.eer()
+        return {
+            "genuine_mean": float(self.genuine.mean()),
+            "genuine_std": float(self.genuine.std()),
+            "genuine_min": float(self.genuine.min()),
+            "impostor_mean": float(self.impostor.mean()),
+            "impostor_std": float(self.impostor.std()),
+            "impostor_max": float(self.impostor.max()),
+            "eer": eer,
+            "threshold": thr,
+            "n_genuine": int(len(self.genuine)),
+            "n_impostor": int(len(self.impostor)),
+        }
+
+
+def score_lines(
+    lines: Sequence[TransmissionLine],
+    itdr: ITDR,
+    n_measurements: int,
+    n_enroll: int = 16,
+    state_batcher: Optional[
+        Callable[[TransmissionLine, int], Tuple[np.ndarray, np.ndarray]]
+    ] = None,
+) -> AuthScores:
+    """The Fig. 7 scoring loop: every capture against every enrollment.
+
+    Each line is enrolled from ``n_enroll`` averaged captures; then
+    ``n_measurements`` fresh captures of every line score against every
+    enrolled reference.  Same-line scores are genuine, cross-line scores
+    impostor.  ``state_batcher(line, n)`` optionally supplies per-capture
+    perturbed ``(z_batch, tau_batch)`` line states — the hook through which
+    temperature sweeps and vibration enter.
+    """
+    references = []
+    for line in lines:
+        enroll = itdr.capture_batch(line, n_enroll)
+        references.append(canonical_rows(enroll.mean(axis=0, keepdims=True))[0])
+    genuine: List[np.ndarray] = []
+    impostor: List[np.ndarray] = []
+    for i, line in enumerate(lines):
+        if state_batcher is None:
+            captures = itdr.capture_batch(line, n_measurements)
+        else:
+            z_batch, tau_batch = state_batcher(line, n_measurements)
+            captures = itdr.capture_batch(
+                line, n_measurements, z_batch=z_batch, tau_batch=tau_batch
+            )
+        captures = canonical_rows(captures)
+        for j, reference in enumerate(references):
+            scores = (1.0 + captures @ reference) / 2.0
+            (genuine if i == j else impostor).append(scores)
+    return AuthScores(
+        genuine=np.concatenate(genuine), impostor=np.concatenate(impostor)
+    )

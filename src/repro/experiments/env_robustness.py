@@ -1,0 +1,141 @@
+"""Experiments E-VIB / E-EMI: vibration and EMI robustness (section IV-C text).
+
+Vibration: a piezo chirp (1-50 Hz) strains the board; the paper reports the
+EER rising to 0.27 %.  EMI: a high-speed digital circuit placed next to the
+bus; because the aggressor is asynchronous to the bus clock, APC's
+synchronised averaging rejects it and the EER *stays* at 0.06 %.  We also
+run the adversarial ablation the paper does not: a *synchronous* aggressor,
+which averaging cannot reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..core.config import prototype_itdr, prototype_line_factory
+from ..env.emi import EMIEnvironment, nearby_digital_circuit, synchronous_aggressor
+from ..env.vibration import ChirpExcitation, VibrationCondition
+from .common import AuthScores, ExperimentScale, SMALL, canonical_rows, score_lines
+
+__all__ = ["RobustnessResult", "run_vibration", "run_emi", "run"]
+
+#: Paper figures for the two conditions.
+PAPER_VIBRATION_EER = 0.0027
+PAPER_EMI_EER = 0.0006
+
+
+@dataclass
+class RobustnessResult:
+    """EERs across environmental conditions."""
+
+    room_eer: float
+    vibration_eer: float
+    emi_async_eer: float
+    emi_sync_eer: Optional[float] = None
+
+    def ordering_holds(self) -> bool:
+        """The paper's qualitative ordering.
+
+        Vibration degrades the EER well past room; asynchronous EMI leaves
+        it essentially unchanged (within statistical wobble of small-count
+        EER estimates).
+        """
+        emi_ok = self.emi_async_eer <= max(4.0 * self.room_eer, 1e-3)
+        return self.vibration_eer > self.room_eer and emi_ok
+
+    def report(self) -> str:
+        """The robustness summary table."""
+        rows = [
+            ["room", self.room_eer, 0.0006],
+            ["vibration (1-50 Hz chirp)", self.vibration_eer, PAPER_VIBRATION_EER],
+            ["EMI, asynchronous", self.emi_async_eer, PAPER_EMI_EER],
+        ]
+        if self.emi_sync_eer is not None:
+            rows.append(
+                ["EMI, synchronous (ablation)", self.emi_sync_eer, "n/a"]
+            )
+        return format_table(
+            ["condition", "EER", "paper EER"],
+            rows,
+            title="Environmental robustness (section IV-C)",
+        )
+
+
+def run_vibration(scale: ExperimentScale = SMALL, seed: int = 7) -> AuthScores:
+    """Genuine/impostor scoring under the piezo chirp."""
+    factory = prototype_line_factory()
+    lines = factory.manufacture_batch(scale.n_lines)
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    chirp = ChirpExcitation()
+    def batcher(line, n):
+        strains = chirp.strain_at(np.linspace(0.0, chirp.sweep_time_s, n))
+        return VibrationCondition.batch_fields(line.full_profile, strains)
+    return score_lines(
+        lines, itdr, scale.n_measurements, scale.n_enroll, state_batcher=batcher
+    )
+
+
+def run_emi(
+    scale: ExperimentScale = SMALL,
+    seed: int = 7,
+    environment: Optional[EMIEnvironment] = None,
+) -> AuthScores:
+    """Genuine/impostor scoring with an aggressor at the comparator input.
+
+    The interference path needs per-trial sampling, so this runs capture by
+    capture rather than through the binomial batch fast path.
+    """
+    factory = prototype_line_factory()
+    lines = factory.manufacture_batch(scale.n_lines)
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    env = environment or nearby_digital_circuit()
+    references = []
+    for line in lines:
+        enroll = itdr.capture_batch(line, scale.n_enroll)
+        references.append(canonical_rows(enroll.mean(axis=0, keepdims=True))[0])
+    genuine: List[np.ndarray] = []
+    impostor: List[np.ndarray] = []
+    for i, line in enumerate(lines):
+        caps = np.stack(
+            [
+                itdr.capture(line, interference=env).waveform.samples
+                for _ in range(scale.n_measurements)
+            ]
+        )
+        caps = canonical_rows(caps)
+        for j, reference in enumerate(references):
+            scores = (1.0 + caps @ reference) / 2.0
+            (genuine if i == j else impostor).append(scores)
+    return AuthScores(
+        genuine=np.concatenate(genuine), impostor=np.concatenate(impostor)
+    )
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    seed: int = 7,
+    include_synchronous_ablation: bool = True,
+) -> RobustnessResult:
+    """Full robustness sweep: room, vibration, EMI (async, optionally sync)."""
+    factory = prototype_line_factory()
+    lines = factory.manufacture_batch(scale.n_lines)
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    room = score_lines(lines, itdr, scale.n_measurements, scale.n_enroll)
+    vibration = run_vibration(scale, seed)
+    emi_async = run_emi(scale, seed)
+    sync_eer = None
+    if include_synchronous_ablation:
+        emi_sync = run_emi(
+            scale, seed, environment=synchronous_aggressor(amplitude=3e-3)
+        )
+        sync_eer, _ = emi_sync.eer()
+    return RobustnessResult(
+        room_eer=room.eer()[0],
+        vibration_eer=vibration.eer()[0],
+        emi_async_eer=emi_async.eer()[0],
+        emi_sync_eer=sync_eer,
+    )

@@ -1,0 +1,98 @@
+"""Extension experiment X-ENROLL: how much calibration is enough?
+
+The paper says calibration happens "at the manufacturing time or user
+installation time" but never sizes it.  Enrollment depth is a real
+deployment knob: each additional averaged capture cleans the stored
+reference (noise falls as 1/sqrt(K)) but costs installation time.  This
+study sweeps the enrollment capture count and reports the genuine-score
+statistics and EER at each depth — the knee of the curve is the number a
+datasheet would print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..core.auth import equal_error_rate
+from ..core.config import prototype_itdr, prototype_line_factory
+from .common import canonical_rows
+
+__all__ = ["EnrollmentResult", "run"]
+
+
+@dataclass
+class EnrollmentResult:
+    """Per-depth calibration quality."""
+
+    rows: List[Tuple[int, float, float, float]]
+    # (n_enroll, genuine mean, genuine std, EER)
+
+    def deeper_is_better(self) -> bool:
+        """Genuine mean improves (weakly) with enrollment depth."""
+        means = [m for _, m, _, _ in self.rows]
+        return means[-1] >= means[0]
+
+    def knee_depth(self, tolerance: float = 0.005) -> int:
+        """Smallest depth whose genuine mean is within ``tolerance`` of the
+        deepest setting's — the datasheet number."""
+        best = self.rows[-1][1]
+        for n, mean, _, _ in self.rows:
+            if mean >= best - tolerance:
+                return n
+        return self.rows[-1][0]
+
+    def report(self) -> str:
+        """The enrollment-depth table."""
+        table = format_table(
+            ["enroll captures", "genuine mean", "genuine std", "EER"],
+            [list(r) for r in self.rows],
+            title="Enrollment-depth study (calibration cost vs quality)",
+        )
+        return table + f"\nknee of the curve: {self.knee_depth()} captures"
+
+
+def run(
+    depths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    n_lines: int = 4,
+    n_measurements: int = 600,
+    seed: int = 7,
+) -> EnrollmentResult:
+    """Sweep enrollment depth on a fixed line population."""
+    depths = sorted(set(int(d) for d in depths))
+    if depths[0] < 1:
+        raise ValueError("depths must be >= 1")
+    if n_lines < 2 or n_measurements < 10:
+        raise ValueError("need >= 2 lines and >= 10 measurements")
+    factory = prototype_line_factory()
+    lines = factory.manufacture_batch(n_lines)
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+
+    # Fresh verification captures, shared across depths for comparability.
+    captures = [
+        canonical_rows(itdr.capture_batch(line, n_measurements))
+        for line in lines
+    ]
+    # One deep enrollment pool per line; shallower depths use its prefix,
+    # mirroring an installer who simply stops earlier.
+    pools = [itdr.capture_batch(line, max(depths)) for line in lines]
+
+    rows = []
+    for depth in depths:
+        references = [
+            canonical_rows(pool[:depth].mean(axis=0, keepdims=True))[0]
+            for pool in pools
+        ]
+        genuine, impostor = [], []
+        for i in range(n_lines):
+            for j in range(n_lines):
+                scores = (1.0 + captures[i] @ references[j]) / 2.0
+                (genuine if i == j else impostor).append(scores)
+        g = np.concatenate(genuine)
+        im = np.concatenate(impostor)
+        eer, _ = equal_error_rate(g, im)
+        rows.append((depth, float(g.mean()), float(g.std()), eer))
+    return EnrollmentResult(rows=rows)

@@ -1,0 +1,126 @@
+"""Extension experiment X-SENS: averaging depth vs tamper sensitivity.
+
+The quietest attack (the magnetic probe) hides below single-capture noise;
+averaging K captures lowers the clean floor as 1/K while the attack's
+deterministic signature stands still — but each factor of K multiplies
+detection latency.  This study sweeps K and reports floor, signature,
+margin, and the resulting worst-case detection latency at the prototype
+and at a GHz-class clock: the complete trade the deployment engineer
+chooses on, and the quantified version of EXPERIMENTS.md's caveat about
+tamper-path averaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..attacks import MagneticProbe
+from ..core.config import prototype_itdr, prototype_line_factory
+from ..core.fingerprint import Fingerprint
+from ..core.tamper import TamperDetector
+from ..txline.materials import FR4
+
+__all__ = ["SensitivityResult", "run"]
+
+
+@dataclass
+class SensitivityResult:
+    """Per-depth floor/signature/margin/latency rows."""
+
+    rows: List[Tuple[int, float, float, float, float, float]]
+    # (K, clean floor, probe peak, margin,
+    #  latency_at_prototype_s, latency_at_ghz_s)
+
+    def margin_grows_with_averaging(self) -> bool:
+        """Deeper averaging buys margin (the 1/K floor mechanism)."""
+        margins = [m for _, _, _, m, _, _ in self.rows]
+        return margins[-1] > margins[0]
+
+    def detection_depth(self, required_margin: float = 2.0) -> int:
+        """Smallest K whose margin clears ``required_margin`` (0 if none)."""
+        for k, _, _, margin, _, _ in self.rows:
+            if margin >= required_margin:
+                return k
+        return 0
+
+    def report(self) -> str:
+        """The sensitivity/latency trade table."""
+        table = format_table(
+            ["K (captures)", "clean floor", "probe peak", "margin",
+             "latency @156MHz", "latency @3.2GHz"],
+            [
+                [k, floor, peak, f"{margin:.1f}x",
+                 f"{lat_proto * 1e3:.1f} ms", f"{lat_ghz * 1e6:.0f} us"]
+                for k, floor, peak, margin, lat_proto, lat_ghz in self.rows
+            ],
+            title=(
+                "Averaging depth vs magnetic-probe sensitivity (floor falls "
+                "~1/K; the signature stands still; latency grows with K)"
+            ),
+        )
+        k = self.detection_depth()
+        note = (
+            f"\nsmallest depth with >=2x margin: K = {k}"
+            if k
+            else "\nno swept depth reaches 2x margin"
+        )
+        return table + note
+
+
+def run(
+    depths: Sequence[int] = (8, 32, 128, 256),
+    n_clean: int = 8,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Sweep the tamper-path averaging depth against the magnetic probe."""
+    depths = sorted(set(int(k) for k in depths))
+    if depths[0] < 1 or n_clean < 2:
+        raise ValueError("depths >= 1 and n_clean >= 2 required")
+    factory = prototype_line_factory(attach_receiver=True)
+    line = factory.manufacture(seed=1)
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    reference = Fingerprint.from_captures(
+        [itdr.capture(line) for _ in range(max(depths))]
+    )
+    detector = TamperDetector(
+        threshold=1.0,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+    probe = MagneticProbe(0.12)
+    per_capture = itdr.budget(itdr.record_length(line)).duration_s
+    per_capture_ghz = itdr.budget(
+        itdr.record_length(line), trigger_rate=3.2e9
+    ).duration_s
+
+    rows = []
+    for k in depths:
+        floor = max(
+            float(
+                detector.error_profile(
+                    itdr.capture_averaged(line, k), reference
+                ).samples.max()
+            )
+            for _ in range(n_clean)
+        )
+        peak = float(
+            np.mean(
+                [
+                    detector.error_profile(
+                        itdr.capture_averaged(line, k, modifiers=[probe]),
+                        reference,
+                    ).samples.max()
+                    for _ in range(3)
+                ]
+            )
+        )
+        margin = peak / floor if floor > 0 else float("inf")
+        rows.append(
+            (k, floor, peak, margin, k * per_capture, k * per_capture_ghz)
+        )
+    return SensitivityResult(rows=rows)

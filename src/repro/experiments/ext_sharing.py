@@ -1,0 +1,107 @@
+"""Extension experiment X-SHARE: the multiplexing trade-off.
+
+The paper's sharing claim gives DIVOT its scalability: one datapath, many
+buses, ~4 FF / 5 LUT marginal cost per bus.  The un-quantified flip side is
+scan latency — a shared datapath visits each bus once per round-robin, so
+worst-case detection latency grows linearly with the protected-bus count.
+This experiment sweeps the bus count and reports both curves, then
+verifies functionally that an attack on *any* one of the multiplexed buses
+is caught within one scan period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..attacks import WireTap
+from ..core.auth import Authenticator
+from ..core.config import prototype_itdr, prototype_line_factory
+from ..core.manager import SharedITDRManager
+from ..core.tamper import TamperDetector
+from ..txline.materials import FR4
+
+__all__ = ["SharingResult", "run"]
+
+
+@dataclass
+class SharingResult:
+    """Resource and latency curves across bus counts."""
+
+    rows: List[Tuple[int, int, int, float]]
+    # (n_buses, registers, luts, scan_period_us)
+    attacked_bus: str
+    attack_found_in_one_scan: bool
+
+    def resources_flat_latency_linear(self) -> bool:
+        """The trade-off's shape: LUTs grow ~5/bus, latency ~1 period/bus."""
+        (n0, _, l0, t0), *_, (n1, _, l1, t1) = self.rows
+        lut_growth = (l1 - l0) / (n1 - n0)
+        latency_ratio = t1 / t0
+        return lut_growth <= 10 and latency_ratio == float(n1) / n0
+
+    def report(self) -> str:
+        """The sharing trade-off table."""
+        table = format_table(
+            ["protected buses", "registers", "LUTs", "scan period (us)"],
+            [list(r) for r in self.rows],
+            title=(
+                "Shared-datapath scaling (paper: >90% of the detector "
+                "multiplexes across buses)"
+            ),
+        )
+        verdict = (
+            f"\nattack on {self.attacked_bus!r} caught within one scan: "
+            f"{self.attack_found_in_one_scan}"
+        )
+        return table + verdict
+
+
+def run(
+    bus_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    seed: int = 0,
+) -> SharingResult:
+    """Sweep the protected-bus count; verify detection on the largest."""
+    bus_counts = sorted(set(int(n) for n in bus_counts))
+    if bus_counts[0] < 1:
+        raise ValueError("bus counts must be >= 1")
+    factory = prototype_line_factory()
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+
+    rows = []
+    manager = None
+    for n in bus_counts:
+        manager = SharedITDRManager(
+            itdr, Authenticator(0.85), detector, captures_per_check=16
+        )
+        for line in factory.manufacture_batch(n, first_seed=200):
+            manager.register(line)
+        report = manager.resource_report()
+        rows.append(
+            (
+                n,
+                report.registers,
+                report.luts,
+                manager.scan_period_s() * 1e6,
+            )
+        )
+
+    # Functional check on the largest deployment: tap one bus, scan once.
+    manager.calibrate_all(n_captures=8)
+    victim = manager.bus_names()[len(manager.bus_names()) // 2]
+    outcome = manager.scan(modifiers_by_bus={victim: [WireTap(0.12)]})
+    alerted = [name for name, _ in outcome.alerts()]
+    return SharingResult(
+        rows=rows,
+        attacked_bus=victim,
+        attack_found_in_one_scan=(alerted == [victim]),
+    )

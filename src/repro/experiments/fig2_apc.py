@@ -1,0 +1,111 @@
+"""Experiment F2: the APC transfer curve (paper Fig. 2).
+
+Sweeps the signal voltage through a single-reference APC and verifies the
+paper's claims about Eq. (1)-(3): measured P(Y=1) follows the noise CDF,
+the sensitivity is the noise PDF, and the linear/sensitive window spans
+about +/-2 sigma of the reference — the dynamic-range limit PDM later
+removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.report import format_series, format_table
+from ..core.apc import APCConverter, apc_sensitivity
+from ..core.comparator import Comparator
+
+__all__ = ["Fig2Result", "run"]
+
+
+@dataclass
+class Fig2Result:
+    """APC transfer-curve measurement."""
+
+    v_sweep: np.ndarray
+    p_measured: np.ndarray
+    p_theory: np.ndarray
+    v_estimated: np.ndarray
+    sensitivity: np.ndarray
+    linear_window: tuple
+    noise_sigma: float
+    repetitions: int
+
+    @property
+    def max_probability_error(self) -> float:
+        """Largest |measured - theory| probability over the sweep."""
+        return float(np.max(np.abs(self.p_measured - self.p_theory)))
+
+    @property
+    def max_voltage_error_in_window(self) -> float:
+        """Largest reconstruction error inside the linear window."""
+        lo, hi = self.linear_window
+        mask = (self.v_sweep >= lo) & (self.v_sweep <= hi)
+        if not mask.any():
+            return float("nan")
+        return float(np.max(np.abs(self.v_estimated[mask] - self.v_sweep[mask])))
+
+    def window_is_two_sigma(self, tolerance: float = 0.35) -> bool:
+        """The linear window spans roughly +/-2 sigma (paper's claim)."""
+        lo, hi = self.linear_window
+        width = hi - lo
+        return abs(width - 4.0 * self.noise_sigma) <= tolerance * 4.0 * self.noise_sigma
+
+    def report(self) -> str:
+        """The transfer curve and headline checks."""
+        lo, hi = self.linear_window
+        summary = format_table(
+            ["metric", "value"],
+            [
+                ["noise sigma (V)", self.noise_sigma],
+                ["repetitions per point", self.repetitions],
+                ["max |p_meas - p_theory|", self.max_probability_error],
+                ["linear window (V)", f"[{lo:.4g}, {hi:.4g}]"],
+                ["window / 4 sigma", (hi - lo) / (4 * self.noise_sigma)],
+                ["max |V_est - V| in window", self.max_voltage_error_in_window],
+            ],
+            title="Fig. 2 — APC transfer curve",
+        )
+        idx = np.linspace(0, len(self.v_sweep) - 1, 11).astype(int)
+        series = format_series(
+            "P(Y=1) vs V_sig (sampled rows)",
+            [f"{v:.4g}" for v in self.v_sweep[idx]],
+            [f"{p:.4f}" for p in self.p_measured[idx]],
+            x_label="V_sig",
+            y_label="p_hat",
+        )
+        return summary + "\n\n" + series
+
+
+def run(
+    noise_sigma: float = 3e-3,
+    repetitions: int = 4096,
+    n_points: int = 121,
+    span_sigmas: float = 4.0,
+    seed: int = 0,
+) -> Fig2Result:
+    """Sweep the APC across ``+/-span_sigmas`` of reference."""
+    if n_points < 3:
+        raise ValueError("n_points must be >= 3")
+    rng = np.random.default_rng(seed)
+    comparator = Comparator(noise_sigma=noise_sigma)
+    apc = APCConverter(comparator, v_ref=0.0)
+    v_sweep = np.linspace(
+        -span_sigmas * noise_sigma, span_sigmas * noise_sigma, n_points
+    )
+    p_measured = apc.measure_probability(v_sweep, repetitions, rng)
+    p_theory = comparator.probability_of_one(v_sweep, 0.0)
+    v_estimated = apc.invert(p_measured)
+    sensitivity = apc_sensitivity(v_sweep, 0.0, noise_sigma)
+    return Fig2Result(
+        v_sweep=v_sweep,
+        p_measured=p_measured,
+        p_theory=p_theory,
+        v_estimated=v_estimated,
+        sensitivity=sensitivity,
+        linear_window=apc.linear_window(),
+        noise_sigma=noise_sigma,
+        repetitions=repetitions,
+    )

@@ -1,0 +1,188 @@
+"""One-command reproduction: every experiment, one report.
+
+Usage::
+
+    python -m repro.experiments.run_all            # reduced scale
+    python -m repro.experiments.run_all --full     # paper scale (slower)
+    python -m repro.experiments.run_all -o report.txt
+
+Runs every figure/table experiment plus the extension studies, prints each
+report, and finishes with a pass/fail summary of the shape predicates —
+the whole of EXPERIMENTS.md, regenerated live.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Optional, Tuple
+
+from . import (
+    ablation_ets,
+    ablation_multiwire,
+    ablation_pdm,
+    ablation_trigger,
+    baseline_comparison,
+    env_robustness,
+    ext_adaptation,
+    ext_cloning,
+    ext_enrollment,
+    ext_jitter,
+    ext_sensitivity,
+    ext_sharing,
+    ext_stack,
+    fig2_apc,
+    fig34_pdm,
+    fig5_ets,
+    fig6_membus,
+    fig7_auth,
+    fig8_temperature,
+    fig9_tamper,
+    tab_latency,
+    tab_overhead,
+)
+from .common import FULL, ExperimentScale
+
+__all__ = ["main", "build_suite"]
+
+
+def build_suite(scale: ExperimentScale) -> List[Tuple[str, Callable]]:
+    """(name, runner) pairs; each runner returns (report_text, shape_ok)."""
+
+    def wrap(run, report_attr="report", *checks, **kwargs):
+        def runner():
+            result = run(**kwargs)
+            text = getattr(result, report_attr)()
+            ok = all(check(result) for check in checks)
+            return text, ok
+
+        return runner
+
+    emi_scale = ExperimentScale(
+        n_lines=min(scale.n_lines, 4),
+        n_measurements=min(scale.n_measurements, 512),
+        n_enroll=scale.n_enroll,
+    )
+    return [
+        ("F2 APC transfer curve",
+         wrap(fig2_apc.run, "report", lambda r: r.window_is_two_sigma())),
+        ("F3/F4 PDM",
+         wrap(fig34_pdm.run, "report", lambda r: r.dynamic_range_widened())),
+        ("F5 ETS",
+         wrap(fig5_ets.run, "report", lambda r: r.matches_paper_numbers())),
+        ("F7 authentication",
+         wrap(fig7_auth.run, "report", lambda r: r.meets_paper_band(),
+              scale=scale)),
+        ("F8 temperature",
+         wrap(fig8_temperature.run, "report", lambda r: r.shape_holds(),
+              scale=scale)),
+        ("E-VIB/E-EMI robustness",
+         wrap(env_robustness.run, "report", lambda r: r.ordering_holds(),
+              scale=emi_scale)),
+        ("F9 tamper suite",
+         wrap(fig9_tamper.run, "report",
+              lambda r: r.all_detected() and r.ordering_holds())),
+        ("F6 protected memory bus",
+         wrap(fig6_membus.run, "report",
+              lambda r: r.transparency_holds and r.probe_detected
+              and r.cold_boot_blocked)),
+        ("T-OVH hardware overhead",
+         wrap(tab_overhead.run, "report_text",
+              lambda r: r.matches_paper_totals())),
+        ("T-LAT detection latency",
+         wrap(tab_latency.run, "report",
+              lambda r: r.prototype_matches_paper())),
+        ("A-BASE prior-art comparison",
+         wrap(baseline_comparison.run, "report",
+              lambda r: r.divot_dominates())),
+        ("A-MULTI multi-wire fusion",
+         wrap(ablation_multiwire.run, "report",
+              lambda r: r.accuracy_improves())),
+        ("A-PDM ablation",
+         wrap(ablation_pdm.run, "report",
+              lambda r: r.pdm_wins_on_wide_signals())),
+        ("A-TRIG trigger gating",
+         wrap(ablation_trigger.run, "report",
+              lambda r: r.cancellation_demonstrated())),
+        ("A-ETS phase step",
+         wrap(ablation_ets.run, "report", lambda r: r.finer_is_sharper())),
+        ("X-CLONE unclonability",
+         wrap(ext_cloning.run, "report", lambda r: r.unclonability_holds())),
+        ("X-JIT PLL jitter",
+         wrap(ext_jitter.run, "report", lambda r: r.clean_is_best())),
+        ("X-SHARE datapath sharing",
+         wrap(ext_sharing.run, "report",
+              lambda r: r.attack_found_in_one_scan)),
+        ("X-ADAPT drift hardening",
+         wrap(ext_adaptation.run, "report",
+              lambda r: r.compensation_helps()
+              and r.adaptation_tracks_aging())),
+        ("X-STACK encryption composition",
+         wrap(ext_stack.run, "report", lambda r: r.composition_wins())),
+        ("X-ENROLL enrollment depth",
+         wrap(ext_enrollment.run, "report",
+              lambda r: r.deeper_is_better())),
+        ("X-SENS averaging sensitivity",
+         wrap(ext_sensitivity.run, "report",
+              lambda r: r.margin_grows_with_averaging())),
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the full suite; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate every paper figure/table reproduction."
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper scale (6 lines x 8192 measurements; slower)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="also write the report here"
+    )
+    args = parser.parse_args(argv)
+
+    scale = FULL if args.full else ExperimentScale(
+        n_lines=6, n_measurements=1024, n_enroll=16
+    )
+    lines: List[str] = []
+
+    def emit(text: str) -> None:
+        print(text)
+        lines.append(text)
+
+    emit(
+        f"DIVOT reproduction suite — scale: {scale.n_lines} lines x "
+        f"{scale.n_measurements} measurements"
+    )
+    summary = []
+    for name, runner in build_suite(scale):
+        started = time.time()
+        try:
+            text, ok = runner()
+        except Exception as exc:  # pragma: no cover - surfaced in summary
+            text, ok = f"FAILED with {exc!r}", False
+        elapsed = time.time() - started
+        emit("\n" + "=" * 72)
+        emit(f"{name}   [{elapsed:.1f}s]   shape: {'OK' if ok else 'FAIL'}")
+        emit("=" * 72)
+        emit(text)
+        summary.append((name, ok, elapsed))
+
+    emit("\n" + "=" * 72)
+    emit("SUMMARY")
+    emit("=" * 72)
+    for name, ok, elapsed in summary:
+        emit(f"  {'OK  ' if ok else 'FAIL'}  {name:<36} {elapsed:6.1f}s")
+    n_fail = sum(1 for _, ok, _ in summary if not ok)
+    emit(f"\n{len(summary) - n_fail}/{len(summary)} experiment shapes hold")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+    return 1 if n_fail else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

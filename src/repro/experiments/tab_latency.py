@@ -1,0 +1,111 @@
+"""Experiment T-LAT: detection latency (paper sections I and IV).
+
+The paper: "both authentication and tamper detection can be completed
+within 50 us" at the prototype's 156.25 MHz, and "with GHz clock speed in
+modern computers, DIVOT is able to alert ... within memory operation time
+frame".  The latency model regenerates the 50 us point and the GHz scaling
+series, plus the data-lane penalty (triggers fire on a specific bit pair,
+so a random-data lane yields triggers at a quarter of the clock rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.report import format_table
+from ..core.config import prototype_itdr_config
+from ..core.latency import LatencyModel, LatencyPoint
+
+__all__ = ["LatencyResult", "run"]
+
+#: The paper's prototype figure.
+PAPER_LATENCY_S = 50e-6
+PAPER_CLOCK_HZ = 156.25e6
+
+#: Clock sweep: the prototype plus modern memory-bus rates.
+DEFAULT_CLOCKS = (156.25e6, 312.5e6, 625e6, 1.2e9, 2.4e9, 3.2e9)
+
+
+@dataclass
+class LatencyResult:
+    """Latency at the prototype point plus the scaling sweeps."""
+
+    prototype: LatencyPoint
+    clock_sweep: List[LatencyPoint]
+    data_lane_sweep: List[LatencyPoint]
+    repetition_sweep: List[LatencyPoint]
+
+    def prototype_matches_paper(self, slack: float = 1.5) -> bool:
+        """Within ``slack`` x of the 50 us prototype figure."""
+        return (
+            self.prototype.detection_latency_s
+            <= PAPER_LATENCY_S * slack
+        )
+
+    def scales_inversely_with_clock(self) -> bool:
+        """Doubling the clock halves the capture time (the scaling claim)."""
+        times = [p.capture_time_s for p in self.clock_sweep]
+        return all(t1 > t2 for t1, t2 in zip(times, times[1:]))
+
+    def report(self) -> str:
+        """The latency table the paper's timing claims summarise."""
+        rows = [
+            [
+                f"{p.clock_frequency / 1e6:.2f} MHz",
+                p.lane,
+                p.n_triggers,
+                f"{p.capture_time_s * 1e6:.2f} us",
+                f"{p.detection_latency_s * 1e6:.2f} us",
+            ]
+            for p in [self.prototype] + self.clock_sweep + self.data_lane_sweep
+        ]
+        main = format_table(
+            ["clock", "lane", "triggers", "capture", "detection"],
+            rows,
+            title=(
+                "Detection latency (paper: authentication + tamper detection "
+                "within 50 us at 156.25 MHz)"
+            ),
+        )
+        rep_rows = [
+            [
+                p.repetitions,
+                p.n_triggers,
+                f"{p.capture_time_s * 1e6:.2f} us",
+            ]
+            for p in self.repetition_sweep
+        ]
+        reps = format_table(
+            ["repetitions R", "triggers", "capture time"],
+            rep_rows,
+            title="Accuracy/time trade-off at the prototype clock",
+        )
+        return main + "\n\n" + reps
+
+
+def run(
+    n_points: int = 341,
+    clocks: Sequence[float] = DEFAULT_CLOCKS,
+    repetitions_values: Sequence[int] = (6, 12, 24, 48, 96),
+) -> LatencyResult:
+    """Evaluate the latency model across clocks, lanes, and repetitions.
+
+    ``n_points = 341`` is the prototype record: a 3.8 ns round trip at the
+    11.16 ps phase step.  With R = 24 that costs 8184 triggers — the
+    paper's "8192 measurements" — i.e. 52 us at 156.25 MHz.
+    """
+    config = prototype_itdr_config()
+    model = LatencyModel(config, n_points=n_points)
+    prototype = model.point(PAPER_CLOCK_HZ, clock_lane=True)
+    clock_sweep = model.sweep(clocks, clock_lane=True)
+    data_lane_sweep = model.sweep(clocks, clock_lane=False)
+    repetition_sweep = model.repetition_tradeoff(
+        repetitions_values, PAPER_CLOCK_HZ
+    )
+    return LatencyResult(
+        prototype=prototype,
+        clock_sweep=clock_sweep,
+        data_lane_sweep=data_lane_sweep,
+        repetition_sweep=repetition_sweep,
+    )

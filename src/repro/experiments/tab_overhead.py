@@ -1,0 +1,112 @@
+"""Experiment T-OVH: hardware overhead (paper section IV-A utilisation).
+
+The Vivado report for the prototype: 71 registers, 124 LUTs, ~80 % of them
+counters, a sliver of the xczu7ev's fabric; and most of the circuit is
+shareable across iTDR instances so protecting many buses costs little more
+than protecting one.  The structural resource model regenerates those rows
+and extends them with the multi-bus scaling the paper argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.report import format_table
+from ..core.config import prototype_itdr_config
+from ..core.itdr import ITDRConfig
+from ..core.resources import ResourceModel, ResourceReport
+
+__all__ = ["OverheadResult", "run"]
+
+#: Paper's Vivado utilisation numbers for the prototype circuit.
+PAPER_REGISTERS = 71
+PAPER_LUTS = 124
+PAPER_COUNTER_FRACTION = 0.80
+
+
+@dataclass
+class OverheadResult:
+    """Resource totals, breakdown, and multi-bus scaling."""
+
+    report: ResourceReport
+    scaling: List[Tuple[int, int, int]]  # (n_itdrs, registers, luts)
+
+    def matches_paper_totals(self) -> bool:
+        """Exact register/LUT totals for the prototype configuration."""
+        return (
+            self.report.registers == PAPER_REGISTERS
+            and self.report.luts == PAPER_LUTS
+        )
+
+    def counter_dominated(self, tolerance: float = 0.08) -> bool:
+        """Counters hold ~80 % of the registers (paper's remark)."""
+        return (
+            abs(self.report.counter_register_fraction - PAPER_COUNTER_FRACTION)
+            <= tolerance
+        )
+
+    def report_text(self) -> str:
+        """The overhead table plus scaling rows."""
+        block_rows = [
+            [name, regs, luts, "counter" if c else "", "shared" if s else "per-bus"]
+            for name, regs, luts, c, s in self.report.rows()
+        ]
+        blocks = format_table(
+            ["block", "registers", "LUTs", "class", "scope"],
+            block_rows,
+            title="DIVOT circuit blocks (prototype configuration)",
+        )
+        marginal_regs, marginal_luts = self.report.marginal_cost()
+        totals = format_table(
+            ["metric", "model", "paper"],
+            [
+                ["registers", self.report.registers, PAPER_REGISTERS],
+                ["LUTs", self.report.luts, PAPER_LUTS],
+                [
+                    "counter register fraction",
+                    f"{self.report.counter_register_fraction:.1%}",
+                    "~80%",
+                ],
+                [
+                    "shareable fraction",
+                    f"{self.report.shared_fraction:.1%}",
+                    ">90%",
+                ],
+                [
+                    "LUT utilisation (xczu7ev)",
+                    f"{self.report.lut_utilization:.4%}",
+                    "(paper: \"~0.8% of available resources\")",
+                ],
+                [
+                    "BRAM (fingerprint + FIFO)",
+                    f"{self.report.memory_bits} bits",
+                    "not in the paper's FF/LUT figure",
+                ],
+                ["marginal cost per extra bus", f"{marginal_regs} FF / {marginal_luts} LUT", "-"],
+            ],
+            title="Totals vs. paper",
+        )
+        scale_rows = [[n, r, l] for n, r, l in self.scaling]
+        scaling = format_table(
+            ["protected buses", "registers", "LUTs"],
+            scale_rows,
+            title="Scaling to many buses (sharing applied)",
+        )
+        return "\n\n".join([blocks, totals, scaling])
+
+
+def run(
+    config: ITDRConfig = None,
+    n_record_points: int = 400,
+    bus_counts: Tuple[int, ...] = (1, 4, 16, 64),
+) -> OverheadResult:
+    """Evaluate the resource model at the prototype operating point."""
+    config = config or prototype_itdr_config()
+    model = ResourceModel(config, n_record_points=n_record_points)
+    report = model.report(n_itdrs=1)
+    scaling = []
+    for n in bus_counts:
+        r = model.report(n_itdrs=n)
+        scaling.append((n, r.registers, r.luts))
+    return OverheadResult(report=report, scaling=scaling)

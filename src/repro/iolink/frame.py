@@ -1,0 +1,96 @@
+"""Link-layer framing with CRC-16 integrity.
+
+The protected serial link carries variable-length frames: a sequence
+number, a payload, and a CRC-16/CCITT trailer.  DIVOT sits *below* this
+layer — it authenticates the physical conductor — but the frame layer is
+what demonstrates the end-to-end story: data still flows, CRCs still pass,
+while the iTDR measures the line from the same bit stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["crc16_ccitt", "Frame", "FrameError"]
+
+
+def crc16_ccitt(data: Sequence[int], initial: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over a byte sequence (poly 0x1021)."""
+    crc = initial
+    for byte in data:
+        if not 0 <= byte <= 255:
+            raise ValueError(f"byte out of range: {byte}")
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+class FrameError(ValueError):
+    """Raised when a byte stream does not parse into a valid frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One link-layer frame.
+
+    Wire format: ``[seq, len, payload..., crc_hi, crc_lo]`` where the CRC
+    covers seq, len, and payload.
+    """
+
+    sequence: int
+    payload: Tuple[int, ...]
+
+    MAX_PAYLOAD = 255
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence <= 255:
+            raise ValueError("sequence must fit one byte")
+        if len(self.payload) > self.MAX_PAYLOAD:
+            raise ValueError("payload too long")
+        if any(not 0 <= b <= 255 for b in self.payload):
+            raise ValueError("payload bytes out of range")
+        object.__setattr__(self, "payload", tuple(int(b) for b in self.payload))
+
+    def to_bytes(self) -> List[int]:
+        """Serialise to the wire byte sequence."""
+        body = [self.sequence, len(self.payload), *self.payload]
+        crc = crc16_ccitt(body)
+        return body + [(crc >> 8) & 0xFF, crc & 0xFF]
+
+    @property
+    def wire_length(self) -> int:
+        """Total bytes on the wire."""
+        return 4 + len(self.payload)
+
+    @classmethod
+    def from_bytes(cls, data: Sequence[int]) -> "Frame":
+        """Parse and CRC-check one frame from the start of ``data``."""
+        data = list(data)
+        if len(data) < 4:
+            raise FrameError("truncated frame header")
+        length = data[1]
+        total = 4 + length
+        if len(data) < total:
+            raise FrameError("truncated frame payload")
+        body = data[: 2 + length]
+        crc_rx = (data[2 + length] << 8) | data[3 + length]
+        if crc16_ccitt(body) != crc_rx:
+            raise FrameError("CRC mismatch")
+        return cls(sequence=data[0], payload=tuple(data[2 : 2 + length]))
+
+    @staticmethod
+    def parse_stream(data: Sequence[int]) -> List["Frame"]:
+        """Parse back-to-back frames until the stream is exhausted."""
+        frames: List[Frame] = []
+        data = list(data)
+        pos = 0
+        while pos < len(data):
+            frame = Frame.from_bytes(data[pos:])
+            frames.append(frame)
+            pos += frame.wire_length
+        return frames

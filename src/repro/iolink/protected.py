@@ -1,0 +1,202 @@
+"""A DIVOT-protected serial link: transport plus physical authentication.
+
+Combines the serial lane with a DIVOT endpoint at each end.  Unlike the
+memory bus (whose clock lane triggers every cycle), the serial lane's
+monitor is *traffic-fed*: each monitoring decision costs a trigger budget
+the passing frames must supply.  ``send`` therefore interleaves transport
+and monitoring, reporting delivered frames, alerts, and the monitoring
+cadence the traffic actually sustained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+from ..attacks.base import AttackTimeline
+from ..core.auth import Authenticator
+from ..core.divot import Action, DivotEndpoint
+from ..core.itdr import ITDR
+from ..core.tamper import TamperDetector
+from .frame import Frame, FrameError
+from .link import SerialLink
+
+__all__ = ["LinkEvent", "LinkRunResult", "ProtectedSerialLink"]
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One monitoring outcome during a link session."""
+
+    time_s: float
+    side: str
+    action: Action
+    score: float
+    tampered: bool
+    location_m: Optional[float]
+
+
+@dataclass
+class LinkRunResult:
+    """Everything a protected link session produced."""
+
+    delivered: List[Frame] = field(default_factory=list)
+    crc_errors: int = 0
+    events: List[LinkEvent] = field(default_factory=list)
+    duration_s: float = 0.0
+    checks_run: int = 0
+    triggers_consumed: int = 0
+
+    def alerts(self) -> List[LinkEvent]:
+        """Non-PROCEED events in time order."""
+        return [e for e in self.events if e.action is not Action.PROCEED]
+
+    def detection_latency(self, onset_s: float) -> Optional[float]:
+        """Time from attack onset to the first alert at/after it."""
+        for event in self.alerts():
+            if event.time_s >= onset_s:
+                return event.time_s - onset_s
+        return None
+
+
+class ProtectedSerialLink:
+    """A serial lane with two-way DIVOT monitoring riding on its traffic.
+
+    Args:
+        link: The transport lane.
+        tx_itdr / rx_itdr: iTDRs at the two ends.
+        authenticator / tamper_detector: shared decision policies.
+        captures_per_check: averaging depth per monitoring decision.
+    """
+
+    def __init__(
+        self,
+        link: SerialLink,
+        tx_itdr: ITDR,
+        rx_itdr: ITDR,
+        authenticator: Authenticator,
+        tamper_detector: TamperDetector,
+        captures_per_check: int = 16,
+    ) -> None:
+        self.link = link
+        self.tx_endpoint = DivotEndpoint(
+            "serdes-tx", tx_itdr, authenticator, tamper_detector,
+            captures_per_check=captures_per_check,
+        )
+        self.rx_endpoint = DivotEndpoint(
+            "serdes-rx", rx_itdr, authenticator, tamper_detector,
+            captures_per_check=captures_per_check,
+        )
+        # One monitoring check costs this many triggers.
+        budget = tx_itdr.budget(tx_itdr.record_length(link.line))
+        self.triggers_per_check = budget.n_triggers * captures_per_check
+
+    # ------------------------------------------------------------------
+    def calibrate(self, n_captures: int = 8) -> None:
+        """Pair both endpoints with the lane."""
+        self.tx_endpoint.calibrate(self.link.line, n_captures=n_captures)
+        self.rx_endpoint.calibrate(self.link.line, n_captures=n_captures)
+
+    @property
+    def check_period_s(self) -> float:
+        """Monitoring cadence the link's own traffic sustains at 100 % duty."""
+        return self.link.time_for_triggers(self.triggers_per_check)
+
+    # ------------------------------------------------------------------
+    def idle_fill_record(self, n_symbols: int = 64):
+        """Idle symbols a quiet link transmits to keep the monitor fed.
+
+        Real links never go silent — they send idle/skip symbols to hold
+        bit lock.  For DIVOT this is load-bearing: idle traffic carries
+        edges, and edges are probes.  The idle pattern here is the comma-
+        free alternating byte 0xB5, whose coded form is rich in (1,0)
+        transitions.
+        """
+        if n_symbols < 1:
+            raise ValueError("n_symbols must be >= 1")
+        bits = self.link.encode_idle(n_symbols)
+        n_triggers = self.link.trigger.count_triggers(bits)
+        duration = len(bits) / self.link.bit_rate
+        return n_triggers, duration
+
+    def send(
+        self,
+        frames: Sequence[Frame],
+        timeline: Optional[AttackTimeline] = None,
+        idle_fill: bool = False,
+        max_idle_s: float = 5e-3,
+    ) -> LinkRunResult:
+        """Transmit frames with concurrent trigger-fed monitoring.
+
+        Frames transmit back to back; whenever the cumulative trigger
+        supply crosses a check budget, both endpoints evaluate the lane
+        under whatever the timeline has active.  A BLOCKed receiving end
+        drops traffic (frames sent while blocked are not delivered) — the
+        link-level analogue of the memory gate.
+
+        ``idle_fill=True`` appends idle symbols after the payload until at
+        least one full monitoring check has run (bounded by ``max_idle_s``)
+        — the standard cure for monitor starvation on quiet links.
+        """
+        result = LinkRunResult()
+        t = 0.0
+        trigger_pool = 0
+        for frame in frames:
+            record = self.link.transmit([frame])
+            t += record.duration_s
+            trigger_pool += record.n_triggers
+            while trigger_pool >= self.triggers_per_check:
+                trigger_pool -= self.triggers_per_check
+                result.triggers_consumed += self.triggers_per_check
+                result.checks_run += 1
+                result.events.extend(self._check(t, timeline))
+            if self.rx_endpoint.is_blocked:
+                continue  # receiver refuses traffic from an unverified lane
+            try:
+                decoded = self.link.decode_frames(record.bits)
+                result.delivered.extend(decoded)
+            except (FrameError, ValueError):
+                result.crc_errors += 1
+        if idle_fill and result.checks_run == 0:
+            idle_triggers, idle_duration = self.idle_fill_record()
+            idled = 0.0
+            while (
+                trigger_pool < self.triggers_per_check and idled < max_idle_s
+            ):
+                t += idle_duration
+                idled += idle_duration
+                trigger_pool += idle_triggers
+            if trigger_pool >= self.triggers_per_check:
+                trigger_pool -= self.triggers_per_check
+                result.triggers_consumed += self.triggers_per_check
+                result.checks_run += 1
+                result.events.extend(self._check(t, timeline))
+        result.duration_s = t
+        if timeline is not None and not result.alerts():
+            # Final check so short bursts still observe late attacks.
+            result.events.extend(self._check(t, timeline))
+            result.checks_run += 1
+        return result
+
+    def _check(self, t: float, timeline: Optional[AttackTimeline]):
+        modifiers: Sequence = ()
+        if timeline is not None:
+            modifiers = timeline.active_at(t)
+        events = []
+        for side, endpoint in (
+            ("tx", self.tx_endpoint),
+            ("rx", self.rx_endpoint),
+        ):
+            outcome = endpoint.monitor_capture(self.link.line, modifiers)
+            events.append(
+                LinkEvent(
+                    time_s=t,
+                    side=side,
+                    action=outcome.action,
+                    score=outcome.auth.score,
+                    tampered=outcome.tamper.tampered,
+                    location_m=outcome.tamper.location_m,
+                )
+            )
+        return events

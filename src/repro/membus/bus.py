@@ -1,0 +1,54 @@
+"""The physical memory bus binding Fig. 6 together.
+
+A :class:`MemoryBus` couples the electrical object (the Tx-line whose IIP is
+the shared secret-that-is-not-a-secret) with the signalling parameters the
+controller and device agree on.  DIVOT monitors the *clock lane*: it toggles
+every cycle regardless of traffic, so IIP capture needs no data-dependent
+trigger and runs from power-on (paper section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..txline.line import TransmissionLine
+
+__all__ = ["MemoryBus"]
+
+
+@dataclass(frozen=True)
+class MemoryBus:
+    """A memory channel's physical and signalling description.
+
+    Attributes:
+        line: The clock-lane Tx-line (the monitored conductor).
+        clock_frequency: Bus clock, hertz.
+        data_lanes: Width of the data group (electrically parallel lanes;
+            the multi-wire ablation fuses fingerprints across them).
+    """
+
+    line: TransmissionLine
+    clock_frequency: float = 1.2e9
+    data_lanes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency <= 0:
+            raise ValueError("clock_frequency must be positive")
+        if self.data_lanes < 1:
+            raise ValueError("data_lanes must be >= 1")
+
+    @property
+    def cycle_time_s(self) -> float:
+        """One bus clock period in seconds."""
+        return 1.0 / self.clock_frequency
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles * self.cycle_time_s
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """One-way flight time over the bus."""
+        return self.line.full_profile.one_way_delay

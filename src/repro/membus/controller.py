@@ -1,0 +1,137 @@
+"""The CPU-side integrated memory controller of Fig. 6.
+
+The controller owns the request queue and scheduler and — the DIVOT part —
+an iTDR endpoint wired to the external memory bus.  Monitoring is
+concurrent: captures complete on their own cadence while requests flow, and
+the controller stalls traffic only when its endpoint commands BLOCK (a
+non-matching fingerprint means the module or bus is not the hardware the
+CPU recognises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.divot import DivotEndpoint
+from .dram import AccessResult, SDRAMDevice
+from .scheduler import FCFSPolicy, SchedulingPolicy
+from .transactions import MemoryRequest
+
+__all__ = ["CompletedRequest", "MemoryController"]
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A request's full life record."""
+
+    request: MemoryRequest
+    start_cycle: int
+    latency_cycles: int
+    result: AccessResult
+    stalled_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Queueing stall plus device latency."""
+        return self.latency_cycles + self.stalled_cycles
+
+
+class MemoryController:
+    """FCFS memory controller with a DIVOT endpoint.
+
+    Args:
+        device: The SDRAM behind the bus.
+        endpoint: CPU-side DIVOT endpoint (None models an unprotected
+            controller for baseline comparisons).
+        stall_quantum: Cycles the controller waits before re-checking a
+            BLOCK condition (the paper's reaction: "stopping the normal
+            memory operation until the newly collected fingerprint matches
+            the one stored in the ROM again").
+        policy: Queue scheduling discipline (FCFS default; FR-FCFS
+            prioritises row hits).
+    """
+
+    def __init__(
+        self,
+        device: SDRAMDevice,
+        endpoint: Optional[DivotEndpoint] = None,
+        stall_quantum: int = 64,
+        policy: Optional[SchedulingPolicy] = None,
+    ) -> None:
+        if stall_quantum < 1:
+            raise ValueError("stall_quantum must be >= 1")
+        self.device = device
+        self.endpoint = endpoint
+        self.stall_quantum = stall_quantum
+        self._policy = policy if policy is not None else FCFSPolicy()
+        self._cycle = 0
+        self.completed: List[CompletedRequest] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current_cycle(self) -> int:
+        """Controller-local cycle counter."""
+        return self._cycle
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        """Add a request to the scheduler queue."""
+        self._policy.push(request)
+
+    def pending(self) -> int:
+        """Requests waiting in the queue."""
+        return len(self._policy)
+
+    @property
+    def blocked(self) -> bool:
+        """Whether DIVOT currently forbids issuing requests."""
+        return self.endpoint is not None and self.endpoint.is_blocked
+
+    # ------------------------------------------------------------------
+    def issue_next(self) -> Optional[CompletedRequest]:
+        """Issue the head-of-queue request if any and not blocked.
+
+        Returns the completion record, or None when the queue is empty or
+        the endpoint blocks issue (in which case the controller burns one
+        stall quantum so monitoring can progress and recovery can happen).
+        """
+        if not self._policy:
+            return None
+        if self.blocked:
+            self._cycle += self.stall_quantum
+            return None
+        request = self._policy.pop_next(self.device)
+        if request is None:
+            return None
+        start = self._cycle
+        result = self.device.access(request)
+        record = CompletedRequest(
+            request=request,
+            start_cycle=start,
+            latency_cycles=result.latency_cycles,
+            result=result,
+        )
+        self._cycle += result.latency_cycles
+        self.completed.append(record)
+        return record
+
+    def drain(self, max_stalls: int = 10_000) -> List[CompletedRequest]:
+        """Issue until the queue empties; raises if blocked forever.
+
+        ``max_stalls`` bounds the block-recovery wait so a permanently
+        failed authentication surfaces as an error instead of a hang.
+        """
+        stalls = 0
+        out = []
+        while len(self._policy):
+            record = self.issue_next()
+            if record is None:
+                stalls += 1
+                if stalls > max_stalls:
+                    raise RuntimeError(
+                        "controller blocked by DIVOT and never recovered; "
+                        f"{len(self._policy)} requests stranded"
+                    )
+                continue
+            out.append(record)
+        return out

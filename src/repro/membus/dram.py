@@ -1,0 +1,176 @@
+"""A behavioural SDRAM device model with bank timing.
+
+The paper's Fig. 6 puts the module-side iTDR "aside the normal address
+decoding, sense amplifier, and buffering logic", and gates the *column
+access* on the authentication result.  This model provides the substrate:
+banks with open-row state, the classic tRCD/tRP/CL timing, a refresh
+counter, a sparse data store, and — the DIVOT hook — an authentication gate
+evaluated exactly at column-access time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .transactions import AddressMap, DecodedAddress, MemoryOp, MemoryRequest
+
+__all__ = ["DRAMTiming", "AccessResult", "SDRAMDevice"]
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """SDRAM timing parameters in bus-clock cycles (DDR4-ish defaults)."""
+
+    t_rcd: int = 14  # row-to-column delay (ACT -> READ/WRITE)
+    t_rp: int = 14  # row precharge
+    cl: int = 14  # CAS latency (READ -> data)
+    cwl: int = 10  # CAS write latency
+    t_ras: int = 32  # minimum row-open time
+    burst: int = 4  # data burst length in cycles
+    t_refi: int = 1170  # refresh interval
+    t_rfc: int = 52  # refresh cycle time
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_rp", "cl", "cwl", "t_ras", "burst",
+                     "t_refi", "t_rfc"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1 cycle")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one device access.
+
+    Attributes:
+        ok: Whether the access was performed.
+        latency_cycles: Command-to-completion time in bus cycles (includes
+            any precharge/activate the access required, and refresh stalls).
+        data: Read payload (None for writes and blocked accesses).
+        blocked: True when the authentication gate rejected the access.
+        row_hit: Whether the access hit an already-open row.
+    """
+
+    ok: bool
+    latency_cycles: int
+    data: Optional[int] = None
+    blocked: bool = False
+    row_hit: bool = False
+
+
+@dataclass
+class _BankState:
+    open_row: Optional[int] = None
+    busy_until: int = 0  # device cycle when the bank is next free
+
+
+class SDRAMDevice:
+    """One SDRAM device (the DIMM of Fig. 6).
+
+    Args:
+        address_map: Geometry.
+        timing: Timing parameters.
+        auth_gate: Callable returning True when column access is currently
+            authorised — DIVOT's module-side hook.  None means ungated
+            (an unprotected commodity device).
+    """
+
+    def __init__(
+        self,
+        address_map: AddressMap = AddressMap(),
+        timing: DRAMTiming = DRAMTiming(),
+        auth_gate: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.address_map = address_map
+        self.timing = timing
+        self.auth_gate = auth_gate
+        self._banks = [_BankState() for _ in range(address_map.n_banks)]
+        self._cells: Dict[int, int] = {}
+        self._cycle = 0
+        self._last_refresh = 0
+        self.stats = {
+            "reads": 0,
+            "writes": 0,
+            "row_hits": 0,
+            "row_misses": 0,
+            "blocked": 0,
+            "refreshes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def current_cycle(self) -> int:
+        """Device-local cycle counter."""
+        return self._cycle
+
+    def _maybe_refresh(self) -> int:
+        """Advance refresh bookkeeping; returns stall cycles incurred."""
+        stall = 0
+        while self._cycle - self._last_refresh >= self.timing.t_refi:
+            self._last_refresh += self.timing.t_refi
+            stall += self.timing.t_rfc
+            self.stats["refreshes"] += 1
+            # Refresh closes every row.
+            for bank in self._banks:
+                bank.open_row = None
+        return stall
+
+    def _open_row(self, decoded: DecodedAddress) -> tuple:
+        """Ensure the target row is open; returns (cycles, row_hit)."""
+        bank = self._banks[decoded.bank]
+        if bank.open_row == decoded.row:
+            return 0, True
+        cycles = 0
+        if bank.open_row is not None:
+            cycles += self.timing.t_rp  # precharge the old row
+        cycles += self.timing.t_rcd  # activate the new one
+        bank.open_row = decoded.row
+        return cycles, False
+
+    # ------------------------------------------------------------------
+    def access(self, request: MemoryRequest) -> AccessResult:
+        """Perform one read or write, honouring timing and the auth gate.
+
+        The gate is checked at column-access time, after row activation —
+        matching the paper: "the column address is gated by the
+        authentication result so that only the authorized CPU chip and
+        memory bus can access, read or write, the SDRAM."
+        """
+        decoded = self.address_map.decode(request.address)
+        latency = self._maybe_refresh()
+        row_cycles, row_hit = self._open_row(decoded)
+        latency += row_cycles
+        self.stats["row_hits" if row_hit else "row_misses"] += 1
+
+        if self.auth_gate is not None and not self.auth_gate():
+            self.stats["blocked"] += 1
+            self._cycle += latency + 1
+            return AccessResult(
+                ok=False,
+                latency_cycles=latency + 1,
+                blocked=True,
+                row_hit=row_hit,
+            )
+
+        if request.op is MemoryOp.READ:
+            latency += self.timing.cl + self.timing.burst
+            data = self._cells.get(request.address, 0)
+            self.stats["reads"] += 1
+            self._cycle += latency
+            return AccessResult(
+                ok=True, latency_cycles=latency, data=data, row_hit=row_hit
+            )
+        latency += self.timing.cwl + self.timing.burst
+        self._cells[request.address] = int(request.data)
+        self.stats["writes"] += 1
+        self._cycle += latency
+        return AccessResult(ok=True, latency_cycles=latency, row_hit=row_hit)
+
+    # ------------------------------------------------------------------
+    def peek(self, address: int) -> Optional[int]:
+        """Read a cell without timing or gating (test/inspection hook)."""
+        return self._cells.get(address)
+
+    def occupied_cells(self) -> int:
+        """Number of cells ever written."""
+        return len(self._cells)

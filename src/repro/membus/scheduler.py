@@ -1,0 +1,115 @@
+"""Memory-request scheduling policies.
+
+Fig. 6 places the iTDR beside the DDR controller's "reference queue,
+arbiter, scheduler" [Rixner et al.], so the substrate deserves a real
+scheduler.  Two policies are provided:
+
+* **FCFS** — strict arrival order (the baseline the controller used
+  originally);
+* **FR-FCFS** — first-ready, first-come-first-served: requests that hit an
+  already-open row are served first (oldest-first among hits, then oldest
+  miss), the classic policy that converts row locality into latency.
+
+The scheduler is orthogonal to DIVOT — protection gates *whether* requests
+issue, scheduling decides *which* — and the bench quantifies that the two
+compose without interference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Protocol
+
+from .dram import SDRAMDevice
+from .transactions import MemoryRequest
+
+__all__ = ["SchedulingPolicy", "FCFSPolicy", "FRFCFSPolicy", "make_policy"]
+
+
+class SchedulingPolicy(Protocol):
+    """Queue discipline: admit requests, pick the next one to issue."""
+
+    def push(self, request: MemoryRequest) -> None:
+        """Admit a request."""
+        ...  # pragma: no cover - protocol
+
+    def pop_next(self, device: SDRAMDevice) -> Optional[MemoryRequest]:
+        """Remove and return the next request to issue (None if empty)."""
+        ...  # pragma: no cover - protocol
+
+    def __len__(self) -> int:
+        ...  # pragma: no cover - protocol
+
+
+class FCFSPolicy:
+    """Strict first-come, first-served."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[MemoryRequest] = deque()
+
+    def push(self, request: MemoryRequest) -> None:
+        self._queue.append(request)
+
+    def pop_next(self, device: SDRAMDevice) -> Optional[MemoryRequest]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class FRFCFSPolicy:
+    """First-ready FCFS: row hits first, oldest first within each class.
+
+    ``window`` bounds how deep into the queue the scheduler looks for a
+    row hit (real schedulers have finite CAM depth); requests older than
+    ``starvation_limit`` pops are served regardless, preventing a stream
+    of hits from starving a conflicted request forever.
+    """
+
+    def __init__(self, window: int = 16, starvation_limit: int = 64) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if starvation_limit < 1:
+            raise ValueError("starvation_limit must be >= 1")
+        self.window = window
+        self.starvation_limit = starvation_limit
+        self._queue: Deque[MemoryRequest] = deque()
+        self._head_age = 0
+
+    def push(self, request: MemoryRequest) -> None:
+        self._queue.append(request)
+
+    def _is_row_hit(self, device: SDRAMDevice, request: MemoryRequest) -> bool:
+        decoded = device.address_map.decode(request.address)
+        bank = device._banks[decoded.bank]
+        return bank.open_row == decoded.row
+
+    def pop_next(self, device: SDRAMDevice) -> Optional[MemoryRequest]:
+        if not self._queue:
+            return None
+        if self._head_age >= self.starvation_limit:
+            self._head_age = 0
+            return self._queue.popleft()
+        depth = min(self.window, len(self._queue))
+        for idx in range(depth):
+            if self._is_row_hit(device, self._queue[idx]):
+                request = self._queue[idx]
+                del self._queue[idx]
+                self._head_age = self._head_age + 1 if idx != 0 else 0
+                return request
+        self._head_age = 0
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Construct a policy by name: ``"fcfs"`` or ``"frfcfs"``."""
+    if name == "fcfs":
+        return FCFSPolicy()
+    if name == "frfcfs":
+        return FRFCFSPolicy()
+    raise ValueError(f"unknown scheduling policy {name!r}")

@@ -1,0 +1,184 @@
+"""Memory transactions, address mapping, and trace generation.
+
+The protected-memory experiments are trace-driven: a stream of reads and
+writes exercises the SDRAM model while DIVOT monitors the bus.  Addresses
+decompose into (bank, row, column) through an :class:`AddressMap`, exactly
+the split the DRAM timing model cares about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "MemoryOp",
+    "MemoryRequest",
+    "DecodedAddress",
+    "AddressMap",
+    "TraceGenerator",
+]
+
+
+class MemoryOp(enum.Enum):
+    """Memory operation type."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One memory transaction.
+
+    Attributes:
+        op: Read or write.
+        address: Flat byte address.
+        data: Payload for writes (ignored for reads).
+        issue_time_s: When the requester issued it (0 means back-to-back).
+    """
+
+    op: MemoryOp
+    address: int
+    data: Optional[int] = None
+    issue_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.op is MemoryOp.WRITE and self.data is None:
+            raise ValueError("writes require data")
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """(bank, row, column) coordinates of a flat address."""
+
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Row-bank-column address interleaving.
+
+    Attributes:
+        n_banks: Banks per device.
+        n_rows: Rows per bank.
+        n_columns: Columns per row.
+    """
+
+    n_banks: int = 8
+    n_rows: int = 4096
+    n_columns: int = 1024
+
+    def __post_init__(self) -> None:
+        if min(self.n_banks, self.n_rows, self.n_columns) < 1:
+            raise ValueError("dimensions must be positive")
+
+    @property
+    def capacity(self) -> int:
+        """Total addressable locations."""
+        return self.n_banks * self.n_rows * self.n_columns
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Flat address -> (bank, row, column), row-major with bank low bits.
+
+        Low bits select the column, middle bits the bank (spreading
+        consecutive cache lines across banks, the usual interleave), high
+        bits the row.
+        """
+        if not 0 <= address < self.capacity:
+            raise ValueError(
+                f"address {address} out of range [0, {self.capacity})"
+            )
+        column = address % self.n_columns
+        bank = (address // self.n_columns) % self.n_banks
+        row = address // (self.n_columns * self.n_banks)
+        return DecodedAddress(bank=bank, row=row, column=column)
+
+    def encode(self, bank: int, row: int, column: int) -> int:
+        """(bank, row, column) -> flat address (inverse of :meth:`decode`)."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError("bank out of range")
+        if not 0 <= row < self.n_rows:
+            raise ValueError("row out of range")
+        if not 0 <= column < self.n_columns:
+            raise ValueError("column out of range")
+        return (row * self.n_banks + bank) * self.n_columns + column
+
+
+class TraceGenerator:
+    """Synthetic request streams with the classic access patterns."""
+
+    def __init__(self, address_map: AddressMap, seed: int = 0) -> None:
+        self.address_map = address_map
+        self.rng = np.random.default_rng(seed)
+
+    def sequential(
+        self, n: int, start: int = 0, write_fraction: float = 0.3
+    ) -> List[MemoryRequest]:
+        """Streaming access: consecutive addresses (row-buffer friendly)."""
+        self._check(n, write_fraction)
+        reqs = []
+        for i in range(n):
+            addr = (start + i) % self.address_map.capacity
+            reqs.append(self._request(addr, write_fraction))
+        return reqs
+
+    def random(self, n: int, write_fraction: float = 0.3) -> List[MemoryRequest]:
+        """Uniform random access: worst case for row locality."""
+        self._check(n, write_fraction)
+        addrs = self.rng.integers(0, self.address_map.capacity, size=n)
+        return [self._request(int(a), write_fraction) for a in addrs]
+
+    def strided(
+        self, n: int, stride: int, start: int = 0, write_fraction: float = 0.3
+    ) -> List[MemoryRequest]:
+        """Fixed-stride access (matrix walks, pointer-chasing proxies)."""
+        self._check(n, write_fraction)
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        reqs = []
+        for i in range(n):
+            addr = (start + i * stride) % self.address_map.capacity
+            reqs.append(self._request(addr, write_fraction))
+        return reqs
+
+    def hotspot(
+        self, n: int, hot_rows: int = 4, hot_fraction: float = 0.9,
+        write_fraction: float = 0.3,
+    ) -> List[MemoryRequest]:
+        """Skewed access: most requests hit a few hot rows."""
+        self._check(n, write_fraction)
+        if hot_rows < 1:
+            raise ValueError("hot_rows must be >= 1")
+        amap = self.address_map
+        reqs = []
+        for _ in range(n):
+            if self.rng.random() < hot_fraction:
+                row = int(self.rng.integers(0, hot_rows))
+            else:
+                row = int(self.rng.integers(0, amap.n_rows))
+            bank = int(self.rng.integers(0, amap.n_banks))
+            col = int(self.rng.integers(0, amap.n_columns))
+            reqs.append(self._request(amap.encode(bank, row, col), write_fraction))
+        return reqs
+
+    # ------------------------------------------------------------------
+    def _check(self, n: int, write_fraction: float) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+    def _request(self, address: int, write_fraction: float) -> MemoryRequest:
+        if self.rng.random() < write_fraction:
+            return MemoryRequest(
+                MemoryOp.WRITE, address, data=int(self.rng.integers(0, 2**32))
+            )
+        return MemoryRequest(MemoryOp.READ, address)

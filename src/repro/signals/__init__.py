@@ -1,0 +1,69 @@
+"""Signal synthesis substrate: waveforms, edges, line codes, PRBS, noise.
+
+These are the raw materials the transmission-line simulator and the iTDR
+consume.  Everything is deterministic given explicit ``numpy`` generators, so
+experiments are reproducible end to end.
+"""
+
+from .edges import (
+    EdgeShape,
+    erf_edge,
+    gaussian_pulse,
+    linear_edge,
+    raised_cosine_edge,
+    step_edge,
+)
+from .eightbten import Decoder8b10b, Encoder8b10b, decode_bits, encode_bytes
+from .eye import EyeMetrics, eye_metrics, fold_eye
+from .filters import dc_block, differentiator, moving_average, single_pole_lowpass
+from .linecodes import LineCode, NRZCode, PAM4Code, symbol_edges
+from .noise import BurstEMI, CompositeInterference, GaussianNoise, SinusoidalEMI
+from .prbs import LFSR, PRBS_TAPS, prbs_bits, random_bits
+from .scrambler import Scrambler, descramble_bits, scramble_bytes
+from .spectral import (
+    bandwidth_to_spatial_resolution,
+    occupied_bandwidth,
+    power_spectrum,
+    rise_time_to_bandwidth,
+)
+from .waveform import Waveform
+
+__all__ = [
+    "Waveform",
+    "EdgeShape",
+    "raised_cosine_edge",
+    "erf_edge",
+    "linear_edge",
+    "step_edge",
+    "gaussian_pulse",
+    "LineCode",
+    "NRZCode",
+    "PAM4Code",
+    "symbol_edges",
+    "Encoder8b10b",
+    "Decoder8b10b",
+    "encode_bytes",
+    "decode_bits",
+    "EyeMetrics",
+    "eye_metrics",
+    "fold_eye",
+    "LFSR",
+    "PRBS_TAPS",
+    "prbs_bits",
+    "random_bits",
+    "Scrambler",
+    "scramble_bytes",
+    "descramble_bits",
+    "power_spectrum",
+    "occupied_bandwidth",
+    "rise_time_to_bandwidth",
+    "bandwidth_to_spatial_resolution",
+    "GaussianNoise",
+    "SinusoidalEMI",
+    "BurstEMI",
+    "CompositeInterference",
+    "single_pole_lowpass",
+    "moving_average",
+    "dc_block",
+    "differentiator",
+]

@@ -1,0 +1,159 @@
+"""Probe-edge generators.
+
+DIVOT uses the rising/falling edges of ordinary bus traffic as its TDR probe
+signal (paper section II-D).  The shape of those edges is set by the driver's
+output stage and is highly repeatable — the property that makes equivalent
+time sampling possible.  This module synthesises the standard edge shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf
+
+from .waveform import Waveform
+
+__all__ = [
+    "raised_cosine_edge",
+    "erf_edge",
+    "linear_edge",
+    "step_edge",
+    "gaussian_pulse",
+    "EdgeShape",
+]
+
+
+def _edge_window(rise_time: float, dt: float, settle: float) -> np.ndarray:
+    """Time axis covering an edge plus a settled tail."""
+    n = max(2, int(round((rise_time + settle) / dt)))
+    return np.arange(n) * dt
+
+
+def raised_cosine_edge(
+    rise_time: float,
+    dt: float,
+    amplitude: float = 1.0,
+    settle: float = 0.0,
+) -> Waveform:
+    """A 0-to-``amplitude`` rising edge with a raised-cosine profile.
+
+    ``rise_time`` is the full 0-100 % transition time.  ``settle`` appends a
+    flat region at the final level, useful when the edge feeds a convolution
+    and the response must be observed after the transition completes.
+    """
+    if rise_time <= 0:
+        raise ValueError("rise_time must be positive")
+    t = _edge_window(rise_time, dt, settle)
+    x = np.clip(t / rise_time, 0.0, 1.0)
+    samples = amplitude * 0.5 * (1.0 - np.cos(np.pi * x))
+    return Waveform(samples, dt)
+
+
+def erf_edge(
+    rise_time: float,
+    dt: float,
+    amplitude: float = 1.0,
+    settle: float = 0.0,
+) -> Waveform:
+    """A Gaussian-filtered (error-function) rising edge.
+
+    ``rise_time`` is interpreted as the 10-90 % transition time, the usual
+    datasheet convention for CMOS drivers.
+    """
+    if rise_time <= 0:
+        raise ValueError("rise_time must be positive")
+    # For an erf edge, 10 % and 90 % sit at -/+1.2816 sigma, so the
+    # 10-90 % transition spans 2.5631 sigma.
+    sigma = rise_time / 2.5631
+    span = rise_time * 3.0 + settle
+    n = max(2, int(round(span / dt)))
+    t = np.arange(n) * dt
+    center = rise_time * 1.5
+    samples = amplitude * 0.5 * (1.0 + erf((t - center) / (np.sqrt(2) * sigma)))
+    return Waveform(samples, dt)
+
+
+def linear_edge(
+    rise_time: float,
+    dt: float,
+    amplitude: float = 1.0,
+    settle: float = 0.0,
+) -> Waveform:
+    """A straight-line ramp from 0 to ``amplitude`` over ``rise_time``."""
+    if rise_time <= 0:
+        raise ValueError("rise_time must be positive")
+    t = _edge_window(rise_time, dt, settle)
+    samples = amplitude * np.clip(t / rise_time, 0.0, 1.0)
+    return Waveform(samples, dt)
+
+
+def step_edge(dt: float, amplitude: float = 1.0, n: int = 2) -> Waveform:
+    """An ideal instantaneous step (useful for analytic sanity checks)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return Waveform(np.full(n, float(amplitude)), dt)
+
+
+def gaussian_pulse(
+    width: float,
+    dt: float,
+    amplitude: float = 1.0,
+    span_sigmas: float = 4.0,
+) -> Waveform:
+    """A Gaussian pulse of standard deviation ``width`` seconds.
+
+    TDR theory (paper section II-A) characterises a line by its impulse
+    response; a narrow Gaussian pulse is the practical stand-in for an ideal
+    impulse when one wants a band-limited probe.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    half = int(round(span_sigmas * width / dt))
+    t = (np.arange(2 * half + 1) - half) * dt
+    samples = amplitude * np.exp(-0.5 * (t / width) ** 2)
+    return Waveform(samples, dt, t0=-half * dt)
+
+
+class EdgeShape:
+    """A reusable edge-shape recipe bound to a driver's characteristics.
+
+    The interface circuits inside a digital chip are fixed, so edge shapes
+    repeat from bit to bit; an :class:`EdgeShape` captures that repeatability
+    as a factory for identical rising/falling edges.
+    """
+
+    KINDS = ("raised_cosine", "erf", "linear")
+
+    def __init__(
+        self,
+        rise_time: float,
+        amplitude: float = 1.0,
+        kind: str = "raised_cosine",
+    ) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        if rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+        self.rise_time = rise_time
+        self.amplitude = amplitude
+        self.kind = kind
+
+    def rising(self, dt: float, settle: float = 0.0) -> Waveform:
+        """Synthesise a rising edge on a grid of spacing ``dt``."""
+        maker = {
+            "raised_cosine": raised_cosine_edge,
+            "erf": erf_edge,
+            "linear": linear_edge,
+        }[self.kind]
+        return maker(self.rise_time, dt, self.amplitude, settle)
+
+    def falling(self, dt: float, settle: float = 0.0) -> Waveform:
+        """Synthesise a falling edge (the mirror of :meth:`rising`)."""
+        rise = self.rising(dt, settle)
+        return Waveform(self.amplitude - rise.samples, rise.dt, rise.t0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EdgeShape(rise_time={self.rise_time:.3g}, "
+            f"amplitude={self.amplitude:.3g}, kind={self.kind!r})"
+        )

@@ -1,0 +1,112 @@
+"""Eye-diagram analysis: the receiver's view of link quality.
+
+DIVOT's transparency claim has a signal-integrity face: the iTDR adds no
+series element to the line, so the *data* eye at the receiver is whatever
+the line itself delivers.  The eye analyzer folds a long data waveform at
+the symbol period and reports the standard openings; the signal-integrity
+test drives NRZ traffic through the lattice's transmission response with
+and without DIVOT attached and shows identical eyes — while a physical
+snooping pod (which *does* load the line) closes the eye measurably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .waveform import Waveform
+
+__all__ = ["EyeMetrics", "eye_metrics", "fold_eye"]
+
+
+@dataclass(frozen=True)
+class EyeMetrics:
+    """Standard eye-diagram figures of merit.
+
+    Attributes:
+        height: Vertical opening at the sampling instant, volts (high rail
+            minimum minus low rail maximum; negative means closed).
+        width_ui: Horizontal opening as a fraction of one unit interval.
+        high_level / low_level: Mean rail voltages at the sampling instant.
+        n_traces: Symbol traces folded into the eye.
+    """
+
+    height: float
+    width_ui: float
+    high_level: float
+    low_level: float
+    n_traces: int
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the receiver can slice this eye at all."""
+        return self.height > 0 and self.width_ui > 0
+
+
+def fold_eye(
+    waveform: Waveform,
+    symbol_time: float,
+    offset_symbols: int = 2,
+) -> np.ndarray:
+    """Fold a waveform at the symbol period: one row per symbol trace.
+
+    ``offset_symbols`` drops the leading symbols (launch transient) before
+    folding.  The returned matrix has one full unit interval per row.
+    """
+    if symbol_time <= 0:
+        raise ValueError("symbol_time must be positive")
+    samples_per_symbol = int(round(symbol_time / waveform.dt))
+    if samples_per_symbol < 4:
+        raise ValueError("need at least 4 samples per symbol to fold")
+    start = offset_symbols * samples_per_symbol
+    usable = (len(waveform) - start) // samples_per_symbol
+    if usable < 2:
+        raise ValueError("waveform too short to fold into an eye")
+    data = waveform.samples[start : start + usable * samples_per_symbol]
+    return data.reshape(usable, samples_per_symbol)
+
+
+def eye_metrics(
+    waveform: Waveform,
+    symbol_time: float,
+    threshold: Optional[float] = None,
+    offset_symbols: int = 2,
+) -> EyeMetrics:
+    """Measure the eye of a folded data waveform.
+
+    Traces are classified high/low by their value at the centre sampling
+    instant against ``threshold`` (default: the waveform's midpoint).  The
+    height is measured at the centre; the width is the span of sampling
+    phases where the high/low populations stay separated.
+    """
+    traces = fold_eye(waveform, symbol_time, offset_symbols)
+    n_traces, n_phase = traces.shape
+    centre = n_phase // 2
+    if threshold is None:
+        threshold = float(
+            (waveform.samples.max() + waveform.samples.min()) / 2.0
+        )
+    at_centre = traces[:, centre]
+    high = traces[at_centre > threshold]
+    low = traces[at_centre <= threshold]
+    if len(high) == 0 or len(low) == 0:
+        return EyeMetrics(
+            height=float("-inf"),
+            width_ui=0.0,
+            high_level=float(at_centre.mean()),
+            low_level=float(at_centre.mean()),
+            n_traces=n_traces,
+        )
+    height = float(high[:, centre].min() - low[:, centre].max())
+    # Width: phases where the worst-case high stays above the worst low.
+    open_phases = high.min(axis=0) > low.max(axis=0)
+    width_ui = float(np.count_nonzero(open_phases)) / n_phase
+    return EyeMetrics(
+        height=height,
+        width_ui=width_ui,
+        high_level=float(high[:, centre].mean()),
+        low_level=float(low[:, centre].mean()),
+        n_traces=n_traces,
+    )

@@ -1,0 +1,70 @@
+"""Small discrete-time filters used across the simulator.
+
+Receivers band-limit what they see; couplers differentiate slow signals;
+post-processing smooths estimated IIP waveforms before similarity scoring.
+All filters operate on :class:`~repro.signals.waveform.Waveform` records and
+preserve grid spacing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .waveform import Waveform
+
+__all__ = [
+    "single_pole_lowpass",
+    "moving_average",
+    "dc_block",
+    "differentiator",
+]
+
+
+def single_pole_lowpass(wave: Waveform, cutoff_hz: float) -> Waveform:
+    """First-order IIR low-pass with 3 dB cutoff at ``cutoff_hz``.
+
+    Models the finite analog bandwidth of a comparator front end.
+    """
+    if cutoff_hz <= 0:
+        raise ValueError("cutoff_hz must be positive")
+    # Bilinear-free simple exponential smoother: alpha from RC = 1/(2*pi*fc).
+    rc = 1.0 / (2.0 * np.pi * cutoff_hz)
+    alpha = wave.dt / (rc + wave.dt)
+    out = np.empty_like(wave.samples)
+    acc = 0.0
+    for i, x in enumerate(wave.samples):
+        acc += alpha * (x - acc)
+        out[i] = acc
+    return Waveform(out, wave.dt, wave.t0)
+
+
+def moving_average(wave: Waveform, window: int) -> Waveform:
+    """Boxcar smoothing over ``window`` samples (centered, edge-padded)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or len(wave) == 0:
+        return wave
+    window = min(window, len(wave))
+    kernel = np.ones(window) / window
+    padded = np.pad(wave.samples, (window // 2, window - 1 - window // 2), mode="edge")
+    out = np.convolve(padded, kernel, mode="valid")
+    return Waveform(out, wave.dt, wave.t0)
+
+
+def dc_block(wave: Waveform) -> Waveform:
+    """Remove the record mean (models AC coupling over the record length)."""
+    if len(wave) == 0:
+        return wave
+    return Waveform(wave.samples - np.mean(wave.samples), wave.dt, wave.t0)
+
+
+def differentiator(wave: Waveform) -> Waveform:
+    """First difference scaled to a time derivative (volts/second).
+
+    A directional coupler responds to the travelling-wave slope; this is the
+    ideal-coupler approximation.
+    """
+    if len(wave) < 2:
+        return Waveform(np.zeros(len(wave)), wave.dt, wave.t0)
+    d = np.diff(wave.samples, prepend=wave.samples[0]) / wave.dt
+    return Waveform(d, wave.dt, wave.t0)

@@ -1,0 +1,184 @@
+"""Line coding: bits to bus waveforms.
+
+Section II-D of the paper notes that any data waveform on a Tx-line is formed
+by switching between discrete voltage levels — two for NRZ, four for PAM4 —
+and that the resulting rising/falling edges are the free probe signals DIVOT
+reuses.  This module turns bit streams into dense analog waveforms with
+realistic edge shaping, and recovers the edge positions a trigger generator
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .edges import EdgeShape
+from .waveform import Waveform
+
+__all__ = ["LineCode", "NRZCode", "PAM4Code", "symbol_edges"]
+
+
+def _levels_to_waveform(
+    levels: np.ndarray,
+    symbol_time: float,
+    dt: float,
+    edge: EdgeShape,
+) -> Waveform:
+    """Render a symbol-level sequence into a dense edge-shaped waveform.
+
+    Each symbol occupies ``symbol_time`` seconds.  Transitions between
+    consecutive levels are shaped with the driver's edge profile; the shape is
+    scaled linearly with the level swing, matching a fixed-slew-profile CMOS
+    output stage.
+    """
+    samples_per_symbol = int(round(symbol_time / dt))
+    if samples_per_symbol < 2:
+        raise ValueError("symbol_time must span at least 2 samples")
+    n = samples_per_symbol * len(levels)
+    out = np.empty(n)
+    # Unit-swing transition profile, truncated/padded to one symbol.
+    profile = edge.rising(dt).samples / edge.amplitude
+    profile = profile[:samples_per_symbol]
+    if len(profile) < samples_per_symbol:
+        profile = np.concatenate(
+            [profile, np.ones(samples_per_symbol - len(profile))]
+        )
+    prev = levels[0]
+    for i, level in enumerate(levels):
+        seg = prev + (level - prev) * profile
+        out[i * samples_per_symbol : (i + 1) * samples_per_symbol] = seg
+        prev = level
+    return Waveform(out, dt)
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """A level transition within a rendered waveform."""
+
+    symbol_index: int
+    time: float
+    from_level: float
+    to_level: float
+
+    @property
+    def rising(self) -> bool:
+        """True when the transition increases the line voltage."""
+        return self.to_level > self.from_level
+
+
+class LineCode:
+    """Base class for line codes mapping bits onto voltage levels."""
+
+    #: Number of bits carried per symbol.
+    bits_per_symbol: int = 1
+
+    def __init__(self, symbol_time: float, edge: EdgeShape) -> None:
+        if symbol_time <= 0:
+            raise ValueError("symbol_time must be positive")
+        self.symbol_time = symbol_time
+        self.edge = edge
+
+    def levels(self, bits: Sequence[int]) -> np.ndarray:
+        """Map a bit sequence to a per-symbol voltage-level sequence."""
+        raise NotImplementedError
+
+    def encode(self, bits: Sequence[int], dt: float) -> Waveform:
+        """Render ``bits`` into a dense waveform on a grid of spacing ``dt``."""
+        levels = self.levels(bits)
+        if len(levels) == 0:
+            return Waveform.zeros(0, dt)
+        return _levels_to_waveform(levels, self.symbol_time, dt, self.edge)
+
+    def transitions(self, bits: Sequence[int]) -> List[_Edge]:
+        """List the level transitions (edges) ``bits`` produce."""
+        levels = self.levels(bits)
+        edges: List[_Edge] = []
+        for i in range(1, len(levels)):
+            if levels[i] != levels[i - 1]:
+                edges.append(
+                    _Edge(
+                        symbol_index=i,
+                        time=i * self.symbol_time,
+                        from_level=float(levels[i - 1]),
+                        to_level=float(levels[i]),
+                    )
+                )
+        return edges
+
+
+class NRZCode(LineCode):
+    """Non-return-to-zero binary signalling: one bit per symbol."""
+
+    bits_per_symbol = 1
+
+    def __init__(
+        self,
+        symbol_time: float,
+        edge: EdgeShape,
+        low: float = 0.0,
+        high: float = 1.0,
+    ) -> None:
+        super().__init__(symbol_time, edge)
+        if high <= low:
+            raise ValueError("high level must exceed low level")
+        self.low = low
+        self.high = high
+
+    def levels(self, bits: Sequence[int]) -> np.ndarray:
+        bits = np.asarray(bits)
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("NRZ bits must be 0 or 1")
+        return np.where(bits > 0, self.high, self.low).astype(float)
+
+
+class PAM4Code(LineCode):
+    """Four-level pulse-amplitude modulation: two bits per symbol.
+
+    Uses Gray mapping (00, 01, 11, 10 → levels 0..3) as real PAM4 links do,
+    so adjacent levels differ by one bit.
+    """
+
+    bits_per_symbol = 2
+    _GRAY = {(0, 0): 0, (0, 1): 1, (1, 1): 2, (1, 0): 3}
+
+    def __init__(
+        self,
+        symbol_time: float,
+        edge: EdgeShape,
+        low: float = 0.0,
+        high: float = 1.0,
+    ) -> None:
+        super().__init__(symbol_time, edge)
+        if high <= low:
+            raise ValueError("high level must exceed low level")
+        self.low = low
+        self.high = high
+
+    def levels(self, bits: Sequence[int]) -> np.ndarray:
+        bits = np.asarray(bits)
+        if bits.size % 2:
+            raise ValueError("PAM4 needs an even number of bits")
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("PAM4 bits must be 0 or 1")
+        pairs = bits.reshape(-1, 2)
+        idx = np.array(
+            [self._GRAY[(int(a), int(b))] for a, b in pairs], dtype=float
+        )
+        return self.low + idx / 3.0 * (self.high - self.low)
+
+
+def symbol_edges(
+    code: LineCode, bits: Sequence[int]
+) -> Tuple[List[_Edge], List[_Edge]]:
+    """Split a bit pattern's transitions into (rising, falling) edge lists.
+
+    The runtime-measurement logic of section II-E gates measurements on one
+    polarity only — mixing both would cancel the reflections.
+    """
+    edges = code.transitions(bits)
+    rising = [e for e in edges if e.rising]
+    falling = [e for e in edges if not e.rising]
+    return rising, falling

@@ -1,0 +1,126 @@
+"""Noise and interference sources.
+
+Two very different random processes matter to DIVOT:
+
+* **Thermal (Gaussian) noise** at the comparator reference input is not an
+  enemy but the very mechanism of analog-to-probability conversion — its CDF
+  is the transfer curve (paper section II-B).
+* **Asynchronous interference** (EMI from nearby circuits, clock crosstalk)
+  is a nuisance that the synchronised averaging of APC is claimed to reject
+  (section IV-C).  We model it so the claim can be tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from .waveform import Waveform
+
+__all__ = [
+    "GaussianNoise",
+    "SinusoidalEMI",
+    "BurstEMI",
+    "CompositeInterference",
+]
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """White Gaussian voltage noise of standard deviation ``sigma`` volts."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, shape, rng: np.random.Generator) -> np.ndarray:
+        """Draw independent noise values of the given shape."""
+        return rng.normal(0.0, self.sigma, size=shape)
+
+    def waveform(self, n: int, dt: float, rng: np.random.Generator) -> Waveform:
+        """A noise record of ``n`` samples."""
+        return Waveform(self.sample(n, rng), dt)
+
+
+class SinusoidalEMI:
+    """A narrowband aggressor (e.g. a nearby clock) coupling into the input.
+
+    The aggressor free-runs: it is *not* synchronised to the bus clock, so
+    each measurement trigger sees it at an unpredictable phase.  ``phase_at``
+    with a uniformly random trigger offset models exactly that.
+    """
+
+    def __init__(
+        self, amplitude: float, frequency: float, phase: float = 0.0
+    ) -> None:
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.amplitude = amplitude
+        self.frequency = frequency
+        self.phase = phase
+
+    def value_at(self, t) -> np.ndarray:
+        """Instantaneous aggressor voltage at absolute time(s) ``t``."""
+        t = np.asarray(t, dtype=float)
+        return self.amplitude * np.sin(
+            2.0 * np.pi * self.frequency * t + self.phase
+        )
+
+    def sample_at_triggers(
+        self,
+        n_triggers: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Voltage seen at ``n_triggers`` asynchronous trigger instants.
+
+        Because the aggressor period is unrelated to the trigger period, the
+        observed phases are effectively uniform — the classic quasi-ergodic
+        sampling argument.  Returned values are i.i.d. ``A*sin(U[0,2pi))``.
+        """
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=n_triggers)
+        return self.amplitude * np.sin(phases)
+
+
+class BurstEMI:
+    """Intermittent wideband bursts (e.g. switching transients).
+
+    Each trigger independently lands inside a burst with probability
+    ``duty``; when it does, the coupled voltage is Gaussian with standard
+    deviation ``amplitude``.
+    """
+
+    def __init__(self, amplitude: float, duty: float) -> None:
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be within [0, 1]")
+        self.amplitude = amplitude
+        self.duty = duty
+
+    def sample_at_triggers(
+        self, n_triggers: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Voltage contribution at each of ``n_triggers`` trigger instants."""
+        hit = rng.random(n_triggers) < self.duty
+        values = rng.normal(0.0, self.amplitude, size=n_triggers)
+        return np.where(hit, values, 0.0)
+
+
+class CompositeInterference:
+    """Sum of several independent interference sources."""
+
+    def __init__(self, sources) -> None:
+        self.sources = list(sources)
+
+    def sample_at_triggers(
+        self, n_triggers: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Total interference voltage at each trigger instant."""
+        total = np.zeros(n_triggers)
+        for src in self.sources:
+            total += src.sample_at_triggers(n_triggers, rng)
+        return total

@@ -1,0 +1,86 @@
+"""Side-stream LFSR scrambling (the PCIe Gen1/2 polynomial).
+
+The other way real links condition their bit streams: instead of 8b/10b's
+table coding (25 % overhead, guaranteed run lengths), a scrambler XORs the
+data with a free-running LFSR sequence — zero overhead, statistically
+balanced, but with only probabilistic run-length bounds.  For DIVOT the
+distinction matters operationally: the trigger supply of a scrambled lane
+matches ideal random data (0.25/bit), while 8b/10b's structure delivers
+measurably more (0.305/bit) — one of this reproduction's measured findings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Scrambler", "scramble_bytes", "descramble_bits"]
+
+#: PCIe Gen1/2 scrambler polynomial x^16 + x^5 + x^4 + x^3 + 1.
+_POLY_TAPS = (16, 5, 4, 3)
+_SEED = 0xFFFF
+
+
+class Scrambler:
+    """A side-stream scrambler: data XOR LFSR keystream.
+
+    Side-stream (not self-synchronising): transmitter and receiver run
+    identical LFSRs from a shared reset state, so descrambling is the same
+    operation as scrambling.
+    """
+
+    def __init__(self, seed: int = _SEED) -> None:
+        if not 0 < seed <= 0xFFFF:
+            raise ValueError("seed must be a non-zero 16-bit value")
+        self.seed = seed
+        self.state = seed
+
+    def reset(self) -> None:
+        """Return to the shared reset state (start of a transmission)."""
+        self.state = self.seed
+
+    def _next_keystream_bit(self) -> int:
+        fb = 0
+        for tap in _POLY_TAPS:
+            fb ^= (self.state >> (tap - 1)) & 1
+        out = (self.state >> 15) & 1
+        self.state = ((self.state << 1) | fb) & 0xFFFF
+        return out
+
+    def process_bits(self, bits: Sequence[int]) -> np.ndarray:
+        """Scramble (or equivalently descramble) a bit sequence."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = np.empty_like(bits)
+        for i, bit in enumerate(bits):
+            out[i] = bit ^ self._next_keystream_bit()
+        return out
+
+    def process_bytes(self, data: Sequence[int]) -> np.ndarray:
+        """Scramble a byte sequence into a bit stream (LSB first)."""
+        bits = []
+        for byte in data:
+            if not 0 <= byte <= 255:
+                raise ValueError(f"byte out of range: {byte}")
+            bits.extend((byte >> k) & 1 for k in range(8))
+        return self.process_bits(np.array(bits, dtype=np.uint8))
+
+
+def scramble_bytes(data: Sequence[int], seed: int = _SEED) -> np.ndarray:
+    """One-shot byte scrambling from the reset state."""
+    return Scrambler(seed).process_bytes(data)
+
+
+def descramble_bits(bits: Sequence[int], seed: int = _SEED) -> list:
+    """One-shot descrambling of a scrambled bit stream back to bytes."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if len(bits) % 8:
+        raise ValueError("bit stream length must be a multiple of 8")
+    clear = Scrambler(seed).process_bits(bits)
+    out = []
+    for i in range(0, len(clear), 8):
+        byte = 0
+        for k in range(8):
+            byte |= int(clear[i + k]) << k
+        out.append(byte)
+    return out

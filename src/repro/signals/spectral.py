@@ -1,0 +1,75 @@
+"""Spectral analysis: bandwidth as the fingerprint's other resolution limit.
+
+Two limits bound what the iTDR can resolve: the ETS grid (11.16 ps) and
+the *probe edge's bandwidth* — a 150 ps edge carries energy only up to a
+couple of GHz, smoothing the reflection profile over ~1 cm of line
+regardless of how finely it is sampled.  These helpers quantify that:
+power spectra, occupied bandwidth, and the classic rise-time/bandwidth
+relation, used by the ETS ablation's interpretation and available to
+library users sizing probe edges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .waveform import Waveform
+
+__all__ = [
+    "power_spectrum",
+    "occupied_bandwidth",
+    "rise_time_to_bandwidth",
+    "bandwidth_to_spatial_resolution",
+]
+
+
+def power_spectrum(waveform: Waveform) -> Tuple[np.ndarray, np.ndarray]:
+    """One-sided periodogram: (frequencies_hz, power_density).
+
+    Plain FFT periodogram of the (mean-removed) record; adequate for the
+    deterministic waveforms this library produces.
+    """
+    n = len(waveform)
+    if n < 2:
+        raise ValueError("need at least 2 samples")
+    x = waveform.samples - np.mean(waveform.samples)
+    spectrum = np.fft.rfft(x)
+    freqs = np.fft.rfftfreq(n, waveform.dt)
+    power = (np.abs(spectrum) ** 2) * waveform.dt / n
+    return freqs, power
+
+
+def occupied_bandwidth(waveform: Waveform, fraction: float = 0.99) -> float:
+    """Frequency below which ``fraction`` of the AC power sits, hertz."""
+    if not 0 < fraction < 1:
+        raise ValueError("fraction must be in (0, 1)")
+    freqs, power = power_spectrum(waveform)
+    total = power.sum()
+    if total == 0:
+        return 0.0
+    cumulative = np.cumsum(power) / total
+    idx = int(np.searchsorted(cumulative, fraction))
+    return float(freqs[min(idx, len(freqs) - 1)])
+
+
+def rise_time_to_bandwidth(rise_time_s: float) -> float:
+    """The classic BW ≈ 0.35 / t_rise (10-90 %) rule, hertz."""
+    if rise_time_s <= 0:
+        raise ValueError("rise_time_s must be positive")
+    return 0.35 / rise_time_s
+
+
+def bandwidth_to_spatial_resolution(
+    bandwidth_hz: float, velocity: float
+) -> float:
+    """Two-point TDR resolution of a band-limited probe, metres (one-way).
+
+    A probe of bandwidth B resolves round-trip features no finer than
+    ~v/(2B) of one-way distance — the limit that makes the probe edge,
+    not the ETS grid, the binding constraint at prototype settings.
+    """
+    if bandwidth_hz <= 0 or velocity <= 0:
+        raise ValueError("bandwidth and velocity must be positive")
+    return velocity / (2.0 * bandwidth_hz)

@@ -1,0 +1,201 @@
+"""Uniformly sampled analog waveforms.
+
+The :class:`Waveform` is the common currency of the simulator: transmission
+lines produce reflected waveforms, the iTDR samples them, attacks perturb
+them.  A waveform is a dense array of voltage samples on a uniform time grid
+with spacing ``dt`` starting at ``t0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Waveform"]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A uniformly sampled voltage waveform.
+
+    Attributes:
+        samples: Voltage samples (volts), one per time step.
+        dt: Sample spacing in seconds.
+        t0: Time of the first sample in seconds.
+    """
+
+    samples: np.ndarray
+    dt: float
+    t0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        samples = np.asarray(self.samples, dtype=float)
+        object.__setattr__(self, "samples", samples)
+        if samples.ndim != 1:
+            raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration(self) -> float:
+        """Total time span covered by the samples, in seconds."""
+        return len(self.samples) * self.dt
+
+    @property
+    def times(self) -> np.ndarray:
+        """Time stamps of every sample, in seconds."""
+        return self.t0 + np.arange(len(self.samples)) * self.dt
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated voltage at time ``t``.
+
+        Values outside the waveform extent clamp to the boundary samples,
+        which models a signal that is quiescent before and after the record.
+        """
+        return float(np.interp(t, self.times, self.samples))
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Waveform") -> None:
+        if not math.isclose(self.dt, other.dt, rel_tol=1e-12):
+            raise ValueError(f"dt mismatch: {self.dt} vs {other.dt}")
+        if len(self) != len(other):
+            raise ValueError(f"length mismatch: {len(self)} vs {len(other)}")
+
+    def __add__(self, other: "Waveform") -> "Waveform":
+        self._check_compatible(other)
+        return Waveform(self.samples + other.samples, self.dt, self.t0)
+
+    def __sub__(self, other: "Waveform") -> "Waveform":
+        self._check_compatible(other)
+        return Waveform(self.samples - other.samples, self.dt, self.t0)
+
+    def scaled(self, gain: float) -> "Waveform":
+        """Return a copy with every sample multiplied by ``gain``."""
+        return Waveform(self.samples * gain, self.dt, self.t0)
+
+    def shifted(self, dv: float) -> "Waveform":
+        """Return a copy with ``dv`` volts added to every sample."""
+        return Waveform(self.samples + dv, self.dt, self.t0)
+
+    def delayed(self, delay: float) -> "Waveform":
+        """Return a copy whose time origin is moved later by ``delay``."""
+        return Waveform(self.samples.copy(), self.dt, self.t0 + delay)
+
+    # ------------------------------------------------------------------
+    # signal statistics
+    # ------------------------------------------------------------------
+    def energy(self) -> float:
+        """Sum of squared samples times dt (volt^2 * seconds)."""
+        return float(np.sum(self.samples**2) * self.dt)
+
+    def rms(self) -> float:
+        """Root-mean-square voltage of the record."""
+        if len(self.samples) == 0:
+            return 0.0
+        return float(np.sqrt(np.mean(self.samples**2)))
+
+    def peak(self) -> float:
+        """Largest absolute sample value."""
+        if len(self.samples) == 0:
+            return 0.0
+        return float(np.max(np.abs(self.samples)))
+
+    def normalized(self) -> "Waveform":
+        """Return a unit-energy copy (L2 norm of samples equals 1).
+
+        An all-zero waveform is returned unchanged: there is no direction to
+        normalise onto, and callers comparing fingerprints treat zero-energy
+        records as degenerate anyway.
+        """
+        norm = float(np.linalg.norm(self.samples))
+        if norm == 0.0:
+            return self
+        return Waveform(self.samples / norm, self.dt, self.t0)
+
+    # ------------------------------------------------------------------
+    # slicing / resampling
+    # ------------------------------------------------------------------
+    def slice_time(self, t_start: float, t_stop: float) -> "Waveform":
+        """Return the samples whose timestamps fall in ``[t_start, t_stop)``."""
+        if t_stop < t_start:
+            raise ValueError("t_stop must not precede t_start")
+        times = self.times
+        mask = (times >= t_start) & (times < t_stop)
+        idx = np.flatnonzero(mask)
+        if len(idx) == 0:
+            return Waveform(np.zeros(0), self.dt, t_start)
+        return Waveform(self.samples[idx], self.dt, float(times[idx[0]]))
+
+    def decimated(self, factor: int, offset: int = 0) -> "Waveform":
+        """Keep every ``factor``-th sample starting at index ``offset``.
+
+        This models real-time sampling of a dense analog record: the analog
+        grid has spacing ``dt`` and the sampler runs at ``dt * factor``.
+        ``offset`` is the sampler phase in analog-grid ticks (the quantity the
+        ETS phase-stepping PLL controls).
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0 <= offset < factor:
+            raise ValueError(f"offset must be in [0, {factor}), got {offset}")
+        return Waveform(
+            self.samples[offset::factor],
+            self.dt * factor,
+            self.t0 + offset * self.dt,
+        )
+
+    def padded(self, n_before: int = 0, n_after: int = 0) -> "Waveform":
+        """Return a copy extended with zeros on either side."""
+        if n_before < 0 or n_after < 0:
+            raise ValueError("padding counts must be non-negative")
+        samples = np.concatenate(
+            [np.zeros(n_before), self.samples, np.zeros(n_after)]
+        )
+        return Waveform(samples, self.dt, self.t0 - n_before * self.dt)
+
+    def convolved_with(self, kernel: "Waveform") -> "Waveform":
+        """Full linear convolution with ``kernel`` (an impulse response).
+
+        The output time origin honours both records' ``t0`` values and the
+        result is scaled by ``dt`` so that convolving with a discrete unit
+        impulse of area 1 (single sample of height ``1/dt``) is the identity.
+        """
+        self._check_compatible_dt(kernel)
+        out = np.convolve(self.samples, kernel.samples) * self.dt
+        return Waveform(out, self.dt, self.t0 + kernel.t0)
+
+    def _check_compatible_dt(self, other: "Waveform") -> None:
+        if not math.isclose(self.dt, other.dt, rel_tol=1e-12):
+            raise ValueError(f"dt mismatch: {self.dt} vs {other.dt}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(n: int, dt: float, t0: float = 0.0) -> "Waveform":
+        """An all-zero waveform of ``n`` samples."""
+        return Waveform(np.zeros(n), dt, t0)
+
+    @staticmethod
+    def constant(value: float, n: int, dt: float, t0: float = 0.0) -> "Waveform":
+        """A waveform holding ``value`` for ``n`` samples."""
+        return Waveform(np.full(n, float(value)), dt, t0)
+
+    @staticmethod
+    def impulse(n: int, dt: float, at_index: int = 0) -> "Waveform":
+        """A discrete unit-area impulse (height ``1/dt`` at ``at_index``)."""
+        if not 0 <= at_index < n:
+            raise ValueError(f"at_index must be in [0, {n})")
+        samples = np.zeros(n)
+        samples[at_index] = 1.0 / dt
+        return Waveform(samples, dt)

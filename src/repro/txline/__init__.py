@@ -1,0 +1,42 @@
+"""Transmission-line physics substrate.
+
+Models the hardware the paper's prototype measures: segmented impedance
+profiles (the IIP fingerprint), time-domain wave propagation with multiple
+reflections, laminate material behaviour, terminations and receiver
+packages, and a manufacturing model that makes fingerprints unclonable.
+"""
+
+from .factory import LineFactory, LineGeometry
+from .line import ProfileModifier, TransmissionLine
+from .materials import FR4, Laminate, propagation_velocity
+from .profile import ImpedanceProfile, correlated_field
+from .propagation import BornEngine, LatticeEngine, reflected_waveform
+from .termination import (
+    MATCHED,
+    OPEN,
+    SHORT,
+    ReceiverPackage,
+    Termination,
+    splice_termination,
+)
+
+__all__ = [
+    "ImpedanceProfile",
+    "correlated_field",
+    "BornEngine",
+    "LatticeEngine",
+    "reflected_waveform",
+    "Laminate",
+    "FR4",
+    "propagation_velocity",
+    "Termination",
+    "MATCHED",
+    "OPEN",
+    "SHORT",
+    "ReceiverPackage",
+    "splice_termination",
+    "TransmissionLine",
+    "ProfileModifier",
+    "LineFactory",
+    "LineGeometry",
+]

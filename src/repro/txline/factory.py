@@ -1,0 +1,158 @@
+"""Manufacturing model: producing Tx-lines with unclonable fingerprints.
+
+The paper's prototype uses six 25 cm traces on a 6-layer custom PCB; their
+IIPs differ because etching, glass weave and copper roughness vary
+uncontrollably.  :class:`LineFactory` reproduces that statistical ensemble —
+same nominal geometry, independent correlated impedance fluctuation per
+line — with an explicit seed standing in for physical identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .line import TransmissionLine
+from .materials import FR4, Laminate
+from .profile import ImpedanceProfile, correlated_field
+from .termination import ReceiverPackage
+
+__all__ = ["LineGeometry", "LineFactory"]
+
+
+@dataclass(frozen=True)
+class LineGeometry:
+    """Nominal geometry of a manufactured trace.
+
+    Attributes:
+        length_m: Board trace length in metres (0.25 m in the prototype).
+        launch_length_m: Connector/launch section length prepended to the
+            trace (FMC connector + coupler on the prototype board).
+        nominal_impedance: Target characteristic impedance, ohms.
+        launch_impedance: Nominal impedance of the launch section; connector
+            transitions rarely match the trace exactly.
+        segment_length_m: Discretisation pitch.  The default 1.674 mm equals
+            the distance light travels on FR-4 in one ETS phase step
+            (11.16 ps * 15 cm/ns), aligning the model with the measurement
+            grid's spatial resolution of ~0.84 mm round-trip.
+        source_impedance: Driver output impedance.
+    """
+
+    length_m: float = 0.25
+    launch_length_m: float = 0.035
+    nominal_impedance: float = 50.0
+    launch_impedance: float = 48.0
+    segment_length_m: float = 1.674e-3
+    source_impedance: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0 or self.segment_length_m <= 0:
+            raise ValueError("lengths must be positive")
+        if self.launch_length_m < 0:
+            raise ValueError("launch length must be non-negative")
+        if min(self.nominal_impedance, self.launch_impedance,
+               self.source_impedance) <= 0:
+            raise ValueError("impedances must be positive")
+
+    @property
+    def n_trace_segments(self) -> int:
+        """Segments in the board trace proper."""
+        return max(1, int(round(self.length_m / self.segment_length_m)))
+
+    @property
+    def n_launch_segments(self) -> int:
+        """Segments in the launch/connector section."""
+        return int(round(self.launch_length_m / self.segment_length_m))
+
+
+@dataclass
+class LineFactory:
+    """Produces statistically independent lines of one nominal design.
+
+    Attributes:
+        geometry: Shared nominal geometry.
+        material: Laminate (sets velocity, loss, thermal behaviour).
+        impedance_sigma: Relative per-segment impedance fluctuation (the IIP
+            strength).  PCB fab impedance control is a few percent; the
+            fine-grained inhomogeneity is ~1 %.
+        correlation_length_m: Spatial correlation of the fluctuation.
+        attach_receiver: Whether manufactured lines get a receiver package
+            (True models a populated bus; False models the paper's bare
+            terminated test traces).
+    """
+
+    geometry: LineGeometry = field(default_factory=LineGeometry)
+    material: Laminate = FR4
+    impedance_sigma: float = 0.010
+    correlation_length_m: float = 5.0e-3
+    attach_receiver: bool = False
+
+    def __post_init__(self) -> None:
+        if self.impedance_sigma < 0:
+            raise ValueError("impedance_sigma must be non-negative")
+        if self.correlation_length_m <= 0:
+            raise ValueError("correlation_length_m must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def segment_delay(self) -> float:
+        """One-way delay of one segment at the reference temperature."""
+        velocity = self.material.velocity_at(self.material.t_ref_c)
+        return self.geometry.segment_length_m / velocity
+
+    def manufacture(self, seed: int, name: Optional[str] = None) -> TransmissionLine:
+        """Fabricate one line; ``seed`` is its physical identity.
+
+        Equal seeds give the identical physical line (a re-measurement);
+        different seeds give independent fingerprints (different traces).
+        """
+        rng = np.random.default_rng(seed)
+        geo = self.geometry
+        n_launch = geo.n_launch_segments
+        n_trace = geo.n_trace_segments
+        corr_segments = max(
+            1, int(round(self.correlation_length_m / geo.segment_length_m))
+        )
+        nominal = np.concatenate(
+            [
+                np.full(n_launch, geo.launch_impedance),
+                np.full(n_trace, geo.nominal_impedance),
+            ]
+        )
+        fluctuation = correlated_field(
+            len(nominal), self.impedance_sigma, corr_segments, rng
+        )
+        z = nominal * (1.0 + fluctuation)
+        tau = np.full(len(nominal), self.segment_delay)
+        loss = float(
+            np.exp(-self.material.attenuation_per_m() * geo.segment_length_m)
+        )
+        profile = ImpedanceProfile(
+            z=z,
+            tau=tau,
+            z_source=geo.source_impedance,
+            z_load=geo.nominal_impedance,
+            loss_per_segment=loss,
+        )
+        receiver = None
+        if self.attach_receiver:
+            receiver = ReceiverPackage(seed=seed).instance_variation()
+        return TransmissionLine(
+            name=name or f"line-{seed}",
+            board_profile=profile,
+            material=self.material,
+            receiver=receiver,
+        )
+
+    def manufacture_batch(
+        self, n: int, first_seed: int = 1
+    ) -> List[TransmissionLine]:
+        """Fabricate ``n`` lines with consecutive seeds."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return [
+            self.manufacture(seed=first_seed + i, name=f"line-{first_seed + i}")
+            for i in range(n)
+        ]

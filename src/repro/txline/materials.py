@@ -1,0 +1,95 @@
+"""PCB laminate material models.
+
+The paper's temperature experiment (Fig. 8) rests on a material fact: the
+dielectric constant (Dk) of PCB laminates rises with temperature [Hinaga et
+al., IPC APEX 2010], which raises trace capacitance and therefore *lowers*
+characteristic impedance while *slowing* propagation.  Crucially the change
+is common-mode — every point of the line shifts together — so the impedance
+*contrast* (the IIP) survives, with only a small differential residue from
+material inhomogeneity.  This module captures those relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Laminate", "FR4", "propagation_velocity"]
+
+#: Speed of light in vacuum, m/s.
+_C0 = 299_792_458.0
+
+
+def propagation_velocity(dk_effective: float) -> float:
+    """Signal velocity on a line with effective dielectric constant ``dk``."""
+    if dk_effective <= 0:
+        raise ValueError("effective Dk must be positive")
+    return _C0 / np.sqrt(dk_effective)
+
+
+@dataclass(frozen=True)
+class Laminate:
+    """A PCB laminate with temperature-dependent dielectric constant.
+
+    Attributes:
+        name: Trade name of the material.
+        dk0: Effective dielectric constant at the reference temperature.
+        tc_dk: Fractional Dk change per kelvin (thermal coefficient).  FR-4
+            class materials sit around +2e-4 /K to +4e-4 /K.
+        t_ref_c: Reference temperature in Celsius for ``dk0``.
+        loss_db_per_m: Insertion loss per metre at the signalling band,
+            used for per-segment attenuation.
+        tc_inhomogeneity: Relative spread of the thermal coefficient from
+            point to point along a trace.  This is the term that slightly
+            degrades a genuine fingerprint when temperature swings: if the
+            whole line shifted perfectly uniformly, the normalised IIP would
+            be exactly invariant.
+    """
+
+    name: str
+    dk0: float
+    tc_dk: float
+    t_ref_c: float = 23.0
+    loss_db_per_m: float = 0.6
+    tc_inhomogeneity: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.dk0 <= 1.0:
+            raise ValueError("dk0 must exceed 1 (vacuum)")
+        if self.loss_db_per_m < 0:
+            raise ValueError("loss must be non-negative")
+        if self.tc_inhomogeneity < 0:
+            raise ValueError("tc_inhomogeneity must be non-negative")
+
+    def dk_at(self, temperature_c: float) -> float:
+        """Effective dielectric constant at ``temperature_c`` degrees C."""
+        return self.dk0 * (1.0 + self.tc_dk * (temperature_c - self.t_ref_c))
+
+    def velocity_at(self, temperature_c: float) -> float:
+        """Propagation velocity (m/s) at the given temperature."""
+        return propagation_velocity(self.dk_at(temperature_c))
+
+    def impedance_scale_at(self, temperature_c: float) -> float:
+        """Common-mode multiplier on characteristic impedance vs. reference.
+
+        Z is proportional to ``1/sqrt(Dk_eff)`` for a microstrip, so a hotter
+        (higher-Dk) board presents a uniformly lower impedance.
+        """
+        return float(np.sqrt(self.dk0 / self.dk_at(temperature_c)))
+
+    def delay_scale_at(self, temperature_c: float) -> float:
+        """Common-mode multiplier on per-length delay vs. reference."""
+        return float(np.sqrt(self.dk_at(temperature_c) / self.dk0))
+
+    def attenuation_per_m(self) -> float:
+        """Amplitude attenuation coefficient per metre (nepers/m)."""
+        return self.loss_db_per_m * np.log(10.0) / 20.0
+
+
+#: The laminate used throughout the prototype experiments.  Velocity at the
+#: reference temperature is ~15 cm/ns, the figure the paper quotes.  The
+#: thermal coefficient is calibrated so the 23->75 C oven swing reproduces
+#: the paper's EER rise (0.06 % -> 0.14 %): ~2.3 % Dk increase over the
+#: swing, consistent with the FR-4 class data of Hinaga et al.
+FR4 = Laminate(name="FR-4", dk0=3.996, tc_dk=4.5e-4)

@@ -1,0 +1,174 @@
+"""Impedance profiles: the IIP as a segmented line model.
+
+A transmission line is discretised into short segments; each segment carries
+a characteristic impedance and a one-way propagation delay.  The per-segment
+impedance fluctuation — etched-width tolerance, glass-weave effect, copper
+roughness — *is* the Impedance Inhomogeneity Pattern the paper exploits as a
+fingerprint.  Manufacturing makes it "unpredictable, uncontrollable, and
+non-reproducible"; here a seeded correlated Gaussian field plays that role,
+with the seed standing in for the physical identity of a specific trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ImpedanceProfile", "correlated_field"]
+
+
+def correlated_field(
+    n: int,
+    sigma: float,
+    correlation_length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A zero-mean Gaussian field with short-range spatial correlation.
+
+    White Gaussian noise smoothed with a Gaussian kernel of width
+    ``correlation_length`` segments, renormalised so the pointwise standard
+    deviation equals ``sigma``.  Physical trace-width variation is smooth at
+    the sub-millimetre scale, which is what the correlation models.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if correlation_length < 1:
+        raise ValueError("correlation_length must be >= 1")
+    white = rng.normal(0.0, 1.0, size=n + 6 * correlation_length)
+    x = np.arange(-3 * correlation_length, 3 * correlation_length + 1)
+    kernel = np.exp(-0.5 * (x / correlation_length) ** 2)
+    kernel /= np.linalg.norm(kernel)
+    smooth = np.convolve(white, kernel, mode="same")
+    smooth = smooth[3 * correlation_length : 3 * correlation_length + n]
+    return sigma * smooth
+
+
+@dataclass(frozen=True)
+class ImpedanceProfile:
+    """Per-segment impedance and delay description of one Tx-line.
+
+    Attributes:
+        z: Characteristic impedance of each segment, ohms, shape ``(S,)``.
+        tau: One-way propagation delay of each segment, seconds, ``(S,)``.
+        z_source: Driver output impedance seen looking back into the source.
+        z_load: Termination impedance at the far end.
+        loss_per_segment: Amplitude attenuation factor applied per one-way
+            segment traversal (1.0 means lossless).
+    """
+
+    z: np.ndarray
+    tau: np.ndarray
+    z_source: float = 50.0
+    z_load: float = 50.0
+    loss_per_segment: float = 1.0
+
+    def __post_init__(self) -> None:
+        z = np.asarray(self.z, dtype=float)
+        tau = np.asarray(self.tau, dtype=float)
+        object.__setattr__(self, "z", z)
+        object.__setattr__(self, "tau", tau)
+        if z.ndim != 1 or tau.ndim != 1:
+            raise ValueError("z and tau must be 1-D")
+        if len(z) != len(tau):
+            raise ValueError("z and tau must have equal length")
+        if len(z) == 0:
+            raise ValueError("profile needs at least one segment")
+        if np.any(z <= 0):
+            raise ValueError("impedances must be positive")
+        if np.any(tau <= 0):
+            raise ValueError("segment delays must be positive")
+        if self.z_source <= 0 or self.z_load <= 0:
+            raise ValueError("source/load impedances must be positive")
+        if not 0 < self.loss_per_segment <= 1.0:
+            raise ValueError("loss_per_segment must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        """Number of segments in the line model."""
+        return len(self.z)
+
+    @property
+    def one_way_delay(self) -> float:
+        """End-to-end one-way propagation delay in seconds."""
+        return float(np.sum(self.tau))
+
+    @property
+    def round_trip_delay(self) -> float:
+        """Source-to-load-and-back delay in seconds — the TDR record span."""
+        return 2.0 * self.one_way_delay
+
+    def reflection_coefficients(self) -> np.ndarray:
+        """Interior interface reflection coefficients, shape ``(S-1,)``.
+
+        Entry ``i`` is the coefficient for a forward wave crossing from
+        segment ``i`` into segment ``i+1``.
+        """
+        return (self.z[1:] - self.z[:-1]) / (self.z[1:] + self.z[:-1])
+
+    def source_reflection(self) -> float:
+        """Reflection coefficient seen by a backward wave hitting the source."""
+        return float(
+            (self.z_source - self.z[0]) / (self.z_source + self.z[0])
+        )
+
+    def load_reflection(self) -> float:
+        """Reflection coefficient seen by a forward wave hitting the load."""
+        return float((self.z_load - self.z[-1]) / (self.z_load + self.z[-1]))
+
+    def launch_coefficient(self) -> float:
+        """Fraction of the source EMF that enters segment 0 (divider ratio)."""
+        return float(self.z[0] / (self.z[0] + self.z_source))
+
+    # ------------------------------------------------------------------
+    # derived profiles
+    # ------------------------------------------------------------------
+    def with_impedance(self, z: np.ndarray) -> "ImpedanceProfile":
+        """A copy with a replacement impedance array (same geometry)."""
+        if len(np.asarray(z)) != self.n_segments:
+            raise ValueError("replacement z must keep the segment count")
+        return replace(self, z=np.asarray(z, dtype=float))
+
+    def with_load(self, z_load: float) -> "ImpedanceProfile":
+        """A copy with a different termination impedance."""
+        return replace(self, z_load=float(z_load))
+
+    def scaled(
+        self,
+        impedance_scale: float = 1.0,
+        delay_scale: float = 1.0,
+        impedance_field: Optional[np.ndarray] = None,
+    ) -> "ImpedanceProfile":
+        """Environmental re-scaling of the whole line.
+
+        ``impedance_scale`` and ``delay_scale`` apply common-mode (the
+        temperature mechanism); ``impedance_field`` optionally applies an
+        extra per-segment multiplicative perturbation ``(1 + field)`` (the
+        differential residue and the vibration mechanism).
+        """
+        if impedance_scale <= 0 or delay_scale <= 0:
+            raise ValueError("scales must be positive")
+        z = self.z * impedance_scale
+        if impedance_field is not None:
+            field = np.asarray(impedance_field, dtype=float)
+            if field.shape != self.z.shape:
+                raise ValueError("impedance_field shape must match z")
+            z = z * (1.0 + field)
+        return replace(
+            self,
+            z=z,
+            tau=self.tau * delay_scale,
+            z_load=self.z_load * impedance_scale,
+        )
+
+    def segment_positions(self, velocity: float) -> np.ndarray:
+        """Physical start position of each segment along the board, metres."""
+        if velocity <= 0:
+            raise ValueError("velocity must be positive")
+        lengths = self.tau * velocity
+        starts = np.concatenate([[0.0], np.cumsum(lengths)[:-1]])
+        return starts

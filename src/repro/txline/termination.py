@@ -1,0 +1,117 @@
+"""Termination and receiver-package models.
+
+What sits at the far end of a bus — the receiver chip's input network — is
+part of the fingerprint.  A load modification (Trojan chip, module swap, the
+receiving end of a cold-boot attack) changes the termination impedance and
+the short package/bond-wire section in front of it, producing the large
+reflection peak at the end of the record that Fig. 9(b,c) shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .profile import ImpedanceProfile
+
+__all__ = ["Termination", "ReceiverPackage", "splice_termination"]
+
+
+@dataclass(frozen=True)
+class Termination:
+    """A lumped resistive termination.
+
+    ``MATCHED`` (50 ohm), ``OPEN`` (very high) and ``SHORT`` (very low) are
+    provided as conventional test conditions.
+    """
+
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError("resistance must be positive")
+
+    def reflection_coefficient(self, z_line: float) -> float:
+        """Reflection coefficient against a line of impedance ``z_line``."""
+        return (self.resistance - z_line) / (self.resistance + z_line)
+
+
+#: Conventional terminations.
+MATCHED = Termination(50.0)
+OPEN = Termination(1e6)
+SHORT = Termination(1e-3)
+
+
+@dataclass(frozen=True)
+class ReceiverPackage:
+    """A receiver chip's electrical front end as seen by the line.
+
+    Attributes:
+        input_resistance: On-die termination resistance, ohms.
+        package_impedance: Characteristic impedance of the short
+            package/bond-wire section, ohms.  Packages are rarely matched to
+            the board; the mismatch is a stable part of the fingerprint.
+        package_delay: One-way electrical delay of the package section,
+            seconds.
+        seed: Identity of this physical chip instance.  Two chips with the
+            same model number still differ slightly — the property the
+            chip-swap experiment (Fig. 9b) relies on.
+    """
+
+    input_resistance: float = 52.0
+    package_impedance: float = 45.0
+    package_delay: float = 60e-12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_resistance <= 0 or self.package_impedance <= 0:
+            raise ValueError("impedances must be positive")
+        if self.package_delay <= 0:
+            raise ValueError("package_delay must be positive")
+
+    def instance_variation(self, spread: float = 0.04) -> "ReceiverPackage":
+        """A unit-to-unit varied copy of this package (same model number).
+
+        ``spread`` is the relative standard deviation of the electrical
+        parameters across manufactured units.
+        """
+        rng = np.random.default_rng(self.seed)
+        return ReceiverPackage(
+            input_resistance=self.input_resistance
+            * (1.0 + spread * rng.standard_normal()),
+            package_impedance=self.package_impedance
+            * (1.0 + spread * rng.standard_normal()),
+            package_delay=self.package_delay
+            * (1.0 + 0.5 * spread * rng.standard_normal()),
+            seed=self.seed,
+        )
+
+
+def splice_termination(
+    profile: ImpedanceProfile,
+    package: Optional[ReceiverPackage],
+    segment_delay: Optional[float] = None,
+) -> ImpedanceProfile:
+    """Attach a receiver package to the end of a board-level profile.
+
+    The package section is appended as extra segments (quantised to the
+    profile's segment delay) and the lumped input resistance becomes the new
+    load.  Passing ``package=None`` returns the profile unchanged.
+    """
+    if package is None:
+        return profile
+    seg_tau = segment_delay or float(np.mean(profile.tau))
+    n_pkg = max(1, int(round(package.package_delay / seg_tau)))
+    z = np.concatenate(
+        [profile.z, np.full(n_pkg, package.package_impedance)]
+    )
+    tau = np.concatenate([profile.tau, np.full(n_pkg, seg_tau)])
+    return ImpedanceProfile(
+        z=z,
+        tau=tau,
+        z_source=profile.z_source,
+        z_load=package.input_resistance,
+        loss_per_segment=profile.loss_per_segment,
+    )

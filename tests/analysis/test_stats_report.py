@@ -1,0 +1,127 @@
+"""Unit tests for the statistics and report-formatting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_histogram, format_series, format_table
+from repro.analysis.stats import (
+    bootstrap_eer,
+    d_prime,
+    det_points,
+    overlap_coefficient,
+)
+
+
+class TestDPrime:
+    def test_known_separation(self, rng):
+        g = rng.normal(1.0, 1.0, 50_000)
+        i = rng.normal(-1.0, 1.0, 50_000)
+        assert d_prime(g, i) == pytest.approx(2.0, abs=0.05)
+
+    def test_identical_is_zero(self, rng):
+        x = rng.normal(0, 1, 10_000)
+        assert abs(d_prime(x, x)) < 1e-12
+
+    def test_zero_variance_infinite(self):
+        assert d_prime(np.ones(10), np.zeros(10)) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            d_prime(np.ones(1), np.zeros(5))
+
+
+class TestOverlap:
+    def test_disjoint_is_zero(self):
+        assert overlap_coefficient(
+            np.linspace(2, 3, 500), np.linspace(0, 1, 500)
+        ) == pytest.approx(0.0, abs=0.01)
+
+    def test_identical_is_one(self, rng):
+        x = rng.normal(0, 1, 5000)
+        assert overlap_coefficient(x, x) == pytest.approx(1.0, abs=0.01)
+
+    def test_partial_overlap(self, rng):
+        g = rng.normal(1, 1, 50_000)
+        i = rng.normal(-1, 1, 50_000)
+        # Two unit Gaussians 2 apart overlap by 2*Phi(-1) ~ 0.317.
+        assert overlap_coefficient(g, i) == pytest.approx(0.317, abs=0.03)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_coefficient(np.zeros(0), np.ones(3))
+
+
+class TestBootstrapEER:
+    def test_interval_contains_point(self, rng):
+        g = rng.normal(1, 1, 2000)
+        i = rng.normal(-1, 1, 2000)
+        result = bootstrap_eer(g, i, n_resamples=60, rng=rng)
+        assert result.low <= result.point <= result.high
+
+    def test_interval_tightens_with_samples(self, rng):
+        g_small = rng.normal(1, 1, 200)
+        i_small = rng.normal(-1, 1, 200)
+        g_big = rng.normal(1, 1, 20_000)
+        i_big = rng.normal(-1, 1, 20_000)
+        small = bootstrap_eer(g_small, i_small, n_resamples=60, rng=rng)
+        big = bootstrap_eer(g_big, i_big, n_resamples=60, rng=rng)
+        assert (big.high - big.low) < (small.high - small.low)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_eer(np.ones(5), np.zeros(5), n_resamples=5, rng=rng)
+        with pytest.raises(ValueError):
+            bootstrap_eer(np.ones(5), np.zeros(5), confidence=0.3, rng=rng)
+
+
+class TestDetPoints:
+    def test_monotone_tradeoff(self, rng):
+        g = rng.normal(1, 1, 50_000)
+        i = rng.normal(-1, 1, 50_000)
+        points = det_points(g, i)
+        fnrs = [fnr for _, fnr in points]
+        # Stricter FPR targets cost more misses.
+        assert fnrs == sorted(fnrs, reverse=True)
+
+    def test_theory_anchor(self, rng):
+        """At FPR 10%, threshold = -1 + 1.2816; FNR = Phi(thr - 1)."""
+        from scipy.special import ndtr
+
+        g = rng.normal(1, 1, 200_000)
+        i = rng.normal(-1, 1, 200_000)
+        points = dict(det_points(g, i, fpr_targets=(0.1,)))
+        expected = float(ndtr((-1 + 1.2816) - 1))
+        assert points[0.1] == pytest.approx(expected, abs=0.01)
+
+    def test_validation(self, rng):
+        g = rng.normal(1, 1, 100)
+        i = rng.normal(-1, 1, 100)
+        with pytest.raises(ValueError):
+            det_points(g, i, fpr_targets=(0.0,))
+        with pytest.raises(ValueError):
+            det_points(np.zeros(0), i)
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yy", 2.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_float_formatting(self):
+        out = format_table(["v"], [[1.0e-9], [12345.678]])
+        assert "1.000e-09" in out
+        assert "12350" in out or "1.235e" in out
+
+    def test_histogram_bins(self):
+        out = format_histogram(np.linspace(0, 1, 100), n_bins=4)
+        assert out.count("\n") == 4 - 1 + 0  # 4 bin rows, no title
+
+    def test_histogram_empty(self):
+        assert "(empty)" in format_histogram(np.zeros(0), title="h")
+
+    def test_series(self):
+        out = format_series("s", [1, 2], [3, 4], x_label="in", y_label="out")
+        assert "in" in out and "out" in out and "s" in out

@@ -1,0 +1,183 @@
+"""Unit tests for the physical attack models."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    Attack,
+    AttackTimeline,
+    CapacitiveSnoop,
+    ChipSwap,
+    ColdBootSwap,
+    LoadModification,
+    MagneticProbe,
+    TimedAttack,
+    WireTap,
+    WireTapResidue,
+)
+
+
+class TestMagneticProbe:
+    def test_raises_local_impedance(self, line):
+        p0 = line.full_profile
+        p = MagneticProbe(0.12).modify(p0)
+        delta = p.z / p0.z - 1.0
+        assert delta.max() > 0  # inductive bump raises Z
+        assert delta.min() >= -1e-12
+
+    def test_bump_centered_at_position(self, line):
+        p0 = line.full_profile
+        probe = MagneticProbe(0.10)
+        p = probe.modify(p0)
+        delta = p.z / p0.z - 1.0
+        starts = p0.segment_positions(probe.velocity)
+        peak_pos = starts[int(np.argmax(delta))]
+        assert abs(peak_pos - 0.10) < 5e-3
+
+    def test_bump_is_localised(self, line):
+        p0 = line.full_profile
+        probe = MagneticProbe(0.12, extent_m=4e-3)
+        delta = probe.modify(p0).z / p0.z - 1.0
+        affected = np.sum(delta > 0.1 * delta.max())
+        assert affected < 12  # a few segments, not the whole line
+
+    def test_location_and_describe(self):
+        probe = MagneticProbe(0.12)
+        assert probe.location_m() == 0.12
+        assert "magnetic-probe" in probe.describe()
+        assert "12.0 cm" in probe.describe()
+
+    def test_mechanism_tag(self):
+        assert MagneticProbe(0.1).mechanisms == {"inductive"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MagneticProbe(0.1, coupling=-0.01)
+        with pytest.raises(ValueError):
+            MagneticProbe(0.1, extent_m=0.0)
+
+
+class TestCapacitiveSnoop:
+    def test_lowers_local_impedance(self, line):
+        p0 = line.full_profile
+        p = CapacitiveSnoop(0.12).modify(p0)
+        delta = p.z / p0.z - 1.0
+        assert delta.min() < 0
+        assert delta.max() <= 1e-12
+
+    def test_mechanism_tag(self):
+        assert CapacitiveSnoop(0.1).mechanisms == {"capacitive"}
+
+
+class TestWireTap:
+    def test_large_local_drop(self, line):
+        p0 = line.full_profile
+        p = WireTap(0.12).modify(p0)
+        delta = p.z / p0.z - 1.0
+        # Parallel 100 ohm on ~50 ohm drops local impedance by ~1/3.
+        assert delta.min() < -0.2
+
+    def test_residue_smaller_than_tap(self, line):
+        p0 = line.full_profile
+        tap = WireTap(0.12)
+        tapped = tap.modify(p0)
+        residue = tap.residue().modify(p0)
+        tap_mag = np.abs(tapped.z / p0.z - 1).max()
+        res_mag = np.abs(residue.z / p0.z - 1).max()
+        assert 0 < res_mag < tap_mag
+
+    def test_residue_nonzero(self, line):
+        """Removal does not restore the fingerprint (paper IV-E)."""
+        p0 = line.full_profile
+        residue = WireTap(0.12).residue().modify(p0)
+        assert not np.allclose(residue.z, p0.z)
+
+    def test_residue_location(self):
+        res = WireTap(0.12).residue()
+        assert isinstance(res, WireTapResidue)
+        assert res.location_m() == 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireTap(0.1, stub_impedance=0.0)
+        with pytest.raises(ValueError):
+            WireTap(0.1, damage=-0.1)
+
+
+class TestLoadAttacks:
+    def test_load_modification_changes_termination(self, populated_line):
+        p0 = populated_line.full_profile
+        p = LoadModification(load_scale=1.2).modify(p0)
+        assert p.z_load == pytest.approx(p0.z_load * 1.2)
+
+    def test_load_modification_touches_trailing_segments_only(
+        self, populated_line
+    ):
+        p0 = populated_line.full_profile
+        p = LoadModification(n_segments=3).modify(p0)
+        assert np.array_equal(p.z[:-3], p0.z[:-3])
+        assert not np.allclose(p.z[-3:], p0.z[-3:])
+
+    def test_chip_swap_changes_load_and_package(self, populated_line):
+        p0 = populated_line.full_profile
+        p = ChipSwap(replacement_seed=55).modify(p0)
+        assert p.z_load != p0.z_load
+        assert not np.allclose(p.z[-3:], p0.z[-3:])
+
+    def test_chip_swap_board_untouched(self, populated_line):
+        p0 = populated_line.full_profile
+        p = ChipSwap(replacement_seed=55).modify(p0)
+        n_board = populated_line.board_profile.n_segments
+        assert np.array_equal(p.z[: n_board - 1], p0.z[: n_board - 1])
+
+    def test_chip_swap_reproducible(self, populated_line):
+        a = ChipSwap(replacement_seed=9).modify(populated_line.full_profile)
+        b = ChipSwap(replacement_seed=9).modify(populated_line.full_profile)
+        assert np.array_equal(a.z, b.z) and a.z_load == b.z_load
+
+    def test_cold_boot_swap_exposes_foreign_line(self, line, other_line):
+        swap = ColdBootSwap(foreign_line=other_line)
+        assert swap.measured_line() is other_line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadModification(load_scale=0.0)
+        with pytest.raises(ValueError):
+            LoadModification(n_segments=0)
+
+
+class TestTimeline:
+    def test_active_window(self):
+        atk = MagneticProbe(0.1)
+        timed = TimedAttack(atk, start_s=1.0, stop_s=2.0)
+        assert not timed.active_at(0.5)
+        assert timed.active_at(1.0)
+        assert timed.active_at(1.99)
+        assert not timed.active_at(2.0)
+
+    def test_open_ended(self):
+        timed = TimedAttack(MagneticProbe(0.1), start_s=1.0)
+        assert timed.active_at(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimedAttack(MagneticProbe(0.1), start_s=-1.0)
+        with pytest.raises(ValueError):
+            TimedAttack(MagneticProbe(0.1), start_s=2.0, stop_s=1.0)
+
+    def test_timeline_chaining_and_query(self):
+        a, b = MagneticProbe(0.05), WireTap(0.2)
+        tl = AttackTimeline().add(a, 1.0).add(b, 5.0, 6.0)
+        assert tl.active_at(0.0) == ()
+        assert tl.active_at(1.5) == (a,)
+        assert tl.active_at(5.5) == (a, b)
+        assert tl.active_at(7.0) == (a,)
+
+    def test_first_onset(self):
+        tl = AttackTimeline().add(MagneticProbe(0.1), 3.0).add(WireTap(0.2), 1.5)
+        assert tl.first_onset() == 1.5
+        assert AttackTimeline().first_onset() is None
+
+    def test_base_attack_abstract(self, line):
+        with pytest.raises(NotImplementedError):
+            Attack().modify(line.full_profile)

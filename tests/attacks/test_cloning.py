@@ -1,0 +1,91 @@
+"""Unit tests for the IIP cloning attacker."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cloning import (
+    COMMERCIAL,
+    HOBBYIST,
+    STATE_OF_THE_ART,
+    CloningAttacker,
+    FabCapability,
+)
+
+
+class TestFabCapability:
+    def test_tiers_ordered_by_capability(self):
+        assert (
+            HOBBYIST.patterning_resolution_m
+            > COMMERCIAL.patterning_resolution_m
+            > STATE_OF_THE_ART.patterning_resolution_m
+        )
+        assert HOBBYIST.process_sigma >= COMMERCIAL.process_sigma
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabCapability("x", patterning_resolution_m=0.0,
+                          process_sigma=0.01, impedance_accuracy=0.01)
+        with pytest.raises(ValueError):
+            FabCapability("x", patterning_resolution_m=1e-3,
+                          process_sigma=-0.01, impedance_accuracy=0.01)
+
+
+class TestCommandedProfile:
+    def test_boxcar_preserves_mean(self, line):
+        attacker = CloningAttacker(COMMERCIAL, np.random.default_rng(0))
+        profile = line.full_profile
+        velocity = line.material.velocity_at(line.material.t_ref_c)
+        commanded = attacker.commanded_profile(profile, velocity)
+        assert commanded.mean() == pytest.approx(profile.z.mean(), rel=1e-6)
+
+    def test_finer_patterning_tracks_target_better(self, line):
+        profile = line.full_profile
+        velocity = line.material.velocity_at(line.material.t_ref_c)
+        coarse = CloningAttacker(HOBBYIST, np.random.default_rng(0))
+        fine = CloningAttacker(STATE_OF_THE_ART, np.random.default_rng(0))
+        err_coarse = np.abs(
+            coarse.commanded_profile(profile, velocity) - profile.z
+        ).mean()
+        err_fine = np.abs(
+            fine.commanded_profile(profile, velocity) - profile.z
+        ).mean()
+        assert err_fine < err_coarse
+
+
+class TestFabricate:
+    def test_clone_same_geometry(self, line):
+        attacker = CloningAttacker(COMMERCIAL, np.random.default_rng(0))
+        clone = attacker.fabricate(line)
+        assert clone.board_profile.n_segments == line.full_profile.n_segments
+        assert np.allclose(
+            clone.board_profile.tau, line.full_profile.tau, rtol=1e-12, atol=0
+        )
+
+    def test_clone_differs_from_target(self, line):
+        attacker = CloningAttacker(COMMERCIAL, np.random.default_rng(0))
+        clone = attacker.fabricate(line)
+        assert not np.allclose(
+            clone.board_profile.z, line.full_profile.z, rtol=1e-4, atol=0
+        )
+
+    def test_clones_differ_from_each_other(self, line):
+        """The attacker's own process noise is fresh per attempt."""
+        attacker = CloningAttacker(COMMERCIAL, np.random.default_rng(0))
+        a = attacker.fabricate(line)
+        b = attacker.fabricate(line)
+        assert not np.allclose(a.board_profile.z, b.board_profile.z)
+
+    def test_better_fab_closer_clone(self, line):
+        """Fabrication quality monotonically improves the clone's fidelity."""
+        errors = []
+        for tier in (HOBBYIST, COMMERCIAL, STATE_OF_THE_ART):
+            attacker = CloningAttacker(tier, np.random.default_rng(1))
+            clones = [attacker.fabricate(line) for _ in range(6)]
+            err = np.mean(
+                [
+                    np.std(c.board_profile.z / line.full_profile.z - 1.0)
+                    for c in clones
+                ]
+            )
+            errors.append(err)
+        assert errors[0] > errors[1] > errors[2]

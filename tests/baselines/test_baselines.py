@@ -1,0 +1,153 @@
+"""Unit tests for the prior-art countermeasure models."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CapacitiveSnoop, ChipSwap, MagneticProbe, WireTap
+from repro.baselines import (
+    DCResistanceMonitor,
+    InputImpedancePUF,
+    ProbeAttemptDetector,
+    VNAIIPReader,
+)
+
+
+class TestBaseProtocol:
+    def test_deviation_before_enroll_raises(self, line):
+        det = ProbeAttemptDetector(rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            det.deviation(line)
+
+    def test_noise_floor_positive(self, line):
+        det = ProbeAttemptDetector(rng=np.random.default_rng(0))
+        det.enroll(line)
+        assert det.noise_floor(line) > 0
+
+    def test_detects_threshold_validation(self, line):
+        det = ProbeAttemptDetector(rng=np.random.default_rng(0))
+        det.enroll(line)
+        with pytest.raises(ValueError):
+            det.detects(line, [], threshold=0.0)
+
+    def test_enroll_validation(self, line):
+        det = ProbeAttemptDetector(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            det.enroll(line, n_measurements=0)
+
+
+class TestPAD:
+    @pytest.fixture
+    def pad(self, line):
+        det = ProbeAttemptDetector(rng=np.random.default_rng(1))
+        det.enroll(line)
+        return det
+
+    def test_blind_to_magnetic_probe(self, pad, line):
+        """Inductive-only perturbation leaves capacitance untouched."""
+        floor = pad.noise_floor(line, 24)
+        assert pad.deviation(line, [MagneticProbe(0.12)]) < 3 * floor
+
+    def test_sees_capacitive_snoop(self, pad, line):
+        floor = pad.noise_floor(line, 24)
+        assert pad.deviation(line, [CapacitiveSnoop(0.12)]) > 3 * floor
+
+    def test_sees_wiretap(self, pad, line):
+        floor = pad.noise_floor(line, 24)
+        assert pad.deviation(line, [WireTap(0.12)]) > 3 * floor
+
+    def test_not_concurrent(self):
+        assert not ProbeAttemptDetector.traits.concurrent_with_data
+
+    def test_ro_frequency_drops_with_capacitance(self, line):
+        det = ProbeAttemptDetector(rng=np.random.default_rng(2))
+        f_clean = det.observable(line)[0]
+        f_loaded = det.observable(line, [CapacitiveSnoop(0.12, loading=0.3)])[0]
+        assert f_loaded < f_clean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeAttemptDetector(f0_hz=0.0)
+
+
+class TestDCResistance:
+    @pytest.fixture
+    def dc(self, populated_line):
+        det = DCResistanceMonitor(rng=np.random.default_rng(1))
+        det.enroll(populated_line)
+        return det
+
+    def test_blind_to_magnetic_probe(self, dc, populated_line):
+        floor = dc.noise_floor(populated_line, 24)
+        assert dc.deviation(populated_line, [MagneticProbe(0.12)]) < 3 * floor
+
+    def test_blind_to_capacitive_snoop(self, dc, populated_line):
+        floor = dc.noise_floor(populated_line, 24)
+        assert (
+            dc.deviation(populated_line, [CapacitiveSnoop(0.12)]) < 3 * floor
+        )
+
+    def test_sees_wiretap(self, dc, populated_line):
+        floor = dc.noise_floor(populated_line, 24)
+        assert dc.deviation(populated_line, [WireTap(0.12)]) > 3 * floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DCResistanceMonitor(copper_ohm_per_m=0.0)
+
+
+class TestInputImpedancePUF:
+    def test_identifies_boards(self, factory):
+        lines = factory.manufacture_batch(5)
+        puf = InputImpedancePUF(rng=np.random.default_rng(1))
+        correct = 0
+        for i, line in enumerate(lines):
+            observed = puf.measure(line)
+            if puf.identify(lines, observed) == i:
+                correct += 1
+        # The paper criticises this PUF's "low identification performance"
+        # relative to waveform-grade fingerprints: a few scalar moments sit
+        # close together across boards, so occasional confusion is the
+        # faithful behaviour.
+        assert correct >= 3
+
+    def test_cannot_localise(self, line):
+        """Feature is 4 moments: no positional information exists."""
+        puf = InputImpedancePUF(rng=np.random.default_rng(1))
+        assert len(puf.observable(line)) == 4
+
+    def test_not_runtime(self):
+        assert not InputImpedancePUF.traits.runtime_capable
+
+    def test_identify_empty_rejected(self, line):
+        puf = InputImpedancePUF()
+        with pytest.raises(ValueError):
+            puf.identify([], np.zeros(4))
+
+
+class TestVNAReader:
+    def test_same_line_high_similarity(self, line):
+        vna = VNAIIPReader(rng=np.random.default_rng(1))
+        assert vna.similarity(line, line) > 0.95
+
+    def test_different_lines_low_similarity(self, line, other_line):
+        vna = VNAIIPReader(rng=np.random.default_rng(1))
+        # Different lines share nominal structure (launch step, load echo),
+        # so impostor similarity sits well below genuine but above 1/2.
+        assert vna.similarity(line, other_line) < 0.95
+
+    def test_sees_every_attack(self, line):
+        vna = VNAIIPReader(rng=np.random.default_rng(1))
+        vna.enroll(line)
+        floor = vna.noise_floor(line, 24)
+        for attack in [
+            MagneticProbe(0.12),
+            CapacitiveSnoop(0.12),
+            WireTap(0.12),
+        ]:
+            assert vna.deviation(line, [attack]) > 3 * floor
+
+    def test_expensive_and_offline(self):
+        traits = VNAIIPReader.traits
+        assert not traits.concurrent_with_data
+        assert not traits.integrated
+        assert traits.relative_cost > 50

@@ -1,0 +1,122 @@
+"""Unit tests for analog-to-probability conversion (paper Eq. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.apc import APCConverter, MixtureCdfInverter, apc_sensitivity
+from repro.core.comparator import Comparator
+
+SIGMA = 2e-3
+
+
+@pytest.fixture
+def apc():
+    return APCConverter(Comparator(noise_sigma=SIGMA), v_ref=0.0)
+
+
+class TestMixtureCdfInverter:
+    def test_forward_is_gaussian_cdf_for_single_level(self):
+        inv = MixtureCdfInverter([0.0], SIGMA)
+        assert inv.forward(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert inv.forward(np.array([SIGMA]))[0] == pytest.approx(0.8413, abs=1e-3)
+
+    def test_forward_monotone(self):
+        inv = MixtureCdfInverter([-SIGMA, 0.0, SIGMA], SIGMA)
+        v = np.linspace(-5 * SIGMA, 5 * SIGMA, 200)
+        p = inv.forward(v)
+        assert np.all(np.diff(p) > 0)
+
+    def test_roundtrip_accuracy(self):
+        inv = MixtureCdfInverter([0.0], SIGMA)
+        v = np.linspace(-2 * SIGMA, 2 * SIGMA, 31)
+        assert np.allclose(inv.invert(inv.forward(v)), v, atol=SIGMA / 40)
+
+    def test_invert_clips_extreme_probabilities(self):
+        inv = MixtureCdfInverter([0.0], SIGMA)
+        assert np.isfinite(inv.invert(np.array([0.0, 1.0]))).all()
+
+    def test_single_level_linear_window_is_two_sigma(self):
+        inv = MixtureCdfInverter([0.0], SIGMA)
+        lo, hi = inv.linear_window()
+        assert hi - lo == pytest.approx(4 * SIGMA, rel=0.25)
+
+    def test_multi_level_window_wider(self):
+        single = MixtureCdfInverter([0.0], SIGMA)
+        multi = MixtureCdfInverter(
+            [-4 * SIGMA, -2 * SIGMA, 0, 2 * SIGMA, 4 * SIGMA], SIGMA
+        )
+        s_lo, s_hi = single.linear_window()
+        m_lo, m_hi = multi.linear_window()
+        assert (m_hi - m_lo) > 2 * (s_hi - s_lo)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixtureCdfInverter([], SIGMA)
+        with pytest.raises(ValueError):
+            MixtureCdfInverter([0.0], 0.0)
+
+
+class TestAPCConverter:
+    def test_estimate_unbiased_at_reference(self, apc, rng):
+        est = apc.estimate_voltage(np.zeros(2000), 256, rng)
+        assert abs(est.mean()) < SIGMA / 20
+
+    def test_estimate_tracks_signal_in_window(self, apc, rng):
+        v = np.linspace(-1.5 * SIGMA, 1.5 * SIGMA, 200)
+        est = apc.estimate_voltage(v, 4096, rng)
+        assert np.max(np.abs(est - v)) < SIGMA / 4
+
+    def test_estimate_saturates_outside_window(self, apc, rng):
+        """The dynamic-range limit PDM exists to fix."""
+        v = np.full(100, 10 * SIGMA)
+        est = apc.estimate_voltage(v, 256, rng)
+        assert np.all(est < 8 * SIGMA)
+
+    def test_more_repetitions_reduce_noise(self, apc):
+        v = np.full(500, 0.5 * SIGMA)
+        few = apc.estimate_voltage(v, 16, np.random.default_rng(0))
+        many = apc.estimate_voltage(v, 1024, np.random.default_rng(0))
+        assert many.std() < 0.5 * few.std()
+
+    def test_measure_probability_range(self, apc, rng):
+        p = apc.measure_probability(np.zeros(100), 32, rng)
+        assert np.all((0 <= p) & (p <= 1))
+
+    def test_repetitions_validated(self, apc, rng):
+        with pytest.raises(ValueError):
+            apc.measure_probability(np.zeros(3), 0, rng)
+
+    def test_dynamic_range_positive(self, apc):
+        assert apc.dynamic_range > 0
+
+    def test_expected_estimate_std_delta_method(self, apc):
+        """Predicted std matches Monte Carlo within ~20 %."""
+        r = 256
+        predicted = apc.expected_estimate_std(0.0, r)
+        rng = np.random.default_rng(0)
+        est = apc.estimate_voltage(np.zeros(4000), r, rng)
+        assert est.std() == pytest.approx(predicted, rel=0.2)
+
+    def test_expected_estimate_std_grows_off_center(self, apc):
+        assert apc.expected_estimate_std(1.5 * SIGMA, 64) > apc.expected_estimate_std(
+            0.0, 64
+        )
+
+
+class TestSensitivity:
+    def test_peak_at_reference(self):
+        v = np.linspace(-3 * SIGMA, 3 * SIGMA, 301)
+        s = apc_sensitivity(v, 0.0, SIGMA)
+        assert v[np.argmax(s)] == pytest.approx(0.0, abs=SIGMA / 10)
+
+    def test_gaussian_peak_value(self):
+        s0 = apc_sensitivity(0.0, 0.0, SIGMA)
+        assert s0 == pytest.approx(1.0 / (SIGMA * np.sqrt(2 * np.pi)))
+
+    def test_two_sigma_drop(self):
+        """At 2 sigma the sensitivity falls to ~13.5 % of peak — the
+        paper's working-range argument."""
+        ratio = apc_sensitivity(2 * SIGMA, 0.0, SIGMA) / apc_sensitivity(
+            0.0, 0.0, SIGMA
+        )
+        assert ratio == pytest.approx(np.exp(-2.0), rel=1e-6)

@@ -1,0 +1,113 @@
+"""Unit tests for the noisy comparator (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+from scipy.special import ndtr
+
+from repro.core.comparator import Comparator
+
+
+class TestProbabilityLaw:
+    def test_equal_inputs_give_half(self):
+        c = Comparator(noise_sigma=1e-3)
+        assert c.probability_of_one(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_matches_gaussian_cdf(self):
+        c = Comparator(noise_sigma=2e-3)
+        v = np.linspace(-6e-3, 6e-3, 13)
+        expected = ndtr(v / 2e-3)
+        assert np.allclose(c.probability_of_one(v, 0.0), expected)
+
+    def test_offset_shifts_curve(self):
+        c = Comparator(noise_sigma=1e-3, offset=1e-3)
+        assert c.probability_of_one(1e-3, 0.0) == pytest.approx(0.5)
+
+    def test_monotone_in_signal(self):
+        c = Comparator(noise_sigma=1e-3)
+        v = np.linspace(-5e-3, 5e-3, 100)
+        p = c.probability_of_one(v, 0.0)
+        assert np.all(np.diff(p) > 0)
+
+    def test_zero_noise_rejected(self):
+        """No noise, no APC — the docstring's point, enforced."""
+        with pytest.raises(ValueError):
+            Comparator(noise_sigma=0.0)
+
+
+class TestSampling:
+    def test_decide_statistics(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        decisions = c.decide(np.full(100_000, 0.5e-3), 0.0, rng)
+        expected = float(ndtr(0.5))
+        assert decisions.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_count_ones_binomial_mean(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        counts = c.count_ones(np.zeros(10_000), 0.0, 100, rng)
+        assert counts.mean() == pytest.approx(50.0, rel=0.02)
+        assert counts.std() == pytest.approx(5.0, rel=0.1)
+
+    def test_count_ones_bounds(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        counts = c.count_ones(np.zeros(1000), 0.0, 16, rng)
+        assert counts.min() >= 0 and counts.max() <= 16
+
+    def test_count_zero_trials(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        assert np.all(c.count_ones(np.zeros(5), 0.0, 0, rng) == 0)
+
+    def test_negative_trials_rejected(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        with pytest.raises(ValueError):
+            c.count_ones(0.0, 0.0, -1, rng)
+
+    def test_deterministic_extremes(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        high = c.count_ones(np.full(10, 1.0), 0.0, 50, rng)
+        low = c.count_ones(np.full(10, -1.0), 0.0, 50, rng)
+        assert np.all(high == 50)
+        assert np.all(low == 0)
+
+
+class TestInterference:
+    def test_none_falls_back_to_binomial(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        counts = c.count_ones_with_interference(
+            np.zeros(100), 0.0, 50, rng, interference_trials=None
+        )
+        assert counts.mean() == pytest.approx(25.0, rel=0.1)
+
+    def test_shape_validation(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        with pytest.raises(ValueError):
+            c.count_ones_with_interference(
+                np.zeros(4), 0.0, 8, rng, interference_trials=np.zeros((4, 7))
+            )
+
+    def test_constant_interference_shifts_counts(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        emi = np.full((500, 64), 1e-3)  # +1 sigma on every trial
+        counts = c.count_ones_with_interference(
+            np.zeros(500), 0.0, 64, rng, interference_trials=emi
+        )
+        expected = float(ndtr(1.0))
+        assert counts.mean() / 64 == pytest.approx(expected, abs=0.01)
+
+    def test_zero_mean_interference_cancels_on_average(self, rng):
+        c = Comparator(noise_sigma=1e-3)
+        emi = rng.normal(0, 0.2e-3, size=(500, 64))
+        counts = c.count_ones_with_interference(
+            np.zeros(500), 0.0, 64, rng, interference_trials=emi
+        )
+        assert counts.mean() / 64 == pytest.approx(0.5, abs=0.02)
+
+    def test_per_trial_reference_broadcast(self, rng):
+        """PDM-style (N, R) reference arrays broadcast correctly."""
+        c = Comparator(noise_sigma=1e-3)
+        refs = np.tile(np.array([-1e-2, 1e-2] * 8), (10, 1))  # (10, 16)
+        counts = c.count_ones_with_interference(
+            np.zeros(10), refs, 16, rng, interference_trials=np.zeros((10, 16))
+        )
+        # Half the trials compare against -10 sigma (always 1), half
+        # against +10 sigma (never 1).
+        assert np.all(counts == 8)

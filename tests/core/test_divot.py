@@ -1,0 +1,142 @@
+"""Unit tests for the DIVOT endpoint/channel state machines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import WireTap
+from repro.core.auth import Authenticator
+from repro.core.config import prototype_itdr
+from repro.core.divot import (
+    Action,
+    DivotChannel,
+    DivotEndpoint,
+    EndpointState,
+)
+from repro.core.tamper import TamperDetector
+from repro.txline.materials import FR4
+
+
+def make_endpoint(name="ep", seed=0, threshold=0.85, tamper_threshold=3e-3,
+                  captures_per_check=8):
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    return DivotEndpoint(
+        name,
+        itdr,
+        Authenticator(threshold=threshold),
+        TamperDetector(
+            threshold=tamper_threshold,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=7,
+            alignment_offset_s=itdr.probe_edge().duration,
+        ),
+        captures_per_check=captures_per_check,
+    )
+
+
+class TestEndpointLifecycle:
+    def test_starts_uncalibrated(self):
+        ep = make_endpoint()
+        assert ep.state is EndpointState.UNCALIBRATED
+
+    def test_monitor_before_calibrate_raises(self, line):
+        with pytest.raises(RuntimeError):
+            make_endpoint().monitor_capture(line)
+
+    def test_calibrate_enrolls_and_monitors(self, line):
+        ep = make_endpoint()
+        fp = ep.calibrate(line, n_captures=4)
+        assert ep.state is EndpointState.MONITORING
+        assert fp.name == line.name
+        assert line.name in ep.rom
+
+    def test_calibrate_validation(self, line):
+        with pytest.raises(ValueError):
+            make_endpoint().calibrate(line, n_captures=0)
+
+    def test_captures_per_check_validation(self):
+        with pytest.raises(ValueError):
+            make_endpoint(captures_per_check=0)
+
+
+class TestMonitoring:
+    def test_clean_monitoring_proceeds(self, line):
+        ep = make_endpoint()
+        ep.calibrate(line)
+        result = ep.monitor_capture(line)
+        assert result.action is Action.PROCEED
+        assert not ep.is_blocked
+        assert ep.alert_log == []
+
+    def test_foreign_line_blocks(self, line, other_line):
+        ep = make_endpoint()
+        ep.calibrate(line)
+        foreign = type(other_line)(
+            name=line.name,
+            board_profile=other_line.board_profile,
+            material=other_line.material,
+        )
+        result = ep.monitor_capture(foreign)
+        assert result.action is Action.BLOCK
+        assert ep.is_blocked
+        assert len(ep.alert_log) == 1
+
+    def test_recovery_after_block(self, line, other_line):
+        ep = make_endpoint()
+        ep.calibrate(line)
+        foreign = type(other_line)(
+            name=line.name,
+            board_profile=other_line.board_profile,
+            material=other_line.material,
+        )
+        ep.monitor_capture(foreign)
+        assert ep.is_blocked
+        result = ep.monitor_capture(line)
+        assert result.action is Action.PROCEED
+        assert not ep.is_blocked
+
+    def test_tamper_alerts_without_blocking(self, line):
+        ep = make_endpoint(tamper_threshold=2e-3, threshold=0.5)
+        ep.calibrate(line)
+        result = ep.monitor_capture(line, modifiers=[WireTap(0.12)])
+        assert result.action is Action.ALERT
+        assert result.tamper.tampered
+        assert not ep.is_blocked
+
+
+class TestChannel:
+    def test_two_way_calibration_and_clean_step(self, line):
+        channel = DivotChannel(
+            line, make_endpoint("master", 1), make_endpoint("slave", 2)
+        )
+        channel.calibrate(n_captures=4)
+        result = channel.step()
+        assert result.data_allowed
+        assert result.master.action is Action.PROCEED
+        assert result.slave.action is Action.PROCEED
+
+    def test_slave_override_blocks_data(self, line, other_line):
+        channel = DivotChannel(
+            line, make_endpoint("master", 1), make_endpoint("slave", 2)
+        )
+        channel.calibrate(n_captures=4)
+        result = channel.step(slave_line_override=other_line)
+        assert result.slave.action is Action.BLOCK
+        assert not result.data_allowed
+
+    def test_master_override_blocks_data(self, line, other_line):
+        channel = DivotChannel(
+            line, make_endpoint("master", 1), make_endpoint("slave", 2)
+        )
+        channel.calibrate(n_captures=4)
+        result = channel.step(line_override=other_line)
+        assert result.master.action is Action.BLOCK
+        assert not result.data_allowed
+
+    def test_override_keeps_enrolled_name(self, line, other_line):
+        """The attacker cannot dodge the check by renaming hardware."""
+        channel = DivotChannel(
+            line, make_endpoint("master", 1), make_endpoint("slave", 2)
+        )
+        channel.calibrate(n_captures=4)
+        result = channel.step(slave_line_override=other_line)
+        assert result.slave.capture.line_name == line.name

@@ -1,0 +1,118 @@
+"""Unit tests for equivalent time sampling and the trigger generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.ets import ETSSampler, PhaseSteppingPLL
+from repro.core.trigger import TriggerGenerator, trigger_rate
+from repro.signals.waveform import Waveform
+
+
+class TestPhaseSteppingPLL:
+    def test_prototype_numbers(self):
+        pll = PhaseSteppingPLL()
+        assert pll.clock_period == pytest.approx(6.4e-9)
+        assert pll.equivalent_sample_rate > 80e9
+        assert pll.steps_per_period == 574
+
+    def test_spatial_resolution_paper_value(self):
+        """15 cm/ns and 11.16 ps give ~0.837 mm (paper II-D)."""
+        pll = PhaseSteppingPLL()
+        assert pll.spatial_resolution(15e7) == pytest.approx(0.837e-3, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSteppingPLL(clock_frequency=0.0)
+        with pytest.raises(ValueError):
+            PhaseSteppingPLL(phase_step=0.0)
+        with pytest.raises(ValueError):
+            PhaseSteppingPLL().spatial_resolution(0.0)
+
+
+class TestETSSampler:
+    def make(self, n_phases=4):
+        pll = PhaseSteppingPLL(clock_frequency=1.0 / (n_phases * 1e-12),
+                               phase_step=1e-12)
+        return ETSSampler(pll, n_phases=n_phases)
+
+    def test_acquire_interleave_roundtrip(self):
+        sampler = self.make(4)
+        analog = Waveform(np.arange(21, dtype=float), dt=1e-12)
+        rebuilt = sampler.interleave(sampler.acquire(analog))
+        n = len(analog)
+        assert np.array_equal(rebuilt.samples[:n], analog.samples)
+
+    def test_realtime_record_is_strided_view(self):
+        sampler = self.make(4)
+        analog = Waveform(np.arange(12, dtype=float), dt=1e-12)
+        rec = sampler.realtime_record(analog, 2)
+        assert np.array_equal(rec.samples, [2.0, 6.0, 10.0])
+
+    def test_phase_index_bounds(self):
+        sampler = self.make(4)
+        analog = Waveform(np.arange(8, dtype=float), dt=1e-12)
+        with pytest.raises(ValueError):
+            sampler.realtime_record(analog, 4)
+
+    def test_wrong_grid_rejected(self):
+        sampler = self.make(4)
+        analog = Waveform(np.arange(8, dtype=float), dt=2e-12)
+        with pytest.raises(ValueError):
+            sampler.realtime_record(analog, 0)
+
+    def test_interleave_count_check(self):
+        sampler = self.make(4)
+        analog = Waveform(np.arange(8, dtype=float), dt=1e-12)
+        with pytest.raises(ValueError):
+            sampler.interleave(sampler.acquire(analog)[:2])
+
+    def test_measurement_passes(self):
+        sampler = self.make(8)
+        assert sampler.measurement_passes(3) == 3
+        assert sampler.measurement_passes(100) == 8
+        with pytest.raises(ValueError):
+            sampler.measurement_passes(0)
+
+
+class TestTriggerGenerator:
+    def test_pattern_positions(self):
+        trig = TriggerGenerator(pattern=(1, 0))
+        idx = trig.trigger_indices([1, 0, 0, 1, 0, 1, 1, 0])
+        assert list(idx) == [1, 4, 7]
+
+    def test_rising_pattern(self):
+        trig = TriggerGenerator(pattern=(0, 1))
+        idx = trig.trigger_indices([1, 0, 0, 1, 0, 1])
+        assert list(idx) == [3, 5]
+
+    def test_clock_lane_every_cycle(self):
+        trig = TriggerGenerator(clock_lane=True)
+        assert trig.count_triggers([0] * 10) == 10
+
+    def test_short_stream(self):
+        trig = TriggerGenerator()
+        assert trig.count_triggers([1]) == 0
+
+    def test_expected_rate_random_data(self):
+        trig = TriggerGenerator()
+        assert trig.expected_rate(1e9) == pytest.approx(0.25e9)
+
+    def test_expected_rate_clock_lane(self):
+        assert trigger_rate(1e9, clock_lane=True) == pytest.approx(1e9)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            TriggerGenerator().expected_rate(0.0)
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            TriggerGenerator(pattern=(1, 2))
+        with pytest.raises(ValueError):
+            TriggerGenerator(pattern=(1, 0, 1))
+
+    def test_prbs_rate_matches_expectation(self):
+        from repro.signals.prbs import prbs_bits
+
+        bits = prbs_bits(15, 2**15 - 1)
+        rate = TriggerGenerator().count_triggers(bits) / len(bits)
+        assert rate == pytest.approx(0.25, abs=0.01)

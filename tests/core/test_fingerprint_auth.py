@@ -1,0 +1,197 @@
+"""Unit tests for fingerprints, ROM storage, and authentication math."""
+
+import numpy as np
+import pytest
+
+from repro.core.auth import (
+    Authenticator,
+    capture_similarity,
+    equal_error_rate,
+    error_function,
+    roc_curve,
+    similarity,
+)
+from repro.core.fingerprint import Fingerprint, FingerprintROM
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        x = np.sin(np.linspace(0, 10, 100))
+        assert similarity(x, x) == pytest.approx(1.0)
+
+    def test_negated_is_zero(self):
+        x = np.sin(np.linspace(0, 10, 100))
+        assert similarity(x, -x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_is_half(self):
+        t = np.linspace(0, 2 * np.pi, 1000, endpoint=False)
+        assert similarity(np.sin(t), np.cos(t)) == pytest.approx(0.5, abs=1e-6)
+
+    def test_gain_invariant(self):
+        x = np.random.default_rng(0).normal(size=50)
+        y = np.random.default_rng(1).normal(size=50)
+        assert similarity(x, y) == pytest.approx(similarity(3 * x, y))
+
+    def test_offset_invariant(self):
+        x = np.random.default_rng(0).normal(size=50)
+        y = np.random.default_rng(1).normal(size=50)
+        assert similarity(x, y) == pytest.approx(similarity(x + 5.0, y))
+
+    def test_symmetry(self):
+        x = np.random.default_rng(0).normal(size=50)
+        y = np.random.default_rng(1).normal(size=50)
+        assert similarity(x, y) == pytest.approx(similarity(y, x))
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            s = similarity(rng.normal(size=30), rng.normal(size=30))
+            assert 0.0 <= s <= 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            similarity(np.zeros(3), np.zeros(4))
+
+
+class TestErrorFunction:
+    def test_zero_for_identical(self):
+        x = np.sin(np.linspace(0, 5, 64))
+        assert np.allclose(error_function(x, x), 0.0)
+
+    def test_localises_difference(self):
+        x = np.sin(np.linspace(0, 5, 64))
+        y = x.copy()
+        y[30] += 0.5
+        e = error_function(x, y)
+        assert np.argmax(e) == 30
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        e = error_function(rng.normal(size=40), rng.normal(size=40))
+        assert np.all(e >= 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_function(np.zeros(3), np.zeros(4))
+
+
+class TestRocEer:
+    def test_separated_scores_zero_eer(self):
+        genuine = np.full(100, 0.9)
+        impostor = np.full(100, 0.1)
+        eer, thr = equal_error_rate(genuine, impostor)
+        assert eer == pytest.approx(0.0, abs=1e-6)
+        assert 0.1 < thr < 0.9
+
+    def test_identical_distributions_half_eer(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(0.5, 0.1, size=5000)
+        eer, _ = equal_error_rate(scores, scores)
+        assert eer == pytest.approx(0.5, abs=0.02)
+
+    def test_known_overlap(self):
+        """Two unit-variance Gaussians 2 apart: EER = Phi(-1) ~ 15.9 %."""
+        rng = np.random.default_rng(1)
+        genuine = rng.normal(1.0, 1.0, size=60_000)
+        impostor = rng.normal(-1.0, 1.0, size=60_000)
+        eer, _ = equal_error_rate(genuine, impostor)
+        assert eer == pytest.approx(0.1587, abs=0.01)
+
+    def test_roc_monotone(self):
+        rng = np.random.default_rng(2)
+        roc = roc_curve(rng.normal(1, 1, 500), rng.normal(0, 1, 500))
+        assert np.all(np.diff(roc.false_positive_rate) <= 1e-12)
+        assert np.all(np.diff(roc.false_negative_rate) >= -1e-12)
+
+    def test_roc_endpoints(self):
+        rng = np.random.default_rng(3)
+        roc = roc_curve(rng.normal(1, 1, 500), rng.normal(0, 1, 500))
+        assert roc.false_positive_rate[0] == pytest.approx(1.0)
+        assert roc.false_negative_rate[0] == pytest.approx(0.0)
+        assert roc.false_positive_rate[-1] == pytest.approx(0.0)
+        assert roc.false_negative_rate[-1] == pytest.approx(1.0)
+
+    def test_tpr_complement(self):
+        rng = np.random.default_rng(4)
+        roc = roc_curve(rng.normal(1, 1, 100), rng.normal(0, 1, 100))
+        assert np.allclose(roc.true_positive_rate, 1 - roc.false_negative_rate)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.zeros(0), np.ones(5))
+
+
+class TestFingerprint:
+    def test_from_captures_averages(self, line, itdr):
+        caps = [itdr.capture(line) for _ in range(8)]
+        fp = Fingerprint.from_captures(caps)
+        assert fp.name == line.name
+        assert fp.n_captures == 8
+        assert np.linalg.norm(fp.samples) == pytest.approx(1.0)
+        assert abs(fp.samples.mean()) < 1e-12
+
+    def test_from_captures_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprint.from_captures([])
+
+    def test_length_mismatch_rejected(self, line, itdr):
+        cap = itdr.capture(line)
+        short = Fingerprint(
+            name="x", samples=cap.waveform.samples[:-5], dt=cap.waveform.dt
+        )
+        with pytest.raises(ValueError):
+            capture_similarity(cap, short)
+
+    def test_serialisation_roundtrip(self, enrolled_fingerprint):
+        data = enrolled_fingerprint.to_dict()
+        back = Fingerprint.from_dict(data)
+        assert back.name == enrolled_fingerprint.name
+        assert np.allclose(back.samples, enrolled_fingerprint.samples)
+        assert back.dt == enrolled_fingerprint.dt
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprint(name="x", samples=np.zeros(0), dt=1.0)
+
+
+class TestFingerprintROM:
+    def test_store_load(self, enrolled_fingerprint):
+        rom = FingerprintROM()
+        rom.store(enrolled_fingerprint)
+        assert rom.load(enrolled_fingerprint.name) is enrolled_fingerprint
+        assert enrolled_fingerprint.name in rom
+        assert len(rom) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            FingerprintROM().load("ghost")
+
+    def test_get_returns_none(self):
+        assert FingerprintROM().get("ghost") is None
+
+    def test_json_roundtrip(self, enrolled_fingerprint):
+        rom = FingerprintROM()
+        rom.store(enrolled_fingerprint)
+        clone = FingerprintROM.import_json(rom.export_json())
+        assert clone.names() == rom.names()
+        assert np.allclose(
+            clone.load(enrolled_fingerprint.name).samples,
+            enrolled_fingerprint.samples,
+        )
+
+
+class TestAuthenticator:
+    def test_genuine_accepted(self, line, itdr, enrolled_fingerprint):
+        auth = Authenticator(threshold=0.8)
+        decision = auth.decide(itdr.capture(line), enrolled_fingerprint)
+        assert decision.accepted
+        assert decision.score > 0.8
+
+    def test_impostor_rejected(self, other_line, itdr, enrolled_fingerprint):
+        auth = Authenticator(threshold=0.8)
+        decision = auth.decide(itdr.capture(other_line), enrolled_fingerprint)
+        assert not decision.accepted
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            Authenticator(threshold=1.5)

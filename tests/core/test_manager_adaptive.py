@@ -1,0 +1,182 @@
+"""Unit tests for the shared-iTDR manager and adaptive references."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import WireTap
+from repro.core.adaptive import AdaptiveReference, MultiConditionAuthenticator
+from repro.core.auth import Authenticator
+from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.core.fingerprint import Fingerprint
+from repro.core.manager import SharedITDRManager
+from repro.core.tamper import TamperDetector
+from repro.env.temperature import TemperatureCondition
+from repro.txline.materials import FR4
+
+
+def make_manager(seed=0, captures_per_check=8):
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+    return SharedITDRManager(
+        itdr, Authenticator(0.85), detector,
+        captures_per_check=captures_per_check,
+    )
+
+
+class TestSharedManager:
+    def test_register_and_calibrate(self, factory):
+        manager = make_manager()
+        for line in factory.manufacture_batch(3, first_seed=300):
+            manager.register(line)
+        assert manager.n_buses == 3
+        manager.calibrate_all(n_captures=4)
+        assert not any(manager.is_blocked(n) for n in manager.bus_names())
+
+    def test_duplicate_registration_rejected(self, factory):
+        manager = make_manager()
+        line = factory.manufacture(seed=300)
+        manager.register(line)
+        with pytest.raises(ValueError):
+            manager.register(line)
+
+    def test_scan_before_register_raises(self):
+        with pytest.raises(RuntimeError):
+            make_manager().scan()
+
+    def test_clean_scan_all_clear(self, factory):
+        manager = make_manager()
+        for line in factory.manufacture_batch(3, first_seed=310):
+            manager.register(line)
+        manager.calibrate_all(n_captures=4)
+        assert manager.scan().all_clear()
+
+    def test_attack_isolated_to_victim(self, factory):
+        manager = make_manager()
+        lines = factory.manufacture_batch(4, first_seed=320)
+        for line in lines:
+            manager.register(line)
+        manager.calibrate_all(n_captures=6)
+        victim = lines[1].name
+        outcome = manager.scan(modifiers_by_bus={victim: [WireTap(0.12)]})
+        assert [name for name, _ in outcome.alerts()] == [victim]
+
+    def test_scan_period_linear_in_buses(self, factory):
+        manager = make_manager()
+        lines = factory.manufacture_batch(4, first_seed=330)
+        manager.register(lines[0])
+        one = manager.scan_period_s()
+        for line in lines[1:]:
+            manager.register(line)
+        assert manager.scan_period_s() == pytest.approx(4 * one)
+
+    def test_resource_report_counts_sharing(self, factory):
+        manager = make_manager()
+        for line in factory.manufacture_batch(8, first_seed=340):
+            manager.register(line)
+        report = manager.resource_report()
+        assert report.n_itdrs == 8
+        assert report.luts < 8 * 124
+
+
+class TestMultiConditionAuthenticator:
+    def _fingerprints(self, line, itdr):
+        room = Fingerprint.from_captures(
+            [itdr.capture(line) for _ in range(8)], name=line.name
+        )
+        hot_cond = TemperatureCondition(75.0)
+        hot = Fingerprint.from_captures(
+            [itdr.capture(line, modifiers=[hot_cond]) for _ in range(8)],
+            name=line.name,
+        )
+        return room, hot
+
+    def test_matches_best_condition(self, line):
+        itdr = prototype_itdr(rng=np.random.default_rng(1))
+        room, hot = self._fingerprints(line, itdr)
+        auth = MultiConditionAuthenticator(threshold=0.8)
+        auth.enroll(room, "room")
+        auth.enroll(hot, "hot")
+        hot_capture = itdr.capture(
+            line, modifiers=[TemperatureCondition(75.0)]
+        )
+        match = auth.decide(hot_capture)
+        assert match.accepted
+        assert match.matched_condition == "hot"
+
+    def test_impostor_matches_nothing(self, line, other_line):
+        itdr = prototype_itdr(rng=np.random.default_rng(1))
+        room, hot = self._fingerprints(line, itdr)
+        auth = MultiConditionAuthenticator(threshold=0.85)
+        auth.enroll(room, "room")
+        auth.enroll(hot, "hot")
+        assert not auth.decide(itdr.capture(other_line)).accepted
+
+    def test_validation(self, enrolled_fingerprint):
+        with pytest.raises(ValueError):
+            MultiConditionAuthenticator(threshold=1.5)
+        auth = MultiConditionAuthenticator()
+        with pytest.raises(RuntimeError):
+            auth.decide(None)
+        auth.enroll(enrolled_fingerprint, "room")
+        short = Fingerprint(
+            name="x",
+            samples=enrolled_fingerprint.samples[:-1],
+            dt=enrolled_fingerprint.dt,
+        )
+        with pytest.raises(ValueError):
+            auth.enroll(short, "bad")
+
+
+class TestAdaptiveReference:
+    def test_accepts_genuine(self, line, itdr, enrolled_fingerprint):
+        adaptive = AdaptiveReference(enrolled_fingerprint, threshold=0.8)
+        assert adaptive.consider(itdr.capture(line))
+
+    def test_rejects_impostor_without_updating(
+        self, line, other_line, itdr, enrolled_fingerprint
+    ):
+        adaptive = AdaptiveReference(enrolled_fingerprint, threshold=0.8)
+        for _ in range(10):
+            accepted = adaptive.consider(itdr.capture(other_line))
+            assert not accepted
+        assert adaptive.n_updates == 0
+
+    def test_updates_move_reference(self, line, itdr, enrolled_fingerprint):
+        adaptive = AdaptiveReference(
+            enrolled_fingerprint, threshold=0.8, alpha=0.2
+        )
+        before = adaptive.current().samples.copy()
+        for _ in range(5):
+            adaptive.consider(itdr.capture(line))
+        assert adaptive.n_updates > 0
+        assert not np.allclose(adaptive.current().samples, before)
+
+    def test_reference_stays_unit_norm(self, line, itdr, enrolled_fingerprint):
+        adaptive = AdaptiveReference(enrolled_fingerprint, threshold=0.8)
+        for _ in range(5):
+            adaptive.consider(itdr.capture(line))
+        assert np.linalg.norm(adaptive.current().samples) == pytest.approx(1.0)
+
+    def test_margin_blocks_borderline_updates(
+        self, line, itdr, enrolled_fingerprint
+    ):
+        """A capture scoring inside (threshold, threshold+margin) is
+        accepted but must NOT update the reference."""
+        adaptive = AdaptiveReference(
+            enrolled_fingerprint, threshold=0.0, update_margin=1.0
+        )
+        assert adaptive.consider(itdr.capture(line))  # accepted...
+        assert adaptive.n_updates == 0  # ...but never folded in
+
+    def test_validation(self, enrolled_fingerprint):
+        with pytest.raises(ValueError):
+            AdaptiveReference(enrolled_fingerprint, alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveReference(enrolled_fingerprint, update_margin=-0.1)
+        with pytest.raises(ValueError):
+            AdaptiveReference(enrolled_fingerprint, threshold=1.5)

@@ -1,0 +1,144 @@
+"""Unit tests for multi-lane endpoint monitoring and its membus wiring."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CapacitiveSnoop, WireTap
+from repro.core.auth import Authenticator
+from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.core.divot import Action, DivotEndpoint
+from repro.core.tamper import TamperDetector
+from repro.txline.materials import FR4
+from repro.txline.line import TransmissionLine
+
+
+@pytest.fixture(scope="module")
+def lanes():
+    factory = prototype_line_factory()
+    return [
+        factory.manufacture(seed=900, name="clk"),
+        factory.manufacture(seed=901, name="dqs0"),
+        factory.manufacture(seed=902, name="dqs1"),
+    ]
+
+
+def make_endpoint(seed=0, threshold=0.9):
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    return DivotEndpoint(
+        "multi",
+        itdr,
+        Authenticator(threshold),
+        TamperDetector(
+            threshold=2.5e-3,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=7,
+            alignment_offset_s=itdr.probe_edge().duration,
+        ),
+        captures_per_check=8,
+    )
+
+
+class TestCalibrateMany:
+    def test_enrolls_all_lanes(self, lanes):
+        endpoint = make_endpoint()
+        fps = endpoint.calibrate_many(lanes, n_captures=4)
+        assert len(fps) == 3
+        assert sorted(endpoint.rom.names()) == ["clk", "dqs0", "dqs1"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_endpoint().calibrate_many([], n_captures=4)
+
+
+class TestMonitorMulti:
+    def test_clean_bundle_proceeds(self, lanes):
+        endpoint = make_endpoint(seed=1)
+        endpoint.calibrate_many(lanes, n_captures=6)
+        result = endpoint.monitor_multi(lanes)
+        assert result.action is Action.PROCEED
+
+    def test_attack_on_secondary_lane_caught(self, lanes):
+        """The whole point: a tap on a strobe lane the single-lane monitor
+        never measures still trips the fused check."""
+        endpoint = make_endpoint(seed=2)
+        endpoint.calibrate_many(lanes, n_captures=6)
+        result = endpoint.monitor_multi(
+            lanes, modifiers_by_lane={"dqs1": [WireTap(0.12)]}
+        )
+        assert result.action is not Action.PROCEED
+
+    def test_untouched_lanes_unaffected(self, lanes):
+        """Per-lane modifiers really are per lane: attacking dqs1 does not
+        change what the clk capture sees."""
+        endpoint = make_endpoint(seed=3)
+        endpoint.calibrate_many(lanes, n_captures=6)
+        clean = endpoint.itdr.true_reflection(lanes[0]).samples
+        endpoint.monitor_multi(
+            lanes, modifiers_by_lane={"dqs1": [WireTap(0.12)]}
+        )
+        assert np.array_equal(
+            endpoint.itdr.true_reflection(lanes[0]).samples, clean
+        )
+
+    def test_swapped_lane_blocks(self, lanes, factory):
+        endpoint = make_endpoint(seed=4)
+        endpoint.calibrate_many(lanes, n_captures=6)
+        foreign = factory.manufacture(seed=999)
+        swapped = list(lanes)
+        swapped[1] = TransmissionLine(
+            name="dqs0",
+            board_profile=foreign.board_profile,
+            material=foreign.material,
+        )
+        result = endpoint.monitor_multi(swapped)
+        assert result.action is Action.BLOCK
+        assert endpoint.is_blocked
+
+    def test_uncalibrated_raises(self, lanes):
+        with pytest.raises(RuntimeError):
+            make_endpoint().monitor_multi(lanes)
+
+    def test_empty_lanes_rejected(self, lanes):
+        endpoint = make_endpoint(seed=5)
+        endpoint.calibrate_many(lanes, n_captures=4)
+        with pytest.raises(ValueError):
+            endpoint.monitor_multi([])
+
+
+class TestMembusMultiLane:
+    def test_system_with_extra_lanes_runs_clean(self, lanes):
+        from repro.membus import (
+            AddressMap,
+            MemoryBus,
+            ProtectedMemorySystem,
+            SDRAMDevice,
+            TraceGenerator,
+        )
+
+        amap = AddressMap(n_banks=4, n_rows=64, n_columns=32)
+        itdr1 = prototype_itdr(rng=np.random.default_rng(6))
+        itdr2 = prototype_itdr(rng=np.random.default_rng(7))
+        detector = TamperDetector(
+            threshold=2.5e-3,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=7,
+            alignment_offset_s=itdr1.probe_edge().duration,
+        )
+        system = ProtectedMemorySystem(
+            MemoryBus(line=lanes[0], clock_frequency=1.2e9),
+            SDRAMDevice(address_map=amap),
+            itdr1,
+            itdr2,
+            Authenticator(0.90),
+            detector,
+            # Max-over-lanes raises the tamper false-positive rate, so the
+            # multi-lane system needs the deeper averaging (floor ~1.1e-3
+            # at 16 captures vs the 2.5e-3 threshold).
+            captures_per_check=16,
+            extra_lanes=lanes[1:],
+        )
+        system.calibrate()
+        gen = TraceGenerator(amap, seed=8)
+        result = system.run(gen.random(4000, write_fraction=0.4))
+        assert len(result.completed) == 4000
+        assert result.alerts() == []

@@ -1,0 +1,118 @@
+"""Unit tests for multi-wire fused authentication."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import prototype_itdr
+from repro.core.multiwire import (
+    FUSION_POLICIES,
+    MultiWireAuthenticator,
+    MultiWireDecision,
+)
+from repro.txline.line import TransmissionLine
+
+
+@pytest.fixture
+def wires(factory):
+    return factory.manufacture_batch(4, first_seed=70)
+
+
+@pytest.fixture
+def impostor_bundle(factory, wires):
+    """Foreign wires renamed to impersonate the enrolled bundle."""
+    foreign = factory.manufacture_batch(4, first_seed=170)
+    return [
+        TransmissionLine(name=w.name, board_profile=f.board_profile,
+                         material=f.material)
+        for w, f in zip(wires, foreign)
+    ]
+
+
+def make_auth(policy="mean", threshold=0.8, seed=0):
+    return MultiWireAuthenticator(
+        prototype_itdr(rng=np.random.default_rng(seed)),
+        threshold=threshold,
+        policy=policy,
+    )
+
+
+class TestEnrollment:
+    def test_enroll_counts(self, wires):
+        auth = make_auth()
+        refs = auth.enroll(wires, n_captures=4)
+        assert len(refs) == 4
+        assert auth.n_wires == 4
+
+    def test_score_before_enroll_raises(self, wires):
+        with pytest.raises(RuntimeError):
+            make_auth().score(wires)
+
+    def test_wire_count_mismatch(self, wires):
+        auth = make_auth()
+        auth.enroll(wires, n_captures=4)
+        with pytest.raises(ValueError):
+            auth.score(wires[:2])
+
+    def test_validation(self, wires):
+        with pytest.raises(ValueError):
+            make_auth(policy="vote")
+        with pytest.raises(ValueError):
+            make_auth(threshold=1.2)
+        with pytest.raises(ValueError):
+            make_auth().enroll([], n_captures=4)
+        with pytest.raises(ValueError):
+            make_auth().enroll(wires, n_captures=0)
+
+
+class TestDecisions:
+    @pytest.mark.parametrize("policy", sorted(FUSION_POLICIES))
+    def test_genuine_accepted_impostor_rejected(
+        self, policy, wires, impostor_bundle
+    ):
+        auth = make_auth(policy=policy)
+        auth.enroll(wires, n_captures=6)
+        assert auth.decide(wires).accepted
+        assert not auth.decide(impostor_bundle).accepted
+
+    def test_min_policy_catches_single_bad_wire(self, wires, impostor_bundle):
+        """A partial clone (one wrong wire) fails 'min' fusion."""
+        auth = make_auth(policy="min")
+        auth.enroll(wires, n_captures=6)
+        mixed = list(wires)
+        mixed[2] = impostor_bundle[2]
+        decision = auth.decide(mixed)
+        assert not decision.accepted
+        assert decision.weakest_wire == 2
+
+    def test_mean_policy_may_tolerate_single_bad_wire(
+        self, wires, impostor_bundle
+    ):
+        """Mean fusion averages the bad wire away — the policy trade-off."""
+        auth = make_auth(policy="mean", threshold=0.8)
+        auth.enroll(wires, n_captures=6)
+        mixed = list(wires)
+        mixed[0] = impostor_bundle[0]
+        min_auth = make_auth(policy="min", threshold=0.8, seed=3)
+        min_auth.enroll(wires, n_captures=6)
+        # Mean score exceeds min score on the same mixed bundle.
+        assert (
+            auth.decide(mixed).fused_score
+            > min_auth.decide(mixed).fused_score
+        )
+
+    def test_decision_fields(self, wires):
+        auth = make_auth()
+        auth.enroll(wires, n_captures=4)
+        decision = auth.decide(wires)
+        assert isinstance(decision, MultiWireDecision)
+        assert len(decision.per_wire_scores) == 4
+        assert decision.policy == "mean"
+        assert 0 <= decision.fused_score <= 1
+
+
+class TestFusionFunctions:
+    def test_policies_on_known_scores(self):
+        scores = np.array([0.9, 0.5, 0.7])
+        assert FUSION_POLICIES["mean"](scores) == pytest.approx(0.7)
+        assert FUSION_POLICIES["min"](scores) == pytest.approx(0.5)
+        assert FUSION_POLICIES["median"](scores) == pytest.approx(0.7)

@@ -1,0 +1,133 @@
+"""Unit tests for probability density modulation (paper Figs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparator import Comparator
+from repro.core.pdm import PDMScheme, TriangleWave, VernierRelation
+
+SIGMA = 2e-3
+
+
+def make_scheme(p=5, q=6, amplitude=6 * SIGMA):
+    return PDMScheme(
+        TriangleWave(amplitude=amplitude, frequency=1e6 * p / q),
+        VernierRelation(p, q),
+        Comparator(noise_sigma=SIGMA),
+    )
+
+
+class TestTriangleWave:
+    def test_peak_and_trough(self):
+        w = TriangleWave(amplitude=1.0, frequency=1.0)
+        assert w.value_at(0.5) == pytest.approx(1.0)
+        assert w.value_at(0.0) == pytest.approx(-1.0)
+        assert w.value_at(1.0) == pytest.approx(-1.0)
+
+    def test_periodicity(self):
+        w = TriangleWave(amplitude=1.0, frequency=2.0)
+        t = np.linspace(0, 0.5, 50)
+        assert np.allclose(w.value_at(t), w.value_at(t + 0.5), atol=1e-12)
+
+    def test_centre_offset(self):
+        w = TriangleWave(amplitude=1.0, frequency=1.0, centre=2.0)
+        assert w.value_at(0.5) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriangleWave(amplitude=-1.0, frequency=1.0)
+        with pytest.raises(ValueError):
+            TriangleWave(amplitude=1.0, frequency=0.0)
+
+
+class TestVernierRelation:
+    def test_paper_example_five_six(self):
+        """5 f_m = 6 f_s: a fixed point sees 6 distinct phases."""
+        rel = VernierRelation(5, 6)
+        assert rel.distinct_phases == 6
+        assert rel.is_effective
+
+    def test_degenerate_equal_frequencies(self):
+        rel = VernierRelation(1, 1)
+        assert rel.distinct_phases == 1
+        assert not rel.is_effective
+
+    def test_non_coprime_reduces(self):
+        """f_m/f_s = 2/4 visits only 2 distinct phases, not 4."""
+        rel = VernierRelation(2, 4)
+        assert rel.distinct_phases == 2
+
+    def test_phases_evenly_spaced(self):
+        phases = np.sort(VernierRelation(5, 6).phases())
+        spacing = np.diff(phases)
+        assert np.allclose(spacing, 1.0 / 6.0)
+
+    def test_from_frequencies(self):
+        rel = VernierRelation.from_frequencies(5e6, 6e6)
+        assert (rel.p, rel.q) == (5, 6)
+
+    def test_from_frequencies_validation(self):
+        with pytest.raises(ValueError):
+            VernierRelation.from_frequencies(-1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VernierRelation(0, 5)
+
+
+class TestPDMScheme:
+    def test_reference_level_count(self):
+        scheme = make_scheme(5, 6)
+        assert scheme.n_levels == 6
+
+    def test_levels_within_amplitude(self):
+        scheme = make_scheme()
+        levels = scheme.reference_levels()
+        assert np.all(np.abs(levels) <= scheme.wave.amplitude + 1e-12)
+
+    def test_levels_sorted(self):
+        levels = make_scheme().reference_levels()
+        assert np.all(np.diff(levels) >= 0)
+
+    def test_window_wider_than_bare(self):
+        from repro.core.apc import APCConverter
+
+        scheme = make_scheme()
+        bare = APCConverter(Comparator(noise_sigma=SIGMA), v_ref=0.0)
+        s_lo, s_hi = scheme.linear_window()
+        b_lo, b_hi = bare.linear_window()
+        assert (s_hi - s_lo) > 2 * (b_hi - b_lo)
+
+    def test_estimate_tracks_wide_signal(self, rng):
+        scheme = make_scheme()
+        lo, hi = scheme.linear_window()
+        v = np.linspace(lo, hi, 100)
+        est = scheme.estimate_voltage(v, 6 * 1024, rng)
+        assert np.max(np.abs(est - v)) < SIGMA / 2
+
+    def test_counts_bounded(self, rng):
+        scheme = make_scheme()
+        counts = scheme.measure_counts(np.zeros(50), 60, rng)
+        assert np.all((0 <= counts) & (counts <= 60))
+
+    def test_counts_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_scheme().measure_counts(np.zeros(3), 0, rng)
+
+    def test_reference_trial_voltages_cycle(self):
+        scheme = make_scheme(5, 6)
+        refs = scheme.reference_trial_voltages(3, 12)
+        assert refs.shape == (3, 12)
+        # The cycle repeats every q trials.
+        assert np.allclose(refs[:, :6], refs[:, 6:])
+
+    def test_dynamic_range_scales_with_amplitude(self):
+        narrow = make_scheme(amplitude=3 * SIGMA)
+        wide = make_scheme(amplitude=9 * SIGMA)
+        assert wide.dynamic_range > narrow.dynamic_range
+
+    def test_invert_monotone(self):
+        scheme = make_scheme()
+        p = np.linspace(0.05, 0.95, 50)
+        v = scheme.invert(p)
+        assert np.all(np.diff(v) > 0)

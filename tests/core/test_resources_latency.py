@@ -1,0 +1,138 @@
+"""Unit tests for the hardware-overhead and latency models."""
+
+import pytest
+
+from repro.core.config import prototype_itdr_config
+from repro.core.itdr import ITDRConfig
+from repro.core.latency import LatencyModel
+from repro.core.resources import XCZU7EV, ResourceModel
+
+
+class TestResourceModel:
+    def test_prototype_matches_paper_totals(self):
+        """The headline utilisation row: 71 registers, 124 LUTs."""
+        report = ResourceModel(prototype_itdr_config()).report()
+        assert report.registers == 71
+        assert report.luts == 124
+
+    def test_counters_dominate(self):
+        report = ResourceModel(prototype_itdr_config()).report()
+        assert report.counter_register_fraction == pytest.approx(0.80, abs=0.05)
+
+    def test_sharing_over_ninety_percent(self):
+        report = ResourceModel(prototype_itdr_config()).report()
+        assert report.shared_fraction > 0.90
+
+    def test_utilisation_tiny(self):
+        report = ResourceModel(prototype_itdr_config()).report()
+        assert report.lut_utilization < 0.01
+        assert report.part is XCZU7EV
+
+    def test_marginal_cost_small(self):
+        report = ResourceModel(prototype_itdr_config()).report()
+        regs, luts = report.marginal_cost()
+        assert regs <= 8 and luts <= 10
+
+    def test_multi_bus_scaling_sublinear(self):
+        model = ResourceModel(prototype_itdr_config())
+        one = model.report(n_itdrs=1)
+        many = model.report(n_itdrs=64)
+        assert many.luts < 64 * one.luts * 0.2
+
+    def test_larger_config_needs_more_counters(self):
+        small = ResourceModel(prototype_itdr_config()).report()
+        big = ResourceModel(
+            prototype_itdr_config(repetitions=4096), n_record_points=4000
+        ).report()
+        assert big.registers > small.registers
+
+    def test_rows_cover_all_blocks(self):
+        report = ResourceModel(prototype_itdr_config()).report()
+        rows = report.rows()
+        assert sum(r[1] for r in rows if not r[4]) + sum(
+            r[1] for r in rows if r[4]
+        ) == report.registers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceModel(prototype_itdr_config(), n_record_points=0)
+        with pytest.raises(ValueError):
+            ResourceModel(prototype_itdr_config()).report(n_itdrs=0)
+
+
+class TestLatencyModel:
+    def make(self, n_points=341):
+        return LatencyModel(prototype_itdr_config(), n_points=n_points)
+
+    def test_prototype_point_near_fifty_us(self):
+        point = self.make().point(156.25e6, clock_lane=True)
+        assert 40e-6 < point.detection_latency_s < 75e-6
+        # "8,192 measurements": 341 points x 24 reps.
+        assert point.n_triggers == 341 * 24
+
+    def test_capture_scales_at_least_inversely_with_clock(self):
+        """Faster clocks shorten capture at least proportionally — and
+        better once the record spans multiple clock periods (several
+        decisions amortise onto one trigger)."""
+        model = self.make()
+        slow = model.point(156.25e6)
+        fast = model.point(1.25e9)
+        assert fast.capture_time_s <= slow.capture_time_s / 8 + 1e-12
+        assert fast.n_triggers <= slow.n_triggers
+
+    def test_ghz_within_memory_operation_frame(self):
+        """At 3.2 GHz the capture finishes in a few microseconds."""
+        point = self.make().point(3.2e9)
+        assert point.detection_latency_s < 5e-6
+
+    def test_data_lane_four_times_slower(self):
+        model = self.make()
+        clock = model.point(1e9, clock_lane=True)
+        data = model.point(1e9, clock_lane=False)
+        assert data.capture_time_s == pytest.approx(4 * clock.capture_time_s)
+
+    def test_repetition_tradeoff_linear(self):
+        points = self.make().repetition_tradeoff([12, 24, 48], 156.25e6)
+        assert points[1].capture_time_s == pytest.approx(
+            2 * points[0].capture_time_s
+        )
+        assert points[2].capture_time_s == pytest.approx(
+            4 * points[0].capture_time_s
+        )
+
+    def test_sweep_order_preserved(self):
+        clocks = [1e8, 1e9, 1e10]
+        points = self.make().sweep(clocks)
+        assert [p.clock_frequency for p in points] == clocks
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(prototype_itdr_config(), n_points=0)
+        with pytest.raises(ValueError):
+            self.make().budget_at(0.0)
+        with pytest.raises(ValueError):
+            self.make().repetition_tradeoff([0], 1e9)
+
+
+class TestMemoryBits:
+    def test_memory_outside_fabric_totals(self):
+        """BRAM blocks carry zero FF/LUT: the 71/124 totals stand."""
+        report = ResourceModel(prototype_itdr_config()).report()
+        assert report.registers == 71 and report.luts == 124
+        assert report.memory_bits > 0
+
+    def test_fingerprint_storage_scales_per_bus(self):
+        model = ResourceModel(prototype_itdr_config())
+        one = model.report(n_itdrs=1).memory_bits
+        four = model.report(n_itdrs=4).memory_bits
+        # Fingerprint ROM replicates; the result FIFO is shared.
+        assert one < four < 4 * one
+
+    def test_fingerprint_size_follows_record(self):
+        small = ResourceModel(
+            prototype_itdr_config(), n_record_points=100
+        ).report()
+        big = ResourceModel(
+            prototype_itdr_config(), n_record_points=800
+        ).report()
+        assert big.memory_bits > small.memory_bits

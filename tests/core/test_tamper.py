@@ -1,0 +1,111 @@
+"""Unit tests for tamper detection and localisation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import MagneticProbe, WireTap
+from repro.core.config import prototype_itdr
+from repro.core.tamper import TamperDetector, TamperVerdict, calibrate_threshold
+from repro.txline.materials import FR4
+
+VELOCITY = FR4.velocity_at(FR4.t_ref_c)
+
+
+@pytest.fixture
+def detector(itdr):
+    return TamperDetector(
+        threshold=2e-3,
+        velocity=VELOCITY,
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+
+
+class TestDetector:
+    def test_clean_capture_not_flagged(
+        self, line, itdr, enrolled_fingerprint, detector
+    ):
+        cap = itdr.capture_averaged(line, 32)
+        verdict = detector.check(cap, enrolled_fingerprint)
+        assert not verdict.tampered
+        assert verdict.location_index is None
+
+    def test_wiretap_flagged_and_located(
+        self, line, itdr, enrolled_fingerprint, detector
+    ):
+        cap = itdr.capture_averaged(line, 32, modifiers=[WireTap(0.12)])
+        verdict = detector.check(cap, enrolled_fingerprint)
+        assert verdict.tampered
+        assert verdict.location_m == pytest.approx(0.12, abs=0.03)
+
+    def test_probe_location_scales_with_position(
+        self, line, itdr, enrolled_fingerprint
+    ):
+        det = TamperDetector(
+            threshold=5e-5,
+            velocity=VELOCITY,
+            smooth_window=7,
+            alignment_offset_s=itdr.probe_edge().duration,
+        )
+        locations = []
+        for pos in (0.08, 0.16, 0.22):
+            cap = itdr.capture_averaged(
+                line, 256, modifiers=[MagneticProbe(pos, coupling=0.03)]
+            )
+            verdict = det.check(cap, enrolled_fingerprint)
+            assert verdict.tampered
+            locations.append(verdict.location_m)
+        assert locations == sorted(locations)
+        assert locations[0] == pytest.approx(0.08, abs=0.03)
+
+    def test_error_profile_length(self, line, itdr, enrolled_fingerprint, detector):
+        cap = itdr.capture(line)
+        profile = detector.error_profile(cap, enrolled_fingerprint)
+        assert len(profile) == len(cap.waveform)
+
+    def test_length_mismatch_rejected(self, line, itdr, enrolled_fingerprint, detector):
+        from repro.core.itdr import IIPCapture
+        from repro.signals.waveform import Waveform
+
+        cap = itdr.capture(line)
+        short = IIPCapture(
+            waveform=Waveform(cap.waveform.samples[:-3], cap.waveform.dt),
+            line_name=cap.line_name,
+            n_triggers=1,
+            duration_s=1.0,
+        )
+        with pytest.raises(ValueError):
+            detector.check(short, enrolled_fingerprint)
+
+    def test_no_velocity_no_distance(self, line, itdr, enrolled_fingerprint):
+        det = TamperDetector(threshold=1e-9)  # everything trips
+        verdict = det.check(itdr.capture(line), enrolled_fingerprint)
+        assert verdict.tampered
+        assert verdict.location_m is None
+        assert verdict.location_index is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TamperDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            TamperDetector(threshold=1.0, smooth_window=0)
+        with pytest.raises(ValueError):
+            TamperDetector(threshold=1.0, alignment_offset_s=-1.0)
+
+
+class TestCalibrateThreshold:
+    def test_sits_between_floor_and_attack(self):
+        thr = calibrate_threshold(np.array([1e-5, 2e-5]), np.array([1e-3]))
+        assert 2e-5 < thr < 1e-3
+
+    def test_overlapping_uses_geometric_mean(self):
+        thr = calibrate_threshold(np.array([1e-4]), np.array([4e-4]))
+        assert thr == pytest.approx(np.sqrt(1e-4 * 4e-4) * 2, rel=2.0)
+
+    def test_no_separation_still_finite(self):
+        thr = calibrate_threshold(np.array([1e-3]), np.array([1e-4]))
+        assert np.isfinite(thr) and thr > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.zeros(0), np.array([1.0]))

@@ -1,0 +1,67 @@
+"""Unit tests for the aging model."""
+
+import numpy as np
+import pytest
+
+from repro.env.aging import AgedCondition, AgingModel
+
+
+class TestAgingModel:
+    def test_zero_age_identity(self, line):
+        p = AgingModel().at_age(line.full_profile, 0.0).modify(line.full_profile)
+        assert np.allclose(p.z, line.full_profile.z, rtol=1e-12, atol=0)
+
+    def test_drift_grows_with_age(self, line):
+        model = AgingModel(drift_per_year=0.01)
+        p0 = line.full_profile
+        young = model.at_age(p0, 1.0).modify(p0)
+        old = model.at_age(p0, 5.0).modify(p0)
+        drift = lambda p: np.std(p.z / p0.z - 1.0)
+        assert drift(old) > drift(young) > 0
+
+    def test_drift_rms_matches_rate(self, line):
+        model = AgingModel(drift_per_year=0.005, connector_fretting=0.0)
+        p0 = line.full_profile
+        aged = model.at_age(p0, 2.0).modify(p0)
+        rms = np.sqrt(np.mean((aged.z / p0.z - 1.0) ** 2))
+        assert rms == pytest.approx(0.01, rel=0.05)
+
+    def test_pattern_fixed_per_line(self, line):
+        """The drift direction is a property of the line, not of time."""
+        model = AgingModel()
+        p0 = line.full_profile
+        a = model.at_age(p0, 1.0).modify(p0).z / p0.z - 1.0
+        b = model.at_age(p0, 2.0).modify(p0).z / p0.z - 1.0
+        # b is (approximately) 2a: same pattern, doubled amplitude.
+        assert np.allclose(b, 2 * a, rtol=1e-9)
+
+    def test_pattern_line_specific(self, line, other_line):
+        model = AgingModel()
+        a = model.at_age(line.full_profile, 1.0).modify(line.full_profile)
+        b = model.at_age(other_line.full_profile, 1.0).modify(
+            other_line.full_profile
+        )
+        ra = a.z / line.full_profile.z
+        rb = b.z / other_line.full_profile.z
+        n = min(len(ra), len(rb))
+        assert not np.allclose(ra[:n], rb[:n])
+
+    def test_connector_fretting_accents_ends(self, line):
+        model = AgingModel(drift_per_year=0.01, connector_fretting=5.0)
+        p0 = line.full_profile
+        drift = np.abs(model.at_age(p0, 1.0).modify(p0).z / p0.z - 1.0)
+        k = len(drift) // 20
+        ends = np.concatenate([drift[:k], drift[-k:]]).mean()
+        middle = drift[k:-k].mean()
+        assert ends > middle
+
+    def test_extreme_age_stays_physical(self, line):
+        model = AgingModel(drift_per_year=0.1)
+        p = model.at_age(line.full_profile, 100.0).modify(line.full_profile)
+        assert np.all(p.z > 0)
+
+    def test_validation(self, line):
+        with pytest.raises(ValueError):
+            AgingModel(drift_per_year=-0.001)
+        with pytest.raises(ValueError):
+            AgingModel().at_age(line.full_profile, -1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the temperature environment model."""
+
+import numpy as np
+import pytest
+
+from repro.env.temperature import TemperatureCondition, TemperatureSweep
+from repro.txline.materials import FR4
+
+
+class TestTemperatureCondition:
+    def test_reference_temperature_near_identity(self, line):
+        cond = TemperatureCondition(FR4.t_ref_c)
+        p = cond.modify(line.full_profile)
+        assert np.allclose(p.z, line.full_profile.z, rtol=1e-9)
+        assert np.allclose(p.tau, line.full_profile.tau, rtol=1e-9)
+
+    def test_hot_lowers_impedance_and_slows_line(self, line):
+        p0 = line.full_profile
+        p = TemperatureCondition(75.0).modify(p0)
+        assert p.z.mean() < p0.z.mean()
+        assert p.one_way_delay > p0.one_way_delay
+
+    def test_common_mode_preserves_contrast(self, line):
+        """The normalised IIP survives: z ratios change only slightly."""
+        p0 = line.full_profile
+        p = TemperatureCondition(75.0).modify(p0)
+        ratio = p.z / p0.z
+        # Common mode dominates: segmentwise spread of the ratio is tiny
+        # compared to its mean shift.
+        assert ratio.std() < 0.15 * abs(1 - ratio.mean())
+
+    def test_differential_residue_is_line_specific(self, line, other_line):
+        cond = TemperatureCondition(75.0)
+        r1 = cond.modify(line.full_profile).z / line.full_profile.z
+        r2 = cond.modify(other_line.full_profile).z / other_line.full_profile.z
+        n = min(len(r1), len(r2))
+        assert not np.allclose(r1[:n], r2[:n])
+
+    def test_deterministic_per_line(self, line):
+        cond = TemperatureCondition(60.0)
+        a = cond.modify(line.full_profile)
+        b = cond.modify(line.full_profile)
+        assert np.array_equal(a.z, b.z)
+
+    def test_load_scales_with_line(self, line):
+        """Matched termination stays matched (it sits on the same board)."""
+        p0 = line.full_profile
+        p = TemperatureCondition(75.0).modify(p0)
+        assert p.load_reflection() == pytest.approx(
+            p0.load_reflection(), abs=1e-3
+        )
+
+
+class TestTemperatureSweep:
+    def test_triangular_profile(self):
+        sweep = TemperatureSweep(23.0, 75.0)
+        n = 101
+        temps = [sweep.temperature_at(i, n) for i in range(n)]
+        assert temps[0] == pytest.approx(23.0)
+        assert max(temps) == pytest.approx(75.0)
+        assert temps[-1] == pytest.approx(23.0)
+        assert temps[n // 2] == pytest.approx(75.0)
+
+    def test_single_capture_degenerate(self):
+        sweep = TemperatureSweep(23.0, 75.0)
+        assert sweep.temperature_at(0, 1) == 23.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            TemperatureSweep(75.0, 23.0)
+
+    def test_at_returns_condition(self):
+        cond = TemperatureSweep(23.0, 75.0).at(5, 10)
+        assert isinstance(cond, TemperatureCondition)
+
+    def test_batch_fields_shapes(self, line):
+        sweep = TemperatureSweep(23.0, 75.0)
+        z, tau = sweep.batch_fields(line.full_profile, 10)
+        s = line.full_profile.n_segments
+        assert z.shape == (10, s) and tau.shape == (10, s)
+
+    def test_batch_matches_scalar_condition(self, line):
+        """Row i of the batch equals applying the per-capture condition."""
+        sweep = TemperatureSweep(23.0, 75.0)
+        n = 7
+        z, tau = sweep.batch_fields(line.full_profile, n)
+        for i in [0, 3, 6]:
+            cond = sweep.at(i, n)
+            p = cond.modify(line.full_profile)
+            assert np.allclose(z[i], p.z, rtol=1e-12, atol=0)
+            assert np.allclose(tau[i], p.tau, rtol=1e-12, atol=0)
+
+    def test_batch_rejects_zero(self, line):
+        with pytest.raises(ValueError):
+            TemperatureSweep().batch_fields(line.full_profile, 0)

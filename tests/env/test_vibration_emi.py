@@ -1,0 +1,108 @@
+"""Unit tests for vibration and EMI environment models."""
+
+import numpy as np
+import pytest
+
+from repro.env.emi import (
+    EMIEnvironment,
+    nearby_digital_circuit,
+    synchronous_aggressor,
+)
+from repro.env.vibration import ChirpExcitation, VibrationCondition
+from repro.signals.noise import SinusoidalEMI
+
+
+class TestChirpExcitation:
+    def test_strain_bounded_by_amplitude(self):
+        chirp = ChirpExcitation(strain_amplitude=1e-3)
+        s = chirp.strain_at(np.linspace(0, 20, 5000))
+        assert np.max(np.abs(s)) <= 1e-3 + 1e-15
+
+    def test_frequency_sweeps_up(self):
+        chirp = ChirpExcitation(f_start_hz=1.0, f_stop_hz=50.0, sweep_time_s=10.0)
+        assert chirp.instantaneous_frequency(0.0) == pytest.approx(1.0)
+        assert chirp.instantaneous_frequency(9.999) == pytest.approx(50.0, rel=0.01)
+
+    def test_sweep_repeats(self):
+        chirp = ChirpExcitation(sweep_time_s=10.0)
+        assert chirp.instantaneous_frequency(0.5) == pytest.approx(
+            chirp.instantaneous_frequency(10.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChirpExcitation(strain_amplitude=-1e-3)
+        with pytest.raises(ValueError):
+            ChirpExcitation(f_start_hz=0.0)
+        with pytest.raises(ValueError):
+            ChirpExcitation(sweep_time_s=0.0)
+
+
+class TestVibrationCondition:
+    def test_zero_strain_identity(self, line):
+        p = VibrationCondition(strain=0.0).modify(line.full_profile)
+        assert np.allclose(p.z, line.full_profile.z)
+        assert np.allclose(p.tau, line.full_profile.tau)
+
+    def test_strain_perturbs_z_and_tau(self, line):
+        p0 = line.full_profile
+        p = VibrationCondition(strain=0.01).modify(p0)
+        assert not np.allclose(p.z, p0.z, rtol=1e-9, atol=0)
+        assert not np.allclose(p.tau, p0.tau, rtol=1e-9, atol=0)
+
+    def test_opposite_strains_bracket_identity(self, line):
+        p0 = line.full_profile
+        plus = VibrationCondition(strain=0.01).modify(p0)
+        minus = VibrationCondition(strain=-0.01).modify(p0)
+        mid = 0.5 * (plus.z + minus.z)
+        assert np.allclose(mid, p0.z, rtol=1e-3)
+
+    def test_batch_matches_scalar(self, line):
+        strains = np.array([0.0, 0.005, -0.005])
+        z, tau = VibrationCondition.batch_fields(line.full_profile, strains)
+        for i, s in enumerate(strains):
+            p = VibrationCondition(strain=float(s)).modify(line.full_profile)
+            assert np.allclose(z[i], p.z, rtol=1e-12, atol=0)
+            assert np.allclose(tau[i], p.tau, rtol=1e-12, atol=0)
+
+    def test_mode_shape_line_specific(self, line, other_line):
+        z1, _ = VibrationCondition.batch_fields(
+            line.full_profile, np.array([0.01])
+        )
+        z2, _ = VibrationCondition.batch_fields(
+            other_line.full_profile, np.array([0.01])
+        )
+        r1 = z1[0] / line.full_profile.z
+        r2 = z2[0] / other_line.full_profile.z
+        n = min(len(r1), len(r2))
+        assert not np.allclose(r1[:n], r2[:n])
+
+
+class TestEMIEnvironment:
+    def test_async_shape(self, rng):
+        env = nearby_digital_circuit()
+        v = env.trial_voltages(10, 7, rng)
+        assert v.shape == (10, 7)
+
+    def test_async_trials_independent(self, rng):
+        env = EMIEnvironment([SinusoidalEMI(1.0, 1e6)], synchronous=False)
+        v = env.trial_voltages(1, 1000, rng)
+        assert np.std(v) > 0.3  # trials see different phases
+
+    def test_sync_repeats_across_trials(self, rng):
+        env = synchronous_aggressor()
+        v = env.trial_voltages(5, 9, rng)
+        assert np.all(v == v[:, :1])
+
+    def test_async_mean_rejection(self, rng):
+        """Averaging over trials suppresses an async aggressor ~ 1/sqrt(R)."""
+        env = EMIEnvironment([SinusoidalEMI(1.0, 1e6)], synchronous=False)
+        v = env.trial_voltages(200, 400, rng)
+        per_point_mean = v.mean(axis=1)
+        assert np.std(per_point_mean) < 0.1  # vs 0.71 unaveraged
+
+    def test_sync_mean_not_rejected(self, rng):
+        env = synchronous_aggressor(amplitude=1.0)
+        v = env.trial_voltages(200, 400, rng)
+        per_point_mean = v.mean(axis=1)
+        assert np.std(per_point_mean) > 0.3

@@ -1,0 +1,95 @@
+"""Integration tests for the extension experiments (cloning, jitter)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_cloning, ext_jitter
+
+
+class TestCloningStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_cloning.run(clones_per_tier=8, n_genuine=120)
+
+    def test_practical_unclonability(self, result):
+        assert result.unclonability_holds()
+        assert result.margin() > 0
+
+    def test_capability_monotone(self, result):
+        """Better fabs produce better clones — the curve's direction."""
+        bests = [best for _, best, _ in result.tier_rows]
+        assert bests == sorted(bests)
+
+    def test_hobbyist_fails_even_lax_policy(self, result):
+        name, best, _ = result.tier_rows[0]
+        assert name == "hobbyist"
+        assert best < result.threshold_eer
+
+    def test_strict_policy_stricter(self, result):
+        assert result.threshold_strict > result.threshold_eer
+
+    def test_clones_below_genuine(self, result):
+        genuine_mean = result.genuine_scores.mean()
+        for _, best, _ in result.tier_rows:
+            assert best < genuine_mean
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "hobbyist" in text and "strict" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ext_cloning.run(clones_per_tier=0)
+
+
+class TestJitterStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_jitter.run(
+            jitter_values_ps=(0.0, 11.16, 150.0), n_captures=120, n_lines=3
+        )
+
+    def test_clean_is_best(self, result):
+        assert result.clean_is_best()
+
+    def test_degrades_beyond_phase_step(self, result):
+        assert result.degrades_beyond_phase_step()
+
+    def test_rows_sorted(self, result):
+        jitters = [j for j, _, _ in result.rows]
+        assert jitters == sorted(jitters)
+
+    def test_report_renders(self, result):
+        assert "jitter" in result.report().lower()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ext_jitter.run(jitter_values_ps=(-1.0,))
+        with pytest.raises(ValueError):
+            ext_jitter.run(n_captures=5)
+
+
+class TestJitterMechanism:
+    def test_zero_jitter_is_identity(self, line):
+        from repro.core.config import prototype_itdr
+
+        itdr = prototype_itdr(rng=np.random.default_rng(0))
+        v = itdr.true_reflection(line).samples
+        assert np.array_equal(itdr._apply_jitter(v), v)
+
+    def test_jitter_smooths_waveform(self, line):
+        from repro.core.config import prototype_itdr
+
+        itdr = prototype_itdr(
+            rng=np.random.default_rng(0), phase_jitter_rms=50e-12
+        )
+        v = itdr.true_reflection(line).samples
+        jittered = itdr._apply_jitter(v)
+        # Smoothing reduces high-frequency content.
+        assert np.std(np.diff(jittered)) < np.std(np.diff(v))
+
+    def test_jitter_validation(self):
+        from repro.core.itdr import ITDRConfig
+
+        with pytest.raises(ValueError):
+            ITDRConfig(phase_jitter_rms=-1e-12)

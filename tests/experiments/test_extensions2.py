@@ -1,0 +1,92 @@
+"""Integration tests for the sharing and adaptation extension experiments."""
+
+import pytest
+
+from repro.experiments import ext_adaptation, ext_sharing
+
+
+class TestSharingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_sharing.run(bus_counts=(1, 2, 8))
+
+    def test_tradeoff_shape(self, result):
+        assert result.resources_flat_latency_linear()
+
+    def test_attack_caught(self, result):
+        assert result.attack_found_in_one_scan
+
+    def test_resource_rows_match_paper_at_one(self, result):
+        n, regs, luts, _ = result.rows[0]
+        assert (n, regs, luts) == (1, 71, 124)
+
+    def test_report_renders(self, result):
+        assert "scan period" in result.report()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ext_sharing.run(bus_counts=(0,))
+
+
+class TestAdaptationStudy:
+    def test_temperature_compensation(self):
+        single, dual = ext_adaptation.run_temperature_compensation(
+            n_lines=3, n_measurements=400
+        )
+        assert dual <= single
+
+    def test_aging_tracking(self):
+        rows, n_updates, impostor_safe = ext_adaptation.run_aging(
+            years=(0.0, 2.0, 4.0, 6.0), checks_per_step=12
+        )
+        ages = [a for a, _, _ in rows]
+        assert ages == sorted(ages)
+        static_scores = [s for _, s, _ in rows]
+        adaptive_scores = [a for _, _, a in rows]
+        # Static decays; adaptive ends above static.
+        assert static_scores[-1] < static_scores[0]
+        assert adaptive_scores[-1] > static_scores[-1]
+        assert n_updates > 0
+        assert impostor_safe
+
+
+class TestEnrollmentStudy:
+    def test_depth_sweep(self):
+        from repro.experiments import ext_enrollment
+
+        result = ext_enrollment.run(
+            depths=(1, 4, 16), n_lines=3, n_measurements=200
+        )
+        assert result.deeper_is_better()
+        # EER is (weakly) non-increasing with depth on this sweep.
+        eers = [e for *_, e in result.rows]
+        assert eers[-1] <= eers[0]
+        assert result.knee_depth() in (1, 4, 16)
+
+    def test_validation(self):
+        from repro.experiments import ext_enrollment
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            ext_enrollment.run(depths=(0,))
+        with _pytest.raises(ValueError):
+            ext_enrollment.run(n_lines=1)
+
+
+class TestSensitivityStudy:
+    def test_margin_vs_depth(self):
+        from repro.experiments import ext_sensitivity
+
+        result = ext_sensitivity.run(depths=(8, 64, 192), n_clean=4)
+        assert result.margin_grows_with_averaging()
+        # Latency is exactly linear in the averaging depth.
+        ks = [k for k, *_ in result.rows]
+        lats = [row[4] for row in result.rows]
+        assert lats[1] / lats[0] == pytest.approx(ks[1] / ks[0])
+
+    def test_validation(self):
+        from repro.experiments import ext_sensitivity
+
+        with pytest.raises(ValueError):
+            ext_sensitivity.run(depths=(0,))

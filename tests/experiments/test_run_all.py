@@ -1,0 +1,41 @@
+"""Smoke test for the one-command reproduction runner."""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.run_all import build_suite, main
+
+
+class TestBuildSuite:
+    def test_covers_every_experiment_family(self):
+        scale = ExperimentScale(n_lines=3, n_measurements=100, n_enroll=8)
+        names = [name for name, _ in build_suite(scale)]
+        for family in ("F2", "F5", "F7", "F8", "F9", "F6", "T-OVH", "T-LAT",
+                       "A-BASE", "A-MULTI", "X-CLONE", "X-STACK"):
+            assert any(n.startswith(family) for n in names)
+
+    def test_runner_returns_text_and_flag(self):
+        scale = ExperimentScale(n_lines=3, n_measurements=100, n_enroll=8)
+        suite = dict(build_suite(scale))
+        text, ok = suite["F5 ETS"]()
+        assert isinstance(text, str) and text
+        assert ok is True
+
+
+class TestMainWritesReport(object):
+    def test_output_file(self, tmp_path, monkeypatch, capsys):
+        # Monkeypatch the suite down to the two instant experiments so the
+        # CLI path is exercised without the full runtime.
+        import repro.experiments.run_all as runner
+
+        def tiny_suite(scale):
+            return [p for p in build_suite(scale)
+                    if p[0] in ("F5 ETS", "T-OVH hardware overhead")]
+
+        monkeypatch.setattr(runner, "build_suite", tiny_suite)
+        out = tmp_path / "report.txt"
+        code = runner.main(["-o", str(out)])
+        assert code == 0
+        content = out.read_text()
+        assert "SUMMARY" in content
+        assert "2/2 experiment shapes hold" in content

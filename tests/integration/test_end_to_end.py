@@ -1,0 +1,173 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test tells one of the paper's stories from raw physics to decision:
+enroll-then-authenticate, the two-way channel under attack, the cold-boot
+narrative, and cross-layer consistency checks (budget vs. wall-clock model,
+capture statistics vs. predicted estimator noise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ChipSwap, ColdBootSwap, MagneticProbe, WireTap
+from repro.core import (
+    Authenticator,
+    DivotChannel,
+    DivotEndpoint,
+    Fingerprint,
+    TamperDetector,
+    capture_similarity,
+    prototype_itdr,
+    prototype_line_factory,
+)
+from repro.core.divot import Action
+from repro.txline.materials import FR4
+
+
+def make_endpoint(name, seed, captures_per_check=8):
+    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    return DivotEndpoint(
+        name,
+        itdr,
+        Authenticator(threshold=0.85),
+        TamperDetector(
+            threshold=2.5e-3,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=7,
+            alignment_offset_s=itdr.probe_edge().duration,
+        ),
+        captures_per_check=captures_per_check,
+    )
+
+
+class TestAuthenticationStory:
+    """Paper section III: calibration then monitoring."""
+
+    def test_enroll_authenticate_separate_lines(self, factory):
+        lines = factory.manufacture_batch(4)
+        itdr = prototype_itdr(rng=np.random.default_rng(0))
+        fingerprints = [
+            Fingerprint.from_captures([itdr.capture(l) for _ in range(8)])
+            for l in lines
+        ]
+        for i, line in enumerate(lines):
+            cap = itdr.capture(line)
+            scores = [capture_similarity(cap, fp) for fp in fingerprints]
+            assert int(np.argmax(scores)) == i
+
+    def test_two_independent_itdrs_agree_on_fingerprint(self, line):
+        """CPU-side and module-side iTDRs measure the same physics."""
+        a = prototype_itdr(rng=np.random.default_rng(1))
+        b = prototype_itdr(rng=np.random.default_rng(2))
+        fp_a = Fingerprint.from_captures([a.capture(line) for _ in range(16)])
+        cap_b = b.capture_averaged(line, 16)
+        assert capture_similarity(cap_b, fp_a) > 0.95
+
+
+class TestTwoWayChannelStory:
+    def test_probe_alert_then_recovery(self, factory):
+        line = factory.manufacture(seed=30)
+        channel = DivotChannel(
+            line, make_endpoint("cpu", 31), make_endpoint("dimm", 32)
+        )
+        channel.calibrate()
+        clean = channel.step()
+        assert clean.data_allowed
+        probed = channel.step(modifiers=[WireTap(0.12)])
+        assert probed.master.tamper.tampered
+        assert probed.master.tamper.location_m == pytest.approx(0.12, abs=0.03)
+        recovered = channel.step()
+        assert recovered.data_allowed
+
+    def test_chip_swap_detected_by_cpu_side(self, factory_with_receiver):
+        line = factory_with_receiver.manufacture(seed=40)
+        channel = DivotChannel(
+            line, make_endpoint("cpu", 41), make_endpoint("dimm", 42)
+        )
+        channel.calibrate()
+        result = channel.step(modifiers=[ChipSwap(replacement_seed=77)])
+        assert (
+            result.master.action is not Action.PROCEED
+            or result.slave.action is not Action.PROCEED
+        )
+
+
+class TestColdBootStory:
+    def test_stolen_module_cannot_be_read(self, factory):
+        home_line = factory.manufacture(seed=50)
+        attacker_line = factory.manufacture(seed=51)
+        module = make_endpoint("dimm", 52)
+        module.calibrate(home_line)
+        swap = ColdBootSwap(foreign_line=attacker_line)
+        foreign = swap.measured_line()
+        renamed = type(foreign)(
+            name=home_line.name,
+            board_profile=foreign.board_profile,
+            material=foreign.material,
+        )
+        result = module.monitor_capture(renamed)
+        assert result.action is Action.BLOCK
+
+    def test_module_recovers_at_home(self, factory):
+        home_line = factory.manufacture(seed=50)
+        attacker_line = factory.manufacture(seed=51)
+        module = make_endpoint("dimm", 53)
+        module.calibrate(home_line)
+        renamed = type(attacker_line)(
+            name=home_line.name,
+            board_profile=attacker_line.board_profile,
+            material=attacker_line.material,
+        )
+        module.monitor_capture(renamed)
+        assert module.is_blocked
+        back_home = module.monitor_capture(home_line)
+        assert back_home.action is Action.PROCEED
+
+
+class TestCrossLayerConsistency:
+    def test_capture_noise_matches_estimator_prediction(self, line):
+        """Monte-Carlo capture noise agrees with the delta-method model."""
+        itdr = prototype_itdr(rng=np.random.default_rng(60))
+        true = itdr.true_reflection(line).samples
+        caps = itdr.capture_batch(line, 400)
+        empirical = caps.std(axis=0)
+        # Mid-window points: prediction via the PDM mixture sensitivity.
+        idx = np.argsort(np.abs(true))[: len(true) // 2]
+        assert np.median(empirical[idx]) < 3 * itdr.config.noise_sigma
+
+    def test_budget_consistent_with_capture_metadata(self, line):
+        itdr = prototype_itdr(rng=np.random.default_rng(61))
+        cap = itdr.capture(line)
+        budget = itdr.budget(itdr.record_length(line))
+        assert cap.n_triggers == budget.n_triggers
+        assert cap.duration_s == pytest.approx(budget.duration_s)
+
+    def test_fingerprint_survives_rom_roundtrip_and_still_authenticates(
+        self, line
+    ):
+        from repro.core.fingerprint import FingerprintROM
+
+        itdr = prototype_itdr(rng=np.random.default_rng(62))
+        fp = Fingerprint.from_captures([itdr.capture(line) for _ in range(8)])
+        rom = FingerprintROM()
+        rom.store(fp)
+        restored = FingerprintROM.import_json(rom.export_json()).load(line.name)
+        cap = itdr.capture(line)
+        assert capture_similarity(cap, restored) == pytest.approx(
+            capture_similarity(cap, fp)
+        )
+
+    def test_probe_position_sweep_monotone_in_time(self, line):
+        """Echo arrival time grows with attack distance — the ranging
+        principle behind localisation."""
+        itdr = prototype_itdr(rng=np.random.default_rng(63))
+        clean = itdr.true_reflection(line).samples
+        peaks = []
+        for pos in (0.06, 0.12, 0.18, 0.24):
+            attacked = itdr.true_reflection(
+                line, [MagneticProbe(pos, coupling=0.05)]
+            ).samples
+            diff = np.abs(attacked - clean)
+            peaks.append(int(np.argmax(diff)))
+        assert peaks == sorted(peaks)
+        assert len(set(peaks)) == 4

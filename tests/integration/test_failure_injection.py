@@ -1,0 +1,154 @@
+"""Failure-injection tests: what drifts, breaks, or lies — and what happens.
+
+Each test injects a realistic fault between enrollment and verification and
+checks the system's response is the *right* failure mode: gain/offset
+drifts are absorbed by the canonical fingerprint form; corrupted ROMs cost
+availability (blocks) but never security (false accepts); noisier
+comparators degrade gracefully; configuration mismatches fail loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Authenticator,
+    Fingerprint,
+    capture_similarity,
+    prototype_itdr,
+)
+from repro.core.fingerprint import FingerprintROM
+
+
+class TestAnalogDriftAbsorbed:
+    """Slow analog-front-end drifts the canonical form must absorb."""
+
+    def test_comparator_offset_drift(self, line):
+        """A few-mV offset appearing after enrollment: harmless.
+
+        The estimated waveform shifts by a constant; zero-meaning removes
+        it exactly.
+        """
+        enroll_itdr = prototype_itdr(rng=np.random.default_rng(1))
+        fingerprint = Fingerprint.from_captures(
+            [enroll_itdr.capture(line) for _ in range(16)]
+        )
+        drifted = prototype_itdr(
+            rng=np.random.default_rng(2), comparator_offset=2e-3
+        )
+        score = capture_similarity(drifted.capture(line), fingerprint)
+        baseline = capture_similarity(
+            prototype_itdr(rng=np.random.default_rng(3)).capture(line),
+            fingerprint,
+        )
+        assert score > baseline - 0.05
+
+    def test_coupler_gain_drift(self, line):
+        """A 20 % coupler gain change: harmless (unit-norm absorbs gain)."""
+        enroll_itdr = prototype_itdr(rng=np.random.default_rng(1))
+        fingerprint = Fingerprint.from_captures(
+            [enroll_itdr.capture(line) for _ in range(16)]
+        )
+        drifted = prototype_itdr(rng=np.random.default_rng(2), coupling=0.30)
+        score = capture_similarity(drifted.capture(line), fingerprint)
+        assert score > 0.8
+
+    def test_noisier_comparator_degrades_gracefully(self, line, other_line):
+        """50 % more thermal noise: genuine scores drop but stay above
+        impostor scores — degradation, not collapse."""
+        enroll_itdr = prototype_itdr(rng=np.random.default_rng(1))
+        fingerprint = Fingerprint.from_captures(
+            [enroll_itdr.capture(line) for _ in range(16)]
+        )
+        hot_chip = prototype_itdr(
+            rng=np.random.default_rng(2), noise_sigma=4.5e-3,
+            pdm_amplitude=27e-3,
+        )
+        genuine = np.mean(
+            [
+                capture_similarity(hot_chip.capture(line), fingerprint)
+                for _ in range(20)
+            ]
+        )
+        impostor = np.mean(
+            [
+                capture_similarity(hot_chip.capture(other_line), fingerprint)
+                for _ in range(20)
+            ]
+        )
+        assert genuine > impostor + 0.05
+
+
+class TestROMCorruption:
+    """A damaged fingerprint ROM: availability loss, never a false accept."""
+
+    def _corrupt(self, fingerprint, fraction, rng):
+        samples = fingerprint.samples.copy()
+        n = max(1, int(fraction * len(samples)))
+        idx = rng.choice(len(samples), size=n, replace=False)
+        samples[idx] = -samples[idx]  # sign flips: harsh bit-level damage
+        return Fingerprint(
+            name=fingerprint.name, samples=samples, dt=fingerprint.dt
+        )
+
+    def test_light_corruption_survivable(self, line, itdr, enrolled_fingerprint, rng):
+        corrupted = self._corrupt(enrolled_fingerprint, 0.02, rng)
+        score = capture_similarity(itdr.capture(line), corrupted)
+        assert score > 0.75  # a couple of flipped points hardly matter
+
+    def test_heavy_corruption_blocks_not_accepts(
+        self, line, other_line, itdr, enrolled_fingerprint, rng
+    ):
+        corrupted = self._corrupt(enrolled_fingerprint, 0.5, rng)
+        auth = Authenticator(threshold=0.85)
+        genuine = auth.decide(itdr.capture(line), corrupted)
+        impostor = auth.decide(itdr.capture(other_line), corrupted)
+        # The genuine line is (wrongly) rejected — availability loss...
+        assert not genuine.accepted
+        # ...but the corruption never manufactures a false accept.
+        assert not impostor.accepted
+
+    def test_corruption_cannot_favor_impostor(
+        self, line, other_line, itdr, enrolled_fingerprint, rng
+    ):
+        """Across many random corruptions the impostor never outscores the
+        genuine line by the acceptance margin."""
+        for _ in range(10):
+            corrupted = self._corrupt(enrolled_fingerprint, 0.3, rng)
+            g = capture_similarity(itdr.capture(line), corrupted)
+            i = capture_similarity(itdr.capture(other_line), corrupted)
+            assert i < max(g + 0.05, 0.85)
+
+    def test_rom_roundtrip_preserves_bits_exactly(self, enrolled_fingerprint):
+        rom = FingerprintROM()
+        rom.store(enrolled_fingerprint)
+        restored = FingerprintROM.import_json(rom.export_json())
+        assert np.array_equal(
+            restored.load(enrolled_fingerprint.name).samples,
+            enrolled_fingerprint.samples,
+        )
+
+
+class TestConfigurationMismatch:
+    """Mismatched measurement configurations must fail loudly, not subtly."""
+
+    def test_record_length_mismatch_raises(self, line, enrolled_fingerprint):
+        from dataclasses import replace
+
+        short_itdr = prototype_itdr(
+            rng=np.random.default_rng(1), record_margin=2e-9
+        )
+        capture = short_itdr.capture(line)
+        assert len(capture.waveform) != len(enrolled_fingerprint.samples)
+        with pytest.raises(ValueError):
+            capture_similarity(capture, enrolled_fingerprint)
+
+    def test_repetitions_not_multiple_of_ladder_still_estimates(self, line):
+        """R not divisible by q biases level coverage; the estimate is
+        degraded but finite and usable (no crash, no NaN)."""
+        itdr = prototype_itdr(rng=np.random.default_rng(1), repetitions=25)
+        capture = itdr.capture(line)
+        assert np.isfinite(capture.waveform.samples).all()
+
+    def test_zero_length_monitoring_rejected(self, line, itdr):
+        with pytest.raises(ValueError):
+            itdr.capture_averaged(line, 0)

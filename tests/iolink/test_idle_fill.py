@@ -1,0 +1,94 @@
+"""Unit tests for idle-fill monitoring on quiet links."""
+
+import numpy as np
+import pytest
+
+from repro.core.auth import Authenticator
+from repro.core.config import prototype_itdr
+from repro.core.tamper import TamperDetector
+from repro.iolink import Frame, ProtectedSerialLink, SerialLink
+from repro.txline.materials import FR4
+
+
+def make_protected(line, seed=0):
+    link = SerialLink(line, bit_rate=5e9)
+    tx = prototype_itdr(rng=np.random.default_rng(seed))
+    rx = prototype_itdr(rng=np.random.default_rng(seed + 1))
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=tx.probe_edge().duration,
+    )
+    plink = ProtectedSerialLink(
+        link, tx, rx, Authenticator(0.85), detector, captures_per_check=8
+    )
+    plink.calibrate()
+    return plink
+
+
+class TestIdleEncoding:
+    def test_idle_bits_conditioned(self, line):
+        link = SerialLink(line)
+        bits = link.encode_idle(32)
+        assert len(bits) == 32 * 10  # 8b/10b overhead
+        assert 0.4 < bits.mean() < 0.6
+
+    def test_idle_offers_triggers(self, line):
+        link = SerialLink(line)
+        bits = link.encode_idle(64)
+        assert link.trigger.count_triggers(bits) > 64  # > 1 per symbol
+
+    def test_scrambled_idle(self, line):
+        link = SerialLink(line, coding="scrambled-nrz")
+        bits = link.encode_idle(32)
+        assert len(bits) == 32 * 8
+
+    def test_validation(self, line):
+        with pytest.raises(ValueError):
+            SerialLink(line).encode_idle(0)
+
+
+class TestIdleFill:
+    def _short_burst(self, rng):
+        return [Frame(sequence=0, payload=tuple(rng.integers(0, 256, 16)))]
+
+    def test_bare_short_burst_starves_monitor(self, line, rng):
+        plink = make_protected(line, seed=2)
+        result = plink.send(self._short_burst(rng))
+        assert result.checks_run == 0
+
+    def test_idle_fill_guarantees_a_check(self, line, rng):
+        plink = make_protected(line, seed=4)
+        result = plink.send(self._short_burst(rng), idle_fill=True)
+        assert result.checks_run >= 1
+        assert result.alerts() == []
+
+    def test_idle_fill_extends_duration(self, line, rng):
+        bare = make_protected(line, seed=6).send(self._short_burst(rng))
+        filled = make_protected(line, seed=8).send(
+            self._short_burst(rng), idle_fill=True
+        )
+        assert filled.duration_s > bare.duration_s
+
+    def test_idle_fill_bounded(self, line, rng):
+        plink = make_protected(line, seed=10)
+        result = plink.send(
+            self._short_burst(rng), idle_fill=True, max_idle_s=1e-9
+        )
+        # The bound is tighter than one check's trigger budget: no check.
+        assert result.checks_run == 0
+
+    def test_idle_fill_noop_when_traffic_suffices(self, line, rng):
+        plink = make_protected(line, seed=12)
+        frames = [
+            Frame(sequence=i % 256, payload=tuple(rng.integers(0, 256, 64)))
+            for i in range(2000)
+        ]
+        busy = plink.send(frames, idle_fill=True)
+        assert busy.checks_run >= 2  # fed by real traffic, idle unused
+
+    def test_idle_record_validation(self, line):
+        plink = make_protected(line, seed=14)
+        with pytest.raises(ValueError):
+            plink.idle_fill_record(0)

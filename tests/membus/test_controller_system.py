@@ -1,0 +1,133 @@
+"""Unit tests for the memory controller and the protected system."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackTimeline, CapacitiveSnoop
+from repro.core.divot import Action
+from repro.experiments.fig6_membus import build_system
+from repro.membus.bus import MemoryBus
+from repro.membus.controller import MemoryController
+from repro.membus.dram import SDRAMDevice
+from repro.membus.transactions import (
+    AddressMap,
+    MemoryOp,
+    MemoryRequest,
+    TraceGenerator,
+)
+
+AMAP = AddressMap(n_banks=4, n_rows=32, n_columns=16)
+
+
+class TestMemoryBus:
+    def test_cycle_time(self, line):
+        bus = MemoryBus(line=line, clock_frequency=1e9)
+        assert bus.cycle_time_s == pytest.approx(1e-9)
+        assert bus.cycles_to_seconds(10) == pytest.approx(10e-9)
+
+    def test_propagation_delay_positive(self, line):
+        bus = MemoryBus(line=line)
+        assert bus.propagation_delay_s > 1e-9
+
+    def test_validation(self, line):
+        with pytest.raises(ValueError):
+            MemoryBus(line=line, clock_frequency=0.0)
+        with pytest.raises(ValueError):
+            MemoryBus(line=line, data_lanes=0)
+        bus = MemoryBus(line=line)
+        with pytest.raises(ValueError):
+            bus.cycles_to_seconds(-1)
+
+
+class TestController:
+    def test_fcfs_completion(self):
+        ctl = MemoryController(SDRAMDevice(address_map=AMAP))
+        for addr in [0, 1, 2]:
+            ctl.enqueue(MemoryRequest(MemoryOp.READ, addr))
+        records = ctl.drain()
+        assert [r.request.address for r in records] == [0, 1, 2]
+        assert ctl.pending() == 0
+
+    def test_time_advances(self):
+        ctl = MemoryController(SDRAMDevice(address_map=AMAP))
+        ctl.enqueue(MemoryRequest(MemoryOp.READ, 0))
+        ctl.issue_next()
+        assert ctl.current_cycle > 0
+
+    def test_unprotected_never_blocked(self):
+        ctl = MemoryController(SDRAMDevice(address_map=AMAP), endpoint=None)
+        assert not ctl.blocked
+
+    def test_issue_on_empty_queue(self):
+        ctl = MemoryController(SDRAMDevice(address_map=AMAP))
+        assert ctl.issue_next() is None
+
+    def test_blocked_endpoint_stalls(self):
+        class StuckEndpoint:
+            is_blocked = True
+
+        ctl = MemoryController(
+            SDRAMDevice(address_map=AMAP), endpoint=StuckEndpoint()
+        )
+        ctl.enqueue(MemoryRequest(MemoryOp.READ, 0))
+        assert ctl.issue_next() is None
+        assert ctl.current_cycle == ctl.stall_quantum
+        with pytest.raises(RuntimeError):
+            ctl.drain(max_stalls=3)
+
+    def test_stall_quantum_validation(self):
+        with pytest.raises(ValueError):
+            MemoryController(SDRAMDevice(address_map=AMAP), stall_quantum=0)
+
+
+class TestProtectedSystem:
+    """Slower integration-grade checks on the Fig. 6 composition."""
+
+    @pytest.fixture(scope="class")
+    def system_and_gen(self):
+        return build_system(seed=21)
+
+    def test_calibration_pairs_endpoints(self, system_and_gen):
+        system, _ = system_and_gen
+        assert system.bus.line.name in system.cpu_endpoint.rom
+        assert system.bus.line.name in system.module_endpoint.rom
+
+    def test_clean_run_no_alerts_and_transparent_latency(self):
+        system, gen = build_system(seed=22)
+        reqs = gen.random(300, write_fraction=0.5)
+        result = system.run(reqs)
+        assert len(result.completed) == 300
+        assert result.alerts() == []
+        assert result.n_blocked_accesses == 0
+
+    def test_data_integrity_through_protection(self):
+        system, gen = build_system(seed=23)
+        writes = [
+            MemoryRequest(MemoryOp.WRITE, a, data=a * 7) for a in range(50)
+        ]
+        reads = [MemoryRequest(MemoryOp.READ, a) for a in range(50)]
+        result = system.run(writes + reads)
+        read_results = result.completed[50:]
+        assert all(
+            r.result.data == r.request.address * 7 for r in read_results
+        )
+
+    def test_snoop_attack_detected(self):
+        system, gen = build_system(seed=24)
+        onset = system.capture_period_s * 1.2
+        timeline = AttackTimeline().add(CapacitiveSnoop(0.12), start_s=onset)
+        reqs = gen.random(12_000, write_fraction=0.4)
+        result = system.run(reqs, timeline=timeline)
+        latency = result.detection_latency(onset)
+        assert latency is not None
+        assert latency <= 2 * system.capture_period_s
+
+    def test_cold_boot_blocks_all_reads(self, factory):
+        system, gen = build_system(seed=25)
+        foreign = factory.manufacture(seed=999, name="attacker")
+        result = system.simulate_cold_boot_theft(
+            foreign, gen.random(32, write_fraction=0.0)
+        )
+        assert result.n_blocked_accesses == len(result.completed) == 32
+        module_events = [e for e in result.events if e.side == "module"]
+        assert module_events[0].action is Action.BLOCK

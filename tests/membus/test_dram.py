@@ -1,0 +1,126 @@
+"""Unit tests for the SDRAM device model."""
+
+import pytest
+
+from repro.membus.dram import DRAMTiming, SDRAMDevice
+from repro.membus.transactions import AddressMap, MemoryOp, MemoryRequest
+
+
+AMAP = AddressMap(n_banks=4, n_rows=32, n_columns=16)
+TIMING = DRAMTiming()
+
+
+def read(addr):
+    return MemoryRequest(MemoryOp.READ, addr)
+
+
+def write(addr, data=0xAB):
+    return MemoryRequest(MemoryOp.WRITE, addr, data=data)
+
+
+@pytest.fixture
+def dram():
+    return SDRAMDevice(address_map=AMAP, timing=TIMING)
+
+
+class TestTiming:
+    def test_cold_read_pays_activate_plus_cas(self, dram):
+        result = dram.access(read(0))
+        assert result.ok
+        assert not result.row_hit
+        assert result.latency_cycles == TIMING.t_rcd + TIMING.cl + TIMING.burst
+
+    def test_row_hit_pays_cas_only(self, dram):
+        dram.access(read(0))
+        result = dram.access(read(1))  # same row, next column
+        assert result.row_hit
+        assert result.latency_cycles == TIMING.cl + TIMING.burst
+
+    def test_row_miss_pays_precharge(self, dram):
+        dram.access(read(0))
+        far = AMAP.encode(0, 5, 0)  # same bank, different row
+        result = dram.access(read(far))
+        assert not result.row_hit
+        assert (
+            result.latency_cycles
+            == TIMING.t_rp + TIMING.t_rcd + TIMING.cl + TIMING.burst
+        )
+
+    def test_different_banks_independent_rows(self, dram):
+        dram.access(read(AMAP.encode(0, 1, 0)))
+        dram.access(read(AMAP.encode(1, 2, 0)))
+        result = dram.access(read(AMAP.encode(0, 1, 5)))
+        assert result.row_hit
+
+    def test_write_latency_uses_cwl(self, dram):
+        result = dram.access(write(0))
+        assert result.latency_cycles == TIMING.t_rcd + TIMING.cwl + TIMING.burst
+
+    def test_refresh_closes_rows_and_stalls(self):
+        timing = DRAMTiming(t_refi=100, t_rfc=20)
+        dram = SDRAMDevice(address_map=AMAP, timing=timing)
+        dram.access(read(0))
+        # Burn cycles until a refresh is due.
+        while dram.current_cycle < 100:
+            dram.access(read(1))
+        result = dram.access(read(2))
+        assert dram.stats["refreshes"] >= 1
+        assert not result.row_hit  # refresh closed the row
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(t_rcd=0)
+
+
+class TestData:
+    def test_read_after_write(self, dram):
+        dram.access(write(7, data=123))
+        assert dram.access(read(7)).data == 123
+
+    def test_unwritten_reads_zero(self, dram):
+        assert dram.access(read(9)).data == 0
+
+    def test_peek_does_not_advance_time(self, dram):
+        dram.access(write(3, data=9))
+        cycle = dram.current_cycle
+        assert dram.peek(3) == 9
+        assert dram.current_cycle == cycle
+
+    def test_occupied_cells(self, dram):
+        dram.access(write(1, data=1))
+        dram.access(write(2, data=2))
+        dram.access(write(1, data=3))
+        assert dram.occupied_cells() == 2
+
+    def test_stats_counts(self, dram):
+        dram.access(write(0))
+        dram.access(read(0))
+        dram.access(read(1))
+        assert dram.stats["writes"] == 1
+        assert dram.stats["reads"] == 2
+        assert dram.stats["row_hits"] == 2
+
+
+class TestAuthGate:
+    def test_gate_blocks_column_access(self):
+        dram = SDRAMDevice(address_map=AMAP, auth_gate=lambda: False)
+        result = dram.access(read(0))
+        assert not result.ok
+        assert result.blocked
+        assert result.data is None
+        assert dram.stats["blocked"] == 1
+
+    def test_gate_blocks_writes_too(self):
+        dram = SDRAMDevice(address_map=AMAP, auth_gate=lambda: False)
+        dram.access(write(4, data=77))
+        assert dram.peek(4) is None  # nothing written
+
+    def test_gate_checked_per_access(self):
+        allowed = {"value": False}
+        dram = SDRAMDevice(address_map=AMAP, auth_gate=lambda: allowed["value"])
+        assert dram.access(read(0)).blocked
+        allowed["value"] = True
+        assert dram.access(read(0)).ok
+
+    def test_gate_none_means_open(self, dram):
+        assert dram.access(read(0)).ok

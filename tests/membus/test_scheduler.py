@@ -1,0 +1,145 @@
+"""Unit tests for the memory-request scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.membus import (
+    AddressMap,
+    FCFSPolicy,
+    FRFCFSPolicy,
+    MemoryController,
+    MemoryOp,
+    MemoryRequest,
+    SDRAMDevice,
+    TraceGenerator,
+    make_policy,
+)
+
+AMAP = AddressMap(n_banks=4, n_rows=64, n_columns=32)
+
+
+def read(bank, row, col):
+    return MemoryRequest(MemoryOp.READ, AMAP.encode(bank, row, col))
+
+
+class TestFCFS:
+    def test_strict_order(self):
+        policy = FCFSPolicy()
+        reqs = [read(0, r, 0) for r in range(5)]
+        for r in reqs:
+            policy.push(r)
+        device = SDRAMDevice(address_map=AMAP)
+        out = [policy.pop_next(device) for _ in range(5)]
+        assert out == reqs
+
+    def test_empty_pop(self):
+        assert FCFSPolicy().pop_next(SDRAMDevice(address_map=AMAP)) is None
+
+    def test_len(self):
+        policy = FCFSPolicy()
+        policy.push(read(0, 0, 0))
+        assert len(policy) == 1
+
+
+class TestFRFCFS:
+    def test_prefers_row_hit(self):
+        device = SDRAMDevice(address_map=AMAP)
+        device.access(read(0, 5, 0))  # opens bank 0 row 5
+        policy = FRFCFSPolicy()
+        miss = read(0, 9, 0)
+        hit = read(0, 5, 3)
+        policy.push(miss)
+        policy.push(hit)
+        assert policy.pop_next(device) is hit
+        assert policy.pop_next(device) is miss
+
+    def test_fcfs_within_hits(self):
+        device = SDRAMDevice(address_map=AMAP)
+        device.access(read(1, 2, 0))
+        policy = FRFCFSPolicy()
+        first_hit = read(1, 2, 1)
+        second_hit = read(1, 2, 2)
+        policy.push(first_hit)
+        policy.push(second_hit)
+        assert policy.pop_next(device) is first_hit
+
+    def test_no_hits_falls_back_to_oldest(self):
+        device = SDRAMDevice(address_map=AMAP)
+        policy = FRFCFSPolicy()
+        a, b = read(0, 1, 0), read(0, 2, 0)
+        policy.push(a)
+        policy.push(b)
+        assert policy.pop_next(device) is a
+
+    def test_window_limits_lookahead(self):
+        device = SDRAMDevice(address_map=AMAP)
+        device.access(read(0, 7, 0))
+        policy = FRFCFSPolicy(window=2)
+        misses = [read(0, r + 10, 0) for r in range(3)]
+        hit = read(0, 7, 1)  # sits beyond the window
+        for m in misses:
+            policy.push(m)
+        policy.push(hit)
+        assert policy.pop_next(device) is misses[0]
+
+    def test_starvation_bound(self):
+        """A conflicted head request is eventually served despite a
+        continuous stream of row hits."""
+        device = SDRAMDevice(address_map=AMAP)
+        device.access(read(0, 3, 0))
+        policy = FRFCFSPolicy(starvation_limit=4)
+        victim = read(0, 30, 0)  # row miss, always bypassed
+        policy.push(victim)
+        served = []
+        for i in range(10):
+            policy.push(read(0, 3, i + 1))  # endless hits
+            served.append(policy.pop_next(device))
+        assert victim in served[:6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FRFCFSPolicy(window=0)
+        with pytest.raises(ValueError):
+            FRFCFSPolicy(starvation_limit=0)
+
+
+class TestPolicyFactory:
+    def test_names(self):
+        assert isinstance(make_policy("fcfs"), FCFSPolicy)
+        assert isinstance(make_policy("frfcfs"), FRFCFSPolicy)
+        with pytest.raises(ValueError):
+            make_policy("random")
+
+
+class TestControllerIntegration:
+    def _run(self, policy):
+        device = SDRAMDevice(address_map=AMAP)
+        controller = MemoryController(device, policy=policy)
+        trace = TraceGenerator(AMAP, seed=1).hotspot(
+            1500, hot_rows=4, hot_fraction=0.7
+        )
+        for request in trace:
+            controller.enqueue(request)
+        records = controller.drain()
+        return device, records, controller
+
+    def test_frfcfs_improves_hot_trace(self):
+        dev_f, rec_f, _ = self._run(FCFSPolicy())
+        dev_r, rec_r, _ = self._run(FRFCFSPolicy())
+        hit_rate = lambda d: d.stats["row_hits"] / (
+            d.stats["row_hits"] + d.stats["row_misses"]
+        )
+        assert hit_rate(dev_r) > hit_rate(dev_f)
+        mean = lambda rs: np.mean([r.latency_cycles for r in rs])
+        assert mean(rec_r) < mean(rec_f)
+
+    def test_all_requests_complete_under_both(self):
+        _, rec_f, _ = self._run(FCFSPolicy())
+        _, rec_r, _ = self._run(FRFCFSPolicy())
+        assert len(rec_f) == len(rec_r) == 1500
+
+    def test_same_request_set_served(self):
+        _, rec_f, _ = self._run(FCFSPolicy())
+        _, rec_r, _ = self._run(FRFCFSPolicy())
+        addrs = lambda rs: sorted(r.request.address for r in rs)
+        assert addrs(rec_f) == addrs(rec_r)

@@ -1,0 +1,122 @@
+"""Unit tests for memory transactions, address mapping, and traces."""
+
+import numpy as np
+import pytest
+
+from repro.membus.transactions import (
+    AddressMap,
+    MemoryOp,
+    MemoryRequest,
+    TraceGenerator,
+)
+
+
+class TestMemoryRequest:
+    def test_write_requires_data(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(MemoryOp.WRITE, 0)
+
+    def test_read_needs_no_data(self):
+        MemoryRequest(MemoryOp.READ, 0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(MemoryOp.READ, -1)
+
+
+class TestAddressMap:
+    def test_capacity(self):
+        amap = AddressMap(n_banks=4, n_rows=8, n_columns=16)
+        assert amap.capacity == 4 * 8 * 16
+
+    def test_decode_encode_roundtrip(self):
+        amap = AddressMap(n_banks=4, n_rows=8, n_columns=16)
+        for addr in range(0, amap.capacity, 37):
+            d = amap.decode(addr)
+            assert amap.encode(d.bank, d.row, d.column) == addr
+
+    def test_consecutive_addresses_same_row_until_column_wrap(self):
+        amap = AddressMap(n_banks=4, n_rows=8, n_columns=16)
+        d0 = amap.decode(0)
+        d1 = amap.decode(1)
+        assert (d0.bank, d0.row) == (d1.bank, d1.row)
+        assert d1.column == d0.column + 1
+
+    def test_column_wrap_changes_bank(self):
+        amap = AddressMap(n_banks=4, n_rows=8, n_columns=16)
+        d = amap.decode(16)
+        assert d.bank == 1 and d.column == 0
+
+    def test_decode_out_of_range(self):
+        amap = AddressMap(n_banks=2, n_rows=2, n_columns=2)
+        with pytest.raises(ValueError):
+            amap.decode(amap.capacity)
+
+    def test_encode_bounds(self):
+        amap = AddressMap(n_banks=2, n_rows=2, n_columns=2)
+        with pytest.raises(ValueError):
+            amap.encode(2, 0, 0)
+        with pytest.raises(ValueError):
+            amap.encode(0, 2, 0)
+        with pytest.raises(ValueError):
+            amap.encode(0, 0, 2)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            AddressMap(n_banks=0)
+
+
+class TestTraceGenerator:
+    @pytest.fixture
+    def gen(self):
+        return TraceGenerator(AddressMap(n_banks=4, n_rows=64, n_columns=32), seed=1)
+
+    def test_sequential_addresses(self, gen):
+        reqs = gen.sequential(10, start=5, write_fraction=0.0)
+        assert [r.address for r in reqs] == list(range(5, 15))
+        assert all(r.op is MemoryOp.READ for r in reqs)
+
+    def test_write_fraction_respected(self, gen):
+        reqs = gen.random(4000, write_fraction=0.3)
+        frac = np.mean([r.op is MemoryOp.WRITE for r in reqs])
+        assert frac == pytest.approx(0.3, abs=0.03)
+
+    def test_writes_carry_data(self, gen):
+        reqs = gen.random(100, write_fraction=1.0)
+        assert all(r.data is not None for r in reqs)
+
+    def test_random_in_range(self, gen):
+        reqs = gen.random(500)
+        cap = gen.address_map.capacity
+        assert all(0 <= r.address < cap for r in reqs)
+
+    def test_strided(self, gen):
+        reqs = gen.strided(5, stride=10, write_fraction=0.0)
+        assert [r.address for r in reqs] == [0, 10, 20, 30, 40]
+
+    def test_strided_wraps(self, gen):
+        cap = gen.address_map.capacity
+        reqs = gen.strided(3, stride=cap - 1, write_fraction=0.0)
+        assert reqs[2].address == (2 * (cap - 1)) % cap
+
+    def test_hotspot_skew(self, gen):
+        reqs = gen.hotspot(2000, hot_rows=2, hot_fraction=0.9)
+        rows = [gen.address_map.decode(r.address).row for r in reqs]
+        hot = np.mean([r < 2 for r in rows])
+        assert hot > 0.85
+
+    def test_reproducible(self):
+        amap = AddressMap()
+        a = TraceGenerator(amap, seed=5).random(50)
+        b = TraceGenerator(amap, seed=5).random(50)
+        assert [r.address for r in a] == [r.address for r in b]
+
+    def test_validation(self, gen):
+        with pytest.raises(ValueError):
+            gen.random(-1)
+        with pytest.raises(ValueError):
+            gen.random(5, write_fraction=1.5)
+        with pytest.raises(ValueError):
+            gen.strided(5, stride=0)
+        with pytest.raises(ValueError):
+            gen.hotspot(5, hot_rows=0)

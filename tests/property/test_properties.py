@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the algebraic backbone of the system: similarity is a bounded
+symmetric gain/offset-invariant form; the mixture CDF is a monotone
+bijection; the lattice is causal and respects reflection-coefficient
+bounds; address mapping is a bijection; the Vernier phase set is always
+evenly spaced; ROC error rates are proper probabilities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.apc import MixtureCdfInverter
+from repro.core.auth import equal_error_rate, error_function, roc_curve, similarity
+from repro.core.pdm import VernierRelation
+from repro.membus.transactions import AddressMap
+from repro.signals.waveform import Waveform
+from repro.txline.profile import ImpedanceProfile
+from repro.txline.propagation import BornEngine, LatticeEngine
+
+finite_arrays = arrays(
+    dtype=float,
+    shape=st.integers(4, 64),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSimilarityProperties:
+    @given(finite_arrays)
+    def test_self_similarity_is_one_or_half(self, x):
+        """S(x,x) = 1 for any non-degenerate x.  Constant records may
+        canonicalise either to an exact zero vector (score 1/2) or to a
+        float-rounding residue (score 1) — both are self-consistent."""
+        s = similarity(x, x)
+        # abs tolerance: values near 1e-160 square into the subnormal
+        # range, where norms lose relative precision.
+        assert s == pytest.approx(1.0, abs=1e-3) or s == pytest.approx(
+            0.5, abs=1e-3
+        )
+
+    @given(st.data())
+    def test_bounded_symmetric(self, data):
+        n = data.draw(st.integers(4, 32))
+        elems = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+        x = data.draw(arrays(float, n, elements=elems))
+        y = data.draw(arrays(float, n, elements=elems))
+        s = similarity(x, y)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(similarity(y, x))
+
+    @given(st.data())
+    def test_gain_offset_invariance(self, data):
+        from hypothesis import assume
+
+        n = data.draw(st.integers(4, 32))
+        elems = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+        x = data.draw(arrays(float, n, elements=elems))
+        y = data.draw(arrays(float, n, elements=elems))
+        # Near-constant records lose their shape to float rounding when
+        # offset; the invariance claim applies to non-degenerate signals.
+        assume(np.std(x) > 1e-3)
+        gain = data.draw(st.floats(0.1, 10))
+        offset = data.draw(st.floats(-10, 10))
+        assert similarity(x, y) == pytest.approx(
+            similarity(gain * x + offset, y), abs=1e-6
+        )
+
+    @given(st.data())
+    def test_error_function_nonnegative_and_zero_iff_shapes_match(self, data):
+        from hypothesis import assume
+
+        n = data.draw(st.integers(4, 32))
+        elems = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+        x = data.draw(arrays(float, n, elements=elems))
+        assume(np.std(x) > 1e-3)  # avoid float-rounding degeneracy
+        e = error_function(x, 2.0 * x + 1.0)  # same shape after canon
+        assert np.all(e >= 0)
+        assert np.allclose(e, 0.0, atol=1e-9)
+
+
+class TestMixtureCdfProperties:
+    @given(
+        st.lists(st.floats(-0.05, 0.05), min_size=1, max_size=8),
+        st.floats(1e-4, 1e-2),
+    )
+    def test_forward_monotone_and_bounded(self, levels, sigma):
+        inv = MixtureCdfInverter(levels, sigma)
+        v = np.linspace(min(levels) - 4 * sigma, max(levels) + 4 * sigma, 101)
+        p = inv.forward(v)
+        assert np.all((0 <= p) & (p <= 1))
+        assert np.all(np.diff(p) >= 0)
+
+    @given(
+        st.lists(st.floats(-0.05, 0.05), min_size=1, max_size=8),
+        st.floats(1e-4, 1e-2),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_near_levels(self, levels, sigma):
+        """Inversion is accurate where the mixture has sensitivity: near
+        the reference levels.  Between widely separated levels the CDF
+        plateaus and inversion is ill-conditioned — the ladder-density
+        effect the PDM ablation studies."""
+        inv = MixtureCdfInverter(levels, sigma)
+        v = np.concatenate(
+            [np.linspace(l - sigma, l + sigma, 5) for l in levels]
+        )
+        back = inv.invert(inv.forward(v))
+        assert np.max(np.abs(back - v)) < sigma / 5
+
+
+class TestVernierProperties:
+    @given(st.integers(1, 40), st.integers(2, 40))
+    def test_phases_distinct_and_in_unit_interval(self, p, q):
+        rel = VernierRelation(p, q)
+        phases = rel.phases()
+        assert len(np.unique(np.round(phases, 12))) == rel.distinct_phases
+        assert np.all((0 <= phases) & (phases < 1))
+
+    @given(st.integers(1, 40), st.integers(2, 40))
+    def test_phase_spacing_uniform(self, p, q):
+        rel = VernierRelation(p, q)
+        phases = np.sort(rel.phases())
+        if len(phases) > 1:
+            spacing = np.diff(phases)
+            assert np.allclose(spacing, spacing[0], atol=1e-12)
+
+
+class TestLatticeProperties:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_causality_and_reflection_bound(self, data):
+        n = data.draw(st.integers(3, 25))
+        z = data.draw(
+            arrays(float, n, elements=st.floats(20.0, 120.0))
+        )
+        profile = ImpedanceProfile(
+            z=z, tau=np.full(n, 1e-11), z_source=50.0, z_load=50.0
+        )
+        h = LatticeEngine(round_trips=2).impulse_sequence(profile)
+        # Causality: nothing before the first interface's round trip.
+        assert np.allclose(h.samples[:2], 0.0)
+        # Each sample is a sum of bounded reflections: |h| <= 1.
+        assert np.max(np.abs(h.samples)) <= 1.0 + 1e-9
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_born_matches_lattice_for_small_contrast(self, data):
+        n = data.draw(st.integers(3, 30))
+        ripple = data.draw(
+            arrays(float, n, elements=st.floats(-0.01, 0.01))
+        )
+        z = 50.0 * (1.0 + ripple)
+        profile = ImpedanceProfile(
+            z=z, tau=np.full(n, 1e-11), z_source=50.0, z_load=50.0
+        )
+        h_lat = LatticeEngine(round_trips=2).impulse_sequence(profile)
+        h_born = BornEngine(grid_dt=1e-11).impulse_sequence(
+            profile, n_out=len(h_lat)
+        )
+        assert np.max(np.abs(h_lat.samples - h_born.samples)) < 1e-4
+
+
+class TestAddressMapProperties:
+    @given(st.data())
+    def test_decode_encode_bijection(self, data):
+        banks = data.draw(st.integers(1, 8))
+        rows = data.draw(st.integers(1, 64))
+        cols = data.draw(st.integers(1, 64))
+        amap = AddressMap(n_banks=banks, n_rows=rows, n_columns=cols)
+        addr = data.draw(st.integers(0, amap.capacity - 1))
+        d = amap.decode(addr)
+        assert 0 <= d.bank < banks
+        assert 0 <= d.row < rows
+        assert 0 <= d.column < cols
+        assert amap.encode(d.bank, d.row, d.column) == addr
+
+
+class TestRocProperties:
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_rates_are_probabilities_and_eer_bounded(self, data):
+        elems = st.floats(0.0, 1.0)
+        genuine = data.draw(
+            arrays(float, st.integers(5, 100), elements=elems)
+        )
+        impostor = data.draw(
+            arrays(float, st.integers(5, 100), elements=elems)
+        )
+        roc = roc_curve(genuine, impostor)
+        assert np.all((0 <= roc.false_positive_rate) & (roc.false_positive_rate <= 1))
+        assert np.all((0 <= roc.false_negative_rate) & (roc.false_negative_rate <= 1))
+        eer, thr = roc.eer()
+        assert 0.0 <= eer <= 1.0
+
+    @given(st.floats(0.01, 0.49))
+    def test_perfect_separation_zero_eer(self, gap):
+        genuine = np.linspace(0.5 + gap, 1.0, 50)
+        impostor = np.linspace(0.0, 0.5 - gap, 50)
+        eer, _ = equal_error_rate(genuine, impostor)
+        assert eer == pytest.approx(0.0, abs=1e-9)
+
+
+class TestWaveformProperties:
+    @given(st.data())
+    def test_decimate_interleave_identity(self, data):
+        """ETS's formal core at the container level: splitting a record
+        into M phase-strides loses nothing."""
+        n = data.draw(st.integers(1, 100))
+        m = data.draw(st.integers(1, 8))
+        samples = data.draw(
+            arrays(float, n, elements=st.floats(-10, 10))
+        )
+        w = Waveform(samples, dt=1e-12)
+        strides = [w.decimated(m, offset=k) for k in range(m)]
+        rebuilt = np.empty(n)
+        for k, s in enumerate(strides):
+            rebuilt[k::m] = s.samples
+        assert np.array_equal(rebuilt, samples)
+
+    @given(st.data())
+    def test_normalized_idempotent(self, data):
+        n = data.draw(st.integers(1, 50))
+        samples = data.draw(
+            arrays(float, n, elements=st.floats(-1e3, 1e3))
+        )
+        w = Waveform(samples, dt=1.0)
+        once = w.normalized()
+        twice = once.normalized()
+        assert np.allclose(once.samples, twice.samples)

@@ -1,0 +1,111 @@
+"""Unit tests for probe-edge synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.signals.edges import (
+    EdgeShape,
+    erf_edge,
+    gaussian_pulse,
+    linear_edge,
+    raised_cosine_edge,
+    step_edge,
+)
+
+DT = 10e-12
+RISE = 200e-12
+
+
+class TestRaisedCosine:
+    def test_starts_at_zero_ends_at_amplitude(self):
+        e = raised_cosine_edge(RISE, DT, amplitude=1.5, settle=100e-12)
+        assert e.samples[0] == pytest.approx(0.0, abs=1e-9)
+        assert e.samples[-1] == pytest.approx(1.5, rel=1e-6)
+
+    def test_monotone_rising(self):
+        e = raised_cosine_edge(RISE, DT)
+        assert np.all(np.diff(e.samples) >= -1e-12)
+
+    def test_settle_extends_flat_region(self):
+        short = raised_cosine_edge(RISE, DT)
+        long = raised_cosine_edge(RISE, DT, settle=300e-12)
+        assert len(long) > len(short)
+        tail = long.samples[len(short):]
+        assert np.allclose(tail, 1.0)
+
+    def test_rejects_nonpositive_rise(self):
+        with pytest.raises(ValueError):
+            raised_cosine_edge(0.0, DT)
+
+
+class TestErfEdge:
+    def test_ten_ninety_rise_time(self):
+        e = erf_edge(RISE, DT / 10)
+        t10 = e.times[np.searchsorted(e.samples, 0.1)]
+        t90 = e.times[np.searchsorted(e.samples, 0.9)]
+        assert (t90 - t10) == pytest.approx(RISE, rel=0.05)
+
+    def test_amplitude(self):
+        e = erf_edge(RISE, DT, amplitude=2.0)
+        assert e.samples[-1] == pytest.approx(2.0, rel=1e-3)
+
+
+class TestLinearEdge:
+    def test_linear_midpoint(self):
+        e = linear_edge(RISE, DT, amplitude=2.0)
+        assert e.value_at(RISE / 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_clamps_after_rise(self):
+        e = linear_edge(RISE, DT, settle=200e-12)
+        assert e.samples[-1] == pytest.approx(1.0)
+
+
+class TestStepAndPulse:
+    def test_step_is_flat(self):
+        e = step_edge(DT, amplitude=0.7, n=4)
+        assert np.allclose(e.samples, 0.7)
+
+    def test_step_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            step_edge(DT, n=0)
+
+    def test_gaussian_pulse_peak_centered(self):
+        p = gaussian_pulse(50e-12, DT)
+        assert p.samples[np.argmax(p.samples)] == pytest.approx(1.0)
+        assert np.argmax(p.samples) == len(p) // 2
+
+    def test_gaussian_pulse_symmetric(self):
+        p = gaussian_pulse(50e-12, DT)
+        assert np.allclose(p.samples, p.samples[::-1])
+
+    def test_gaussian_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            gaussian_pulse(0.0, DT)
+
+
+class TestEdgeShape:
+    def test_rising_falling_are_mirrors(self):
+        shape = EdgeShape(rise_time=RISE, amplitude=1.2)
+        r = shape.rising(DT)
+        f = shape.falling(DT)
+        assert np.allclose(r.samples + f.samples, 1.2)
+
+    def test_repeatability(self):
+        shape = EdgeShape(rise_time=RISE)
+        a = shape.rising(DT)
+        b = shape.rising(DT)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            EdgeShape(rise_time=RISE, kind="sawtooth")
+
+    def test_all_kinds_produce_full_swing(self):
+        for kind in EdgeShape.KINDS:
+            shape = EdgeShape(rise_time=RISE, amplitude=1.0, kind=kind)
+            e = shape.rising(DT, settle=100e-12)
+            assert e.samples[-1] == pytest.approx(1.0, rel=1e-2)
+
+    def test_rejects_nonpositive_rise_time(self):
+        with pytest.raises(ValueError):
+            EdgeShape(rise_time=-1e-12)

@@ -1,0 +1,102 @@
+"""Unit tests for the 8b/10b line code."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.signals.eightbten import (
+    Decoder8b10b,
+    Encoder8b10b,
+    decode_bits,
+    encode_bytes,
+)
+
+
+class TestEncoding:
+    def test_symbol_length(self):
+        sym = Encoder8b10b().encode_byte(0x00)
+        assert len(sym) == 10
+
+    def test_roundtrip_all_bytes(self):
+        data = list(range(256))
+        assert decode_bits(encode_bytes(data)) == data
+
+    def test_roundtrip_random_stream(self, rng):
+        data = rng.integers(0, 256, size=1000).tolist()
+        assert decode_bits(encode_bytes(data)) == data
+
+    def test_roundtrip_both_disparities(self):
+        """Every byte decodes identically from RD- and RD+ contexts."""
+        for byte in range(256):
+            enc = Encoder8b10b()
+            enc.running_disparity = -1
+            minus = enc.encode_byte(byte)
+            enc2 = Encoder8b10b()
+            enc2.running_disparity = +1
+            plus = enc2.encode_byte(byte)
+            dec = Decoder8b10b()
+            assert dec.decode_symbol(minus) == byte
+            assert dec.decode_symbol(plus) == byte
+
+    def test_byte_range_validation(self):
+        with pytest.raises(ValueError):
+            Encoder8b10b().encode_byte(256)
+
+    def test_empty_stream(self):
+        assert len(encode_bytes([])) == 0
+        assert decode_bits([]) == []
+
+
+class TestCodeProperties:
+    def test_dc_balance(self, rng):
+        """Long coded streams are exactly 50 % ones — the property that
+        balances rising/falling edges (paper II-E)."""
+        data = rng.integers(0, 256, size=4000).tolist()
+        bits = encode_bytes(data)
+        assert abs(bits.mean() - 0.5) < 0.002
+
+    def test_running_disparity_bounded(self, rng):
+        enc = Encoder8b10b()
+        cumulative = 0
+        for byte in rng.integers(0, 256, size=2000):
+            sym = enc.encode_byte(int(byte))
+            cumulative += int(sym.sum()) * 2 - 10
+            assert abs(cumulative) <= 2
+            assert enc.running_disparity in (-1, 1)
+
+    def test_run_length_bounded(self, rng):
+        """8b/10b guarantees no more than 5 identical bits in a row."""
+        data = rng.integers(0, 256, size=4000).tolist()
+        s = "".join(map(str, encode_bytes(data).tolist()))
+        longest = max(len(m.group(0)) for m in re.finditer(r"0+|1+", s))
+        assert longest <= 5
+
+    def test_symbol_disparity_values(self):
+        """Every symbol has disparity -2, 0, or +2."""
+        enc = Encoder8b10b()
+        for byte in range(256):
+            sym = enc.encode_byte(byte)
+            disparity = int(sym.sum()) * 2 - 10
+            assert disparity in (-2, 0, 2)
+
+    def test_reset(self):
+        enc = Encoder8b10b()
+        enc.encode_byte(0x55)
+        enc.reset()
+        assert enc.running_disparity == -1
+
+
+class TestDecoder:
+    def test_symbol_length_validation(self):
+        with pytest.raises(ValueError):
+            Decoder8b10b().decode_symbol([0] * 9)
+
+    def test_invalid_code_rejected(self):
+        # 000000 is not a valid 6b code (disparity -6).
+        with pytest.raises(ValueError):
+            Decoder8b10b().decode_symbol([0] * 10)
+
+    def test_stream_length_validation(self):
+        with pytest.raises(ValueError):
+            decode_bits([0] * 15)

@@ -1,0 +1,138 @@
+"""Tests for transmission response and eye-diagram analysis.
+
+Includes the signal-integrity statement of DIVOT's transparency: the data
+eye at the receiver is identical with and without DIVOT (the iTDR adds no
+series element), while a physical snooping pod measurably degrades it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CapacitiveSnoop
+from repro.signals.edges import EdgeShape
+from repro.signals.eye import EyeMetrics, eye_metrics, fold_eye
+from repro.signals.linecodes import NRZCode
+from repro.signals.prbs import prbs_bits
+from repro.signals.waveform import Waveform
+from repro.txline.propagation import LatticeEngine
+
+
+class TestTransmissionResponse:
+    def test_matched_line_delivers_loss_scaled_pulse(self):
+        from repro.txline.profile import ImpedanceProfile
+
+        n = 10
+        p = ImpedanceProfile(
+            z=np.full(n, 50.0),
+            tau=np.full(n, 1e-11),
+            z_source=50.0,
+            z_load=50.0,
+            loss_per_segment=0.99,
+        )
+        h = LatticeEngine().transmission_sequence(p, n_steps=30)
+        # Single arrival at step S with amplitude loss^S (matched: 1+rho=1).
+        assert h.samples[n] == pytest.approx(0.99**n, rel=1e-9)
+        others = np.delete(h.samples, n)
+        assert np.allclose(others, 0.0, atol=1e-12)
+
+    def test_mismatches_create_trailing_echoes(self, line):
+        h = LatticeEngine().transmission_sequence(line.full_profile)
+        s = line.full_profile.n_segments
+        first = abs(h.samples[s])
+        tail = np.abs(h.samples[s + 1 :]).max()
+        assert first > 0.5  # the main arrival dominates
+        assert 0 < tail < first  # echoes exist but are small
+
+    def test_energy_delivered_not_exceeding_input(self, line):
+        h = LatticeEngine(round_trips=5).transmission_sequence(
+            line.full_profile
+        )
+        assert np.sum(h.samples**2) <= 1.05  # near-matched: ~all delivered
+
+    def test_transmission_response_convolution(self, line):
+        profile = line.full_profile
+        tau = float(np.mean(profile.tau))
+        step = Waveform(np.ones(50), dt=tau)
+        out = LatticeEngine().transmission_response(profile, step)
+        s = profile.n_segments
+        # A step arrives, settled near the full divider level.
+        assert out.samples[s + 10] == pytest.approx(1.0, abs=0.1)
+
+
+class TestEyeFolding:
+    def _nrz_wave(self, n_bits=200, spb=32, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        bits = prbs_bits(9, n_bits)
+        code = NRZCode(
+            symbol_time=spb * 1e-11, edge=EdgeShape(rise_time=8e-11)
+        )
+        wave = code.encode(bits, dt=1e-11)
+        if noise:
+            wave = Waveform(
+                wave.samples + rng.normal(0, noise, len(wave)), wave.dt
+            )
+        return wave
+
+    def test_fold_shape(self):
+        wave = self._nrz_wave()
+        traces = fold_eye(wave, 32e-11)
+        assert traces.shape[1] == 32
+        assert traces.shape[0] >= 190
+
+    def test_fold_validation(self):
+        wave = self._nrz_wave()
+        with pytest.raises(ValueError):
+            fold_eye(wave, 0.0)
+        with pytest.raises(ValueError):
+            fold_eye(wave, 2e-11)  # 2 samples/symbol: too few
+        with pytest.raises(ValueError):
+            fold_eye(Waveform(np.zeros(10), dt=1e-11), 32e-11)
+
+    def test_clean_eye_wide_open(self):
+        metrics = eye_metrics(self._nrz_wave(), 32e-11)
+        assert metrics.is_open
+        assert metrics.height > 0.8
+        assert metrics.width_ui > 0.5
+        assert metrics.high_level > 0.9 and metrics.low_level < 0.1
+
+    def test_noise_closes_eye(self):
+        clean = eye_metrics(self._nrz_wave(), 32e-11)
+        noisy = eye_metrics(self._nrz_wave(noise=0.15), 32e-11)
+        assert noisy.height < clean.height
+
+    def test_all_ones_degenerate(self):
+        code = NRZCode(symbol_time=32e-11, edge=EdgeShape(rise_time=8e-11))
+        wave = code.encode([1] * 50, dt=1e-11)
+        metrics = eye_metrics(wave, 32e-11)
+        assert not metrics.is_open  # one rail only: nothing to slice
+
+
+class TestSignalIntegrityTransparency:
+    """DIVOT does not touch the data eye; a snooping pod does."""
+
+    def _receiver_eye(self, line, modifiers=()):
+        profile = line.profile_under(modifiers)
+        tau = float(np.mean(profile.tau))
+        spb = 64  # samples per symbol on the lattice grid
+        bits = prbs_bits(9, 300)
+        code = NRZCode(symbol_time=spb * tau, edge=EdgeShape(rise_time=10 * tau))
+        tx = code.encode(bits, dt=tau)
+        engine = LatticeEngine(round_trips=1.2)
+        h = engine.transmission_sequence(profile, n_steps=len(tx))
+        rx = np.convolve(tx.samples, h.samples)[: len(tx)]
+        return eye_metrics(Waveform(rx, tau), spb * tau, offset_symbols=8)
+
+    def test_divot_leaves_eye_untouched(self, line):
+        """The iTDR is a receive-side tap at the driver: the line the data
+        crosses is electrically identical with DIVOT present."""
+        without = self._receiver_eye(line)
+        with_divot = self._receiver_eye(line)  # same physics, by design
+        assert with_divot.height == pytest.approx(without.height)
+        assert with_divot.width_ui == pytest.approx(without.width_ui)
+
+    def test_snooping_pod_degrades_eye(self, line):
+        clean = self._receiver_eye(line)
+        probed = self._receiver_eye(
+            line, modifiers=[CapacitiveSnoop(0.12, loading=0.3)]
+        )
+        assert probed.height < clean.height

@@ -1,0 +1,90 @@
+"""Unit tests for the discrete-time filters."""
+
+import numpy as np
+import pytest
+
+from repro.signals.filters import (
+    dc_block,
+    differentiator,
+    moving_average,
+    single_pole_lowpass,
+)
+from repro.signals.waveform import Waveform
+
+
+class TestLowpass:
+    def test_dc_passes(self):
+        w = Waveform(np.ones(2000), dt=1e-9)
+        y = single_pole_lowpass(w, cutoff_hz=50e6)
+        assert y.samples[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_high_frequency_attenuated(self):
+        t = np.arange(4000) * 1e-9
+        w = Waveform(np.sin(2 * np.pi * 200e6 * t), dt=1e-9)
+        y = single_pole_lowpass(w, cutoff_hz=5e6)
+        assert y.rms() < 0.1 * w.rms()
+
+    def test_rejects_bad_cutoff(self):
+        w = Waveform(np.ones(4), dt=1e-9)
+        with pytest.raises(ValueError):
+            single_pole_lowpass(w, cutoff_hz=0.0)
+
+
+class TestMovingAverage:
+    def test_window_one_identity(self):
+        w = Waveform(np.arange(5, dtype=float), dt=1.0)
+        assert np.array_equal(moving_average(w, 1).samples, w.samples)
+
+    def test_flattens_spike(self):
+        x = np.zeros(11)
+        x[5] = 1.0
+        y = moving_average(Waveform(x, dt=1.0), 5)
+        assert y.samples.max() == pytest.approx(0.2)
+
+    def test_preserves_mean(self):
+        x = np.random.default_rng(0).normal(size=100)
+        y = moving_average(Waveform(x, dt=1.0), 7)
+        assert y.samples.mean() == pytest.approx(x.mean(), abs=0.05)
+
+    def test_preserves_length(self):
+        w = Waveform(np.arange(13, dtype=float), dt=1.0)
+        assert len(moving_average(w, 4)) == 13
+
+    def test_window_larger_than_record(self):
+        w = Waveform(np.arange(3, dtype=float), dt=1.0)
+        y = moving_average(w, 100)
+        assert len(y) == 3
+
+    def test_rejects_bad_window(self):
+        w = Waveform(np.ones(4), dt=1.0)
+        with pytest.raises(ValueError):
+            moving_average(w, 0)
+
+    def test_empty_input(self):
+        w = Waveform(np.zeros(0), dt=1.0)
+        assert len(moving_average(w, 3)) == 0
+
+
+class TestDCBlock:
+    def test_removes_mean(self):
+        w = Waveform(np.array([1.0, 2.0, 3.0]), dt=1.0)
+        assert dc_block(w).samples.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_passthrough(self):
+        w = Waveform(np.zeros(0), dt=1.0)
+        assert len(dc_block(w)) == 0
+
+
+class TestDifferentiator:
+    def test_ramp_gives_constant_slope(self):
+        w = Waveform(np.arange(10, dtype=float) * 2.0, dt=0.5)
+        d = differentiator(w)
+        assert np.allclose(d.samples[1:], 4.0)
+
+    def test_constant_gives_zero(self):
+        w = Waveform(np.full(10, 3.0), dt=1.0)
+        assert np.allclose(differentiator(w).samples, 0.0)
+
+    def test_short_input(self):
+        w = Waveform(np.array([1.0]), dt=1.0)
+        assert np.allclose(differentiator(w).samples, 0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for NRZ/PAM4 line coding."""
+
+import numpy as np
+import pytest
+
+from repro.signals.edges import EdgeShape
+from repro.signals.linecodes import NRZCode, PAM4Code, symbol_edges
+
+DT = 50e-12
+SYMBOL = 6.4e-9
+EDGE = EdgeShape(rise_time=300e-12)
+
+
+@pytest.fixture
+def nrz():
+    return NRZCode(SYMBOL, EDGE)
+
+
+@pytest.fixture
+def pam4():
+    return PAM4Code(SYMBOL, EDGE)
+
+
+class TestNRZ:
+    def test_levels(self, nrz):
+        assert np.allclose(nrz.levels([0, 1, 1, 0]), [0.0, 1.0, 1.0, 0.0])
+
+    def test_custom_levels(self):
+        code = NRZCode(SYMBOL, EDGE, low=-0.5, high=0.5)
+        assert np.allclose(code.levels([0, 1]), [-0.5, 0.5])
+
+    def test_rejects_non_binary(self, nrz):
+        with pytest.raises(ValueError):
+            nrz.levels([0, 2])
+
+    def test_rejects_inverted_levels(self):
+        with pytest.raises(ValueError):
+            NRZCode(SYMBOL, EDGE, low=1.0, high=0.0)
+
+    def test_encode_length(self, nrz):
+        w = nrz.encode([0, 1, 0], DT)
+        assert len(w) == 3 * int(round(SYMBOL / DT))
+
+    def test_encode_settles_at_levels(self, nrz):
+        w = nrz.encode([0, 1], DT)
+        sps = int(round(SYMBOL / DT))
+        # End of each symbol is settled at the target level.
+        assert w.samples[sps - 1] == pytest.approx(0.0, abs=1e-6)
+        assert w.samples[2 * sps - 1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_encode_empty(self, nrz):
+        assert len(nrz.encode([], DT)) == 0
+
+    def test_transitions(self, nrz):
+        edges = nrz.transitions([0, 1, 1, 0])
+        assert len(edges) == 2
+        assert edges[0].rising and not edges[1].rising
+        assert edges[0].symbol_index == 1
+        assert edges[1].time == pytest.approx(3 * SYMBOL)
+
+    def test_symbol_time_validation(self):
+        with pytest.raises(ValueError):
+            NRZCode(0.0, EDGE)
+
+    def test_too_fine_symbol_rejected_on_encode(self):
+        code = NRZCode(DT / 10, EDGE)
+        with pytest.raises(ValueError):
+            code.encode([0, 1], DT)
+
+
+class TestPAM4:
+    def test_gray_mapping_levels(self, pam4):
+        levels = pam4.levels([0, 0, 0, 1, 1, 1, 1, 0])
+        assert np.allclose(levels, [0.0, 1 / 3, 2 / 3, 1.0])
+
+    def test_rejects_odd_bit_count(self, pam4):
+        with pytest.raises(ValueError):
+            pam4.levels([0, 1, 1])
+
+    def test_rejects_non_binary(self, pam4):
+        with pytest.raises(ValueError):
+            pam4.levels([0, 3])
+
+    def test_adjacent_levels_differ_by_one_bit(self, pam4):
+        """Gray property: level k and k+1 come from bit pairs differing once."""
+        inverse = {v: k for k, v in PAM4Code._GRAY.items()}
+        for k in range(3):
+            a, b = inverse[k], inverse[k + 1]
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_encode_four_levels_present(self, pam4):
+        w = pam4.encode([0, 0, 0, 1, 1, 1, 1, 0], DT)
+        sps = int(round(SYMBOL / DT))
+        finals = w.samples[sps - 1 :: sps]
+        assert np.allclose(sorted(finals), [0.0, 1 / 3, 2 / 3, 1.0], atol=1e-6)
+
+
+class TestSymbolEdges:
+    def test_split_polarity(self, nrz):
+        rising, falling = symbol_edges(nrz, [0, 1, 0, 1, 1, 0])
+        assert len(rising) == 2
+        assert len(falling) == 2
+        assert all(e.rising for e in rising)
+        assert not any(e.rising for e in falling)
+
+    def test_constant_stream_has_no_edges(self, nrz):
+        rising, falling = symbol_edges(nrz, [1] * 10)
+        assert rising == [] and falling == []

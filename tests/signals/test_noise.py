@@ -1,0 +1,93 @@
+"""Unit tests for noise and interference sources."""
+
+import numpy as np
+import pytest
+
+from repro.signals.noise import (
+    BurstEMI,
+    CompositeInterference,
+    GaussianNoise,
+    SinusoidalEMI,
+)
+
+
+class TestGaussianNoise:
+    def test_sample_statistics(self, rng):
+        noise = GaussianNoise(sigma=2.0)
+        x = noise.sample(100_000, rng)
+        assert abs(x.mean()) < 0.05
+        assert x.std() == pytest.approx(2.0, rel=0.02)
+
+    def test_zero_sigma_allowed(self, rng):
+        x = GaussianNoise(sigma=0.0).sample(10, rng)
+        assert np.all(x == 0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(sigma=-1.0)
+
+    def test_waveform_wrapper(self, rng):
+        w = GaussianNoise(sigma=1.0).waveform(50, dt=1e-9, rng=rng)
+        assert len(w) == 50 and w.dt == 1e-9
+
+    def test_shape_support(self, rng):
+        x = GaussianNoise(sigma=1.0).sample((3, 4), rng)
+        assert x.shape == (3, 4)
+
+
+class TestSinusoidalEMI:
+    def test_value_at_amplitude_bound(self):
+        emi = SinusoidalEMI(amplitude=0.5, frequency=1e6)
+        t = np.linspace(0, 1e-5, 1000)
+        v = emi.value_at(t)
+        assert np.max(np.abs(v)) <= 0.5 + 1e-12
+
+    def test_async_trigger_samples_average_out(self, rng):
+        """The paper's EMI-rejection mechanism: random phase -> zero mean."""
+        emi = SinusoidalEMI(amplitude=1.0, frequency=312.5e6)
+        v = emi.sample_at_triggers(200_000, rng)
+        assert abs(v.mean()) < 0.01
+        # RMS of a sine sampled at uniform phase is A/sqrt(2).
+        assert np.std(v) == pytest.approx(1.0 / np.sqrt(2), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidalEMI(amplitude=-1.0, frequency=1e6)
+        with pytest.raises(ValueError):
+            SinusoidalEMI(amplitude=1.0, frequency=0.0)
+
+
+class TestBurstEMI:
+    def test_duty_controls_hit_fraction(self, rng):
+        burst = BurstEMI(amplitude=1.0, duty=0.25)
+        v = burst.sample_at_triggers(100_000, rng)
+        hit_fraction = np.mean(v != 0.0)
+        assert hit_fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_zero_duty_silent(self, rng):
+        v = BurstEMI(amplitude=1.0, duty=0.0).sample_at_triggers(1000, rng)
+        assert np.all(v == 0)
+
+    def test_full_duty_always_on(self, rng):
+        v = BurstEMI(amplitude=1.0, duty=1.0).sample_at_triggers(1000, rng)
+        assert np.mean(v != 0) > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstEMI(amplitude=1.0, duty=1.5)
+        with pytest.raises(ValueError):
+            BurstEMI(amplitude=-1.0, duty=0.5)
+
+
+class TestComposite:
+    def test_sums_sources(self, rng):
+        a = BurstEMI(amplitude=1.0, duty=1.0)
+        comp = CompositeInterference([a, a])
+        v1 = CompositeInterference([a]).sample_at_triggers(1000, np.random.default_rng(0))
+        v2 = comp.sample_at_triggers(1000, np.random.default_rng(0))
+        # Same rng stream consumed twice in v2: just check scale roughly doubles.
+        assert np.std(v2) > 1.2 * np.std(v1)
+
+    def test_empty_composite_is_zero(self, rng):
+        v = CompositeInterference([]).sample_at_triggers(10, rng)
+        assert np.all(v == 0)

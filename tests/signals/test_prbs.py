@@ -1,0 +1,83 @@
+"""Unit tests for PRBS/LFSR traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.signals.prbs import LFSR, PRBS_TAPS, prbs_bits, random_bits
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("order", sorted(PRBS_TAPS))
+    def test_declared_period(self, order):
+        assert LFSR(order).period == 2**order - 1
+
+    @pytest.mark.parametrize("order", [7, 9, 11])
+    def test_maximal_length_sequence(self, order):
+        """The register visits every non-zero state exactly once."""
+        lfsr = LFSR(order)
+        seen = set()
+        for _ in range(lfsr.period):
+            seen.add(lfsr.state)
+            lfsr.next_bit()
+        assert len(seen) == lfsr.period
+
+    def test_periodicity(self):
+        seq = LFSR(7).bits(2 * 127)
+        assert np.array_equal(seq[:127], seq[127:])
+
+    def test_balanced_ones(self):
+        """A maximal-length sequence has 2^(n-1) ones per period."""
+        bits = LFSR(7).bits(127)
+        assert bits.sum() == 64
+
+    def test_never_reaches_zero_state(self):
+        lfsr = LFSR(7, seed=1)
+        for _ in range(300):
+            lfsr.next_bit()
+            assert lfsr.state != 0
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            LFSR(8)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            LFSR(7, seed=0)
+
+    def test_seed_changes_phase_not_sequence(self):
+        """Different seeds give rotations of the same cycle."""
+        a = LFSR(7, seed=1).bits(127)
+        b = LFSR(7, seed=5).bits(127)
+        doubled = np.concatenate([a, a])
+        found = any(
+            np.array_equal(doubled[i : i + 127], b) for i in range(127)
+        )
+        assert found
+
+    def test_iterator_protocol(self):
+        lfsr = LFSR(7)
+        it = iter(lfsr)
+        bits = [next(it) for _ in range(5)]
+        assert all(b in (0, 1) for b in bits)
+
+    def test_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(7).bits(-1)
+
+
+class TestHelpers:
+    def test_prbs_bits_matches_lfsr(self):
+        assert np.array_equal(prbs_bits(7, 50), LFSR(7).bits(50))
+
+    def test_random_bits_reproducible(self):
+        a = random_bits(100, np.random.default_rng(3))
+        b = random_bits(100, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_random_bits_roughly_balanced(self):
+        bits = random_bits(10_000, np.random.default_rng(0))
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_random_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_bits(-1)

@@ -1,0 +1,100 @@
+"""Unit tests for the side-stream scrambler."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.signals.scrambler import Scrambler, descramble_bits, scramble_bytes
+
+
+class TestScrambler:
+    def test_roundtrip(self, rng):
+        data = rng.integers(0, 256, size=500).tolist()
+        assert descramble_bits(scramble_bytes(data)) == data
+
+    def test_scramble_descramble_symmetry(self):
+        """Side-stream scrambling is its own inverse from equal states."""
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        once = Scrambler().process_bits(bits)
+        twice = Scrambler().process_bits(once)
+        assert np.array_equal(twice, bits)
+
+    def test_reset_restores_stream(self):
+        s = Scrambler()
+        a = s.process_bits(np.zeros(64, dtype=np.uint8))
+        s.reset()
+        b = s.process_bits(np.zeros(64, dtype=np.uint8))
+        assert np.array_equal(a, b)
+
+    def test_whitens_constant_data(self):
+        """All-zero payload scrambles to a balanced stream."""
+        bits = scramble_bytes([0] * 1000)
+        assert abs(bits.mean() - 0.5) < 0.05
+
+    def test_breaks_long_runs(self):
+        bits = scramble_bytes([0xFF] * 1000)
+        s = "".join(map(str, bits.tolist()))
+        longest = max(len(m.group(0)) for m in re.finditer(r"0+|1+", s))
+        assert longest < 30  # probabilistic bound, far below 8000
+
+    def test_zero_overhead(self):
+        assert len(scramble_bytes([0xAB] * 10)) == 80
+
+    def test_keystream_period_is_maximal(self):
+        """x^16+x^5+x^4+x^3+1 is primitive: period 2^16 - 1."""
+        s = Scrambler()
+        start = s.state
+        period = 0
+        while True:
+            s._next_keystream_bit()
+            period += 1
+            if s.state == start:
+                break
+            assert period <= 2**16
+        assert period == 2**16 - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scrambler(seed=0)
+        with pytest.raises(ValueError):
+            Scrambler().process_bytes([300])
+        with pytest.raises(ValueError):
+            descramble_bits([0, 1, 0])
+
+
+class TestSerialLinkCodings:
+    def test_scrambled_link_roundtrip(self, line, rng):
+        from repro.iolink import Frame, SerialLink
+
+        link = SerialLink(line, coding="scrambled-nrz")
+        frames = [
+            Frame(sequence=i, payload=tuple(rng.integers(0, 256, 16)))
+            for i in range(5)
+        ]
+        assert link.decode_frames(link.encode_frames(frames)) == frames
+
+    def test_trigger_rates_differ_by_coding(self, line):
+        from repro.iolink import SerialLink
+
+        coded = SerialLink(line, coding="8b10b")
+        scrambled = SerialLink(line, coding="scrambled-nrz")
+        r_coded = coded.measured_trigger_rate() / coded.bit_rate
+        r_scrambled = scrambled.measured_trigger_rate() / scrambled.bit_rate
+        assert r_scrambled == pytest.approx(0.25, abs=0.01)
+        assert r_coded > r_scrambled + 0.03
+
+    def test_scrambled_has_zero_overhead(self, line, rng):
+        from repro.iolink import Frame, SerialLink
+
+        frame = Frame(sequence=1, payload=tuple(rng.integers(0, 256, 32)))
+        plain = SerialLink(line, coding="scrambled-nrz").encode_frames([frame])
+        coded = SerialLink(line, coding="8b10b").encode_frames([frame])
+        assert len(plain) == frame.wire_length * 8
+        assert len(coded) == frame.wire_length * 10
+
+    def test_unknown_coding_rejected(self, line):
+        from repro.iolink import SerialLink
+
+        with pytest.raises(ValueError):
+            SerialLink(line, coding="64b66b")

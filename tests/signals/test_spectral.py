@@ -1,0 +1,85 @@
+"""Unit tests for spectral analysis."""
+
+import numpy as np
+import pytest
+
+from repro.signals.edges import EdgeShape
+from repro.signals.spectral import (
+    bandwidth_to_spatial_resolution,
+    occupied_bandwidth,
+    power_spectrum,
+    rise_time_to_bandwidth,
+)
+from repro.signals.waveform import Waveform
+
+
+class TestPowerSpectrum:
+    def test_sine_peak_at_its_frequency(self):
+        fs = 1e9
+        t = np.arange(4096) / fs
+        wave = Waveform(np.sin(2 * np.pi * 50e6 * t), dt=1 / fs)
+        freqs, power = power_spectrum(wave)
+        assert freqs[np.argmax(power)] == pytest.approx(50e6, rel=0.01)
+
+    def test_dc_removed(self):
+        wave = Waveform(np.full(256, 3.0), dt=1e-9)
+        _, power = power_spectrum(wave)
+        assert power.sum() == pytest.approx(0.0, abs=1e-20)
+
+    def test_parseval_scaling(self):
+        """Parseval: the one-sided spectrum holds half the AC energy
+        (DC and Nyquist bins aside)."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1024)
+        wave = Waveform(x, dt=1e-9)
+        _, power = power_spectrum(wave)
+        ac_energy = np.sum((x - x.mean()) ** 2) * 1e-9
+        assert power.sum() == pytest.approx(ac_energy / 2.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_spectrum(Waveform(np.zeros(1), dt=1e-9))
+
+
+class TestOccupiedBandwidth:
+    def test_narrowband_signal(self):
+        fs = 1e9
+        t = np.arange(8192) / fs
+        wave = Waveform(np.sin(2 * np.pi * 10e6 * t), dt=1 / fs)
+        bw = occupied_bandwidth(wave)
+        assert bw == pytest.approx(10e6, rel=0.1)
+
+    def test_faster_edge_wider_band(self):
+        dt = 11.16e-12
+        slow = EdgeShape(rise_time=300e-12).rising(dt, settle=1e-9)
+        fast = EdgeShape(rise_time=75e-12).rising(dt, settle=1e-9)
+        assert occupied_bandwidth(fast) > occupied_bandwidth(slow)
+
+    def test_zero_signal(self):
+        wave = Waveform(np.zeros(64), dt=1e-9)
+        assert occupied_bandwidth(wave) == 0.0
+
+    def test_fraction_validation(self):
+        wave = Waveform(np.ones(16), dt=1e-9)
+        with pytest.raises(ValueError):
+            occupied_bandwidth(wave, fraction=1.5)
+
+
+class TestRules:
+    def test_rise_time_rule(self):
+        assert rise_time_to_bandwidth(350e-12) == pytest.approx(1e9)
+
+    def test_prototype_edge_limits_resolution_not_grid(self):
+        """The binding constraint at prototype settings: a 150 ps edge's
+        ~2.3 GHz bandwidth resolves ~3 cm round trip — 40x coarser than
+        the 0.84 mm ETS grid.  (Why the ETS ablation's margin saturates.)"""
+        bw = rise_time_to_bandwidth(150e-12)
+        res = bandwidth_to_spatial_resolution(bw, 1.5e8)
+        grid_res = 1.5e8 * 11.16e-12 / 2
+        assert res > 10 * grid_res
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rise_time_to_bandwidth(0.0)
+        with pytest.raises(ValueError):
+            bandwidth_to_spatial_resolution(0.0, 1.5e8)

@@ -1,0 +1,177 @@
+"""Unit tests for the Waveform container."""
+
+import numpy as np
+import pytest
+
+from repro.signals.waveform import Waveform
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        w = Waveform(np.array([1.0, 2.0, 3.0]), dt=1e-9, t0=5e-9)
+        assert len(w) == 3
+        assert w.dt == 1e-9
+        assert w.t0 == 5e-9
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            Waveform(np.zeros(3), dt=0.0)
+        with pytest.raises(ValueError):
+            Waveform(np.zeros(3), dt=-1e-9)
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ValueError):
+            Waveform(np.zeros((2, 3)), dt=1e-9)
+
+    def test_samples_coerced_to_float(self):
+        w = Waveform(np.array([1, 2, 3]), dt=1.0)
+        assert w.samples.dtype == float
+
+    def test_duration(self):
+        w = Waveform(np.zeros(10), dt=2.0)
+        assert w.duration == 20.0
+
+    def test_times_axis(self):
+        w = Waveform(np.zeros(4), dt=0.5, t0=1.0)
+        assert np.allclose(w.times, [1.0, 1.5, 2.0, 2.5])
+
+
+class TestValueAt:
+    def test_exact_sample(self):
+        w = Waveform(np.array([0.0, 1.0, 4.0]), dt=1.0)
+        assert w.value_at(2.0) == 4.0
+
+    def test_interpolates(self):
+        w = Waveform(np.array([0.0, 2.0]), dt=1.0)
+        assert w.value_at(0.5) == pytest.approx(1.0)
+
+    def test_clamps_outside(self):
+        w = Waveform(np.array([3.0, 5.0]), dt=1.0)
+        assert w.value_at(-10.0) == 3.0
+        assert w.value_at(+10.0) == 5.0
+
+
+class TestArithmetic:
+    def test_add_and_subtract(self):
+        a = Waveform(np.array([1.0, 2.0]), dt=1.0)
+        b = Waveform(np.array([3.0, 4.0]), dt=1.0)
+        assert np.allclose((a + b).samples, [4.0, 6.0])
+        assert np.allclose((b - a).samples, [2.0, 2.0])
+
+    def test_add_rejects_dt_mismatch(self):
+        a = Waveform(np.zeros(2), dt=1.0)
+        b = Waveform(np.zeros(2), dt=2.0)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_add_rejects_length_mismatch(self):
+        a = Waveform(np.zeros(2), dt=1.0)
+        b = Waveform(np.zeros(3), dt=1.0)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_scaled_and_shifted(self):
+        w = Waveform(np.array([1.0, -1.0]), dt=1.0)
+        assert np.allclose(w.scaled(3.0).samples, [3.0, -3.0])
+        assert np.allclose(w.shifted(1.0).samples, [2.0, 0.0])
+
+    def test_delayed_moves_origin_only(self):
+        w = Waveform(np.array([1.0, 2.0]), dt=1.0, t0=0.0)
+        d = w.delayed(5.0)
+        assert d.t0 == 5.0
+        assert np.allclose(d.samples, w.samples)
+
+
+class TestStatistics:
+    def test_energy(self):
+        w = Waveform(np.array([3.0, 4.0]), dt=2.0)
+        assert w.energy() == pytest.approx((9 + 16) * 2.0)
+
+    def test_rms(self):
+        w = Waveform(np.array([3.0, -3.0]), dt=1.0)
+        assert w.rms() == pytest.approx(3.0)
+
+    def test_rms_empty(self):
+        assert Waveform(np.zeros(0), dt=1.0).rms() == 0.0
+
+    def test_peak(self):
+        w = Waveform(np.array([1.0, -7.0, 2.0]), dt=1.0)
+        assert w.peak() == 7.0
+
+    def test_normalized_unit_energy(self):
+        w = Waveform(np.array([3.0, 4.0]), dt=1.0)
+        assert np.linalg.norm(w.normalized().samples) == pytest.approx(1.0)
+
+    def test_normalized_zero_waveform_unchanged(self):
+        w = Waveform(np.zeros(4), dt=1.0)
+        assert np.allclose(w.normalized().samples, 0.0)
+
+
+class TestSlicingResampling:
+    def test_slice_time(self):
+        w = Waveform(np.arange(10, dtype=float), dt=1.0)
+        s = w.slice_time(2.0, 5.0)
+        assert np.allclose(s.samples, [2.0, 3.0, 4.0])
+        assert s.t0 == 2.0
+
+    def test_slice_time_empty(self):
+        w = Waveform(np.arange(5, dtype=float), dt=1.0)
+        assert len(w.slice_time(100.0, 200.0)) == 0
+
+    def test_slice_rejects_inverted_range(self):
+        w = Waveform(np.arange(5, dtype=float), dt=1.0)
+        with pytest.raises(ValueError):
+            w.slice_time(3.0, 1.0)
+
+    def test_decimated_stride_and_phase(self):
+        w = Waveform(np.arange(10, dtype=float), dt=1.0)
+        d = w.decimated(3, offset=1)
+        assert np.allclose(d.samples, [1.0, 4.0, 7.0])
+        assert d.dt == 3.0
+        assert d.t0 == 1.0
+
+    def test_decimated_rejects_bad_args(self):
+        w = Waveform(np.arange(10, dtype=float), dt=1.0)
+        with pytest.raises(ValueError):
+            w.decimated(0)
+        with pytest.raises(ValueError):
+            w.decimated(3, offset=3)
+
+    def test_padded(self):
+        w = Waveform(np.array([1.0]), dt=1.0, t0=0.0)
+        p = w.padded(n_before=2, n_after=1)
+        assert np.allclose(p.samples, [0, 0, 1, 0])
+        assert p.t0 == -2.0
+
+    def test_padded_rejects_negative(self):
+        w = Waveform(np.array([1.0]), dt=1.0)
+        with pytest.raises(ValueError):
+            w.padded(n_before=-1)
+
+
+class TestConvolution:
+    def test_impulse_is_identity(self):
+        x = Waveform(np.array([1.0, 2.0, 3.0]), dt=0.5)
+        h = Waveform.impulse(1, dt=0.5)
+        y = x.convolved_with(h)
+        assert np.allclose(y.samples[:3], x.samples)
+
+    def test_convolution_rejects_dt_mismatch(self):
+        x = Waveform(np.zeros(3), dt=1.0)
+        h = Waveform(np.zeros(3), dt=2.0)
+        with pytest.raises(ValueError):
+            x.convolved_with(h)
+
+    def test_impulse_index_bounds(self):
+        with pytest.raises(ValueError):
+            Waveform.impulse(3, dt=1.0, at_index=3)
+
+
+class TestConstructors:
+    def test_zeros(self):
+        w = Waveform.zeros(5, dt=1.0)
+        assert len(w) == 5 and np.all(w.samples == 0)
+
+    def test_constant(self):
+        w = Waveform.constant(2.5, 3, dt=1.0)
+        assert np.allclose(w.samples, 2.5)

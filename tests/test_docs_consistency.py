@@ -1,0 +1,115 @@
+"""Meta-tests: the documentation and the code must agree.
+
+DESIGN.md's experiment index, EXPERIMENTS.md's sections, the run_all
+suite, and the benchmark files all name the same experiments; these tests
+fail when one of them drifts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Experiment ids promised by DESIGN.md section 4.
+EXPERIMENT_IDS = [
+    "F2", "F3/F4", "F5", "F7a", "F7b", "F8", "E-VIB", "E-EMI",
+    "F9bc", "F9ef", "F9hi", "T-OVH", "T-LAT", "F6", "A-BASE", "A-MULTI",
+    "X-CLONE", "X-JIT", "X-LINK", "X-SHARE", "X-ADAPT", "X-STACK",
+    "X-ENROLL", "X-SENS",
+]
+
+
+class TestDesignDoc:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (REPO / "DESIGN.md").read_text()
+
+    @pytest.mark.parametrize("exp_id", EXPERIMENT_IDS)
+    def test_every_experiment_listed(self, design, exp_id):
+        assert exp_id in design
+
+    def test_no_title_mismatch_flag(self, design):
+        """DESIGN.md confirms the paper text matched the claimed title."""
+        assert "No\ntitle-collision mismatch" in design or (
+            "no" in design.lower() and "title-collision" in design.lower()
+        )
+
+    def test_every_named_module_exists(self, design):
+        """Module paths cited in the experiment index exist on disk."""
+        import re
+
+        for match in re.finditer(r"`(experiments/[a-z0-9_]+\.py)`", design):
+            assert (REPO / "src" / "repro" / match.group(1)).exists(), (
+                match.group(1)
+            )
+
+
+class TestExperimentsDoc:
+    @pytest.fixture(scope="class")
+    def experiments_md(self):
+        return (REPO / "EXPERIMENTS.md").read_text()
+
+    @pytest.mark.parametrize(
+        "section",
+        ["## F7", "## F8", "## F9", "## F6", "## T-OVH", "## T-LAT",
+         "## A-BASE", "## A-MULTI", "## X-CLONE", "## X-JIT", "## X-LINK",
+         "## X-SHARE", "## X-ADAPT", "## X-STACK", "## X-ENROLL",
+         "## X-SENS",
+         "## Deviations"],
+    )
+    def test_sections_present(self, experiments_md, section):
+        assert section in experiments_md
+
+    def test_paper_headline_numbers_quoted(self, experiments_md):
+        for figure in ["0.06", "0.14", "0.27", "71", "124", "50 µs"]:
+            assert figure in experiments_md
+
+
+class TestRunAllSuite:
+    def test_suite_matches_experiment_modules(self):
+        """Every experiment module with a run() is wired into run_all."""
+        from repro.experiments.common import ExperimentScale
+        from repro.experiments.run_all import build_suite
+
+        suite_names = " ".join(
+            name
+            for name, _ in build_suite(
+                ExperimentScale(n_lines=2, n_measurements=10, n_enroll=2)
+            )
+        )
+        for token in ["F2", "F5", "F7", "F8", "F9", "F6", "T-OVH", "T-LAT",
+                      "A-BASE", "A-MULTI", "A-PDM", "A-TRIG", "A-ETS",
+                      "X-CLONE", "X-JIT", "X-SHARE", "X-ADAPT", "X-STACK"]:
+            assert token in suite_names
+
+    def test_bench_files_cover_experiment_families(self):
+        bench_names = " ".join(
+            p.name for p in (REPO / "benchmarks").glob("bench_*.py")
+        )
+        for family in ["fig2", "fig34", "fig5", "fig6", "fig7", "fig8",
+                       "fig9", "tab_overhead", "tab_latency", "baselines",
+                       "ablations", "extensions", "env_robustness"]:
+            assert family in bench_names
+
+    def test_examples_exist(self):
+        examples = {p.name for p in (REPO / "examples").glob("*.py")}
+        assert "quickstart.py" in examples
+        assert len(examples) >= 5
+
+
+class TestReadme:
+    def test_readme_commands_are_real(self):
+        readme = (REPO / "README.md").read_text()
+        assert "pytest tests/" in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+        assert "repro.experiments.run_all" in readme
+
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart code block executes as written."""
+        import re
+
+        readme = (REPO / "README.md").read_text()
+        match = re.search(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert match is not None
+        exec(compile(match.group(1), "<readme>", "exec"), {})

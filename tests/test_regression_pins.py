@@ -1,0 +1,193 @@
+"""Regression pins: the calibrated numbers this reproduction stands on.
+
+Each test pins one number DESIGN.md/EXPERIMENTS.md quotes, with tolerance
+for statistical wobble.  If refactoring moves any of these, either the
+change is a bug or the documentation needs the new value — both worth a
+loud failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    prototype_itdr,
+    prototype_itdr_config,
+    prototype_line_factory,
+)
+
+
+class TestGeometryPins:
+    def test_round_trip_near_3_8_ns(self, line):
+        """The Fig. 9 record span."""
+        assert line.full_profile.round_trip_delay == pytest.approx(
+            3.8e-9, rel=0.05
+        )
+
+    def test_segment_pitch_matches_phase_step(self, factory):
+        assert factory.segment_delay == pytest.approx(11.16e-12, rel=0.01)
+
+    def test_fr4_velocity(self):
+        from repro.txline.materials import FR4
+
+        assert FR4.velocity_at(23.0) == pytest.approx(15e7, rel=0.02)
+
+
+class TestMeasurementPins:
+    def test_operating_point(self):
+        cfg = prototype_itdr_config()
+        assert cfg.clock_frequency == 156.25e6
+        assert cfg.phase_step == 11.16e-12
+        assert cfg.repetitions == 24
+        assert cfg.noise_sigma == pytest.approx(3e-3)
+        assert cfg.pdm_vernier == (5, 6)
+
+    def test_eight_k_measurements_per_capture(self, line, itdr):
+        """341-400 points x 24 reps ~ the paper's 8192 measurements."""
+        budget = itdr.budget(itdr.record_length(line))
+        assert 8000 <= budget.n_triggers <= 10000
+
+    def test_capture_time_near_paper_50us(self, line, itdr):
+        budget = itdr.budget(itdr.record_length(line))
+        assert 45e-6 <= budget.duration_s <= 65e-6
+
+    def test_equivalent_rate_and_resolution(self, itdr):
+        assert itdr.pll.equivalent_sample_rate > 80e9
+        assert itdr.pll.spatial_resolution(15e7) == pytest.approx(
+            0.837e-3, rel=0.01
+        )
+
+
+class TestStatisticalPins:
+    """EER bands at a documented reduced scale (6 lines x 1024)."""
+
+    @pytest.fixture(scope="class")
+    def room_scores(self):
+        from repro.experiments.common import ExperimentScale, score_lines
+
+        factory = prototype_line_factory()
+        lines = factory.manufacture_batch(6)
+        itdr = prototype_itdr(rng=np.random.default_rng(7))
+        return score_lines(lines, itdr, 1024, n_enroll=16)
+
+    def test_room_eer_in_band(self, room_scores):
+        eer, _ = room_scores.eer()
+        assert eer <= 0.002  # paper band: < 0.06%; reduced-scale slack
+
+    def test_genuine_impostor_separation(self, room_scores):
+        s = room_scores.summary()
+        assert s["genuine_mean"] - s["impostor_mean"] > 0.15
+
+    def test_dprime_band(self, room_scores):
+        from repro.analysis.stats import d_prime
+
+        assert d_prime(room_scores.genuine, room_scores.impostor) > 3.0
+
+
+class TestHardwarePins:
+    def test_resource_totals(self):
+        from repro.core.resources import ResourceModel
+
+        report = ResourceModel(prototype_itdr_config()).report()
+        assert (report.registers, report.luts) == (71, 124)
+        assert 0.75 <= report.counter_register_fraction <= 0.85
+        assert report.shared_fraction > 0.90
+
+    def test_marginal_bus_cost(self):
+        from repro.core.resources import ResourceModel
+
+        regs, luts = ResourceModel(prototype_itdr_config()).report().marginal_cost()
+        assert (regs, luts) == (4, 5)
+
+
+class TestCodePins:
+    def test_8b10b_trigger_rate(self, line):
+        from repro.iolink import SerialLink
+
+        rate = SerialLink(line).measured_trigger_rate() / 5e9
+        assert rate == pytest.approx(0.305, abs=0.01)
+
+    def test_scrambled_trigger_rate(self, line):
+        from repro.iolink import SerialLink
+
+        link = SerialLink(line, coding="scrambled-nrz")
+        assert link.measured_trigger_rate() / 5e9 == pytest.approx(
+            0.25, abs=0.01
+        )
+
+    def test_prbs_trigger_rate(self):
+        from repro.core.trigger import TriggerGenerator
+        from repro.signals.prbs import prbs_bits
+
+        bits = prbs_bits(15, 2**15 - 1)
+        rate = TriggerGenerator().count_triggers(bits) / len(bits)
+        assert rate == pytest.approx(0.25, abs=0.005)
+
+
+class TestTamperPins:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.core.fingerprint import Fingerprint
+        from repro.core.tamper import TamperDetector
+        from repro.txline.materials import FR4
+
+        factory = prototype_line_factory(attach_receiver=True)
+        line = factory.manufacture(seed=1)
+        itdr = prototype_itdr(rng=np.random.default_rng(0))
+        reference = Fingerprint.from_captures(
+            [itdr.capture(line) for _ in range(128)]
+        )
+        detector = TamperDetector(
+            threshold=1.0,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=7,
+            alignment_offset_s=itdr.probe_edge().duration,
+        )
+        return line, itdr, reference, detector
+
+    def test_attack_signature_ordering(self, setup):
+        """Magnetic < residue < snoop < chip-swap < load-mod < wire-tap."""
+        from repro.attacks import (
+            CapacitiveSnoop,
+            ChipSwap,
+            LoadModification,
+            MagneticProbe,
+            WireTap,
+        )
+
+        line, itdr, reference, detector = setup
+        peaks = {}
+        for name, attack in [
+            ("magnetic", MagneticProbe(0.12)),
+            ("residue", WireTap(0.12).residue()),
+            ("snoop", CapacitiveSnoop(0.12)),
+            ("chip-swap", ChipSwap(77)),
+            ("load-mod", LoadModification()),
+            ("wire-tap", WireTap(0.12)),
+        ]:
+            capture = itdr.capture_averaged(line, 128, modifiers=[attack])
+            peaks[name] = float(
+                detector.error_profile(capture, reference).samples.max()
+            )
+        assert peaks["magnetic"] == min(peaks.values())
+        assert peaks["wire-tap"] == max(peaks.values())
+        assert peaks["magnetic"] < peaks["snoop"] < peaks["wire-tap"]
+
+    def test_chip_swap_localises_to_termination(self, setup):
+        from repro.attacks import ChipSwap
+        from repro.core.tamper import TamperDetector
+        from repro.txline.materials import FR4
+
+        line, itdr, reference, _ = setup
+        detector = TamperDetector(
+            threshold=1e-3,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=7,
+            alignment_offset_s=itdr.probe_edge().duration,
+        )
+        capture = itdr.capture_averaged(line, 128, modifiers=[ChipSwap(77)])
+        verdict = detector.check(capture, reference)
+        line_length = (
+            line.full_profile.one_way_delay * FR4.velocity_at(FR4.t_ref_c)
+        )
+        assert verdict.tampered
+        assert verdict.location_m == pytest.approx(line_length, abs=0.02)

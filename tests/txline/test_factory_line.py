@@ -1,0 +1,133 @@
+"""Unit tests for line manufacturing and the TransmissionLine object."""
+
+import numpy as np
+import pytest
+
+from repro.signals.waveform import Waveform
+from repro.txline.factory import LineFactory, LineGeometry
+from repro.txline.line import TransmissionLine
+from repro.txline.termination import ReceiverPackage
+
+
+class TestGeometry:
+    def test_segment_counts(self):
+        geo = LineGeometry()
+        # 25 cm at 1.674 mm pitch.
+        assert geo.n_trace_segments == pytest.approx(149, abs=1)
+        assert geo.n_launch_segments == pytest.approx(21, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineGeometry(length_m=0.0)
+        with pytest.raises(ValueError):
+            LineGeometry(launch_length_m=-0.01)
+        with pytest.raises(ValueError):
+            LineGeometry(nominal_impedance=0.0)
+
+
+class TestFactory:
+    def test_same_seed_same_line(self, factory):
+        a = factory.manufacture(seed=42)
+        b = factory.manufacture(seed=42)
+        assert np.array_equal(a.board_profile.z, b.board_profile.z)
+
+    def test_different_seeds_different_fingerprints(self, factory):
+        a = factory.manufacture(seed=1)
+        b = factory.manufacture(seed=2)
+        assert not np.allclose(a.board_profile.z, b.board_profile.z)
+
+    def test_impedance_near_nominal(self, factory):
+        line = factory.manufacture(seed=3)
+        trace = line.board_profile.z[factory.geometry.n_launch_segments :]
+        assert abs(trace.mean() - 50.0) < 2.0
+        assert trace.std() / 50.0 == pytest.approx(
+            factory.impedance_sigma, rel=0.5
+        )
+
+    def test_round_trip_matches_paper_span(self, factory):
+        """25 cm + launch: a ~3.8 ns round trip, the Fig. 9 time span."""
+        line = factory.manufacture(seed=1)
+        rt = line.board_profile.round_trip_delay
+        assert 3.5e-9 < rt < 4.1e-9
+
+    def test_batch_naming_and_count(self, factory):
+        lines = factory.manufacture_batch(3, first_seed=10)
+        assert [l.name for l in lines] == ["line-10", "line-11", "line-12"]
+
+    def test_batch_rejects_zero(self, factory):
+        with pytest.raises(ValueError):
+            factory.manufacture_batch(0)
+
+    def test_receiver_attachment(self, factory_with_receiver):
+        line = factory_with_receiver.manufacture(seed=1)
+        assert line.receiver is not None
+        assert line.full_profile.n_segments > line.board_profile.n_segments
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineFactory(impedance_sigma=-0.01)
+        with pytest.raises(ValueError):
+            LineFactory(correlation_length_m=0.0)
+
+    def test_segment_delay_matches_ets_step(self, factory):
+        """The default pitch aligns one segment to one 11.16 ps phase step."""
+        assert factory.segment_delay == pytest.approx(11.16e-12, rel=0.01)
+
+
+class TestTransmissionLine:
+    def test_full_profile_without_receiver(self, line):
+        assert line.full_profile.n_segments == line.board_profile.n_segments
+
+    def test_profile_under_applies_modifier_chain(self, line):
+        class Doubler:
+            def modify(self, profile):
+                return profile.with_impedance(profile.z * 2)
+
+        p = line.profile_under([Doubler()])
+        assert np.allclose(p.z, line.board_profile.z * 2)
+
+    def test_profile_under_order_matters(self, line):
+        class AddTen:
+            def modify(self, profile):
+                return profile.with_impedance(profile.z + 10.0)
+
+        class Double:
+            def modify(self, profile):
+                return profile.with_impedance(profile.z * 2)
+
+        p1 = line.profile_under([AddTen(), Double()])
+        p2 = line.profile_under([Double(), AddTen()])
+        assert not np.allclose(p1.z, p2.z)
+
+    def test_reflected_waveform_engines(self, line):
+        tau = float(np.mean(line.board_profile.tau))
+        incident = Waveform(np.ones(20), dt=tau)
+        born = line.reflected_waveform(incident, engine="born", n_out=400)
+        lattice = line.reflected_waveform(incident, engine="lattice")
+        n = min(len(born), len(lattice))
+        assert np.allclose(born.samples[:n], lattice.samples[:n], atol=2e-4)
+
+    def test_reflected_waveform_rejects_bad_engine(self, line):
+        tau = float(np.mean(line.board_profile.tau))
+        with pytest.raises(ValueError):
+            line.reflected_waveform(Waveform(np.ones(4), dt=tau), engine="x")
+
+    def test_swap_receiver_changes_profile_not_board(self, populated_line):
+        new_pkg = ReceiverPackage(seed=123).instance_variation()
+        swapped = populated_line.swap_receiver(new_pkg)
+        assert np.array_equal(
+            swapped.board_profile.z, populated_line.board_profile.z
+        )
+        assert swapped.full_profile.z_load != populated_line.full_profile.z_load
+
+    def test_batch_reflected_waveforms_shape(self, line):
+        tau = float(np.mean(line.board_profile.tau))
+        incident = Waveform(np.ones(10), dt=tau)
+        p = line.full_profile
+        out = line.batch_reflected_waveforms(
+            incident,
+            np.stack([p.z, p.z * 1.01]),
+            np.stack([p.tau, p.tau]),
+            n_out=380,
+        )
+        assert out.shape == (2, 380)

@@ -1,0 +1,57 @@
+"""Unit tests for laminate material models."""
+
+import numpy as np
+import pytest
+
+from repro.txline.materials import FR4, Laminate, propagation_velocity
+
+
+class TestPropagationVelocity:
+    def test_fr4_velocity_matches_paper(self):
+        """The paper quotes ~15 cm/ns on PCB."""
+        v = FR4.velocity_at(FR4.t_ref_c)
+        assert v == pytest.approx(15e7, rel=0.02)
+
+    def test_vacuum_limit(self):
+        assert propagation_velocity(1.0) == pytest.approx(299_792_458.0)
+
+    def test_rejects_nonphysical_dk(self):
+        with pytest.raises(ValueError):
+            propagation_velocity(0.0)
+
+
+class TestLaminate:
+    def test_dk_rises_with_temperature(self):
+        assert FR4.dk_at(75.0) > FR4.dk_at(23.0)
+
+    def test_dk_at_reference_is_dk0(self):
+        assert FR4.dk_at(FR4.t_ref_c) == pytest.approx(FR4.dk0)
+
+    def test_impedance_drops_when_hot(self):
+        """Higher Dk -> higher C -> lower Z (the Fig. 8 mechanism)."""
+        assert FR4.impedance_scale_at(75.0) < 1.0
+        assert FR4.impedance_scale_at(FR4.t_ref_c) == pytest.approx(1.0)
+
+    def test_delay_grows_when_hot(self):
+        assert FR4.delay_scale_at(75.0) > 1.0
+
+    def test_scales_are_consistent(self):
+        """Z ~ 1/sqrt(Dk) and tau ~ sqrt(Dk): their product is 1."""
+        t = 60.0
+        assert FR4.impedance_scale_at(t) * FR4.delay_scale_at(t) == pytest.approx(1.0)
+
+    def test_attenuation_positive(self):
+        assert FR4.attenuation_per_m() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Laminate(name="x", dk0=0.5, tc_dk=1e-4)
+        with pytest.raises(ValueError):
+            Laminate(name="x", dk0=4.0, tc_dk=1e-4, loss_db_per_m=-1)
+        with pytest.raises(ValueError):
+            Laminate(name="x", dk0=4.0, tc_dk=1e-4, tc_inhomogeneity=-0.1)
+
+    def test_oven_swing_dk_change_is_percent_scale(self):
+        """23->75 C changes Dk by a few percent, per laminate data."""
+        rel = FR4.dk_at(75.0) / FR4.dk_at(23.0) - 1.0
+        assert 0.005 < rel < 0.05

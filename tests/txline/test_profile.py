@@ -1,0 +1,161 @@
+"""Unit tests for impedance profiles and the correlated-field generator."""
+
+import numpy as np
+import pytest
+
+from repro.txline.profile import ImpedanceProfile, correlated_field
+
+
+def make_profile(n=10, z0=50.0, tau=1e-11, **kwargs):
+    return ImpedanceProfile(
+        z=np.full(n, z0), tau=np.full(n, tau), **kwargs
+    )
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ImpedanceProfile(z=np.ones(3), tau=np.ones(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ImpedanceProfile(z=np.zeros(0), tau=np.zeros(0))
+
+    def test_rejects_nonpositive_impedance(self):
+        with pytest.raises(ValueError):
+            ImpedanceProfile(z=np.array([50.0, -1.0]), tau=np.ones(2))
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            ImpedanceProfile(z=np.ones(2) * 50, tau=np.array([1e-11, 0.0]))
+
+    def test_rejects_bad_terminations(self):
+        with pytest.raises(ValueError):
+            make_profile(z_source=0.0)
+        with pytest.raises(ValueError):
+            make_profile(z_load=-5.0)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            make_profile(loss_per_segment=0.0)
+        with pytest.raises(ValueError):
+            make_profile(loss_per_segment=1.5)
+
+
+class TestDerivedQuantities:
+    def test_delays(self):
+        p = make_profile(n=4, tau=2e-11)
+        assert p.one_way_delay == pytest.approx(8e-11)
+        assert p.round_trip_delay == pytest.approx(16e-11)
+
+    def test_uniform_line_has_no_interior_reflections(self):
+        p = make_profile(n=5)
+        assert np.allclose(p.reflection_coefficients(), 0.0)
+
+    def test_reflection_sign_convention(self):
+        p = ImpedanceProfile(
+            z=np.array([50.0, 60.0]), tau=np.full(2, 1e-11)
+        )
+        r = p.reflection_coefficients()
+        assert r[0] == pytest.approx((60 - 50) / (60 + 50))
+
+    def test_matched_load_zero_reflection(self):
+        p = make_profile(z_load=50.0)
+        assert p.load_reflection() == pytest.approx(0.0)
+
+    def test_open_load_reflects_positive(self):
+        p = make_profile(z_load=1e9)
+        assert p.load_reflection() == pytest.approx(1.0, rel=1e-6)
+
+    def test_short_load_reflects_negative(self):
+        p = make_profile(z_load=1e-6)
+        assert p.load_reflection() == pytest.approx(-1.0, rel=1e-4)
+
+    def test_source_reflection_antisymmetry(self):
+        """Matched source reflects nothing back."""
+        p = make_profile(z_source=50.0)
+        assert p.source_reflection() == pytest.approx(0.0)
+
+    def test_launch_coefficient_divider(self):
+        p = make_profile(z_source=50.0, z0=50.0)
+        assert p.launch_coefficient() == pytest.approx(0.5)
+
+    def test_segment_positions(self):
+        p = make_profile(n=3, tau=1e-11)
+        v = 1.5e8
+        assert np.allclose(p.segment_positions(v), [0.0, 1.5e-3, 3.0e-3])
+
+    def test_segment_positions_rejects_bad_velocity(self):
+        with pytest.raises(ValueError):
+            make_profile().segment_positions(0.0)
+
+
+class TestDerivedProfiles:
+    def test_with_impedance_keeps_geometry(self):
+        p = make_profile(n=4)
+        q = p.with_impedance(np.full(4, 75.0))
+        assert np.allclose(q.z, 75.0)
+        assert np.array_equal(q.tau, p.tau)
+
+    def test_with_impedance_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            make_profile(n=4).with_impedance(np.ones(3))
+
+    def test_with_load(self):
+        q = make_profile().with_load(75.0)
+        assert q.z_load == 75.0
+
+    def test_scaled_common_mode(self):
+        p = make_profile()
+        q = p.scaled(impedance_scale=0.99, delay_scale=1.01)
+        assert np.allclose(q.z, p.z * 0.99)
+        assert np.allclose(q.tau, p.tau * 1.01)
+        # The load scales with the line so matched stays matched.
+        assert q.load_reflection() == pytest.approx(p.load_reflection())
+
+    def test_scaled_field(self):
+        p = make_profile(n=3)
+        field = np.array([0.0, 0.01, -0.01])
+        q = p.scaled(impedance_field=field)
+        assert np.allclose(q.z, p.z * (1 + field))
+
+    def test_scaled_rejects_wrong_field_shape(self):
+        with pytest.raises(ValueError):
+            make_profile(n=3).scaled(impedance_field=np.zeros(2))
+
+    def test_scaled_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError):
+            make_profile().scaled(impedance_scale=0.0)
+
+    def test_immutability(self):
+        p = make_profile()
+        with pytest.raises(Exception):
+            p.z_load = 75.0
+
+
+class TestCorrelatedField:
+    def test_target_sigma(self, rng):
+        field = correlated_field(50_000, sigma=0.01, correlation_length=5, rng=rng)
+        assert field.std() == pytest.approx(0.01, rel=0.05)
+
+    def test_zero_mean(self, rng):
+        field = correlated_field(50_000, 0.01, 5, rng)
+        assert abs(field.mean()) < 0.001
+
+    def test_correlation_length_smooths(self, rng):
+        rough = correlated_field(10_000, 1.0, 1, np.random.default_rng(0))
+        smooth = correlated_field(10_000, 1.0, 20, np.random.default_rng(0))
+        assert np.std(np.diff(smooth)) < np.std(np.diff(rough))
+
+    def test_deterministic_given_seed(self):
+        a = correlated_field(100, 0.01, 3, np.random.default_rng(5))
+        b = correlated_field(100, 0.01, 3, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            correlated_field(0, 0.01, 3, rng)
+        with pytest.raises(ValueError):
+            correlated_field(10, -0.01, 3, rng)
+        with pytest.raises(ValueError):
+            correlated_field(10, 0.01, 0, rng)

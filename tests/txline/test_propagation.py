@@ -1,0 +1,210 @@
+"""Unit tests for the propagation engines — the physics core.
+
+The key validation: the fast first-order Born engine matches the exact
+lattice simulation on realistic (small-reflection) lines, and both satisfy
+basic transmission-line physics (timing, amplitudes, sign conventions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.signals.waveform import Waveform
+from repro.txline.profile import ImpedanceProfile
+from repro.txline.propagation import BornEngine, LatticeEngine, reflected_waveform
+
+TAU = 11.16e-12
+
+
+def uniform_profile(n=50, z0=50.0, z_load=50.0, z_source=50.0, loss=1.0):
+    return ImpedanceProfile(
+        z=np.full(n, z0),
+        tau=np.full(n, TAU),
+        z_source=z_source,
+        z_load=z_load,
+        loss_per_segment=loss,
+    )
+
+
+def single_bump_profile(n=50, bump_at=20, bump=55.0):
+    z = np.full(n, 50.0)
+    z[bump_at:] = bump  # one step discontinuity
+    return ImpedanceProfile(
+        z=z, tau=np.full(n, TAU), z_source=50.0, z_load=float(z[-1])
+    )
+
+
+class TestLatticeBasics:
+    def test_matched_uniform_line_reflects_nothing(self):
+        h = LatticeEngine().impulse_sequence(uniform_profile())
+        assert np.allclose(h.samples, 0.0, atol=1e-15)
+
+    def test_step_discontinuity_timing_and_amplitude(self):
+        """An impedance step at segment k echoes at 2k steps with the
+        textbook reflection coefficient."""
+        p = single_bump_profile(bump_at=20, bump=55.0)
+        h = LatticeEngine().impulse_sequence(p, n_steps=120)
+        expected_r = (55.0 - 50.0) / (55.0 + 50.0)
+        k = int(np.argmax(np.abs(h.samples)))
+        assert k == 2 * 20
+        assert h.samples[k] == pytest.approx(expected_r, rel=1e-9)
+
+    def test_open_load_full_positive_echo(self):
+        p = uniform_profile(n=10, z_load=1e9)
+        h = LatticeEngine().impulse_sequence(p, n_steps=25)
+        assert h.samples[20] == pytest.approx(1.0, rel=1e-6)
+
+    def test_short_load_full_negative_echo(self):
+        p = uniform_profile(n=10, z_load=1e-6)
+        h = LatticeEngine().impulse_sequence(p, n_steps=25)
+        assert h.samples[20] == pytest.approx(-1.0, rel=1e-4)
+
+    def test_loss_attenuates_echo(self):
+        lossless = uniform_profile(n=10, z_load=1e9)
+        lossy = uniform_profile(n=10, z_load=1e9, loss=0.99)
+        h0 = LatticeEngine().impulse_sequence(lossless, n_steps=25)
+        h1 = LatticeEngine().impulse_sequence(lossy, n_steps=25)
+        r_load = lossy.load_reflection()
+        assert abs(h1.samples[20]) == pytest.approx(r_load * 0.99**20, rel=1e-9)
+        assert abs(h1.samples[20]) < abs(h0.samples[20])
+
+    def test_multiple_reflections_present(self):
+        """Mismatched source + open load ring repeatedly."""
+        p = uniform_profile(n=10, z_load=1e9, z_source=10.0)
+        h = LatticeEngine(round_trips=4).impulse_sequence(p)
+        # Second bounce at 2 round trips: load echo reflects off the source
+        # and off the load again.
+        assert abs(h.samples[40]) > 0.1
+
+    def test_requires_uniform_tau(self):
+        tau = np.full(10, TAU)
+        tau[3] *= 2
+        p = ImpedanceProfile(z=np.full(10, 50.0), tau=tau)
+        with pytest.raises(ValueError):
+            LatticeEngine().impulse_sequence(p)
+
+    def test_energy_bounded(self):
+        """Passive line: reflected energy never exceeds incident."""
+        rng = np.random.default_rng(0)
+        z = 50.0 * (1 + 0.05 * rng.standard_normal(60))
+        # Matched source: every arriving backward wave is recorded once and
+        # absorbed, so the recorded sum of squares is bounded by the input.
+        p = ImpedanceProfile(
+            z=z, tau=np.full(60, TAU), z_source=float(z[0]), z_load=1e9
+        )
+        h = LatticeEngine(round_trips=6).impulse_sequence(p)
+        assert np.sum(h.samples**2) <= 1.0 + 1e-9
+
+
+class TestBornVsLattice:
+    def test_agreement_on_manufactured_line(self, line):
+        profile = line.full_profile
+        grid = float(np.mean(profile.tau))
+        h_lat = LatticeEngine(round_trips=3).impulse_sequence(profile)
+        h_born = BornEngine(grid_dt=grid).impulse_sequence(
+            profile, n_out=len(h_lat)
+        )
+        peak = np.max(np.abs(h_lat.samples))
+        # Residual is the neglected multiple scattering: O(r^2) of the peak.
+        assert np.max(np.abs(h_lat.samples - h_born.samples)) < 0.01 * peak
+
+    def test_agreement_single_step(self):
+        p = single_bump_profile()
+        h_lat = LatticeEngine().impulse_sequence(p, n_steps=110)
+        h_born = BornEngine(grid_dt=TAU).impulse_sequence(p, n_out=110)
+        assert np.allclose(h_lat.samples, h_born.samples, atol=5e-3)
+
+    def test_born_echo_times_follow_tau(self):
+        """Stretched delays move echoes later — the temperature mechanism."""
+        p = single_bump_profile()
+        engine = BornEngine(grid_dt=TAU)
+        t1, _ = engine.echoes(p)
+        stretched = ImpedanceProfile(
+            z=p.z, tau=p.tau * 1.01, z_source=p.z_source, z_load=p.z_load
+        )
+        t2, _ = engine.echoes(stretched)
+        assert np.all(t2 > t1)
+
+
+class TestBornBatch:
+    def test_batch_matches_single(self, line):
+        profile = line.full_profile
+        engine = BornEngine(grid_dt=TAU)
+        single = engine.impulse_sequence(profile, n_out=400).samples
+        batch = engine.batch_impulse_sequences(
+            np.stack([profile.z, profile.z]),
+            np.stack([profile.tau, profile.tau]),
+            profile.load_reflection(),
+            profile.loss_per_segment,
+            n_out=400,
+        )
+        assert np.allclose(batch[0], single)
+        assert np.allclose(batch[1], single)
+
+    def test_batch_rows_independent(self, line):
+        profile = line.full_profile
+        engine = BornEngine(grid_dt=TAU)
+        z2 = profile.z.copy()
+        z2[50:] = z2[50:] * 1.02  # non-uniform: changes reflection ratios
+        batch = engine.batch_impulse_sequences(
+            np.stack([profile.z, z2]),
+            np.stack([profile.tau, profile.tau]),
+            profile.load_reflection(),
+            profile.loss_per_segment,
+            n_out=400,
+        )
+        assert not np.allclose(batch[0], batch[1])
+
+    def test_shape_validation(self):
+        engine = BornEngine(grid_dt=TAU)
+        with pytest.raises(ValueError):
+            engine.batch_impulse_sequences(
+                np.ones((2, 5)), np.ones((3, 5)), 0.0, 1.0
+            )
+
+    def test_sub_grid_timing_interpolation(self):
+        """An echo between grid points splits across the two bins."""
+        p = ImpedanceProfile(
+            z=np.array([50.0, 55.0]),
+            tau=np.array([TAU * 1.25, TAU]),
+        )
+        h = BornEngine(grid_dt=TAU).impulse_sequence(p, n_out=8)
+        # Echo at t = 2.5 tau -> bins 2 and 3 share it equally.
+        assert h.samples[2] == pytest.approx(h.samples[3], rel=1e-9)
+
+
+class TestResponses:
+    def test_step_response_accumulates_reflection(self):
+        p = single_bump_profile(bump_at=10, bump=55.0)
+        engine = BornEngine(grid_dt=TAU)
+        step = Waveform(np.ones(80), dt=TAU)
+        resp = engine.reflection_response(p, step, n_out=80)
+        r = (55 - 50) / (55 + 50)
+        assert resp.samples[40] == pytest.approx(r, rel=0.05)
+
+    def test_dispatcher_engines_agree(self, line):
+        profile = line.full_profile
+        incident = Waveform(np.ones(30), dt=float(np.mean(profile.tau)))
+        born = reflected_waveform(profile, incident, engine="born")
+        lattice = reflected_waveform(profile, incident, engine="lattice")
+        n = min(len(born), len(lattice))
+        assert np.allclose(born.samples[:n], lattice.samples[:n], atol=2e-4)
+
+    def test_dispatcher_rejects_unknown_engine(self, line):
+        incident = Waveform(np.ones(4), dt=TAU)
+        with pytest.raises(ValueError):
+            reflected_waveform(line.full_profile, incident, engine="fdtd")
+
+    def test_born_requires_matching_dt(self, line):
+        engine = BornEngine(grid_dt=TAU)
+        incident = Waveform(np.ones(4), dt=2 * TAU)
+        with pytest.raises(ValueError):
+            engine.reflection_response(line.full_profile, incident)
+
+    def test_linearity(self, line):
+        """Doubling the incident wave doubles the reflection (LTI claim)."""
+        engine = BornEngine(grid_dt=TAU)
+        p = line.full_profile
+        x = Waveform(np.linspace(0, 1, 40), dt=TAU)
+        y1 = engine.reflection_response(p, x, n_out=300)
+        y2 = engine.reflection_response(p, x.scaled(2.0), n_out=300)
+        assert np.allclose(y2.samples, 2 * y1.samples)

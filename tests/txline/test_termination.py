@@ -1,0 +1,88 @@
+"""Unit tests for terminations and receiver packages."""
+
+import numpy as np
+import pytest
+
+from repro.txline.termination import (
+    MATCHED,
+    OPEN,
+    SHORT,
+    ReceiverPackage,
+    Termination,
+    splice_termination,
+)
+
+
+class TestTermination:
+    def test_matched_reflects_nothing(self):
+        assert MATCHED.reflection_coefficient(50.0) == pytest.approx(0.0)
+
+    def test_open_reflects_positive(self):
+        assert OPEN.reflection_coefficient(50.0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_short_reflects_negative(self):
+        assert SHORT.reflection_coefficient(50.0) == pytest.approx(-1.0, rel=1e-3)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            Termination(0.0)
+
+
+class TestReceiverPackage:
+    def test_defaults_valid(self):
+        pkg = ReceiverPackage()
+        assert pkg.input_resistance > 0
+
+    def test_instance_variation_differs_by_seed(self):
+        a = ReceiverPackage(seed=1).instance_variation()
+        b = ReceiverPackage(seed=2).instance_variation()
+        assert a.input_resistance != b.input_resistance
+
+    def test_instance_variation_reproducible(self):
+        a = ReceiverPackage(seed=5).instance_variation()
+        b = ReceiverPackage(seed=5).instance_variation()
+        assert a.input_resistance == b.input_resistance
+
+    def test_variation_is_small(self):
+        base = ReceiverPackage(seed=3)
+        varied = base.instance_variation(spread=0.04)
+        assert abs(varied.input_resistance / base.input_resistance - 1) < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiverPackage(input_resistance=0.0)
+        with pytest.raises(ValueError):
+            ReceiverPackage(package_delay=0.0)
+
+
+class TestSplice:
+    def test_none_package_is_identity(self, line):
+        p = line.board_profile
+        assert splice_termination(p, None) is p
+
+    def test_splice_appends_segments(self, line):
+        p = line.board_profile
+        pkg = ReceiverPackage()
+        spliced = splice_termination(p, pkg)
+        assert spliced.n_segments > p.n_segments
+        assert spliced.z_load == pkg.input_resistance
+
+    def test_package_segments_carry_package_impedance(self, line):
+        p = line.board_profile
+        pkg = ReceiverPackage(package_impedance=42.0)
+        spliced = splice_termination(p, pkg)
+        assert np.allclose(
+            spliced.z[p.n_segments :], 42.0
+        )
+
+    def test_board_section_untouched(self, line):
+        p = line.board_profile
+        spliced = splice_termination(p, ReceiverPackage())
+        assert np.array_equal(spliced.z[: p.n_segments], p.z)
+
+    def test_package_delay_quantised(self, line):
+        p = line.board_profile
+        seg_tau = float(np.mean(p.tau))
+        pkg = ReceiverPackage(package_delay=3.4 * seg_tau)
+        spliced = splice_termination(p, pkg)
+        assert spliced.n_segments - p.n_segments == 3
