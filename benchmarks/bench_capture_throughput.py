@@ -1,0 +1,123 @@
+"""Loop-vs-batch capture throughput: the unification's perf pin.
+
+``capture_averaged(n_captures=64)`` used to run 64 sequential ``capture``
+calls in Python, re-running the comparator per reference level every time;
+it now makes one ``capture_stack`` call — one physics solve plus one
+``(64, N)`` numpy pass.  This bench measures captures/sec both ways and
+asserts the batch engine stays at least 5x ahead of the seed's loop
+implementation, so a regression in the hot path fails loudly.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.env.emi import nearby_digital_circuit
+
+from conftest import emit
+
+N_CAPTURES = 64
+
+
+def _setup():
+    factory = prototype_line_factory()
+    line = factory.manufacture(seed=1)
+    itdr = prototype_itdr(rng=np.random.default_rng(0))
+    # Warm the reflection cache so both paths time estimation, not physics.
+    itdr.true_reflection(line)
+    return line, itdr
+
+
+def _loop_averaged(itdr, line, n_captures):
+    """The seed implementation: n sequential captures, averaged."""
+    waves = [itdr.capture(line).waveform.samples for _ in range(n_captures)]
+    return np.mean(waves, axis=0)
+
+
+def _time_captures_per_sec(fn, n_captures, min_rounds=5):
+    best = np.inf
+    for _ in range(min_rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_captures / best
+
+
+def test_batch_averaging_at_least_5x_loop(benchmark):
+    line, itdr = _setup()
+    loop_rate = _time_captures_per_sec(
+        lambda: _loop_averaged(itdr, line, N_CAPTURES), N_CAPTURES
+    )
+    batch_rate = _time_captures_per_sec(
+        lambda: itdr.capture_averaged(line, N_CAPTURES), N_CAPTURES
+    )
+    capture = benchmark(itdr.capture_averaged, line, N_CAPTURES)
+    speedup = batch_rate / loop_rate
+    emit(
+        "CAPTURE THROUGHPUT — loop vs batch engine",
+        f"averaging depth          : {N_CAPTURES} captures\n"
+        f"seed loop implementation : {loop_rate:10.0f} captures/sec\n"
+        f"batch engine             : {batch_rate:10.0f} captures/sec\n"
+        f"speedup                  : {speedup:10.1f}x (floor: 5x)",
+    )
+    assert len(capture.waveform) == itdr.record_length(line)
+    assert speedup >= 5.0
+
+
+def test_batch_interference_no_regression(benchmark):
+    """The per-trial EMI path rides the batch engine without regressing.
+
+    Interference shifts the comparator mean on every individual trial, so
+    this path is dominated by drawing C*N*R aggressor samples — work that
+    is inherently per-element and costs the same whether captures are
+    looped or batched.  The unification's win here is capability (EMI now
+    reaches every batch path) and consistency, not throughput; the pin is
+    therefore no-regression, not a speedup floor.
+    """
+    line, itdr = _setup()
+    env = nearby_digital_circuit()
+    loop_rate = _time_captures_per_sec(
+        lambda: np.mean(
+            [
+                itdr.capture(line, interference=env).waveform.samples
+                for _ in range(N_CAPTURES)
+            ],
+            axis=0,
+        ),
+        N_CAPTURES,
+        min_rounds=3,
+    )
+    batch_rate = _time_captures_per_sec(
+        lambda: itdr.capture_averaged(line, N_CAPTURES, interference=env),
+        N_CAPTURES,
+        min_rounds=3,
+    )
+    result = benchmark(
+        itdr.capture_averaged, line, N_CAPTURES, interference=env
+    )
+    emit(
+        "CAPTURE THROUGHPUT — EMI path",
+        f"seed loop implementation : {loop_rate:10.0f} captures/sec\n"
+        f"batch engine             : {batch_rate:10.0f} captures/sec\n"
+        f"speedup                  : {batch_rate / loop_rate:10.1f}x",
+    )
+    assert len(result.waveform) == itdr.record_length(line)
+    assert batch_rate > 0.8 * loop_rate
+
+
+def test_calibration_throughput(benchmark):
+    """Enrollment rides the same engine: one batch call per fingerprint."""
+    from repro.core.fingerprint import Fingerprint
+
+    line, itdr = _setup()
+
+    def calibrate():
+        return Fingerprint.from_stack(
+            itdr.capture_stack(line, N_CAPTURES),
+            dt=itdr.pll.phase_step,
+            name=line.name,
+        )
+
+    fingerprint = benchmark(calibrate)
+    assert fingerprint.n_captures == N_CAPTURES

@@ -26,7 +26,7 @@ from repro.core import (
     prototype_itdr,
     prototype_line_factory,
 )
-from repro.core.divot import Action, DivotEndpoint
+from repro.core.divot import DivotEndpoint
 from repro.env.aging import AgingModel
 from repro.txline.materials import FR4
 

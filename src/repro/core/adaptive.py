@@ -20,7 +20,7 @@ exposes (Fig. 8's hot-swing EER rise, and long-term aging):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

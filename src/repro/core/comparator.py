@@ -89,13 +89,14 @@ class Comparator:
         """Counts when an external aggressor adds voltage per trial.
 
         Args:
-            v_sig: Signal voltage per measurement point, shape ``(N,)``.
-            v_ref: Reference voltage, scalar or broadcastable to ``(N,)``
-                or ``(N, n_trials)``.
+            v_sig: Signal voltage per measurement point, shape ``(..., N)``
+                — leading axes batch independent captures.
+            v_ref: Reference voltage, scalar or broadcastable against
+                ``v_sig.shape + (n_trials,)``.
             n_trials: Comparisons per point.
             interference_trials: Aggressor voltage for every (point, trial),
-                shape ``(N, n_trials)``; None means no aggressor (falls back
-                to the fast binomial path).
+                shape ``v_sig.shape + (n_trials,)``; None means no aggressor
+                (falls back to the fast binomial path).
 
         Unlike thermal noise, interference shifts the *mean* seen on each
         trial, so the count is a sum of non-identical Bernoullis — sampled
@@ -105,12 +106,12 @@ class Comparator:
         if interference_trials is None:
             return self.count_ones(v_sig, v_ref, n_trials, rng)
         interference = np.asarray(interference_trials, dtype=float)
-        if interference.shape != (len(v_sig), n_trials):
+        if interference.shape != v_sig.shape + (n_trials,):
             raise ValueError(
                 f"interference shape {interference.shape} must be "
-                f"({len(v_sig)}, {n_trials})"
+                f"{v_sig.shape + (n_trials,)}"
             )
-        v_trial = v_sig[:, None] + interference
+        v_trial = v_sig[..., None] + interference
         p = self.probability_of_one(v_trial, np.asarray(v_ref))
         ones = rng.random(p.shape) < p
-        return ones.sum(axis=1)
+        return ones.sum(axis=-1)

@@ -106,17 +106,22 @@ class DivotEndpoint:
         line: TransmissionLine,
         n_captures: int = 8,
         temperature_c: float = 23.0,
+        engine: str = "born",
     ) -> Fingerprint:
         """Enrollment: measure, average, store, enter monitoring.
 
         Performed at manufacturing or installation time (paper III,
-        "Calibration process").
+        "Calibration process").  The enrollment captures come from one
+        batch-engine call — one physics solve for the whole averaging run.
         """
         if n_captures < 1:
             raise ValueError("n_captures must be >= 1")
-        captures = [self.itdr.capture(line) for _ in range(n_captures)]
-        fingerprint = Fingerprint.from_captures(
-            captures, name=line.name, enrolled_temperature_c=temperature_c
+        stack = self.itdr.capture_stack(line, n_captures, engine=engine)
+        fingerprint = Fingerprint.from_stack(
+            stack,
+            dt=self.itdr.pll.phase_step,
+            name=line.name,
+            enrolled_temperature_c=temperature_c,
         )
         self.rom.store(fingerprint)
         self.state = EndpointState.MONITORING
@@ -128,6 +133,7 @@ class DivotEndpoint:
         line: TransmissionLine,
         modifiers: Sequence = (),
         interference=None,
+        engine: str = "born",
     ) -> MonitorResult:
         """One monitoring cycle: capture, authenticate, tamper-check, react.
 
@@ -149,6 +155,7 @@ class DivotEndpoint:
             self.captures_per_check,
             modifiers=modifiers,
             interference=interference,
+            engine=engine,
         )
         auth = self.authenticator.decide(capture, reference)
         tamper = self.tamper_detector.check(capture, reference)
@@ -187,15 +194,23 @@ class DivotEndpoint:
         lines: Sequence[TransmissionLine],
         n_captures: int = 8,
         temperature_c: float = 23.0,
+        engine: str = "born",
     ) -> List[Fingerprint]:
-        """Enroll several lanes of one bus; enters monitoring."""
+        """Enroll several lanes of one bus; enters monitoring.
+
+        One batch-engine call per lane — the lane fan-out stays in Python
+        but each lane's averaging run is a single vectorised pass.
+        """
         if not lines:
             raise ValueError("at least one lane is required")
         fingerprints = []
         for line in lines:
-            captures = [self.itdr.capture(line) for _ in range(n_captures)]
-            fingerprint = Fingerprint.from_captures(
-                captures, name=line.name, enrolled_temperature_c=temperature_c
+            stack = self.itdr.capture_stack(line, n_captures, engine=engine)
+            fingerprint = Fingerprint.from_stack(
+                stack,
+                dt=self.itdr.pll.phase_step,
+                name=line.name,
+                enrolled_temperature_c=temperature_c,
             )
             self.rom.store(fingerprint)
             fingerprints.append(fingerprint)
@@ -207,6 +222,8 @@ class DivotEndpoint:
         lines: Sequence[TransmissionLine],
         modifiers: Sequence = (),
         modifiers_by_lane: Optional[dict] = None,
+        interference=None,
+        engine: str = "born",
     ) -> MonitorResult:
         """One monitoring cycle fused across every lane of the bus.
 
@@ -218,7 +235,9 @@ class DivotEndpoint:
         ``modifiers`` applies to every lane (environmental conditions hit
         the whole board); ``modifiers_by_lane`` maps a lane name to the
         extra modifiers touching that conductor alone (a physical attack
-        lands on one wire).
+        lands on one wire).  ``interference`` couples into the comparator
+        on every lane (EMI is a board-level condition), matching
+        :meth:`monitor_capture`.
         """
         if self.state is EndpointState.UNCALIBRATED:
             raise RuntimeError(
@@ -236,7 +255,11 @@ class DivotEndpoint:
                 modifiers_by_lane.get(line.name, ())
             )
             capture = self.itdr.capture_averaged(
-                line, self.captures_per_check, modifiers=lane_modifiers
+                line,
+                self.captures_per_check,
+                modifiers=lane_modifiers,
+                interference=interference,
+                engine=engine,
             )
             auth = self.authenticator.decide(capture, reference)
             tamper = self.tamper_detector.check(capture, reference)
@@ -316,6 +339,8 @@ class DivotChannel:
         modifiers: Sequence = (),
         line_override: Optional[TransmissionLine] = None,
         slave_line_override: Optional[TransmissionLine] = None,
+        interference=None,
+        engine: str = "born",
     ) -> ChannelStepResult:
         """One concurrent monitoring cycle on both ends.
 
@@ -327,8 +352,12 @@ class DivotChannel:
         """
         master_line = self._named_like(line_override)
         slave_line = self._named_like(slave_line_override)
-        master_result = self.master.monitor_capture(master_line, modifiers)
-        slave_result = self.slave.monitor_capture(slave_line, modifiers)
+        master_result = self.master.monitor_capture(
+            master_line, modifiers, interference=interference, engine=engine
+        )
+        slave_result = self.slave.monitor_capture(
+            slave_line, modifiers, interference=interference, engine=engine
+        )
         return ChannelStepResult(master=master_result, slave=slave_result)
 
     def _named_like(

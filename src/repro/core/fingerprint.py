@@ -76,6 +76,30 @@ class Fingerprint:
             enrolled_temperature_c=enrolled_temperature_c,
         )
 
+    @classmethod
+    def from_stack(
+        cls,
+        stack: np.ndarray,
+        dt: float,
+        name: str,
+        enrolled_temperature_c: float = 23.0,
+    ) -> "Fingerprint":
+        """Enroll from a ``(n_captures, N)`` batch-engine capture stack.
+
+        The batched counterpart of :meth:`from_captures` — one row per
+        constituent capture, as returned by ``ITDR.capture_stack``.
+        """
+        stack = np.asarray(stack, dtype=float)
+        if stack.ndim != 2 or stack.shape[0] < 1 or stack.shape[1] < 1:
+            raise ValueError("stack must be a non-empty (n_captures, N) array")
+        return cls(
+            name=name,
+            samples=cls._canonicalize(stack.mean(axis=0)),
+            dt=dt,
+            n_captures=stack.shape[0],
+            enrolled_temperature_c=enrolled_temperature_c,
+        )
+
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
         return {

@@ -15,6 +15,8 @@ numpy — the workhorse of the statistical experiments.
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -136,9 +138,13 @@ class ITDR:
 
     def __init__(
         self,
-        config: ITDRConfig = ITDRConfig(),
+        config: Optional[ITDRConfig] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        # Constructed per instance: a module-level default instance would be
+        # shared by every default-constructed iTDR (one TriggerGenerator for
+        # the whole process).
+        config = config if config is not None else ITDRConfig()
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng()
         self.pll = PhaseSteppingPLL(config.clock_frequency, config.phase_step)
@@ -153,9 +159,10 @@ class ITDR:
         )
         # Reflected-waveform memo: repeated captures of the same line state
         # (the averaging and monitoring paths) share one physics solve.
-        # Keyed by object identities, so any new line/modifier object means
-        # a fresh solve; bounded to stay a cache, not a leak.
-        self._reflection_cache: dict = {}
+        # Keyed by a content hash of the resolved electrical state, so
+        # mutating a line or its modifiers in place can never serve stale
+        # physics; evicted least-recently-used, bounded to stay a cache.
+        self._reflection_cache: "OrderedDict" = OrderedDict()
         self._reflection_cache_max = 16
         if config.use_pdm:
             p, q = config.pdm_vernier
@@ -206,24 +213,26 @@ class ITDR:
 
         This is the physical ground truth the APC estimates; exposed for
         validation and for computing ideal similarity bounds.  Identical
-        (line, modifiers, engine) states are memoised: repeated captures of
-        an unchanged state — the averaging and monitoring paths — pay for
-        one physics solve.
+        electrical states are memoised by content (the resolved profile's
+        hash plus engine and record length): repeated captures of an
+        unchanged state — the averaging and monitoring paths — pay for one
+        physics solve, while any in-place mutation of the line or its
+        modifiers hashes differently and triggers a fresh solve.
         """
-        key = (id(line), tuple(id(m) for m in modifiers), engine)
+        profile = line.profile_under(modifiers)
+        n_out = self.record_length(line)
+        key = (profile.content_hash(), engine, n_out)
         cached = self._reflection_cache.get(key)
         if cached is not None:
-            return cached[0]
-        n_out = self.record_length(line)
+            self._reflection_cache.move_to_end(key)
+            return cached
         wave = line.reflected_waveform(
-            self.probe_edge(), modifiers=modifiers, engine=engine, n_out=n_out
+            self.probe_edge(), engine=engine, n_out=n_out, profile=profile
         )
         wave = wave.scaled(self.config.coupling)
         if len(self._reflection_cache) >= self._reflection_cache_max:
-            self._reflection_cache.pop(next(iter(self._reflection_cache)))
-        # The entry pins the keyed objects so their ids cannot be recycled
-        # onto different objects while the entry lives.
-        self._reflection_cache[key] = (wave, line, tuple(modifiers))
+            self._reflection_cache.popitem(last=False)
+        self._reflection_cache[key] = wave
         return wave
 
     # ------------------------------------------------------------------
@@ -279,16 +288,34 @@ class ITDR:
         residual = slope * self.rng.normal(0.0, residual_rms, size=v.shape)
         return smoothed + residual
 
-    def _estimate(self, v_true: np.ndarray) -> np.ndarray:
-        """APC/PDM voltage estimation of a true-voltage array."""
-        return self._estimate_counts_only(self._apply_jitter(v_true))
+    def capture_stack(
+        self,
+        line: TransmissionLine,
+        n_captures: int,
+        modifiers: Sequence = (),
+        interference=None,
+        engine: str = "born",
+    ) -> np.ndarray:
+        """``n_captures`` independent estimates of one line state, ``(C, N)``.
 
-    def _estimate_counts_only(self, v_true: np.ndarray) -> np.ndarray:
-        """Estimation without jitter modelling (already applied upstream)."""
-        r = self.config.repetitions
-        if self.pdm is not None:
-            return self.pdm.estimate_voltage(v_true, r, self.rng)
-        return self.apc.estimate_voltage(v_true, r, self.rng)
+        The shared batch engine every capture path routes through: one
+        physics solve of the (possibly modified) line, then one vectorised
+        numpy pass drawing jitter and comparator statistics independently
+        per capture row.  Each row is distributed exactly like one
+        :meth:`capture`, so averaging/monitoring consumers get loop-path
+        statistics at batch-path cost.
+
+        ``interference`` is an optional
+        :class:`~repro.env.emi.EMIEnvironment` adding per-trial aggressor
+        voltage at the comparator input.
+        """
+        if n_captures < 1:
+            raise ValueError("n_captures must be >= 1")
+        true_wave = self.true_reflection(line, modifiers, engine=engine)
+        v_batch = np.broadcast_to(
+            true_wave.samples, (n_captures, len(true_wave))
+        )
+        return self._estimate_batch(v_batch, interference=interference)
 
     def capture(
         self,
@@ -299,28 +326,15 @@ class ITDR:
     ) -> IIPCapture:
         """One complete IIP measurement of ``line`` under ``modifiers``.
 
-        ``interference`` is an optional
-        :class:`~repro.env.emi.EMIEnvironment` adding per-trial aggressor
-        voltage at the comparator input.
+        A single-row :meth:`capture_stack` dressed with measurement
+        metadata (trigger and wall-clock budgets).
         """
+        est = self.capture_stack(
+            line, 1, modifiers=modifiers, interference=interference,
+            engine=engine,
+        )[0]
         true_wave = self.true_reflection(line, modifiers, engine=engine)
-        v = self._apply_jitter(true_wave.samples)
-        r = self.config.repetitions
-        if interference is None:
-            est = self._estimate_counts_only(v)
-        else:
-            emi = interference.trial_voltages(len(v), r, self.rng)
-            if self.pdm is not None:
-                refs = self.pdm.reference_trial_voltages(len(v), r)
-                inverter = self.pdm
-            else:
-                refs = np.zeros((len(v), r))
-                inverter = self.apc
-            counts = self.comparator.count_ones_with_interference(
-                v, refs, r, self.rng, interference_trials=emi
-            )
-            est = inverter.invert(counts / r)
-        budget = self.budget(len(v))
+        budget = self.budget(len(est))
         return IIPCapture(
             waveform=Waveform(est, self.pll.phase_step, true_wave.t0),
             line_name=line.name,
@@ -334,27 +348,33 @@ class ITDR:
         n_captures: int,
         modifiers: Sequence = (),
         interference=None,
+        engine: str = "born",
     ) -> IIPCapture:
         """Average ``n_captures`` back-to-back captures into one record.
 
         Averaging suppresses APC estimation noise by ``sqrt(n_captures)``;
         the paper's published IIP waveforms are averages over its 8192
-        measurements for the same reason.  The trigger and time budgets sum
-        over the constituent captures.
+        measurements for the same reason.  The constituent captures come
+        from one :meth:`capture_stack` call (one physics solve, one
+        vectorised estimation pass); the trigger and time budgets sum over
+        them as if they had run back to back.
         """
-        if n_captures < 1:
-            raise ValueError("n_captures must be >= 1")
-        captures = [
-            self.capture(line, modifiers=modifiers, interference=interference)
-            for _ in range(n_captures)
-        ]
-        mean = np.mean([c.waveform.samples for c in captures], axis=0)
-        first = captures[0]
+        stack = self.capture_stack(
+            line,
+            n_captures,
+            modifiers=modifiers,
+            interference=interference,
+            engine=engine,
+        )
+        true_wave = self.true_reflection(line, modifiers, engine=engine)
+        budget = self.budget(stack.shape[1])
         return IIPCapture(
-            waveform=Waveform(mean, first.waveform.dt, first.waveform.t0),
-            line_name=first.line_name,
-            n_triggers=sum(c.n_triggers for c in captures),
-            duration_s=sum(c.duration_s for c in captures),
+            waveform=Waveform(
+                stack.mean(axis=0), self.pll.phase_step, true_wave.t0
+            ),
+            line_name=line.name,
+            n_triggers=n_captures * budget.n_triggers,
+            duration_s=n_captures * budget.duration_s,
         )
 
     def capture_batch(
@@ -363,39 +383,43 @@ class ITDR:
         n_captures: int,
         z_batch: Optional[np.ndarray] = None,
         tau_batch: Optional[np.ndarray] = None,
+        interference=None,
     ) -> np.ndarray:
         """Vectorised captures, shape ``(n_captures, N)`` voltage estimates.
 
         With ``z_batch``/``tau_batch`` (shape ``(n_captures, S)``) each
         capture sees its own line state — the temperature/vibration path.
         Without them, all captures measure the same static state and only
-        comparator statistics differ — the room-temperature path.
+        comparator statistics differ — the room-temperature path (identical
+        to :meth:`capture_stack` with no modifiers).
         """
         if n_captures < 1:
             raise ValueError("n_captures must be >= 1")
-        n_out = self.record_length(line)
         if z_batch is None:
-            true_wave = self.true_reflection(line)
-            v_batch = np.broadcast_to(
-                true_wave.samples, (n_captures, len(true_wave))
+            return self.capture_stack(
+                line, n_captures, interference=interference
             )
-        else:
-            if tau_batch is None:
-                raise ValueError("tau_batch is required with z_batch")
-            if len(z_batch) != n_captures:
-                raise ValueError("z_batch rows must equal n_captures")
-            v_batch = (
-                line.batch_reflected_waveforms(
-                    self.probe_edge(), z_batch, tau_batch, n_out=n_out
-                )
-                * self.config.coupling
+        if tau_batch is None:
+            raise ValueError("tau_batch is required with z_batch")
+        if len(z_batch) != n_captures:
+            raise ValueError("z_batch rows must equal n_captures")
+        n_out = self.record_length(line)
+        v_batch = (
+            line.batch_reflected_waveforms(
+                self.probe_edge(), z_batch, tau_batch, n_out=n_out
             )
-        return self._estimate_batch(v_batch)
+            * self.config.coupling
+        )
+        return self._estimate_batch(v_batch, interference=interference)
 
-    def _estimate_batch(self, v_batch: np.ndarray) -> np.ndarray:
+    def _estimate_batch(
+        self, v_batch: np.ndarray, interference=None
+    ) -> np.ndarray:
         """Vectorised APC/PDM estimation over a (C, N) voltage matrix."""
         v_batch = self._apply_jitter(np.asarray(v_batch, dtype=float))
         r = self.config.repetitions
+        if interference is not None:
+            return self._estimate_batch_with_interference(v_batch, interference)
         if self.pdm is not None:
             levels = self.pdm.reference_levels()
             q = len(levels)
@@ -404,11 +428,77 @@ class ITDR:
             for j, level in enumerate(levels):
                 n_j = base + (1 if j < extra else 0)
                 if n_j:
-                    counts += self.comparator.count_ones(
-                        v_batch, level, n_j, self.rng
-                    )
+                    counts += self._count_ones_batch(v_batch, level, n_j)
             flat = self.pdm.invert((counts / r).ravel())
             return flat.reshape(v_batch.shape)
-        counts = self.comparator.count_ones(v_batch, 0.0, r, self.rng)
+        counts = self._count_ones_batch(v_batch, 0.0, r)
         flat = self.apc.invert((counts / r).ravel())
+        return flat.reshape(v_batch.shape)
+
+    #: Element budget for the Bernoulli-trial sampling shortcut; above it
+    #: the per-trial uniforms would not fit comfortably in cache/memory and
+    #: direct binomial sampling wins.
+    _BERNOULLI_BUDGET = 4_000_000
+
+    def _count_ones_batch(
+        self, v_batch: np.ndarray, level: float, n_trials: int
+    ) -> np.ndarray:
+        """Comparator counts over a (C, N) matrix, exploiting shared rows.
+
+        A static-state stack is a broadcast matrix (stride 0 on the capture
+        axis, unless jitter materialised it): every row shares the same
+        Bernoulli probabilities, so P(Y=1) is computed once per point
+        rather than once per (capture, point).  Counts are then drawn by
+        inverse-CDF sampling — one uniform per element against the shared
+        per-point binomial CDF, which is exactly Binomial(n, p) in
+        distribution — falling back to direct binomial sampling when the
+        comparison tensor would be too large.
+        """
+        if v_batch.ndim == 2 and v_batch.strides[0] == 0:
+            p = self.comparator.probability_of_one(v_batch[0], level)
+            if n_trials * v_batch.size <= self._BERNOULLI_BUDGET:
+                q = 1.0 - p
+                pmf = [
+                    math.comb(n_trials, k) * p**k * q ** (n_trials - k)
+                    for k in range(n_trials)
+                ]
+                cdf = np.cumsum(pmf, axis=0)
+                u = self.rng.random(v_batch.shape)
+                counts = np.zeros(v_batch.shape, dtype=np.int64)
+                for k in range(n_trials):
+                    counts += u > cdf[k]
+                return counts
+            return self.rng.binomial(
+                n_trials, np.broadcast_to(p, v_batch.shape)
+            )
+        return self.comparator.count_ones(v_batch, level, n_trials, self.rng)
+
+    def _estimate_batch_with_interference(
+        self, v_batch: np.ndarray, interference
+    ) -> np.ndarray:
+        """Per-trial estimation under an aggressor, over a (C, N) matrix.
+
+        Interference shifts the mean seen on each trial, so the fast
+        binomial shortcut does not apply; the Bernoulli trials are drawn
+        explicitly for all captures at once.  EMI trigger samples are
+        i.i.d. per trigger instant, so drawing ``C * N`` points in one call
+        is distributed exactly like ``C`` separate per-capture draws.
+        """
+        r = self.config.repetitions
+        n_captures, n_points = v_batch.shape
+        emi = interference.trial_voltages(
+            n_captures * n_points, r, self.rng
+        ).reshape(n_captures, n_points, r)
+        if self.pdm is not None:
+            # Per-trial reference ladder (the Vernier cycling), shared by
+            # every (capture, point) pair.
+            refs = self.pdm.reference_trial_voltages(1, r)[0]
+            inverter = self.pdm
+        else:
+            refs = np.zeros(r)
+            inverter = self.apc
+        counts = self.comparator.count_ones_with_interference(
+            v_batch, refs, r, self.rng, interference_trials=emi
+        )
+        flat = inverter.invert((counts / r).ravel())
         return flat.reshape(v_batch.shape)

@@ -97,12 +97,14 @@ class SharedITDRManager:
         """Registered bus names in scan order."""
         return list(self._buses)
 
-    def calibrate_all(self, n_captures: int = 8) -> None:
-        """Enroll every registered bus."""
+    def calibrate_all(self, n_captures: int = 8, engine: str = "born") -> None:
+        """Enroll every registered bus (one batch-engine call per bus)."""
         if not self._buses:
             raise RuntimeError("no buses registered")
         for name, line in self._buses.items():
-            self._endpoints[name].calibrate(line, n_captures=n_captures)
+            self._endpoints[name].calibrate(
+                line, n_captures=n_captures, engine=engine
+            )
 
     def is_blocked(self, name: str) -> bool:
         """Whether a specific bus is currently refused service."""
@@ -112,15 +114,26 @@ class SharedITDRManager:
     def scan(
         self,
         modifiers_by_bus: Optional[Dict[str, Sequence]] = None,
+        interference=None,
+        engine: str = "born",
     ) -> ScanOutcome:
-        """One round-robin pass: measure and judge every bus in turn."""
+        """One round-robin pass: measure and judge every bus in turn.
+
+        Each bus visit is one batch-engine call (the endpoint's averaged
+        capture); ``interference`` couples into every visit — EMI near the
+        chip reaches the shared datapath regardless of which bus it is
+        multiplexed onto.
+        """
         if not self._buses:
             raise RuntimeError("no buses registered")
         modifiers_by_bus = modifiers_by_bus or {}
         results = []
         for name, line in self._buses.items():
             result = self._endpoints[name].monitor_capture(
-                line, modifiers=modifiers_by_bus.get(name, ())
+                line,
+                modifiers=modifiers_by_bus.get(name, ()),
+                interference=interference,
+                engine=engine,
             )
             results.append((name, result))
         return ScanOutcome(results=tuple(results))

@@ -96,23 +96,32 @@ class MultiWireAuthenticator:
         return len(self._references)
 
     def enroll(
-        self, wires: Sequence[TransmissionLine], n_captures: int = 8
+        self,
+        wires: Sequence[TransmissionLine],
+        n_captures: int = 8,
+        engine: str = "born",
     ) -> List[Fingerprint]:
-        """Fingerprint every wire of the bus."""
+        """Fingerprint every wire of the bus (one batch call per wire)."""
         if len(wires) == 0:
             raise ValueError("at least one wire is required")
         if n_captures < 1:
             raise ValueError("n_captures must be >= 1")
         self._references = [
-            Fingerprint.from_captures(
-                [self.itdr.capture(wire) for _ in range(n_captures)],
+            Fingerprint.from_stack(
+                self.itdr.capture_stack(wire, n_captures, engine=engine),
+                dt=self.itdr.pll.phase_step,
                 name=wire.name,
             )
             for wire in wires
         ]
         return list(self._references)
 
-    def score(self, wires: Sequence[TransmissionLine]) -> np.ndarray:
+    def score(
+        self,
+        wires: Sequence[TransmissionLine],
+        interference=None,
+        engine: str = "born",
+    ) -> np.ndarray:
         """Per-wire similarity of fresh captures against enrollment."""
         if not self._references:
             raise RuntimeError("enroll before scoring")
@@ -122,14 +131,24 @@ class MultiWireAuthenticator:
             )
         return np.array(
             [
-                capture_similarity(self.itdr.capture(wire), reference)
+                capture_similarity(
+                    self.itdr.capture(
+                        wire, interference=interference, engine=engine
+                    ),
+                    reference,
+                )
                 for wire, reference in zip(wires, self._references)
             ]
         )
 
-    def decide(self, wires: Sequence[TransmissionLine]) -> MultiWireDecision:
+    def decide(
+        self,
+        wires: Sequence[TransmissionLine],
+        interference=None,
+        engine: str = "born",
+    ) -> MultiWireDecision:
         """Fused accept/reject over the whole bundle."""
-        scores = self.score(wires)
+        scores = self.score(wires, interference=interference, engine=engine)
         fused = FUSION_POLICIES[self.policy](scores)
         return MultiWireDecision(
             accepted=fused >= self.threshold,

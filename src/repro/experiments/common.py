@@ -14,12 +14,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.auth import RocCurve, roc_curve
-from ..core.config import (
-    PROTOTYPE_N_LINES,
-    PROTOTYPE_N_MEASUREMENTS,
-    prototype_itdr,
-    prototype_line_factory,
-)
+from ..core.config import PROTOTYPE_N_LINES, PROTOTYPE_N_MEASUREMENTS
 from ..core.itdr import ITDR
 from ..txline.line import TransmissionLine
 

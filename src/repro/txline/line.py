@@ -76,6 +76,7 @@ class TransmissionLine:
         modifiers: Sequence[ProfileModifier] = (),
         engine: str = "born",
         n_out: Optional[int] = None,
+        profile: Optional[ImpedanceProfile] = None,
     ) -> Waveform:
         """Back-reflection observed at the source-side coupler.
 
@@ -85,8 +86,12 @@ class TransmissionLine:
             modifiers: Environment/attack chain active during the capture.
             engine: ``"born"`` (fast, first order) or ``"lattice"`` (exact).
             n_out: Output record length in samples (born engine only).
+            profile: Pre-resolved electrical state; when given, ``modifiers``
+                are assumed to be already applied (the iTDR passes the
+                profile it hashed for its cache so the chain runs once).
         """
-        profile = self.profile_under(modifiers)
+        if profile is None:
+            profile = self.profile_under(modifiers)
         if engine == "born":
             born = BornEngine(incident.dt)
             return born.reflection_response(profile, incident, n_out=n_out)

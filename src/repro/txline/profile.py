@@ -11,6 +11,7 @@ with the seed standing in for the physical identity of a specific trace.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -101,6 +102,26 @@ class ImpedanceProfile:
     def round_trip_delay(self) -> float:
         """Source-to-load-and-back delay in seconds — the TDR record span."""
         return 2.0 * self.one_way_delay
+
+    def content_hash(self) -> str:
+        """Digest of the complete electrical state.
+
+        Two profiles with equal segment arrays and boundary conditions are
+        physically indistinguishable, whatever objects they live in — this
+        digest is the cache key contract the iTDR's reflection memo relies
+        on (identity-based keys served stale physics after in-place
+        mutation).
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.ascontiguousarray(self.z, dtype=float).tobytes())
+        h.update(np.ascontiguousarray(self.tau, dtype=float).tobytes())
+        h.update(
+            np.array(
+                [self.z_source, self.z_load, self.loss_per_segment],
+                dtype=float,
+            ).tobytes()
+        )
+        return h.hexdigest()
 
     def reflection_coefficients(self) -> np.ndarray:
         """Interior interface reflection coefficients, shape ``(S-1,)``.

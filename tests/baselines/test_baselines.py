@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.attacks import CapacitiveSnoop, ChipSwap, MagneticProbe, WireTap
+from repro.attacks import CapacitiveSnoop, MagneticProbe, WireTap
 from repro.baselines import (
     DCResistanceMonitor,
     InputImpedancePUF,

@@ -6,7 +6,7 @@ import pytest
 from repro.attacks import WireTap
 from repro.core.adaptive import AdaptiveReference, MultiConditionAuthenticator
 from repro.core.auth import Authenticator
-from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.core.config import prototype_itdr
 from repro.core.fingerprint import Fingerprint
 from repro.core.manager import SharedITDRManager
 from repro.core.tamper import TamperDetector
@@ -49,18 +49,23 @@ class TestSharedManager:
             make_manager().scan()
 
     def test_clean_scan_all_clear(self, factory):
-        manager = make_manager()
+        # Shallow averaging leaves clean-lane tamper peaks seed-marginal
+        # against the 2.5e-3 threshold; 16x is cheap on the batch engine.
+        manager = make_manager(captures_per_check=16)
         for line in factory.manufacture_batch(3, first_seed=310):
             manager.register(line)
-        manager.calibrate_all(n_captures=4)
+        manager.calibrate_all(n_captures=16)
         assert manager.scan().all_clear()
 
     def test_attack_isolated_to_victim(self, factory):
-        manager = make_manager()
+        # Deep averaging (cheap on the batch engine) keeps clean-lane tamper
+        # peaks well under the threshold so the isolation assertion is not
+        # seed-marginal.
+        manager = make_manager(captures_per_check=16)
         lines = factory.manufacture_batch(4, first_seed=320)
         for line in lines:
             manager.register(line)
-        manager.calibrate_all(n_captures=6)
+        manager.calibrate_all(n_captures=16)
         victim = lines[1].name
         outcome = manager.scan(modifiers_by_bus={victim: [WireTap(0.12)]})
         assert [name for name, _ in outcome.alerts()] == [victim]

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.config import prototype_itdr_config
-from repro.core.itdr import ITDRConfig
 from repro.core.latency import LatencyModel
 from repro.core.resources import XCZU7EV, ResourceModel
 

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.attacks import MagneticProbe, WireTap
-from repro.core.config import prototype_itdr
-from repro.core.tamper import TamperDetector, TamperVerdict, calibrate_threshold
+from repro.core.tamper import TamperDetector, calibrate_threshold
 from repro.txline.materials import FR4
 
 VELOCITY = FR4.velocity_at(FR4.t_ref_c)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.env.aging import AgedCondition, AgingModel
+from repro.env.aging import AgingModel
 
 
 class TestAgingModel:
@@ -16,7 +16,9 @@ class TestAgingModel:
         p0 = line.full_profile
         young = model.at_age(p0, 1.0).modify(p0)
         old = model.at_age(p0, 5.0).modify(p0)
-        drift = lambda p: np.std(p.z / p0.z - 1.0)
+        def drift(p):
+            return np.std(p.z / p0.z - 1.0)
+
         assert drift(old) > drift(young) > 0
 
     def test_drift_rms_matches_rate(self, line):

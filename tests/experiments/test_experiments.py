@@ -5,7 +5,6 @@ so the suite stays fast; the shape predicates are the paper's qualitative
 claims (see DESIGN.md section 4).
 """
 
-import numpy as np
 import pytest
 
 import repro.experiments as ex

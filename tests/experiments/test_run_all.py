@@ -1,6 +1,5 @@
 """Smoke test for the one-command reproduction runner."""
 
-import pytest
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.run_all import build_suite, main

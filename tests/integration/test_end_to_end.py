@@ -18,7 +18,6 @@ from repro.core import (
     TamperDetector,
     capture_similarity,
     prototype_itdr,
-    prototype_line_factory,
 )
 from repro.core.divot import Action
 from repro.txline.materials import FR4

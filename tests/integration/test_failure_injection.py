@@ -132,7 +132,6 @@ class TestConfigurationMismatch:
     """Mismatched measurement configurations must fail loudly, not subtly."""
 
     def test_record_length_mismatch_raises(self, line, enrolled_fingerprint):
-        from dataclasses import replace
 
         short_itdr = prototype_itdr(
             rng=np.random.default_rng(1), record_margin=2e-9

@@ -1,6 +1,5 @@
 """Unit tests for link-layer framing and the serial lane."""
 
-import numpy as np
 import pytest
 
 from repro.iolink.frame import Frame, FrameError, crc16_ccitt

@@ -1,6 +1,5 @@
 """Unit tests for the memory controller and the protected system."""
 
-import numpy as np
 import pytest
 
 from repro.attacks import AttackTimeline, CapacitiveSnoop
@@ -9,12 +8,7 @@ from repro.experiments.fig6_membus import build_system
 from repro.membus.bus import MemoryBus
 from repro.membus.controller import MemoryController
 from repro.membus.dram import SDRAMDevice
-from repro.membus.transactions import (
-    AddressMap,
-    MemoryOp,
-    MemoryRequest,
-    TraceGenerator,
-)
+from repro.membus.transactions import AddressMap, MemoryOp, MemoryRequest
 
 AMAP = AddressMap(n_banks=4, n_rows=32, n_columns=16)
 

@@ -1,6 +1,5 @@
 """Unit tests for the counter-mode memory-encryption engine."""
 
-import numpy as np
 import pytest
 
 from repro.membus.encryption import (

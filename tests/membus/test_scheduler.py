@@ -126,11 +126,15 @@ class TestControllerIntegration:
     def test_frfcfs_improves_hot_trace(self):
         dev_f, rec_f, _ = self._run(FCFSPolicy())
         dev_r, rec_r, _ = self._run(FRFCFSPolicy())
-        hit_rate = lambda d: d.stats["row_hits"] / (
-            d.stats["row_hits"] + d.stats["row_misses"]
-        )
+        def hit_rate(d):
+            return d.stats["row_hits"] / (
+                d.stats["row_hits"] + d.stats["row_misses"]
+            )
+
         assert hit_rate(dev_r) > hit_rate(dev_f)
-        mean = lambda rs: np.mean([r.latency_cycles for r in rs])
+        def mean(rs):
+            return np.mean([r.latency_cycles for r in rs])
+
         assert mean(rec_r) < mean(rec_f)
 
     def test_all_requests_complete_under_both(self):
@@ -141,5 +145,7 @@ class TestControllerIntegration:
     def test_same_request_set_served(self):
         _, rec_f, _ = self._run(FCFSPolicy())
         _, rec_r, _ = self._run(FRFCFSPolicy())
-        addrs = lambda rs: sorted(r.request.address for r in rs)
+        def addrs(rs):
+            return sorted(r.request.address for r in rs)
+
         assert addrs(rec_f) == addrs(rec_r)

@@ -6,7 +6,6 @@ frames, counter-mode encryption, and the line codes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.attacks import CapacitiveSnoop
 from repro.signals.edges import EdgeShape
-from repro.signals.eye import EyeMetrics, eye_metrics, fold_eye
+from repro.signals.eye import eye_metrics, fold_eye
 from repro.signals.linecodes import NRZCode
 from repro.signals.prbs import prbs_bits
 from repro.signals.waveform import Waveform

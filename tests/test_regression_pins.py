@@ -62,7 +62,7 @@ class TestStatisticalPins:
 
     @pytest.fixture(scope="class")
     def room_scores(self):
-        from repro.experiments.common import ExperimentScale, score_lines
+        from repro.experiments.common import score_lines
 
         factory = prototype_line_factory()
         lines = factory.manufacture_batch(6)

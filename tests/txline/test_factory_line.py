@@ -5,7 +5,6 @@ import pytest
 
 from repro.signals.waveform import Waveform
 from repro.txline.factory import LineFactory, LineGeometry
-from repro.txline.line import TransmissionLine
 from repro.txline.termination import ReceiverPackage
 
 

@@ -1,6 +1,5 @@
 """Unit tests for laminate material models."""
 
-import numpy as np
 import pytest
 
 from repro.txline.materials import FR4, Laminate, propagation_velocity
