@@ -59,9 +59,24 @@ def part_one_shared_datapath(factory) -> None:
     print(f"scan period        : {manager.scan_period_s() * 1e3:.1f} ms "
           "(worst-case detection latency)")
     victim = manager.bus_names()[5]
+    clean_scan = manager.scan()
     outcome = manager.scan(modifiers_by_bus={victim: [WireTap(0.12)]})
     flagged = [name for name, _ in outcome.alerts()]
-    print(f"tap on {victim!r}  : flagged {flagged} in one scan\n")
+    print(f"tap on {victim!r}  : flagged {flagged} in one scan")
+    assert clean_scan.all_clear()
+    # The telemetry surface: the same structured dict every DIVOT
+    # workload exposes (memory bus, serial link, shared manager).
+    snap = manager.telemetry.snapshot()
+    totals = snap["totals"]
+    victim_cell = snap["buses"][victim]
+    print(f"telemetry          : {totals['checks']} checks over two scans, "
+          f"{totals['flagged']} flagged, "
+          f"cadence consumed {snap['cadence']['triggers_consumed']} triggers")
+    print(f"victim-bus cell    : {victim_cell['checks']} checks, "
+          f"{victim_cell['flagged']} flagged, "
+          f"mean score {victim_cell['score']['mean']:.3f}")
+    print(f"first alert        : t = {snap['detection']['first_alert_s'] * 1e3:.2f} ms "
+          "on the shared datapath clock\n")
 
 
 def part_two_adaptive_aging(factory) -> None:

@@ -47,6 +47,16 @@ from .multiwire import (
 )
 from .pdm import PDMScheme, TriangleWave, VernierRelation
 from .resources import XCZU7EV, ResourceModel, ResourceReport, RTLBlock
+from .runtime import (
+    Cadence,
+    EventLog,
+    MonitorEvent,
+    MonitorRuntime,
+    PeriodicCadence,
+    RoundRobinCadence,
+    Telemetry,
+    TriggerBudgetCadence,
+)
 from .tamper import TamperDetector, TamperVerdict, calibrate_threshold
 from .trigger import TriggerGenerator, trigger_rate
 
@@ -96,6 +106,14 @@ __all__ = [
     "FUSION_POLICIES",
     "SharedITDRManager",
     "ScanOutcome",
+    "Cadence",
+    "PeriodicCadence",
+    "TriggerBudgetCadence",
+    "RoundRobinCadence",
+    "EventLog",
+    "MonitorEvent",
+    "MonitorRuntime",
+    "Telemetry",
     "AdaptiveReference",
     "MultiConditionAuthenticator",
     "PROTOTYPE_N_MEASUREMENTS",

@@ -6,8 +6,12 @@ parallel fashion" — over 90 % of the detector multiplexes.  The price the
 paper does not quantify is *time*: a shared datapath scans buses round-
 robin, so each bus is examined once per full scan and worst-case detection
 latency grows with the bus count.  This manager implements the
-multiplexed design and exposes both sides of that trade — the flat
-resource curve and the linear latency curve.
+multiplexed design on the unified monitoring runtime — a
+:class:`~repro.core.runtime.RoundRobinCadence` owns the visit/latency
+arithmetic, scans emit canonical per-bus events, and the workload's
+telemetry reports the same metrics as the single-bus applications —
+exposing both sides of the trade: the flat resource curve and the linear
+latency curve.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from .auth import Authenticator
 from .divot import DivotEndpoint, MonitorResult
 from .itdr import ITDR
 from .resources import ResourceModel, ResourceReport
+from .runtime import EventLog, MonitorRuntime, RoundRobinCadence, Telemetry
 from .tamper import TamperDetector
 
 __all__ = ["ScanOutcome", "SharedITDRManager"]
@@ -73,6 +78,12 @@ class SharedITDRManager:
         self.captures_per_check = captures_per_check
         self._buses: Dict[str, TransmissionLine] = {}
         self._endpoints: Dict[str, DivotEndpoint] = {}
+        #: Workload-lifetime telemetry; every scan folds into it.
+        self.telemetry = Telemetry()
+        # The cadence needs a registered line to size a visit, so it is
+        # attached lazily; the runtime (and its cross-scan event log)
+        # lives for the manager's whole life.
+        self._runtime = MonitorRuntime(telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
     def register(self, line: TransmissionLine) -> None:
@@ -97,6 +108,11 @@ class SharedITDRManager:
         """Registered bus names in scan order."""
         return list(self._buses)
 
+    @property
+    def event_log(self) -> EventLog:
+        """Canonical per-bus events from every scan so far."""
+        return self._runtime.log
+
     def calibrate_all(self, n_captures: int = 8, engine: str = "born") -> None:
         """Enroll every registered bus (one batch-engine call per bus)."""
         if not self._buses:
@@ -111,6 +127,17 @@ class SharedITDRManager:
         return self._endpoints[name].is_blocked
 
     # ------------------------------------------------------------------
+    def _cadence(self) -> RoundRobinCadence:
+        """The round-robin cadence, sized from the first registered bus."""
+        if not self._buses:
+            raise RuntimeError("no buses registered")
+        if self._runtime.cadence is None:
+            any_line = next(iter(self._buses.values()))
+            self._runtime.cadence = RoundRobinCadence.from_budget(
+                self.itdr, any_line, self.captures_per_check
+            )
+        return self._runtime.cadence
+
     def scan(
         self,
         modifiers_by_bus: Optional[Dict[str, Sequence]] = None,
@@ -122,20 +149,26 @@ class SharedITDRManager:
         Each bus visit is one batch-engine call (the endpoint's averaged
         capture); ``interference`` couples into every visit — EMI near the
         chip reaches the shared datapath regardless of which bus it is
-        multiplexed onto.
+        multiplexed onto.  Visit completion times come from the cadence's
+        running datapath clock, so events are timestamped consistently
+        across scans.
         """
-        if not self._buses:
-            raise RuntimeError("no buses registered")
+        cadence = self._cadence()
         modifiers_by_bus = modifiers_by_bus or {}
         results = []
-        for name, line in self._buses.items():
-            result = self._endpoints[name].monitor_capture(
-                line,
+        for name, t in cadence.visits(self.bus_names()):
+            result = self._runtime.check(
+                self._endpoints[name],
+                t,
+                [self._buses[name]],
+                side=name,
+                bus=name,
                 modifiers=modifiers_by_bus.get(name, ()),
                 interference=interference,
                 engine=engine,
             )
             results.append((name, result))
+        self._runtime.finish()
         return ScanOutcome(results=tuple(results))
 
     # ------------------------------------------------------------------
@@ -143,15 +176,11 @@ class SharedITDRManager:
     # ------------------------------------------------------------------
     def per_bus_check_time_s(self) -> float:
         """Time the datapath spends on one bus visit."""
-        if not self._buses:
-            raise RuntimeError("no buses registered")
-        any_line = next(iter(self._buses.values()))
-        budget = self.itdr.budget(self.itdr.record_length(any_line))
-        return budget.duration_s * self.captures_per_check
+        return self._cadence().visit_s
 
     def scan_period_s(self) -> float:
         """Full round-robin time — the worst-case detection latency bound."""
-        return self.per_bus_check_time_s() * self.n_buses
+        return self._cadence().worst_case_latency_s(self.n_buses)
 
     def resource_report(self) -> ResourceReport:
         """Hardware cost of this deployment (shared blocks counted once)."""

@@ -1,0 +1,32 @@
+"""The unified monitoring runtime: cadence + event log + telemetry.
+
+One architecture seam for every DIVOT workload.  An application builds a
+cadence (when checks fire, what they cost), drives its endpoints through
+a :class:`MonitorRuntime`, and reads results from the canonical
+:class:`EventLog` and :class:`Telemetry` surfaces — so the memory bus,
+the serial link, and the shared-datapath manager all report checks,
+alerts, and detection latency identically, and a new workload plugs in
+without re-implementing any decision plumbing.
+"""
+
+from .cadence import (
+    Cadence,
+    PeriodicCadence,
+    RoundRobinCadence,
+    TriggerBudgetCadence,
+)
+from .events import EventLog, MonitorEvent
+from .monitor import MonitorRuntime
+from .telemetry import SCORE_BINS, Telemetry
+
+__all__ = [
+    "Cadence",
+    "PeriodicCadence",
+    "TriggerBudgetCadence",
+    "RoundRobinCadence",
+    "EventLog",
+    "MonitorEvent",
+    "MonitorRuntime",
+    "Telemetry",
+    "SCORE_BINS",
+]

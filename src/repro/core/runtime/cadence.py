@@ -1,0 +1,230 @@
+"""Cadence: when the next monitoring check fires, and what it costs.
+
+Three scheduling disciplines cover the paper's workloads, and each owns
+the timing/cost arithmetic its application used to duplicate inline:
+
+* :class:`PeriodicCadence` — a clock lane toggles every cycle, so the
+  trigger supply is unconditional and a check completes every fixed
+  period (the memory bus).
+* :class:`TriggerBudgetCadence` — a data lane has no free edge supply;
+  each check costs a trigger budget the passing traffic must bank, with
+  optional bounded idle-fill for quiet links (the serial link).
+* :class:`RoundRobinCadence` — one shared measurement datapath visits
+  registered buses in turn, so per-bus revisit time (and worst-case
+  detection latency) grows linearly with the bus count (the shared
+  manager).
+
+Every cadence counts the checks it fired and the triggers those checks
+consumed, so telemetry reports monitoring cost identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "Cadence",
+    "PeriodicCadence",
+    "TriggerBudgetCadence",
+    "RoundRobinCadence",
+]
+
+
+class Cadence:
+    """Base check scheduler: accounts checks and the triggers they cost."""
+
+    def __init__(self, cost_triggers: int = 0) -> None:
+        if cost_triggers < 0:
+            raise ValueError("cost_triggers must be non-negative")
+        #: Triggers one monitoring check consumes.
+        self.cost_triggers = int(cost_triggers)
+        #: Checks this cadence has fired so far.
+        self.checks_run = 0
+        #: Total triggers those checks consumed.
+        self.triggers_consumed = 0
+
+    def _account(self, consumed: Optional[int] = None) -> None:
+        self.checks_run += 1
+        self.triggers_consumed += (
+            self.cost_triggers if consumed is None else int(consumed)
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """The cadence's accounting, in telemetry's key vocabulary."""
+        return {
+            "checks_run": self.checks_run,
+            "triggers_consumed": self.triggers_consumed,
+        }
+
+
+class PeriodicCadence(Cadence):
+    """Clock-lane cadence: one check completes every ``period_s``.
+
+    The monitored conductor toggles every bus cycle, so measurement
+    triggers are free-running and a decision lands every averaging-depth
+    multiple of one capture's duration.
+    """
+
+    def __init__(self, period_s: float, cost_triggers: int = 0) -> None:
+        super().__init__(cost_triggers)
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.period_s = period_s
+        #: Completion time of the next scheduled check.
+        self.next_due_s = period_s
+
+    @classmethod
+    def from_budget(
+        cls,
+        itdr,
+        line,
+        captures_per_check: int,
+        trigger_rate: Optional[float] = None,
+    ) -> "PeriodicCadence":
+        """Size the period from one check's measurement budget on ``line``."""
+        budget = itdr.budget(
+            itdr.record_length(line), trigger_rate=trigger_rate
+        )
+        return cls(
+            budget.duration_s * captures_per_check,
+            cost_triggers=budget.n_triggers * captures_per_check,
+        )
+
+    def due(self, t: float) -> Iterator[float]:
+        """Yield every check-completion time at or before ``t``."""
+        while t >= self.next_due_s:
+            fired = self.next_due_s
+            self.next_due_s += self.period_s
+            self._account()
+            yield fired
+
+    def force(self, t: float) -> float:
+        """An out-of-band check at ``t`` (power-on probe, final sweep).
+
+        Counted like any scheduled check; the periodic phase is
+        unaffected.
+        """
+        self._account()
+        return t
+
+
+class TriggerBudgetCadence(Cadence):
+    """Traffic-fed cadence: each check costs ``cost_triggers`` from a pool.
+
+    The pool fills as traffic passes and a check fires the moment one
+    full budget is banked.  Leftover triggers roll over across frames
+    and calls — partial budgets are never discarded.
+    """
+
+    def __init__(self, cost_triggers: int) -> None:
+        if cost_triggers < 1:
+            raise ValueError("cost_triggers must be >= 1")
+        super().__init__(cost_triggers)
+        #: Triggers banked but not yet spent on a check.
+        self.pool = 0
+
+    @classmethod
+    def from_budget(
+        cls, itdr, line, captures_per_check: int
+    ) -> "TriggerBudgetCadence":
+        """Size the check cost from one measurement budget on ``line``."""
+        budget = itdr.budget(itdr.record_length(line))
+        return cls(budget.n_triggers * captures_per_check)
+
+    def feed(self, n_triggers: int) -> None:
+        """Bank the triggers one burst of traffic offered."""
+        if n_triggers < 0:
+            raise ValueError("n_triggers must be non-negative")
+        self.pool += int(n_triggers)
+
+    def due(self, t: float) -> Iterator[float]:
+        """Yield ``t`` once per check the banked pool can pay for."""
+        while self.pool >= self.cost_triggers:
+            self.pool -= self.cost_triggers
+            self._account()
+            yield t
+
+    def idle_fill(
+        self,
+        t: float,
+        idle_triggers: int,
+        idle_duration_s: float,
+        max_idle_s: float,
+    ) -> float:
+        """Advance time feeding idle symbols until a check is affordable.
+
+        Returns the time after idling, bounded by ``max_idle_s`` of added
+        idle traffic; whether a check actually fires is decided by the
+        next :meth:`due` call, so a tight bound can genuinely starve the
+        monitor.
+        """
+        if idle_triggers < 1:
+            raise ValueError("idle_triggers must be >= 1")
+        if idle_duration_s <= 0:
+            raise ValueError("idle_duration_s must be positive")
+        idled = 0.0
+        while self.pool < self.cost_triggers and idled < max_idle_s:
+            t += idle_duration_s
+            idled += idle_duration_s
+            self.feed(idle_triggers)
+        return t
+
+    def force(self, t: float) -> float:
+        """An out-of-band check at ``t``, funded by whatever is banked.
+
+        Consumes the leftover pool up to one full budget so trigger
+        accounting never reports a check as free.
+        """
+        consumed = min(self.pool, self.cost_triggers)
+        self.pool -= consumed
+        self._account(consumed)
+        return t
+
+
+class RoundRobinCadence(Cadence):
+    """Shared-datapath cadence: registered buses visited in turn.
+
+    One measurement datapath multiplexes every bus; each visit occupies
+    it for ``visit_s``, so a bus is re-examined only once per full scan
+    and worst-case detection latency grows linearly with the bus count —
+    the un-quantified price of the paper's >90 % resource sharing.
+    """
+
+    def __init__(self, visit_s: float, cost_triggers: int = 0) -> None:
+        super().__init__(cost_triggers)
+        if visit_s <= 0:
+            raise ValueError("visit_s must be positive")
+        #: Datapath time one bus visit occupies.
+        self.visit_s = visit_s
+        #: The datapath's running clock across scans.
+        self.time_s = 0.0
+
+    @classmethod
+    def from_budget(
+        cls, itdr, line, captures_per_check: int
+    ) -> "RoundRobinCadence":
+        """Size the visit time from one measurement budget on ``line``."""
+        budget = itdr.budget(itdr.record_length(line))
+        return cls(
+            budget.duration_s * captures_per_check,
+            cost_triggers=budget.n_triggers * captures_per_check,
+        )
+
+    def scan_period_s(self, n_buses: int) -> float:
+        """Full round-robin time over ``n_buses`` buses."""
+        if n_buses < 1:
+            raise ValueError("n_buses must be >= 1")
+        return self.visit_s * n_buses
+
+    def worst_case_latency_s(self, n_buses: int) -> float:
+        """Detection-latency bound: an attack landing just after its
+        bus's visit waits one full scan to be seen."""
+        return self.scan_period_s(n_buses)
+
+    def visits(self, names: Sequence[str]) -> Iterator[Tuple[str, float]]:
+        """Yield ``(bus, completion time)`` for one scan, advancing the
+        datapath clock."""
+        for name in names:
+            self.time_s += self.visit_s
+            self._account()
+            yield name, self.time_s

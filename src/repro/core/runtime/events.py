@@ -1,0 +1,141 @@
+"""Canonical monitoring event record and the shared event-log queries.
+
+Every DIVOT workload — the clocked memory bus, the traffic-fed serial
+link, the multiplexed shared-datapath manager — reports monitoring the
+same way: a stream of :class:`MonitorEvent` records collected in an
+:class:`EventLog`.  The log owns the query surface the per-application
+result types used to hand-roll (alert filtering, first-alert time,
+detection latency), so detection metrics mean exactly the same thing no
+matter which channel produced the events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from ..divot import Action, MonitorResult
+
+__all__ = ["MonitorEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One monitoring outcome, identical across every workload.
+
+    Attributes:
+        time_s: Simulated time the monitoring decision completed.
+        side: Which endpoint decided — ``"cpu"``/``"module"`` on the
+            memory bus, ``"tx"``/``"rx"`` on the serial link, the bus
+            name under the shared manager.
+        action: The commanded reaction (PROCEED / BLOCK / ALERT).
+        score: Authentication similarity score of the capture.
+        tampered: Whether the tamper detector fired.
+        location_m: Estimated tamper location along the line, if any.
+        bus: The monitored bus's name for multi-bus deployments; None
+            when the workload monitors a single channel.
+    """
+
+    time_s: float
+    side: str
+    action: Action
+    score: float
+    tampered: bool
+    location_m: Optional[float]
+    bus: Optional[str] = None
+
+    @property
+    def is_alert(self) -> bool:
+        """Whether this outcome demands a reaction (non-PROCEED)."""
+        return self.action is not Action.PROCEED
+
+    @classmethod
+    def from_result(
+        cls,
+        time_s: float,
+        side: str,
+        result: MonitorResult,
+        bus: Optional[str] = None,
+    ) -> "MonitorEvent":
+        """Flatten one endpoint decision into the canonical record."""
+        return cls(
+            time_s=time_s,
+            side=side,
+            action=result.action,
+            score=result.auth.score,
+            tampered=result.tamper.tampered,
+            location_m=result.tamper.location_m,
+            bus=bus,
+        )
+
+
+class EventLog:
+    """Time-ordered monitoring events plus the shared query surface.
+
+    Doubles as a runtime sink (it exposes ``emit``), so a run's log and
+    the workload's telemetry receive the very same event objects.
+    """
+
+    def __init__(self, events: Optional[Iterable[MonitorEvent]] = None) -> None:
+        self.events: List[MonitorEvent] = list(events) if events else []
+
+    # -- sink protocol -------------------------------------------------
+    def emit(self, event: MonitorEvent) -> None:
+        """Append one event (runtime sink entry point)."""
+        self.events.append(event)
+
+    def extend(self, events: Iterable[MonitorEvent]) -> None:
+        """Append several events in order."""
+        self.events.extend(events)
+
+    # -- container behaviour -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[MonitorEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+    # -- the shared query surface --------------------------------------
+    def filter(
+        self, side: Optional[str] = None, bus: Optional[str] = None
+    ) -> List[MonitorEvent]:
+        """Events matching the given side and/or bus, in time order."""
+        return [
+            e
+            for e in self.events
+            if (side is None or e.side == side)
+            and (bus is None or e.bus == bus)
+        ]
+
+    def alerts(
+        self, side: Optional[str] = None, bus: Optional[str] = None
+    ) -> List[MonitorEvent]:
+        """Non-PROCEED events in time order."""
+        return [e for e in self.filter(side=side, bus=bus) if e.is_alert]
+
+    def first_alert_time(
+        self, side: Optional[str] = None, bus: Optional[str] = None
+    ) -> Optional[float]:
+        """Time of the first BLOCK/ALERT, or None if the log is clean."""
+        alerts = self.alerts(side=side, bus=bus)
+        return alerts[0].time_s if alerts else None
+
+    def detection_latency(
+        self,
+        onset_s: float,
+        side: Optional[str] = None,
+        bus: Optional[str] = None,
+    ) -> Optional[float]:
+        """Time from attack onset to the first alert at or after it.
+
+        Alerts strictly before the onset (false positives, earlier
+        attacks) are ignored; an alert exactly at the onset counts as
+        zero latency; a clean log returns None.
+        """
+        for event in self.alerts(side=side, bus=bus):
+            if event.time_s >= onset_s:
+                return event.time_s - onset_s
+        return None

@@ -1,0 +1,134 @@
+"""Structured monitoring telemetry shared by every workload.
+
+The telemetry sink turns the runtime's event stream into one dict shape:
+per-endpoint counters, score histograms, cadence cost accounting, and
+detection-latency summaries.  Experiments and benchmarks assert on the
+same keys whether the events came from the memory bus, the serial link,
+or the shared-datapath manager — the cross-workload comparison surface
+the per-application list comprehensions could never give.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..divot import Action
+from .events import EventLog, MonitorEvent
+
+__all__ = ["Telemetry", "SCORE_BINS"]
+
+#: Default histogram bin count over the similarity-score range [0, 1].
+SCORE_BINS = 20
+
+
+class Telemetry:
+    """Event sink accumulating the shared monitoring metrics.
+
+    Attach one per workload (it survives across runs/scans) and read
+    :meth:`snapshot` — a plain dict with a stable schema:
+
+    ``endpoints``
+        per-side cell: ``checks``, ``proceeds``, ``blocks``, ``alerts``,
+        ``flagged`` (non-PROCEED), ``tampered``, and a ``score``
+        sub-dict (count/mean/min/max plus a fixed-bin histogram);
+    ``buses``
+        the same cell shape keyed by bus name, for multi-bus workloads;
+    ``totals``
+        one cell over every event;
+    ``cadence``
+        ``checks_run`` and ``triggers_consumed`` folded in from the
+        driving cadence(s);
+    ``detection``
+        ``onset_s``, ``first_alert_s``, overall ``latency_s`` and
+        ``per_side`` latencies for the given attack onset.
+    """
+
+    def __init__(self, score_bins: int = SCORE_BINS) -> None:
+        if score_bins < 1:
+            raise ValueError("score_bins must be >= 1")
+        self.score_bins = score_bins
+        #: Every event this workload ever emitted, in time order.
+        self.log = EventLog()
+        self._cadence = {"checks_run": 0, "triggers_consumed": 0}
+
+    # -- sink protocol -------------------------------------------------
+    def emit(self, event: MonitorEvent) -> None:
+        """Record one monitoring event (runtime sink entry point)."""
+        self.log.emit(event)
+
+    def record_cadence(self, counters: Dict[str, int]) -> None:
+        """Fold one run's cadence accounting into the workload totals."""
+        for key in self._cadence:
+            self._cadence[key] += int(counters.get(key, 0))
+
+    # -- the structured surface ----------------------------------------
+    def _cell(self, events: List[MonitorEvent]) -> dict:
+        scores = np.array([e.score for e in events], dtype=float)
+        if scores.size:
+            hist, edges = np.histogram(
+                scores, bins=self.score_bins, range=(0.0, 1.0)
+            )
+            score = {
+                "count": int(scores.size),
+                "mean": float(scores.mean()),
+                "min": float(scores.min()),
+                "max": float(scores.max()),
+                "hist": hist.tolist(),
+                "bin_edges": edges.tolist(),
+            }
+        else:
+            edges = np.linspace(0.0, 1.0, self.score_bins + 1)
+            score = {
+                "count": 0,
+                "mean": None,
+                "min": None,
+                "max": None,
+                "hist": [0] * self.score_bins,
+                "bin_edges": edges.tolist(),
+            }
+        proceeds = sum(1 for e in events if e.action is Action.PROCEED)
+        return {
+            "checks": len(events),
+            "proceeds": proceeds,
+            "blocks": sum(1 for e in events if e.action is Action.BLOCK),
+            "alerts": sum(1 for e in events if e.action is Action.ALERT),
+            "flagged": len(events) - proceeds,
+            "tampered": sum(1 for e in events if e.tampered),
+            "score": score,
+        }
+
+    def snapshot(self, onset_s: Optional[float] = None) -> dict:
+        """The structured metrics dict (optionally against an attack onset)."""
+        sides = sorted({e.side for e in self.log})
+        buses = sorted({e.bus for e in self.log if e.bus is not None})
+        detection = {
+            "onset_s": onset_s,
+            "first_alert_s": self.log.first_alert_time(),
+            "latency_s": (
+                None
+                if onset_s is None
+                else self.log.detection_latency(onset_s)
+            ),
+            "per_side": (
+                {}
+                if onset_s is None
+                else {
+                    side: self.log.detection_latency(onset_s, side=side)
+                    for side in sides
+                }
+            ),
+        }
+        return {
+            "endpoints": {
+                side: self._cell(self.log.filter(side=side))
+                for side in sides
+            },
+            "buses": {
+                bus: self._cell(self.log.filter(bus=bus)) for bus in buses
+            },
+            "totals": self._cell(self.log.events),
+            "cadence": dict(self._cadence),
+            "detection": detection,
+        }

@@ -27,8 +27,10 @@ import numpy as np
 
 from ..analysis.report import format_table
 from ..attacks import CapacitiveSnoop
-from ..core.fingerprint import Fingerprint
+from ..core.auth import Authenticator
 from ..core.config import prototype_itdr, prototype_line_factory
+from ..core.divot import DivotEndpoint
+from ..core.runtime import MonitorRuntime, Telemetry
 from ..core.tamper import TamperDetector
 from ..membus.encryption import CounterModeEngine
 from ..txline.materials import FR4
@@ -75,23 +77,31 @@ class StackResult:
 
 
 def _snoop_detected(seed: int) -> bool:
-    """Does the DIVOT layer notice the snooping pod on the bus?"""
+    """Does the DIVOT layer notice the snooping pod on the bus?
+
+    One monitoring decision through the unified runtime; the verdict is
+    read off the telemetry surface every workload shares.
+    """
     factory = prototype_line_factory()
     line = factory.manufacture(seed=seed)
     itdr = prototype_itdr(rng=np.random.default_rng(seed))
-    reference = Fingerprint.from_captures(
-        [itdr.capture(line) for _ in range(32)]
-    )
     detector = TamperDetector(
         threshold=2.5e-3,
         velocity=FR4.velocity_at(FR4.t_ref_c),
         smooth_window=7,
         alignment_offset_s=itdr.probe_edge().duration,
     )
-    capture = itdr.capture_averaged(
-        line, 32, modifiers=[CapacitiveSnoop(0.12)]
+    endpoint = DivotEndpoint(
+        "stack-divot", itdr, Authenticator(0.85), detector,
+        captures_per_check=32,
     )
-    return detector.check(capture, reference).tampered
+    endpoint.calibrate(line, n_captures=32)
+    runtime = MonitorRuntime(telemetry=Telemetry())
+    runtime.check(
+        endpoint, 0.0, [line],
+        side="divot", modifiers=[CapacitiveSnoop(0.12)],
+    )
+    return runtime.telemetry.snapshot()["totals"]["tampered"] > 0
 
 
 def run(seed: int = 0, n_words: int = 64) -> StackResult:

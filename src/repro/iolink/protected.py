@@ -4,8 +4,11 @@ Combines the serial lane with a DIVOT endpoint at each end.  Unlike the
 memory bus (whose clock lane triggers every cycle), the serial lane's
 monitor is *traffic-fed*: each monitoring decision costs a trigger budget
 the passing frames must supply.  ``send`` therefore interleaves transport
-and monitoring, reporting delivered frames, alerts, and the monitoring
-cadence the traffic actually sustained.
+and monitoring through the unified runtime's
+:class:`~repro.core.runtime.TriggerBudgetCadence`, reporting delivered
+frames, alerts, and the monitoring cadence the traffic actually
+sustained — in the same canonical event/telemetry vocabulary as the
+memory bus and the shared manager.
 """
 
 from __future__ import annotations
@@ -13,51 +16,60 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-
 from ..attacks.base import AttackTimeline
 from ..core.auth import Authenticator
-from ..core.divot import Action, DivotEndpoint
+from ..core.divot import DivotEndpoint
 from ..core.itdr import ITDR
+from ..core.runtime import (
+    EventLog,
+    MonitorEvent,
+    MonitorRuntime,
+    Telemetry,
+    TriggerBudgetCadence,
+)
 from ..core.tamper import TamperDetector
 from .frame import Frame, FrameError
 from .link import SerialLink
 
 __all__ = ["LinkEvent", "LinkRunResult", "ProtectedSerialLink"]
 
-
-@dataclass(frozen=True)
-class LinkEvent:
-    """One monitoring outcome during a link session."""
-
-    time_s: float
-    side: str
-    action: Action
-    score: float
-    tampered: bool
-    location_m: Optional[float]
+#: Deprecated alias — link sessions emit the canonical runtime event.
+LinkEvent = MonitorEvent
 
 
 @dataclass
 class LinkRunResult:
-    """Everything a protected link session produced."""
+    """Everything a protected link session produced.
+
+    Events live in a canonical :class:`~repro.core.runtime.EventLog`;
+    the alert/latency queries delegate to it.  ``checks_run`` and
+    ``triggers_consumed`` come straight from the cadence's accounting,
+    so a check is never reported as free.
+    """
 
     delivered: List[Frame] = field(default_factory=list)
     crc_errors: int = 0
-    events: List[LinkEvent] = field(default_factory=list)
+    log: EventLog = field(default_factory=EventLog)
     duration_s: float = 0.0
     checks_run: int = 0
     triggers_consumed: int = 0
 
-    def alerts(self) -> List[LinkEvent]:
+    @property
+    def events(self) -> List[MonitorEvent]:
+        """The raw monitoring events in time order."""
+        return self.log.events
+
+    def alerts(self) -> List[MonitorEvent]:
         """Non-PROCEED events in time order."""
-        return [e for e in self.events if e.action is not Action.PROCEED]
+        return self.log.alerts()
+
+    def first_alert_time(self) -> Optional[float]:
+        """Time of the first BLOCK/ALERT, or None for a clean session."""
+        return self.log.first_alert_time()
 
     def detection_latency(self, onset_s: float) -> Optional[float]:
         """Time from attack onset to the first alert at/after it."""
-        for event in self.alerts():
-            if event.time_s >= onset_s:
-                return event.time_s - onset_s
-        return None
+        return self.log.detection_latency(onset_s)
 
 
 class ProtectedSerialLink:
@@ -88,9 +100,13 @@ class ProtectedSerialLink:
             "serdes-rx", rx_itdr, authenticator, tamper_detector,
             captures_per_check=captures_per_check,
         )
-        # One monitoring check costs this many triggers.
-        budget = tx_itdr.budget(tx_itdr.record_length(link.line))
-        self.triggers_per_check = budget.n_triggers * captures_per_check
+        #: Workload-lifetime telemetry shared by every session.
+        self.telemetry = Telemetry()
+        # One monitoring check costs this many triggers — arithmetic owned
+        # by the traffic-fed cadence.
+        self.triggers_per_check = TriggerBudgetCadence.from_budget(
+            tx_itdr, link.line, captures_per_check
+        ).cost_triggers
 
     # ------------------------------------------------------------------
     def calibrate(self, n_captures: int = 8) -> None:
@@ -139,18 +155,16 @@ class ProtectedSerialLink:
         least one full monitoring check has run (bounded by ``max_idle_s``)
         — the standard cure for monitor starvation on quiet links.
         """
-        result = LinkRunResult()
+        cadence = TriggerBudgetCadence(self.triggers_per_check)
+        runtime = MonitorRuntime(cadence, telemetry=self.telemetry)
+        result = LinkRunResult(log=runtime.log)
         t = 0.0
-        trigger_pool = 0
         for frame in frames:
             record = self.link.transmit([frame])
             t += record.duration_s
-            trigger_pool += record.n_triggers
-            while trigger_pool >= self.triggers_per_check:
-                trigger_pool -= self.triggers_per_check
-                result.triggers_consumed += self.triggers_per_check
-                result.checks_run += 1
-                result.events.extend(self._check(t, timeline))
+            cadence.feed(record.n_triggers)
+            for due in cadence.due(t):
+                self._check(runtime, due, timeline)
             if self.rx_endpoint.is_blocked:
                 continue  # receiver refuses traffic from an unverified lane
             try:
@@ -158,45 +172,33 @@ class ProtectedSerialLink:
                 result.delivered.extend(decoded)
             except (FrameError, ValueError):
                 result.crc_errors += 1
-        if idle_fill and result.checks_run == 0:
+        if idle_fill and cadence.checks_run == 0:
             idle_triggers, idle_duration = self.idle_fill_record()
-            idled = 0.0
-            while (
-                trigger_pool < self.triggers_per_check and idled < max_idle_s
-            ):
-                t += idle_duration
-                idled += idle_duration
-                trigger_pool += idle_triggers
-            if trigger_pool >= self.triggers_per_check:
-                trigger_pool -= self.triggers_per_check
-                result.triggers_consumed += self.triggers_per_check
-                result.checks_run += 1
-                result.events.extend(self._check(t, timeline))
+            t = cadence.idle_fill(t, idle_triggers, idle_duration, max_idle_s)
+            for due in cadence.due(t):
+                self._check(runtime, due, timeline)
         result.duration_s = t
         if timeline is not None and not result.alerts():
-            # Final check so short bursts still observe late attacks.
-            result.events.extend(self._check(t, timeline))
-            result.checks_run += 1
+            # Final check so short bursts still observe late attacks —
+            # routed through the cadence, so it consumes the banked
+            # trigger pool and lands at the session-end timestamp.
+            self._check(runtime, cadence.force(t), timeline)
+        runtime.finish()
+        result.checks_run = cadence.checks_run
+        result.triggers_consumed = cadence.triggers_consumed
         return result
 
-    def _check(self, t: float, timeline: Optional[AttackTimeline]):
-        modifiers: Sequence = ()
-        if timeline is not None:
-            modifiers = timeline.active_at(t)
-        events = []
+    def _check(
+        self,
+        runtime: MonitorRuntime,
+        t: float,
+        timeline: Optional[AttackTimeline],
+    ) -> None:
+        """One two-way check: both ends evaluate the lane at time ``t``."""
         for side, endpoint in (
             ("tx", self.tx_endpoint),
             ("rx", self.rx_endpoint),
         ):
-            outcome = endpoint.monitor_capture(self.link.line, modifiers)
-            events.append(
-                LinkEvent(
-                    time_s=t,
-                    side=side,
-                    action=outcome.action,
-                    score=outcome.auth.score,
-                    tampered=outcome.tamper.tampered,
-                    location_m=outcome.tamper.location_m,
-                )
+            runtime.check(
+                endpoint, t, [self.link.line], timeline=timeline, side=side
             )
-        return events

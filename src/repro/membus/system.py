@@ -10,10 +10,14 @@ Wires every piece together:
 * an :class:`~repro.attacks.base.AttackTimeline` injecting physical attacks
   mid-run.
 
-Monitoring is concurrent with traffic: captures complete every
+Monitoring is concurrent with traffic and driven by the unified runtime:
+a :class:`~repro.core.runtime.PeriodicCadence` completes a check every
 ``capture_period_s`` of simulated time with zero added latency on the data
-path (DIVOT's transparency property), and each completed capture may flip
-either endpoint into BLOCK/ALERT, which *is* visible to traffic.
+path (DIVOT's transparency property), and each completed check may flip
+either endpoint into BLOCK/ALERT, which *is* visible to traffic.  Events
+and telemetry use the canonical runtime records, so this workload's
+metrics are directly comparable with the serial link's and the shared
+manager's.
 """
 
 from __future__ import annotations
@@ -25,8 +29,15 @@ import numpy as np
 
 from ..attacks.base import AttackTimeline
 from ..core.auth import Authenticator
-from ..core.divot import Action, DivotEndpoint
+from ..core.divot import DivotEndpoint
 from ..core.itdr import ITDR
+from ..core.runtime import (
+    EventLog,
+    MonitorEvent,
+    MonitorRuntime,
+    PeriodicCadence,
+    Telemetry,
+)
 from ..core.tamper import TamperDetector
 from ..txline.line import TransmissionLine
 from .bus import MemoryBus
@@ -37,27 +48,26 @@ from .transactions import MemoryRequest
 __all__ = ["MonitorEvent", "RunResult", "ProtectedMemorySystem"]
 
 
-@dataclass(frozen=True)
-class MonitorEvent:
-    """One monitoring outcome during a run."""
-
-    time_s: float
-    side: str  # "cpu" or "module"
-    action: Action
-    score: float
-    tampered: bool
-    location_m: Optional[float]
-
-
 @dataclass
 class RunResult:
-    """Everything a protected run produced."""
+    """Everything a protected run produced.
+
+    Monitoring events live in a canonical
+    :class:`~repro.core.runtime.EventLog`; the alert/latency queries
+    delegate to it, so they mean the same thing as on every other
+    workload.
+    """
 
     completed: List[CompletedRequest] = field(default_factory=list)
-    events: List[MonitorEvent] = field(default_factory=list)
+    log: EventLog = field(default_factory=EventLog)
     duration_s: float = 0.0
 
     # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[MonitorEvent]:
+        """The raw monitoring events in time order."""
+        return self.log.events
+
     @property
     def n_blocked_accesses(self) -> int:
         """Device accesses rejected by the module-side gate."""
@@ -71,19 +81,15 @@ class RunResult:
 
     def alerts(self) -> List[MonitorEvent]:
         """Non-PROCEED monitoring events in time order."""
-        return [e for e in self.events if e.action is not Action.PROCEED]
+        return self.log.alerts()
 
     def first_alert_time(self) -> Optional[float]:
         """Time of the first BLOCK/ALERT, or None if the run stayed clean."""
-        alerts = self.alerts()
-        return alerts[0].time_s if alerts else None
+        return self.log.first_alert_time()
 
     def detection_latency(self, attack_onset_s: float) -> Optional[float]:
         """Time from attack onset to the first alert at or after it."""
-        for event in self.alerts():
-            if event.time_s >= attack_onset_s:
-                return event.time_s - attack_onset_s
-        return None
+        return self.log.detection_latency(attack_onset_s)
 
 
 class ProtectedMemorySystem:
@@ -131,13 +137,20 @@ class ProtectedMemorySystem:
         device.auth_gate = lambda: not self.module_endpoint.is_blocked
         self.device = device
         self.controller = MemoryController(device, endpoint=self.cpu_endpoint)
+        #: Workload-lifetime telemetry; every run's events and cadence
+        #: accounting fold into this one surface.
+        self.telemetry = Telemetry()
         # A monitoring decision consumes its trigger budget at the bus clock
         # rate (the clock lane toggles every cycle), times the averaging
-        # depth of one check.
-        budget = cpu_itdr.budget(
-            cpu_itdr.record_length(bus.line), trigger_rate=bus.clock_frequency
+        # depth of one check — arithmetic owned by the periodic cadence.
+        cadence = PeriodicCadence.from_budget(
+            cpu_itdr,
+            bus.line,
+            captures_per_check,
+            trigger_rate=bus.clock_frequency,
         )
-        self.capture_period_s = budget.duration_s * captures_per_check
+        self.capture_period_s = cadence.period_s
+        self._check_cost_triggers = cadence.cost_triggers
 
     # ------------------------------------------------------------------
     def calibrate(self, n_captures: int = 8) -> None:
@@ -147,33 +160,27 @@ class ProtectedMemorySystem:
         self.module_endpoint.calibrate_many(lanes, n_captures=n_captures)
 
     # ------------------------------------------------------------------
-    def _monitor_once(
+    def _new_runtime(self) -> MonitorRuntime:
+        """A fresh per-run runtime sharing the workload telemetry."""
+        cadence = PeriodicCadence(
+            self.capture_period_s, cost_triggers=self._check_cost_triggers
+        )
+        return MonitorRuntime(cadence, telemetry=self.telemetry)
+
+    def _check_both(
         self,
+        runtime: MonitorRuntime,
         t: float,
         timeline: Optional[AttackTimeline],
         module_line_override: Optional[TransmissionLine],
-    ) -> List[MonitorEvent]:
-        modifiers: Sequence = ()
-        if timeline is not None:
-            modifiers = timeline.active_at(t)
-        events = []
-        if self.extra_lanes:
-            cpu_result = self.cpu_endpoint.monitor_multi(
-                [self.bus.line, *self.extra_lanes], modifiers=modifiers
-            )
-        else:
-            cpu_result = self.cpu_endpoint.monitor_capture(
-                self.bus.line, modifiers=modifiers
-            )
-        events.append(
-            MonitorEvent(
-                time_s=t,
-                side="cpu",
-                action=cpu_result.action,
-                score=cpu_result.auth.score,
-                tampered=cpu_result.tamper.tampered,
-                location_m=cpu_result.tamper.location_m,
-            )
+    ) -> None:
+        """One concurrent two-way check: CPU side, then module side."""
+        runtime.check(
+            self.cpu_endpoint,
+            t,
+            [self.bus.line, *self.extra_lanes],
+            timeline=timeline,
+            side="cpu",
         )
         module_line = module_line_override or self.bus.line
         if module_line is not self.bus.line:
@@ -186,27 +193,19 @@ class ProtectedMemorySystem:
                 receiver=module_line.receiver,
             )
         if self.extra_lanes and module_line is self.bus.line:
-            module_result = self.module_endpoint.monitor_multi(
-                [module_line, *self.extra_lanes], modifiers=modifiers
-            )
+            module_lines = [module_line, *self.extra_lanes]
         else:
             # An overridden module lane (cold-boot scenario) is judged on
             # the main lane alone: in the attacker's machine the strobe
             # lanes are foreign too, so this is the lenient case.
-            module_result = self.module_endpoint.monitor_capture(
-                module_line, modifiers=modifiers
-            )
-        events.append(
-            MonitorEvent(
-                time_s=t,
-                side="module",
-                action=module_result.action,
-                score=module_result.auth.score,
-                tampered=module_result.tamper.tampered,
-                location_m=module_result.tamper.location_m,
-            )
+            module_lines = [module_line]
+        runtime.check(
+            self.module_endpoint,
+            t,
+            module_lines,
+            timeline=timeline,
+            side="module",
         )
-        return events
 
     # ------------------------------------------------------------------
     def run(
@@ -230,24 +229,23 @@ class ProtectedMemorySystem:
         starts sensing impedance signals on the bus as soon as the system
         is powered up").
         """
-        result = RunResult()
+        runtime = self._new_runtime()
+        cadence = runtime.cadence
+        result = RunResult(log=runtime.log)
         for request in requests:
             self.controller.enqueue(request)
         if monitor_first:
-            result.events.extend(
-                self._monitor_once(0.0, timeline, module_line_override)
+            self._check_both(
+                runtime, cadence.force(0.0), timeline, module_line_override
             )
-        next_capture = self.capture_period_s
         stalls = 0
         while self.controller.pending():
             t = self.bus.cycles_to_seconds(self.controller.current_cycle)
-            while t >= next_capture:
-                result.events.extend(
-                    self._monitor_once(
-                        next_capture, timeline, module_line_override
+            if t >= cadence.next_due_s:  # fast path: most cycles cross nothing
+                for due in cadence.due(t):
+                    self._check_both(
+                        runtime, due, timeline, module_line_override
                     )
-                )
-                next_capture += self.capture_period_s
             record = self.controller.issue_next()
             if record is None:
                 stalls += 1
@@ -260,13 +258,13 @@ class ProtectedMemorySystem:
         )
         # Final monitoring sweep so short runs still observe late attacks.
         if timeline is not None and not result.alerts():
-            result.events.extend(
-                self._monitor_once(
-                    result.duration_s + self.capture_period_s,
-                    timeline,
-                    module_line_override,
-                )
+            self._check_both(
+                runtime,
+                cadence.force(result.duration_s + cadence.period_s),
+                timeline,
+                module_line_override,
             )
+        runtime.finish()
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,165 @@
+"""Cross-workload telemetry: one shared surface, three workloads.
+
+The acceptance criterion of the runtime refactor: the protected memory
+bus, the protected serial link, and the shared round-robin manager all
+drive ``MonitorRuntime`` through a cadence and expose the *same*
+structured telemetry dict — identical key shape, counts consistent with
+their event logs, detection latency computed the same way everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Authenticator,
+    SharedITDRManager,
+    TamperDetector,
+    prototype_itdr,
+)
+from repro.core.runtime import EventLog, MonitorEvent, Telemetry
+from repro.iolink import Frame, ProtectedSerialLink, SerialLink
+from repro.iolink.protected import LinkEvent
+from repro.membus import (
+    AddressMap,
+    MemoryBus,
+    ProtectedMemorySystem,
+    SDRAMDevice,
+    TraceGenerator,
+)
+from repro.txline.materials import FR4
+
+
+def make_detector(itdr):
+    return TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+
+
+@pytest.fixture(scope="module")
+def workloads(factory):
+    """One small run of each of the three protected workloads."""
+    # Memory bus: periodic cadence on the clock lane.
+    line = factory.manufacture(seed=50, name="membus-clk")
+    bus = MemoryBus(line=line, clock_frequency=1.2e9)
+    amap = AddressMap(n_banks=4, n_rows=32, n_columns=16)
+    system = ProtectedMemorySystem(
+        bus,
+        SDRAMDevice(address_map=amap),
+        prototype_itdr(rng=np.random.default_rng(51)),
+        prototype_itdr(rng=np.random.default_rng(52)),
+        Authenticator(0.85),
+        make_detector(prototype_itdr()),
+        captures_per_check=4,
+    )
+    system.calibrate(n_captures=8)
+    gen = TraceGenerator(amap, seed=53)
+    system.run(gen.random(400, write_fraction=0.4), monitor_first=True)
+
+    # Serial link: trigger-budget cadence fed by frame traffic.
+    link_line = factory.manufacture(seed=60)
+    tx = prototype_itdr(rng=np.random.default_rng(61))
+    plink = ProtectedSerialLink(
+        SerialLink(link_line, bit_rate=5e9),
+        tx,
+        prototype_itdr(rng=np.random.default_rng(62)),
+        Authenticator(0.85),
+        make_detector(tx),
+        captures_per_check=4,
+    )
+    plink.calibrate()
+    rng = np.random.default_rng(63)
+    frames = [
+        Frame(sequence=i % 256,
+              payload=tuple(rng.integers(0, 256, 64).tolist()))
+        for i in range(400)
+    ]
+    plink.send(frames)
+
+    # Shared datapath: round-robin cadence over registered buses.
+    itdr = prototype_itdr(rng=np.random.default_rng(71))
+    manager = SharedITDRManager(
+        itdr, Authenticator(0.85), make_detector(itdr), captures_per_check=4
+    )
+    for bus_line in factory.manufacture_batch(3, first_seed=70):
+        manager.register(bus_line)
+    manager.calibrate_all(n_captures=8)
+    manager.scan()
+
+    return {"membus": system, "iolink": plink, "manager": manager}
+
+
+CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
+             "tampered", "score"}
+SCORE_KEYS = {"count", "mean", "min", "max", "hist", "bin_edges"}
+TOP_KEYS = {"endpoints", "buses", "totals", "cadence", "detection"}
+DETECTION_KEYS = {"onset_s", "first_alert_s", "latency_s", "per_side"}
+
+
+class TestSharedTelemetrySurface:
+    def test_every_workload_exposes_a_telemetry_sink(self, workloads):
+        for workload in workloads.values():
+            assert isinstance(workload.telemetry, Telemetry)
+            assert isinstance(workload.telemetry.log, EventLog)
+
+    def test_snapshot_shape_is_identical_across_workloads(self, workloads):
+        for name, workload in workloads.items():
+            snap = workload.telemetry.snapshot()
+            assert set(snap) == TOP_KEYS, name
+            assert set(snap["detection"]) == DETECTION_KEYS, name
+            assert set(snap["cadence"]) == {
+                "checks_run", "triggers_consumed"
+            }, name
+            for cell in [snap["totals"], *snap["endpoints"].values(),
+                         *snap["buses"].values()]:
+                assert set(cell) == CELL_KEYS, name
+                assert set(cell["score"]) == SCORE_KEYS, name
+
+    def test_counts_are_consistent_with_the_event_log(self, workloads):
+        for name, workload in workloads.items():
+            snap = workload.telemetry.snapshot()
+            log = workload.telemetry.log
+            assert snap["totals"]["checks"] == len(log), name
+            assert snap["totals"]["alerts"] == sum(
+                1 for e in log if e.is_alert
+            ), name
+            assert sum(
+                cell["checks"] for cell in snap["endpoints"].values()
+            ) == len(log), name
+
+    def test_all_workloads_actually_monitored(self, workloads):
+        for name, workload in workloads.items():
+            snap = workload.telemetry.snapshot()
+            assert snap["totals"]["checks"] > 0, name
+            assert snap["cadence"]["checks_run"] > 0, name
+
+    def test_events_are_canonical_monitor_events(self, workloads):
+        assert LinkEvent is MonitorEvent
+        for name, workload in workloads.items():
+            for event in workload.telemetry.log:
+                assert type(event) is MonitorEvent, name
+
+    def test_per_side_cells_match_workload_topology(self, workloads):
+        membus = workloads["membus"].telemetry.snapshot()
+        assert set(membus["endpoints"]) == {"cpu", "module"}
+        iolink = workloads["iolink"].telemetry.snapshot()
+        assert set(iolink["endpoints"]) == {"tx", "rx"}
+        manager = workloads["manager"].telemetry.snapshot()
+        names = set(workloads["manager"].bus_names())
+        assert set(manager["endpoints"]) == names
+        # The shared manager is the only per-bus workload, so only it
+        # populates the per-bus breakdown.
+        assert set(manager["buses"]) == names
+        assert membus["buses"] == {} and iolink["buses"] == {}
+
+    def test_detection_latency_reads_identically(self, workloads):
+        """A clean run reports the same null detection block everywhere."""
+        for name, workload in workloads.items():
+            detect = workload.telemetry.snapshot(onset_s=0.0)["detection"]
+            assert detect["onset_s"] == 0.0, name
+            assert detect["latency_s"] is None, name
+            assert detect["first_alert_s"] is None, name
+            sides = workload.telemetry.snapshot()["endpoints"]
+            assert detect["per_side"] == {s: None for s in sides}, name
