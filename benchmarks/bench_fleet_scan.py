@@ -1,0 +1,138 @@
+"""Sharded fleet-scan throughput: the fleet executor's perf pin.
+
+A 64-bus fleet scanned through ``FleetScanExecutor`` partitions across a
+process pool; each shard runs the same ``capture_stack`` batch engine a
+one-core scan would.  This bench times a full fleet scan serial
+(``shards=1``) versus sharded (``shards=4``, process backend) and pins a
+>= 2x throughput gain — gated on the machine actually having >= 4 cores,
+because on fewer cores the parallel backend cannot win by construction.
+
+Two things are asserted unconditionally, on any machine:
+
+* the serial and sharded scans are byte-identical (``canonical_bytes``),
+  so the speedup is never bought with a different answer;
+* both backends complete the full 64-bus scan.
+
+Results are written to ``benchmarks/BENCH_fleet.json`` (machine-readable)
+so the scan-throughput trajectory can be tracked across commits.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import (
+    Authenticator,
+    FleetScanExecutor,
+    TamperDetector,
+    prototype_itdr_config,
+    prototype_line_factory,
+)
+from repro.core.itdr import ITDR
+from repro.txline.materials import FR4
+
+from conftest import emit
+
+N_BUSES = 64
+SHARDS = 4
+CAPTURES_PER_CHECK = 64
+FIRST_SEED = 900
+ROOT_SEED = 11
+SPEEDUP_FLOOR = 2.0
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _make_executor(lines, shards, backend):
+    config = prototype_itdr_config()
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=ITDR(config).probe_edge().duration,
+    )
+    executor = FleetScanExecutor(
+        Authenticator(0.85),
+        detector,
+        itdr_config=config,
+        captures_per_check=CAPTURES_PER_CHECK,
+        shards=shards,
+        backend=backend,
+        seed=ROOT_SEED,
+    )
+    for line in lines:
+        executor.register(line)
+    return executor
+
+
+def _best_scan_time(executor, rounds=3):
+    best = np.inf
+    outcome = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        outcome = executor.scan()
+        best = min(best, time.perf_counter() - start)
+    return best, outcome
+
+
+def test_fleet_scan_throughput(benchmark, record_fleet_result):
+    factory = prototype_line_factory()
+    lines = factory.manufacture_batch(N_BUSES, first_seed=FIRST_SEED)
+    cores = available_cores()
+
+    with _make_executor(lines, 1, "serial") as serial, \
+            _make_executor(lines, SHARDS, "process") as sharded:
+        serial.enroll(n_captures=4)
+        sharded.enroll(n_captures=4)
+        # Warm both backends' reflection caches so the timed scans
+        # measure estimation throughput, not one-off physics solves.
+        serial.scan()
+        sharded.scan()
+
+        serial_s, serial_outcome = _best_scan_time(serial)
+        sharded_s, sharded_outcome = _best_scan_time(sharded)
+        benchmark(sharded.scan)
+
+    # Correctness before speed: the partition must be invisible.
+    assert serial_outcome.canonical_bytes() == \
+        sharded_outcome.canonical_bytes()
+    assert len(serial_outcome.records) == N_BUSES
+    assert len(sharded_outcome.records) == N_BUSES
+
+    speedup = serial_s / sharded_s
+    gate_speedup = cores >= SHARDS
+    record_fleet_result(
+        "fleet_scan_throughput",
+        {
+            "n_buses": N_BUSES,
+            "shards": SHARDS,
+            "captures_per_check": CAPTURES_PER_CHECK,
+            "cores_available": cores,
+            "serial_scan_s": serial_s,
+            "sharded_scan_s": sharded_s,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_gated": gate_speedup,
+            "byte_identical": True,
+        },
+    )
+    emit(
+        "FLEET SCAN THROUGHPUT — serial vs 4-shard process pool",
+        f"fleet size               : {N_BUSES} buses\n"
+        f"captures per check       : {CAPTURES_PER_CHECK}\n"
+        f"cores available          : {cores}\n"
+        f"serial scan              : {serial_s * 1e3:10.1f} ms\n"
+        f"{SHARDS}-shard scan             : {sharded_s * 1e3:10.1f} ms\n"
+        f"speedup                  : {speedup:10.2f}x "
+        f"(floor: {SPEEDUP_FLOOR}x, "
+        f"{'enforced' if gate_speedup else f'not enforced on {cores} core(s)'})"
+        "\nserial/sharded outcomes  : byte-identical",
+    )
+    if gate_speedup:
+        assert speedup >= SPEEDUP_FLOOR

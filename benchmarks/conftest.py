@@ -10,11 +10,39 @@ harness finishes in minutes.  Set ``REPRO_FULL_SCALE=1`` to run the paper's
 full 6-lines x 8192-measurements protocol.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import FULL, ExperimentScale
+
+BENCH_FLEET_JSON = Path(__file__).resolve().parent / "BENCH_fleet.json"
+
+_fleet_results = {}
+
+
+@pytest.fixture
+def record_fleet_result():
+    """Collect one bench's machine-readable row for ``BENCH_fleet.json``.
+
+    The fleet-scan bench calls this with a name and a JSON-serialisable
+    dict; everything recorded over the session is written out at exit so
+    the scan-throughput trajectory can be tracked across commits.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        _fleet_results[name] = payload
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _fleet_results:
+        BENCH_FLEET_JSON.write_text(
+            json.dumps(_fleet_results, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def harness_scale() -> ExperimentScale:

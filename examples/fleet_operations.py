@@ -3,16 +3,19 @@
 A day-2-operations tour of the deployment machinery built on top of the
 paper's core:
 
-1. one shared measurement datapath protecting eight buses round-robin
-   (resources near-flat, scan latency linear — and an attack on any one
-   bus flagged by name within a scan);
+1. one shared measurement datapath design protecting eight buses
+   round-robin, scanned by the sharded fleet executor (resources
+   near-flat, scan latency linear — and an attack on any one bus flagged
+   by name within a scan, byte-identically for any shard count);
 2. an adaptive reference riding through years of impedance aging that
    would strand a static fingerprint;
 3. multi-lane fusion catching a tap on a strobe lane the clock-lane
    monitor never measures.
 
-Run:  python examples/fleet_operations.py
+Run:  python examples/fleet_operations.py [--shards N]
 """
+
+import argparse
 
 import numpy as np
 
@@ -21,9 +24,10 @@ from repro.core import (
     AdaptiveReference,
     Authenticator,
     Fingerprint,
-    SharedITDRManager,
+    FleetScanExecutor,
     TamperDetector,
     prototype_itdr,
+    prototype_itdr_config,
     prototype_line_factory,
 )
 from repro.core.divot import DivotEndpoint
@@ -42,41 +46,51 @@ def make_detector(itdr):
     )
 
 
-def part_one_shared_datapath(factory) -> None:
+def part_one_shared_datapath(factory, shards: int = 1) -> None:
     print("=" * 64)
-    print("1. one datapath, eight buses")
+    print(f"1. one datapath design, eight buses, {shards} scan shard(s)")
     print("=" * 64)
-    itdr = prototype_itdr(rng=np.random.default_rng(1))
-    manager = SharedITDRManager(
-        itdr, Authenticator(0.85), make_detector(itdr), captures_per_check=16
+    config = prototype_itdr_config()
+    executor = FleetScanExecutor(
+        Authenticator(0.85),
+        make_detector(prototype_itdr()),
+        itdr_config=config,
+        captures_per_check=16,
+        shards=shards,
+        seed=1,
     )
-    for line in factory.manufacture_batch(8, first_seed=400):
-        manager.register(line)
-    manager.calibrate_all(n_captures=8)
-    report = manager.resource_report()
-    print(f"hardware           : {report.registers} FF / {report.luts} LUT "
-          f"(one bus: 71 / 124)")
-    print(f"scan period        : {manager.scan_period_s() * 1e3:.1f} ms "
-          "(worst-case detection latency)")
-    victim = manager.bus_names()[5]
-    clean_scan = manager.scan()
-    outcome = manager.scan(modifiers_by_bus={victim: [WireTap(0.12)]})
-    flagged = [name for name, _ in outcome.alerts()]
-    print(f"tap on {victim!r}  : flagged {flagged} in one scan")
-    assert clean_scan.all_clear()
-    # The telemetry surface: the same structured dict every DIVOT
-    # workload exposes (memory bus, serial link, shared manager).
-    snap = manager.telemetry.snapshot()
-    totals = snap["totals"]
-    victim_cell = snap["buses"][victim]
-    print(f"telemetry          : {totals['checks']} checks over two scans, "
-          f"{totals['flagged']} flagged, "
-          f"cadence consumed {snap['cadence']['triggers_consumed']} triggers")
-    print(f"victim-bus cell    : {victim_cell['checks']} checks, "
-          f"{victim_cell['flagged']} flagged, "
-          f"mean score {victim_cell['score']['mean']:.3f}")
-    print(f"first alert        : t = {snap['detection']['first_alert_s'] * 1e3:.2f} ms "
-          "on the shared datapath clock\n")
+    with executor:
+        for line in factory.manufacture_batch(8, first_seed=400):
+            executor.register(line)
+        executor.enroll(n_captures=8)
+        report = executor.resource_report()
+        print(f"hardware           : {report.registers} FF / {report.luts} LUT "
+              f"(one bus: 71 / 124)")
+        print(f"scan period        : {executor.scan_period_s() * 1e3:.1f} ms "
+              "(worst-case detection latency; shards buy scan throughput, "
+              "not latency)")
+        victim = executor.bus_names()[5]
+        clean_scan = executor.scan()
+        outcome = executor.scan(modifiers_by_bus={victim: [WireTap(0.12)]})
+        flagged = [name for name, _ in outcome.alerts()]
+        print(f"tap on {victim!r}  : flagged {flagged} in one scan "
+              f"({outcome.backend} backend)")
+        assert clean_scan.all_clear()
+        # The telemetry surface: the same structured dict every DIVOT
+        # workload exposes (memory bus, serial link, fleet executor).
+        snap = executor.telemetry.snapshot()
+        totals = snap["totals"]
+        victim_cell = snap["buses"][victim]
+        print(f"telemetry          : {totals['checks']} checks over two scans, "
+              f"{totals['flagged']} flagged, "
+              f"cadence consumed {snap['cadence']['triggers_consumed']} triggers")
+        print(f"victim-bus cell    : {victim_cell['checks']} checks, "
+              f"{victim_cell['flagged']} flagged, "
+              f"mean score {victim_cell['score']['mean']:.3f}")
+        shard_cells = {s: cell["checks"] for s, cell in snap["shards"].items()}
+        print(f"per-shard checks   : {shard_cells}")
+        print(f"first alert        : t = {snap['detection']['first_alert_s'] * 1e3:.2f} ms "
+              "on the shared datapath clock\n")
 
 
 def part_two_adaptive_aging(factory) -> None:
@@ -136,7 +150,13 @@ def part_three_multilane(factory) -> None:
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="fleet-scan shard count (results are identical for any value)",
+    )
+    args = parser.parse_args()
     factory = prototype_line_factory()
-    part_one_shared_datapath(factory)
+    part_one_shared_datapath(factory, shards=args.shards)
     part_two_adaptive_aging(factory)
     part_three_multilane(factory)

@@ -20,7 +20,13 @@ import numpy as np
 
 from ..txline.line import TransmissionLine
 
-__all__ = ["DetectorTraits", "BaselineDetector"]
+__all__ = ["DetectorTraits", "BaselineDetector", "DEFAULT_BASELINE_SEED"]
+
+#: Fallback seed when a detector is built with neither ``rng`` nor
+#: ``seed``: baseline comparisons must be reproducible by default — an
+#: OS-entropy generator here made every unseeded run's noise floors and
+#: detection verdicts unrepeatable.
+DEFAULT_BASELINE_SEED = 0
 
 
 @dataclass(frozen=True)
@@ -58,11 +64,18 @@ class BaselineDetector:
         self,
         measurement_noise: float,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> None:
         if measurement_noise < 0:
             raise ValueError("measurement_noise must be non-negative")
+        if rng is not None and seed is not None:
+            raise ValueError("pass rng or seed, not both")
         self.measurement_noise = measurement_noise
-        self.rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            rng = np.random.default_rng(
+                DEFAULT_BASELINE_SEED if seed is None else seed
+            )
+        self.rng = rng
         self._reference: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------

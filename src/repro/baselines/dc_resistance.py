@@ -44,10 +44,13 @@ class DCResistanceMonitor(BaselineDetector):
         copper_ohm_per_m: float = 0.25,
         measurement_noise: float = 5e-4,
         rng=None,
+        seed=None,
     ) -> None:
         if copper_ohm_per_m <= 0:
             raise ValueError("copper_ohm_per_m must be positive")
-        super().__init__(measurement_noise=measurement_noise, rng=rng)
+        super().__init__(
+            measurement_noise=measurement_noise, rng=rng, seed=seed
+        )
         self.copper_ohm_per_m = copper_ohm_per_m
 
     def observable(

@@ -38,8 +38,12 @@ class InputImpedancePUF(BaselineDetector):
         relative_cost=40.0,
     )
 
-    def __init__(self, measurement_noise: float = 2e-3, rng=None) -> None:
-        super().__init__(measurement_noise=measurement_noise, rng=rng)
+    def __init__(
+        self, measurement_noise: float = 2e-3, rng=None, seed=None
+    ) -> None:
+        super().__init__(
+            measurement_noise=measurement_noise, rng=rng, seed=seed
+        )
 
     def observable(
         self, line: TransmissionLine, modifiers: Sequence = ()

@@ -45,10 +45,13 @@ class ProbeAttemptDetector(BaselineDetector):
         c_ro_farads: float = 10e-12,
         measurement_noise: float = 3e-5,
         rng=None,
+        seed=None,
     ) -> None:
         if f0_hz <= 0 or c_ro_farads <= 0:
             raise ValueError("f0_hz and c_ro_farads must be positive")
-        super().__init__(measurement_noise=measurement_noise, rng=rng)
+        super().__init__(
+            measurement_noise=measurement_noise, rng=rng, seed=seed
+        )
         self.f0_hz = f0_hz
         self.c_ro_farads = c_ro_farads
 

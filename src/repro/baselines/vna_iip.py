@@ -35,8 +35,12 @@ class VNAIIPReader(BaselineDetector):
         relative_cost=200.0,
     )
 
-    def __init__(self, measurement_noise: float = 1e-4, rng=None) -> None:
-        super().__init__(measurement_noise=measurement_noise, rng=rng)
+    def __init__(
+        self, measurement_noise: float = 1e-4, rng=None, seed=None
+    ) -> None:
+        super().__init__(
+            measurement_noise=measurement_noise, rng=rng, seed=seed
+        )
 
     def observable(
         self, line: TransmissionLine, modifiers: Sequence = ()

@@ -37,6 +37,13 @@ from .divot import (
 )
 from .ets import ETSSampler, PhaseSteppingPLL
 from .fingerprint import Fingerprint, FingerprintROM
+from .fleet import (
+    FleetRecord,
+    FleetScanExecutor,
+    FleetScanOutcome,
+    partition_fleet,
+    spawn_bus_streams,
+)
 from .itdr import IIPCapture, ITDR, ITDRConfig, MeasurementBudget
 from .latency import LatencyModel, LatencyPoint
 from .manager import ScanOutcome, SharedITDRManager
@@ -92,6 +99,11 @@ __all__ = [
     "DivotEndpoint",
     "DivotChannel",
     "ChannelStepResult",
+    "FleetRecord",
+    "FleetScanExecutor",
+    "FleetScanOutcome",
+    "partition_fleet",
+    "spawn_bus_streams",
     "EndpointState",
     "Action",
     "MonitorResult",

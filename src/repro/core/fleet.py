@@ -1,0 +1,558 @@
+"""Sharded fleet scans: one datapath design, many cores, one outcome.
+
+The paper's scaling argument (sections I and V) is that one shared iTDR
+datapath protects many buses; :class:`~repro.core.manager.SharedITDRManager`
+exposes the resulting linear detection-latency curve, but every scan still
+runs on one core.  The expensive part we simulate — the physics solve plus
+the ``(N, points)`` probability pass of ``ITDR.capture_stack`` — is
+embarrassingly parallel across buses, so a fleet partitions cleanly into
+shards, each shard running on its own process.
+
+Determinism is the design constraint, not an afterthought:
+
+* every bus gets its own child of one ``np.random.SeedSequence`` root,
+  spawned **in the parent, in registration order** — the stream a bus
+  consumes is a pure function of (seed, operation index, bus index) and
+  can never depend on which shard, process, or backend executed it;
+* each worker rebinds its persistent iTDR's generator to the visiting
+  bus's stream before measuring, so a fleet scan's outcome is byte-
+  identical across ``shards=1`` serial and ``shards=K`` parallel;
+* merged events are ordered by bus registration index and timestamped by
+  the parent's :class:`~repro.core.runtime.RoundRobinCadence` clock, so
+  the unified runtime (event log, telemetry, latency arithmetic) sees the
+  same stream a one-core scan would have produced.
+
+Worker processes are reused across scans (the pool stays open for the
+executor's lifetime) and each keeps one iTDR per configuration digest, so
+the content-hash-keyed reflection cache stays warm: re-scanning an
+unchanged fleet pays zero physics solves per worker after the first pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from .auth import Authenticator
+from .divot import Action, DivotEndpoint, EndpointState, MonitorResult
+from .fingerprint import Fingerprint
+from .itdr import ITDR, ITDRConfig
+from .resources import ResourceModel, ResourceReport
+from .runtime import MonitorEvent, MonitorRuntime, RoundRobinCadence, Telemetry
+from .tamper import TamperDetector
+
+__all__ = [
+    "FleetRecord",
+    "FleetScanOutcome",
+    "FleetScanExecutor",
+    "merge_shard_outputs",
+    "partition_fleet",
+    "spawn_bus_streams",
+]
+
+
+# ----------------------------------------------------------------------
+# pure sharding arithmetic (property-tested in tests/property/)
+# ----------------------------------------------------------------------
+def partition_fleet(n_items: int, shards: int) -> List[List[int]]:
+    """Split ``range(n_items)`` into ``shards`` contiguous balanced chunks.
+
+    Every index lands in exactly one shard, chunk sizes differ by at most
+    one, and concatenating the chunks recovers registration order —
+    the invariants the deterministic merge relies on.  Shards beyond the
+    item count come back empty rather than erroring, so a 4-shard
+    executor handles a 2-bus fleet.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    base, extra = divmod(n_items, shards)
+    chunks, start = [], 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+def spawn_bus_streams(
+    root: np.random.SeedSequence, n_buses: int
+) -> List[np.random.SeedSequence]:
+    """One child seed stream per bus, spawned in registration order.
+
+    Spawning happens in the parent before any partitioning, so the
+    stream bus ``i`` consumes is identical no matter how the fleet is
+    sharded — the invariant that makes serial and parallel scans
+    byte-identical.  Successive calls on the same root keep advancing
+    its spawn counter, giving later operations (each scan) fresh but
+    reproducible streams.
+    """
+    if n_buses < 1:
+        raise ValueError("n_buses must be >= 1")
+    return root.spawn(n_buses)
+
+
+# ----------------------------------------------------------------------
+# records crossing the process boundary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetRecord:
+    """One bus's monitoring outcome within a fleet scan.
+
+    The flattened, picklable projection of a
+    :class:`~repro.core.divot.MonitorResult` that travels back from a
+    shard worker.  ``shard`` is provenance only: every other field is a
+    pure function of (fleet, seed, bus) and independent of sharding.
+    """
+
+    index: int
+    bus: str
+    shard: int
+    action: Action
+    score: float
+    tampered: bool
+    location_m: Optional[float]
+
+    @property
+    def is_alert(self) -> bool:
+        """Whether this bus demands a reaction (non-PROCEED)."""
+        return self.action is not Action.PROCEED
+
+    @classmethod
+    def from_result(
+        cls, index: int, bus: str, shard: int, result: MonitorResult
+    ) -> "FleetRecord":
+        """Flatten one endpoint decision for the trip home."""
+        return cls(
+            index=index,
+            bus=bus,
+            shard=shard,
+            action=result.action,
+            score=result.auth.score,
+            tampered=result.tamper.tampered,
+            location_m=result.tamper.location_m,
+        )
+
+
+@dataclass(frozen=True)
+class FleetScanOutcome:
+    """One full fleet scan, records in bus registration order."""
+
+    records: Tuple[FleetRecord, ...]
+    shards: int
+    backend: str
+
+    def alerts(self) -> List[Tuple[str, FleetRecord]]:
+        """(bus name, record) pairs that did not PROCEED."""
+        return [(r.bus, r) for r in self.records if r.is_alert]
+
+    def all_clear(self) -> bool:
+        """Whether every bus authenticated cleanly this scan."""
+        return not self.alerts()
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic serialisation of the shard-independent outcome.
+
+        Serial ``shards=1`` and parallel ``shards=K`` scans of the same
+        fleet and seed produce identical bytes — the byte-identity
+        contract ``tests/core/test_fleet.py`` pins.  The ``shard``
+        provenance label is excluded because it is the one field that
+        legitimately varies with the partition.
+        """
+        payload = tuple(
+            (r.index, r.bus, r.action.value, r.score, r.tampered,
+             r.location_m)
+            for r in self.records
+        )
+        return pickle.dumps(payload, protocol=4)
+
+
+# ----------------------------------------------------------------------
+# the worker side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _BusWork:
+    """Everything one bus visit needs, shipped to its shard."""
+
+    index: int
+    name: str
+    line: TransmissionLine
+    seed: np.random.SeedSequence
+    fingerprint: Optional[Fingerprint] = None
+    modifiers: Tuple = ()
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard's worth of bus visits plus the shared policies."""
+
+    shard: int
+    mode: str  # "enroll" | "scan"
+    work: Tuple[_BusWork, ...]
+    config: ITDRConfig
+    config_key: str
+    authenticator: Authenticator
+    tamper_detector: TamperDetector
+    captures_per_check: int
+    n_captures: int
+    engine: str
+    interference: object = None
+
+
+#: Per-process measurement state, keyed by the iTDR configuration digest.
+#: A worker reuses one iTDR across every task it executes, so the
+#: content-hash-keyed reflection cache (PR 1) stays warm: repeated scans
+#: of the same fleet re-solve no physics.  The generator is rebound per
+#: bus visit, so the persistent instance never couples stochastic streams
+#: across buses.
+_WORKER_ITDRS: Dict[str, ITDR] = {}
+
+
+def _worker_itdr(config_key: str, config: ITDRConfig) -> ITDR:
+    itdr = _WORKER_ITDRS.get(config_key)
+    if itdr is None:
+        itdr = ITDR(config)
+        _WORKER_ITDRS[config_key] = itdr
+    return itdr
+
+
+def _run_shard(task: _ShardTask) -> list:
+    """Execute one shard's visits; also the serial backend's inner loop.
+
+    Runs identically inline (serial backend) and in a pool worker
+    (process backend): per bus, rebind the iTDR generator to the bus's
+    own stream, then enroll or monitor.  Nothing here may depend on
+    shard identity except the provenance label on the records.
+    """
+    itdr = _worker_itdr(task.config_key, task.config)
+    out = []
+    for work in task.work:
+        itdr.rng = np.random.default_rng(work.seed)
+        endpoint = DivotEndpoint(
+            name=f"fleet/{work.name}",
+            itdr=itdr,
+            authenticator=task.authenticator,
+            tamper_detector=task.tamper_detector,
+            captures_per_check=task.captures_per_check,
+        )
+        if task.mode == "enroll":
+            fingerprint = endpoint.calibrate(
+                work.line, n_captures=task.n_captures, engine=task.engine
+            )
+            out.append((work.index, fingerprint))
+        else:
+            # The fleet's reference for this bus is authoritative even if
+            # it was enrolled (or swapped in) under another line's name.
+            reference = work.fingerprint
+            if reference.name != work.line.name:
+                reference = replace(reference, name=work.line.name)
+            endpoint.rom.store(reference)
+            endpoint.state = EndpointState.MONITORING
+            result = endpoint.monitor_capture(
+                work.line,
+                modifiers=work.modifiers,
+                interference=task.interference,
+                engine=task.engine,
+            )
+            out.append(
+                (
+                    work.index,
+                    FleetRecord.from_result(
+                        work.index, work.name, task.shard, result
+                    ),
+                )
+            )
+    return out
+
+
+def merge_shard_outputs(shard_outputs: Sequence[Sequence[tuple]]) -> list:
+    """Flatten per-shard ``(index, payload)`` pairs back to fleet order.
+
+    Shards may complete in any order and may have been partitioned any
+    way; sorting on the registration index restores the one canonical
+    order, so the merged stream is partition- and scheduling-independent
+    (property-pinned in ``tests/property/test_fleet_sharding.py``).
+    """
+    merged = sorted(
+        (item for out in shard_outputs for item in out), key=lambda p: p[0]
+    )
+    indices = [index for index, _ in merged]
+    if len(set(indices)) != len(indices):
+        raise ValueError("shard outputs overlap: a bus was visited twice")
+    return [payload for _, payload in merged]
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class FleetScanExecutor:
+    """Sharded round-robin DIVOT protection of a registered bus fleet.
+
+    The fleet-scale sibling of
+    :class:`~repro.core.manager.SharedITDRManager`: same lifecycle
+    (register, enroll, scan), same unified-runtime surface (canonical
+    events on the round-robin clock, workload-lifetime
+    :class:`Telemetry`), but captures execute on a process pool
+    partitioned by :func:`partition_fleet` — with a serial fallback
+    backend producing byte-identical outcomes.
+
+    Args:
+        authenticator / tamper_detector: Shared decision policies
+            (shipped to every shard).
+        itdr_config: The datapath configuration every worker instantiates;
+            the executor owns iTDR construction because per-bus seed
+            discipline is its job.
+        captures_per_check: Averaging depth per bus visit.
+        shards: Number of fleet partitions (1 = no parallelism).
+        backend: ``"auto"`` (process pool when ``shards > 1``),
+            ``"serial"``, or ``"process"``.
+        seed: Root of the ``SeedSequence`` tree every stochastic draw in
+            the fleet descends from.
+        engine: Physics engine threaded through every capture.
+    """
+
+    def __init__(
+        self,
+        authenticator: Authenticator,
+        tamper_detector: TamperDetector,
+        itdr_config: Optional[ITDRConfig] = None,
+        captures_per_check: int = 1,
+        shards: int = 1,
+        backend: str = "auto",
+        seed: int = 0,
+        engine: str = "born",
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if backend not in ("auto", "serial", "process"):
+            raise ValueError("backend must be 'auto', 'serial' or 'process'")
+        if captures_per_check < 1:
+            raise ValueError("captures_per_check must be >= 1")
+        self.authenticator = authenticator
+        self.tamper_detector = tamper_detector
+        self.itdr_config = (
+            itdr_config if itdr_config is not None else ITDRConfig()
+        )
+        self.captures_per_check = captures_per_check
+        self.shards = shards
+        self.backend = backend
+        self.seed = seed
+        self.engine = engine
+        #: Parent-side iTDR: cadence sizing and resource arithmetic only —
+        #: it never measures, so its generator is never consumed.
+        self.itdr = ITDR(self.itdr_config)
+        self._config_key = hashlib.sha256(
+            pickle.dumps(self.itdr_config, protocol=4)
+        ).hexdigest()
+        self._root = np.random.SeedSequence(seed)
+        self._buses: Dict[str, TransmissionLine] = {}
+        self._fingerprints: Dict[str, Fingerprint] = {}
+        self._blocked: Dict[str, bool] = {}
+        #: Workload-lifetime telemetry; every scan folds into it.
+        self.telemetry = Telemetry()
+        self._runtime = MonitorRuntime(telemetry=self.telemetry)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- fleet membership ----------------------------------------------
+    def register(self, line: TransmissionLine) -> None:
+        """Put a bus under protection (enrolls lazily via :meth:`enroll`)."""
+        if self._fingerprints:
+            raise RuntimeError(
+                "cannot register new buses after enroll(); seed streams "
+                "are spawned per registration order"
+            )
+        if line.name in self._buses:
+            raise ValueError(f"bus {line.name!r} already registered")
+        self._buses[line.name] = line
+        self._blocked[line.name] = False
+
+    @property
+    def n_buses(self) -> int:
+        """Registered bus count."""
+        return len(self._buses)
+
+    def bus_names(self) -> List[str]:
+        """Registered bus names in registration (= scan) order."""
+        return list(self._buses)
+
+    def is_blocked(self, name: str) -> bool:
+        """Whether a specific bus is currently refused service."""
+        return self._blocked[name]
+
+    @property
+    def event_log(self):
+        """Canonical per-bus events from every scan so far."""
+        return self._runtime.log
+
+    # -- backend plumbing ----------------------------------------------
+    def resolved_backend(self) -> str:
+        """The backend a scan will actually use."""
+        if self.backend != "auto":
+            return self.backend
+        return "process" if self.shards > 1 else "serial"
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "FleetScanExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _dispatch(self, tasks: Sequence[_ShardTask]) -> list:
+        backend = self.resolved_backend()
+        if backend == "serial":
+            outputs = [_run_shard(task) for task in tasks]
+        else:
+            outputs = list(self._ensure_pool().map(_run_shard, tasks))
+        return merge_shard_outputs(outputs)
+
+    def _make_tasks(
+        self,
+        mode: str,
+        work: Sequence[_BusWork],
+        n_captures: int = 0,
+        interference=None,
+    ) -> List[_ShardTask]:
+        return [
+            _ShardTask(
+                shard=shard,
+                mode=mode,
+                work=tuple(work[i] for i in chunk),
+                config=self.itdr_config,
+                config_key=self._config_key,
+                authenticator=self.authenticator,
+                tamper_detector=self.tamper_detector,
+                captures_per_check=self.captures_per_check,
+                n_captures=n_captures,
+                engine=self.engine,
+                interference=interference,
+            )
+            for shard, chunk in enumerate(
+                partition_fleet(len(work), self.shards)
+            )
+            if chunk
+        ]
+
+    # -- lifecycle ------------------------------------------------------
+    def enroll(self, n_captures: int = 8) -> Dict[str, Fingerprint]:
+        """Enroll every registered bus, sharded like a scan.
+
+        Each bus's enrollment draws come from its own spawned stream, so
+        fingerprints are byte-identical across shard counts and backends.
+        """
+        if not self._buses:
+            raise RuntimeError("no buses registered")
+        if n_captures < 1:
+            raise ValueError("n_captures must be >= 1")
+        streams = spawn_bus_streams(self._root, self.n_buses)
+        work = [
+            _BusWork(index=i, name=name, line=line, seed=streams[i])
+            for i, (name, line) in enumerate(self._buses.items())
+        ]
+        fingerprints = self._dispatch(
+            self._make_tasks("enroll", work, n_captures=n_captures)
+        )
+        for name, fingerprint in zip(self._buses, fingerprints):
+            self._fingerprints[name] = fingerprint
+        return dict(self._fingerprints)
+
+    def scan(
+        self,
+        modifiers_by_bus: Optional[Dict[str, Sequence]] = None,
+        interference=None,
+    ) -> FleetScanOutcome:
+        """One full fleet pass: measure and judge every bus, sharded.
+
+        Shards measure concurrently; the parent merges records back to
+        registration order, stamps them with the round-robin cadence
+        clock (the shared-datapath latency model is unchanged — shards
+        buy *throughput*, the reported detection-latency arithmetic
+        still describes the one-datapath deployment), and fans canonical
+        events into the unified runtime.
+        """
+        if not self._buses:
+            raise RuntimeError("no buses registered")
+        if not self._fingerprints:
+            raise RuntimeError("enroll() the fleet before scanning")
+        modifiers_by_bus = modifiers_by_bus or {}
+        unknown = set(modifiers_by_bus) - set(self._buses)
+        if unknown:
+            raise KeyError(f"modifiers for unregistered buses: {sorted(unknown)}")
+        streams = spawn_bus_streams(self._root, self.n_buses)
+        work = [
+            _BusWork(
+                index=i,
+                name=name,
+                line=line,
+                seed=streams[i],
+                fingerprint=self._fingerprints[name],
+                modifiers=tuple(modifiers_by_bus.get(name, ())),
+            )
+            for i, (name, line) in enumerate(self._buses.items())
+        ]
+        records = self._dispatch(
+            self._make_tasks("scan", work, interference=interference)
+        )
+        cadence = self._cadence()
+        for (name, t), record in zip(cadence.visits(self.bus_names()), records):
+            self._runtime.record(
+                MonitorEvent(
+                    time_s=t,
+                    side=name,
+                    action=record.action,
+                    score=record.score,
+                    tampered=record.tampered,
+                    location_m=record.location_m,
+                    bus=name,
+                    shard=record.shard,
+                )
+            )
+            self._blocked[name] = record.action is Action.BLOCK
+        self._runtime.finish()
+        return FleetScanOutcome(
+            records=tuple(records),
+            shards=self.shards,
+            backend=self.resolved_backend(),
+        )
+
+    # -- the sharing trade-off, quantified ------------------------------
+    def _cadence(self) -> RoundRobinCadence:
+        """The round-robin cadence, sized from the first registered bus."""
+        if not self._buses:
+            raise RuntimeError("no buses registered")
+        if self._runtime.cadence is None:
+            any_line = next(iter(self._buses.values()))
+            self._runtime.cadence = RoundRobinCadence.from_budget(
+                self.itdr, any_line, self.captures_per_check
+            )
+        return self._runtime.cadence
+
+    def per_bus_check_time_s(self) -> float:
+        """Datapath time one bus visit occupies."""
+        return self._cadence().visit_s
+
+    def scan_period_s(self) -> float:
+        """Full round-robin time — the worst-case detection latency bound."""
+        return self._cadence().worst_case_latency_s(self.n_buses)
+
+    def resource_report(self) -> ResourceReport:
+        """Hardware cost of this deployment (shared blocks counted once)."""
+        model = ResourceModel(self.itdr_config)
+        return model.report(n_itdrs=max(1, self.n_buses))

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..txline.line import TransmissionLine
 from .auth import Authenticator
 from .divot import DivotEndpoint, MonitorResult
+from .fleet import FleetScanExecutor
 from .itdr import ITDR
 from .resources import ResourceModel, ResourceReport
 from .runtime import EventLog, MonitorRuntime, RoundRobinCadence, Telemetry
@@ -170,6 +171,30 @@ class SharedITDRManager:
             results.append((name, result))
         self._runtime.finish()
         return ScanOutcome(results=tuple(results))
+
+    # ------------------------------------------------------------------
+    def fleet(
+        self, seed: int = 0, shards: int = 1, backend: str = "auto"
+    ) -> FleetScanExecutor:
+        """A sharded :class:`FleetScanExecutor` over this manager's fleet.
+
+        Carries the registered buses and shared decision policies across;
+        the executor owns its own iTDRs (per worker) and seed streams, so
+        its outcomes are a pure function of (fleet, seed, shard count)
+        rather than of this manager's consumed generator state.
+        """
+        executor = FleetScanExecutor(
+            self.authenticator,
+            self.tamper_detector,
+            itdr_config=self.itdr.config,
+            captures_per_check=self.captures_per_check,
+            shards=shards,
+            backend=backend,
+            seed=seed,
+        )
+        for line in self._buses.values():
+            executor.register(line)
+        return executor
 
     # ------------------------------------------------------------------
     # the sharing trade-off, quantified

@@ -34,6 +34,11 @@ class MonitorEvent:
         location_m: Estimated tamper location along the line, if any.
         bus: The monitored bus's name for multi-bus deployments; None
             when the workload monitors a single channel.
+        shard: Which fleet shard measured this event, for sharded scans;
+            None for single-datapath workloads.  Provenance only — the
+            measurement itself is shard-independent (per-bus seed
+            streams), so equality of monitoring *outcomes* never depends
+            on this field.
     """
 
     time_s: float
@@ -43,6 +48,7 @@ class MonitorEvent:
     tampered: bool
     location_m: Optional[float]
     bus: Optional[str] = None
+    shard: Optional[int] = None
 
     @property
     def is_alert(self) -> bool:
@@ -56,6 +62,7 @@ class MonitorEvent:
         side: str,
         result: MonitorResult,
         bus: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> "MonitorEvent":
         """Flatten one endpoint decision into the canonical record."""
         return cls(
@@ -66,6 +73,7 @@ class MonitorEvent:
             tampered=result.tamper.tampered,
             location_m=result.tamper.location_m,
             bus=bus,
+            shard=shard,
         )
 
 
@@ -100,14 +108,18 @@ class EventLog:
 
     # -- the shared query surface --------------------------------------
     def filter(
-        self, side: Optional[str] = None, bus: Optional[str] = None
+        self,
+        side: Optional[str] = None,
+        bus: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> List[MonitorEvent]:
-        """Events matching the given side and/or bus, in time order."""
+        """Events matching the given side/bus/shard, in time order."""
         return [
             e
             for e in self.events
             if (side is None or e.side == side)
             and (bus is None or e.bus == bus)
+            and (shard is None or e.shard == shard)
         ]
 
     def alerts(

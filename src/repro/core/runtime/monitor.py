@@ -95,12 +95,25 @@ class MonitorRuntime:
                 interference=interference,
                 engine=engine,
             )
-        event = MonitorEvent.from_result(
-            t, side if side is not None else endpoint.name, result, bus=bus
+        self.record(
+            MonitorEvent.from_result(
+                t, side if side is not None else endpoint.name, result,
+                bus=bus,
+            )
         )
+        return result
+
+    def record(self, event: MonitorEvent) -> MonitorEvent:
+        """Fan out an already-measured event to every sink.
+
+        The entry point for work performed off the runtime's own
+        datapath — e.g. fleet shards measuring in worker processes —
+        whose canonical events must still land in the run's log and the
+        workload's telemetry.
+        """
         for sink in self._sinks:
             sink.emit(event)
-        return result
+        return event
 
     # ------------------------------------------------------------------
     def finish(self) -> EventLog:

@@ -35,6 +35,11 @@ class Telemetry:
         sub-dict (count/mean/min/max plus a fixed-bin histogram);
     ``buses``
         the same cell shape keyed by bus name, for multi-bus workloads;
+    ``shards``
+        the same cell shape keyed by shard id, for sharded fleet scans
+        (empty for single-datapath workloads — shard labels are
+        provenance, so these cells depend on the shard count while
+        every other cell does not);
     ``totals``
         one cell over every event;
     ``cadence``
@@ -103,6 +108,7 @@ class Telemetry:
         """The structured metrics dict (optionally against an attack onset)."""
         sides = sorted({e.side for e in self.log})
         buses = sorted({e.bus for e in self.log if e.bus is not None})
+        shards = sorted({e.shard for e in self.log if e.shard is not None})
         detection = {
             "onset_s": onset_s,
             "first_alert_s": self.log.first_alert_time(),
@@ -127,6 +133,10 @@ class Telemetry:
             },
             "buses": {
                 bus: self._cell(self.log.filter(bus=bus)) for bus in buses
+            },
+            "shards": {
+                shard: self._cell(self.log.filter(shard=shard))
+                for shard in shards
             },
             "totals": self._cell(self.log.events),
             "cadence": dict(self._cadence),

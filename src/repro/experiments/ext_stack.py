@@ -28,9 +28,9 @@ import numpy as np
 from ..analysis.report import format_table
 from ..attacks import CapacitiveSnoop
 from ..core.auth import Authenticator
-from ..core.config import prototype_itdr, prototype_line_factory
-from ..core.divot import DivotEndpoint
-from ..core.runtime import MonitorRuntime, Telemetry
+from ..core.config import prototype_itdr_config, prototype_line_factory
+from ..core.fleet import FleetScanExecutor
+from ..core.itdr import ITDR
 from ..core.tamper import TamperDetector
 from ..membus.encryption import CounterModeEngine
 from ..txline.materials import FR4
@@ -76,42 +76,62 @@ class StackResult:
         )
 
 
-def _snoop_detected(seed: int) -> bool:
+def _snoop_detected(seed: int, shards: int = 1) -> bool:
     """Does the DIVOT layer notice the snooping pod on the bus?
 
-    One monitoring decision through the unified runtime; the verdict is
-    read off the telemetry surface every workload shares.
+    One fleet scan — a bus per DIVOT-bearing stack — through the sharded
+    executor; the verdict is read off the telemetry surface every
+    workload shares.  The outcome is a pure function of (fleet, seed):
+    per-bus seed streams make any ``shards`` value report identically.
     """
     factory = prototype_line_factory()
-    line = factory.manufacture(seed=seed)
-    itdr = prototype_itdr(rng=np.random.default_rng(seed))
+    config = prototype_itdr_config()
     detector = TamperDetector(
         threshold=2.5e-3,
         velocity=FR4.velocity_at(FR4.t_ref_c),
         smooth_window=7,
-        alignment_offset_s=itdr.probe_edge().duration,
+        alignment_offset_s=ITDR(config).probe_edge().duration,
     )
-    endpoint = DivotEndpoint(
-        "stack-divot", itdr, Authenticator(0.85), detector,
+    divot_stacks = [s for s in STACKS if "divot" in s]
+    with FleetScanExecutor(
+        Authenticator(0.85),
+        detector,
+        itdr_config=config,
         captures_per_check=32,
+        shards=shards,
+        seed=seed,
+    ) as executor:
+        lines = {}
+        for offset, stack in enumerate(divot_stacks):
+            line = factory.manufacture(seed=seed + offset, name=stack)
+            lines[stack] = line
+            executor.register(line)
+        executor.enroll(n_captures=32)
+        executor.scan(
+            modifiers_by_bus={
+                stack: [CapacitiveSnoop(0.12)] for stack in divot_stacks
+            }
+        )
+        snapshot = executor.telemetry.snapshot()
+    return all(
+        snapshot["buses"][stack]["tampered"] > 0 for stack in divot_stacks
     )
-    endpoint.calibrate(line, n_captures=32)
-    runtime = MonitorRuntime(telemetry=Telemetry())
-    runtime.check(
-        endpoint, 0.0, [line],
-        side="divot", modifiers=[CapacitiveSnoop(0.12)],
-    )
-    return runtime.telemetry.snapshot()["totals"]["tampered"] > 0
 
 
-def run(seed: int = 0, n_words: int = 64) -> StackResult:
-    """Evaluate all four stacks against both attacks."""
+def run(seed: int = 0, n_words: int = 64, shards: int = 1) -> StackResult:
+    """Evaluate all four stacks against both attacks.
+
+    ``shards`` spreads the DIVOT monitoring decisions over a fleet-scan
+    process pool; results are identical for any value.
+    """
     if n_words < 1:
         raise ValueError("n_words must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     rng = np.random.default_rng(seed)
     secrets = {int(a): int(rng.integers(1, 2**31)) for a in range(n_words)}
 
-    divot_detects = _snoop_detected(seed + 1)
+    divot_detects = _snoop_detected(seed + 1, shards=shards)
 
     rows = []
     for stack in STACKS:

@@ -116,11 +116,18 @@ class Waveform:
         An all-zero waveform is returned unchanged: there is no direction to
         normalise onto, and callers comparing fingerprints treat zero-energy
         records as degenerate anyway.
+
+        The norm is computed on peak-scaled samples: squaring subnormal
+        magnitudes underflows and makes naive normalisation non-idempotent.
         """
-        norm = float(np.linalg.norm(self.samples))
+        peak = self.peak()
+        if peak == 0.0:
+            return self
+        scaled = self.samples / peak
+        norm = float(np.linalg.norm(scaled))
         if norm == 0.0:
             return self
-        return Waveform(self.samples / norm, self.dt, self.t0)
+        return Waveform(scaled / norm, self.dt, self.t0)
 
     # ------------------------------------------------------------------
     # slicing / resampling

@@ -94,7 +94,7 @@ def workloads(factory):
 CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
              "tampered", "score"}
 SCORE_KEYS = {"count", "mean", "min", "max", "hist", "bin_edges"}
-TOP_KEYS = {"endpoints", "buses", "totals", "cadence", "detection"}
+TOP_KEYS = {"endpoints", "buses", "shards", "totals", "cadence", "detection"}
 DETECTION_KEYS = {"onset_s", "first_alert_s", "latency_s", "per_side"}
 
 
@@ -153,6 +153,10 @@ class TestSharedTelemetrySurface:
         # populates the per-bus breakdown.
         assert set(manager["buses"]) == names
         assert membus["buses"] == {} and iolink["buses"] == {}
+        # Shard cells belong to sharded fleet scans alone; every
+        # single-datapath workload leaves them empty.
+        for snap in (membus, iolink, manager):
+            assert snap["shards"] == {}
 
     def test_detection_latency_reads_identically(self, workloads):
         """A clean run reports the same null detection block everywhere."""

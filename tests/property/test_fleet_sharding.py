@@ -1,0 +1,140 @@
+"""Property pins for fleet sharding: partitioning and merge invariance.
+
+The fleet executor's determinism rests on two pure pieces of arithmetic:
+:func:`partition_fleet` (every bus in exactly one shard, registration
+order preserved) and :func:`merge_shard_outputs` (the merged stream is
+independent of how the fleet was partitioned and of shard completion
+order).  Hypothesis sweeps both well beyond the fixtures the integration
+tests use.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.divot import Action
+from repro.core.fleet import (
+    FleetRecord,
+    FleetScanOutcome,
+    merge_shard_outputs,
+    partition_fleet,
+)
+from repro.core.runtime import EventLog, MonitorEvent
+
+counts = st.integers(min_value=0, max_value=200)
+shard_counts = st.integers(min_value=1, max_value=32)
+
+
+class TestPartitionFleet:
+    @given(n=counts, shards=shard_counts)
+    def test_every_bus_lands_in_exactly_one_shard(self, n, shards):
+        chunks = partition_fleet(n, shards)
+        flat = [index for chunk in chunks for index in chunk]
+        assert sorted(flat) == list(range(n))
+        assert len(flat) == n  # no duplicates: exactly one shard each
+
+    @given(n=counts, shards=shard_counts)
+    def test_partition_preserves_registration_order(self, n, shards):
+        chunks = partition_fleet(n, shards)
+        flat = [index for chunk in chunks for index in chunk]
+        assert flat == list(range(n))
+
+    @given(n=counts, shards=shard_counts)
+    def test_partition_is_balanced(self, n, shards):
+        sizes = [len(chunk) for chunk in partition_fleet(n, shards)]
+        assert len(sizes) == shards
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            partition_fleet(-1, 2)
+        with pytest.raises(ValueError):
+            partition_fleet(4, 0)
+
+
+def fake_record(index: int) -> FleetRecord:
+    """A deterministic stand-in for one bus's measured outcome."""
+    return FleetRecord(
+        index=index,
+        bus=f"bus-{index}",
+        shard=0,
+        action=Action.PROCEED if index % 3 else Action.ALERT,
+        score=1.0 - index * 1e-3,
+        tampered=bool(index % 3 == 0),
+        location_m=None if index % 2 else 0.01 * index,
+    )
+
+
+class TestMergeInvariance:
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        shards=shard_counts,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_event_log_is_partition_and_order_independent(
+        self, n, shards, data
+    ):
+        records = [fake_record(i) for i in range(n)]
+        # Reference: the unsharded stream in registration order.
+        reference = [(i, records[i]) for i in range(n)]
+
+        chunks = partition_fleet(n, shards)
+        shard_outputs = [
+            [(i, records[i]) for i in chunk] for chunk in chunks if chunk
+        ]
+        # Shards complete in arbitrary order.
+        order = data.draw(st.permutations(range(len(shard_outputs))))
+        shuffled = [shard_outputs[i] for i in order]
+
+        merged = merge_shard_outputs(shuffled)
+        assert merged == [payload for _, payload in reference]
+
+        # Folding both streams into event logs yields identical logs.
+        def to_log(fleet_records):
+            log = EventLog()
+            for record in fleet_records:
+                log.emit(
+                    MonitorEvent(
+                        time_s=float(record.index),
+                        side=record.bus,
+                        action=record.action,
+                        score=record.score,
+                        tampered=record.tampered,
+                        location_m=record.location_m,
+                        bus=record.bus,
+                    )
+                )
+            return log
+
+        merged_log = to_log(merged)
+        reference_log = to_log([payload for _, payload in reference])
+        assert merged_log.events == reference_log.events
+
+    @given(n=st.integers(min_value=1, max_value=64), shards=shard_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_bytes_ignore_shard_labels(self, n, shards):
+        records = [fake_record(i) for i in range(n)]
+        relabelled = [
+            FleetRecord(
+                index=r.index,
+                bus=r.bus,
+                shard=r.index % shards,  # any relabelling
+                action=r.action,
+                score=r.score,
+                tampered=r.tampered,
+                location_m=r.location_m,
+            )
+            for r in records
+        ]
+        a = FleetScanOutcome(tuple(records), shards=1, backend="serial")
+        b = FleetScanOutcome(
+            tuple(relabelled), shards=shards, backend="process"
+        )
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+    def test_merge_rejects_overlapping_shards(self):
+        record = fake_record(0)
+        with pytest.raises(ValueError):
+            merge_shard_outputs([[(0, record)], [(0, record)]])
