@@ -37,10 +37,18 @@ from .divot import (
 )
 from .ets import ETSSampler, PhaseSteppingPLL
 from .fingerprint import Fingerprint, FingerprintROM
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    FleetDispatchError,
+    RetryPolicy,
+    ShardHealth,
+)
 from .fleet import (
     FleetRecord,
     FleetScanExecutor,
     FleetScanOutcome,
+    available_workers,
     partition_fleet,
     spawn_bus_streams,
 )
@@ -99,9 +107,15 @@ __all__ = [
     "DivotEndpoint",
     "DivotChannel",
     "ChannelStepResult",
+    "FaultInjector",
+    "FaultSpec",
+    "FleetDispatchError",
+    "RetryPolicy",
+    "ShardHealth",
     "FleetRecord",
     "FleetScanExecutor",
     "FleetScanOutcome",
+    "available_workers",
     "partition_fleet",
     "spawn_bus_streams",
     "EndpointState",

@@ -26,13 +26,26 @@ Worker processes are reused across scans (the pool stays open for the
 executor's lifetime) and each keeps one iTDR per configuration digest, so
 the content-hash-keyed reflection cache stays warm: re-scanning an
 unchanged fleet pays zero physics solves per worker after the first pass.
+
+Worker failure is an expected event, not an abort: dispatch runs every
+shard through the :mod:`~repro.core.faults` recovery ladder (bounded
+retries with backoff, pool teardown and rebuild on a broken pool or a
+hung worker, in-parent serial re-execution as the terminal rung).
+Because the per-bus seed streams above are spawned before any dispatch,
+a retried or serially re-run shard measures exactly what the first
+attempt would have — recovery is invisible in ``canonical_bytes`` and
+visible only in the ``degraded``/``shard_health`` provenance.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
+import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +54,15 @@ import numpy as np
 from ..txline.line import TransmissionLine
 from .auth import Authenticator
 from .divot import Action, DivotEndpoint, EndpointState, MonitorResult
+from .faults import (
+    SERIAL_FALLBACK,
+    AttemptFailure,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+    ShardHealth,
+    run_with_recovery,
+)
 from .fingerprint import Fingerprint
 from .itdr import ITDR, ITDRConfig
 from .resources import ResourceModel, ResourceReport
@@ -51,6 +73,7 @@ __all__ = [
     "FleetRecord",
     "FleetScanOutcome",
     "FleetScanExecutor",
+    "available_workers",
     "merge_shard_outputs",
     "partition_fleet",
     "spawn_bus_streams",
@@ -119,6 +142,10 @@ class FleetRecord:
     score: float
     tampered: bool
     location_m: Optional[float]
+    #: Provenance like ``shard``: how this bus's shard got done when it
+    #: needed recovery ("retried" / "serial_fallback"), None when the
+    #: first attempt succeeded.  Excluded from the canonical bytes.
+    recovery: Optional[str] = None
 
     @property
     def is_alert(self) -> bool:
@@ -143,11 +170,20 @@ class FleetRecord:
 
 @dataclass(frozen=True)
 class FleetScanOutcome:
-    """One full fleet scan, records in bus registration order."""
+    """One full fleet scan, records in bus registration order.
+
+    ``degraded`` and ``shard_health`` are recovery provenance: whether
+    any shard needed the retry/fallback ladder, and the per-shard
+    attempt/fault accounting.  Like the ``shard`` labels they are
+    excluded from :meth:`canonical_bytes` — recovery may change where
+    and when a shard ran, never what it measured.
+    """
 
     records: Tuple[FleetRecord, ...]
     shards: int
     backend: str
+    degraded: bool = False
+    shard_health: Tuple[ShardHealth, ...] = ()
 
     def alerts(self) -> List[Tuple[str, FleetRecord]]:
         """(bus name, record) pairs that did not PROCEED."""
@@ -162,9 +198,11 @@ class FleetScanOutcome:
 
         Serial ``shards=1`` and parallel ``shards=K`` scans of the same
         fleet and seed produce identical bytes — the byte-identity
-        contract ``tests/core/test_fleet.py`` pins.  The ``shard``
-        provenance label is excluded because it is the one field that
-        legitimately varies with the partition.
+        contract ``tests/core/test_fleet.py`` pins.  The ``shard`` and
+        ``recovery`` provenance labels (and the outcome-level
+        ``degraded``/``shard_health``) are excluded because they are
+        the fields that legitimately vary with the partition and with
+        worker failures.
         """
         payload = tuple(
             (r.index, r.bus, r.action.value, r.score, r.tampered,
@@ -204,6 +242,12 @@ class _ShardTask:
     n_captures: int
     engine: str
     interference: object = None
+    #: Which rung of the recovery ladder this execution is (0 = first
+    #: try); provenance for the fault injector, never for measurement.
+    attempt: int = 0
+    #: Deterministic failure schedule (testing harness); None in
+    #: production.
+    fault_injector: Optional[FaultInjector] = None
 
 
 #: Per-process measurement state, keyed by the iTDR configuration digest.
@@ -231,6 +275,8 @@ def _run_shard(task: _ShardTask) -> list:
     own stream, then enroll or monitor.  Nothing here may depend on
     shard identity except the provenance label on the records.
     """
+    if task.fault_injector is not None:
+        task.fault_injector.apply(task.mode, task.shard, task.attempt)
     itdr = _worker_itdr(task.config_key, task.config)
     out = []
     for work in task.work:
@@ -292,6 +338,22 @@ def merge_shard_outputs(shard_outputs: Sequence[Sequence[tuple]]) -> list:
 # ----------------------------------------------------------------------
 # the executor
 # ----------------------------------------------------------------------
+def available_workers(shards: int) -> int:
+    """Worker processes a ``shards``-way pool should actually spawn.
+
+    Clamped to the cores this process may run on: a 64-shard request on
+    a 4-core box gets 4 workers (shard *tasks* still number 64 — they
+    queue), instead of 64 processes thrashing the scheduler.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        cores = os.cpu_count() or 1
+    return max(1, min(shards, cores))
+
+
 class FleetScanExecutor:
     """Sharded round-robin DIVOT protection of a registered bus fleet.
 
@@ -316,6 +378,12 @@ class FleetScanExecutor:
         seed: Root of the ``SeedSequence`` tree every stochastic draw in
             the fleet descends from.
         engine: Physics engine threaded through every capture.
+        retry_policy: The recovery ladder for failed shard attempts
+            (default :class:`~repro.core.faults.RetryPolicy`): bounded
+            retries with backoff, pool rebuild on broken/hung pools,
+            serial fallback as the terminal rung.
+        fault_injector: Deterministic failure schedule for tests; None
+            in production.
     """
 
     def __init__(
@@ -328,6 +396,8 @@ class FleetScanExecutor:
         backend: str = "auto",
         seed: int = 0,
         engine: str = "born",
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -345,6 +415,10 @@ class FleetScanExecutor:
         self.backend = backend
         self.seed = seed
         self.engine = engine
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.fault_injector = fault_injector
         #: Parent-side iTDR: cadence sizing and resource arithmetic only —
         #: it never measures, so its generator is never consumed.
         self.itdr = ITDR(self.itdr_config)
@@ -359,6 +433,7 @@ class FleetScanExecutor:
         self.telemetry = Telemetry()
         self._runtime = MonitorRuntime(telemetry=self.telemetry)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_rebuilds = 0
 
     # -- fleet membership ----------------------------------------------
     def register(self, line: TransmissionLine) -> None:
@@ -400,13 +475,32 @@ class FleetScanExecutor:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+            self._pool = ProcessPoolExecutor(
+                max_workers=available_workers(self.shards)
+            )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def _rebuild_pool(self) -> None:
+        """Tear down a pool that can no longer be trusted.
+
+        Called by the recovery engine after a ``BrokenProcessPool`` or a
+        hung-worker timeout; the next :meth:`_ensure_pool` builds a
+        fresh pool, so one worker death never bricks later scans.
+        ``wait=False``: a wedged worker must not block recovery.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._pool_rebuilds += 1
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Pending shard submissions are cancelled so a hung scan cannot
+        block interpreter exit behind a queue of undone work.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "FleetScanExecutor":
@@ -415,13 +509,151 @@ class FleetScanExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _dispatch(self, tasks: Sequence[_ShardTask]) -> list:
-        backend = self.resolved_backend()
-        if backend == "serial":
-            outputs = [_run_shard(task) for task in tasks]
+    # -- resilient dispatch --------------------------------------------
+    def _serial_fallback_run(self, task: _ShardTask) -> list:
+        """Terminal recovery rung: re-run one shard inline in the parent.
+
+        The attempt number is ``max_retries + 1`` so a fault schedule
+        aimed at pool attempts does not re-fire here (and so tests can
+        target the fallback explicitly).
+        """
+        return _run_shard(
+            replace(task, attempt=self.retry_policy.max_retries + 1)
+        )
+
+    def _dispatch_serial(self, tasks: Sequence[_ShardTask]):
+        """Inline execution through the same recovery ladder.
+
+        No pool means no hang detection — an inline shard cannot be
+        interrupted — but crashes degrade to raised exceptions (see
+        :meth:`FaultInjector.apply`) and retry/backoff/fallback apply
+        unchanged.
+        """
+
+        def start(task, attempt):
+            return replace(task, attempt=attempt)
+
+        def collect(prepared, task, attempt):
+            try:
+                return _run_shard(prepared)
+            except InjectedFault as exc:
+                raise AttemptFailure(exc.kind) from exc
+            except Exception as exc:
+                raise AttemptFailure("error") from exc
+
+        return run_with_recovery(
+            tasks,
+            self.retry_policy,
+            start=start,
+            collect=collect,
+            serial_run=self._serial_fallback_run,
+        )
+
+    def _dispatch_process(self, tasks: Sequence[_ShardTask]):
+        """Per-shard futures with workload-derived timeouts and recovery.
+
+        Each round submits every pending shard before collecting any,
+        so retries keep the pool's parallelism.  The round deadline
+        scales with the queue depth (``waves``): on a machine with
+        fewer workers than shards, a shard waiting behind others is not
+        mistaken for a hang.
+        """
+        policy = self.retry_policy
+        waves = math.ceil(
+            max(1, len(tasks)) / available_workers(self.shards)
+        )
+
+        def start(task, attempt):
+            try:
+                future = self._ensure_pool().submit(
+                    _run_shard, replace(task, attempt=attempt)
+                )
+            except BrokenProcessPool as exc:
+                # The pool broke between submissions of this round; the
+                # shard joins the retry set and the round-end rebuild
+                # gives the next round a fresh pool.
+                raise AttemptFailure(
+                    "broken_pool", rebuild_pool=True
+                ) from exc
+            timeout = policy.shard_timeout_s(
+                len(task.work), self.captures_per_check
+            )
+            deadline = (
+                None if timeout is None
+                else time.monotonic() + timeout * waves
+            )
+            return future, deadline
+
+        def collect(handle, task, attempt):
+            future, deadline = handle
+            try:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                return future.result(timeout=remaining)
+            except BrokenProcessPool as exc:
+                raise AttemptFailure("broken_pool", rebuild_pool=True) from exc
+            except TimeoutError as exc:
+                # The worker may be wedged: the future cannot be trusted
+                # to ever resolve, and neither can the pool around it.
+                future.cancel()
+                raise AttemptFailure("timeout", rebuild_pool=True) from exc
+            except InjectedFault as exc:
+                raise AttemptFailure(exc.kind) from exc
+            except Exception as exc:
+                raise AttemptFailure("error") from exc
+
+        return run_with_recovery(
+            tasks,
+            self.retry_policy,
+            start=start,
+            collect=collect,
+            serial_run=self._serial_fallback_run,
+            on_rebuild=self._rebuild_pool,
+        )
+
+    def _dispatch(
+        self, tasks: Sequence[_ShardTask]
+    ) -> Tuple[list, List[ShardHealth]]:
+        rebuilds_before = self._pool_rebuilds
+        if self.resolved_backend() == "serial":
+            outputs, healths = self._dispatch_serial(tasks)
         else:
-            outputs = list(self._ensure_pool().map(_run_shard, tasks))
-        return merge_shard_outputs(outputs)
+            outputs, healths = self._dispatch_process(tasks)
+        self._record_health(healths, self._pool_rebuilds - rebuilds_before)
+        return merge_shard_outputs(outputs), healths
+
+    def _record_health(
+        self, healths: Sequence[ShardHealth], pool_rebuilds: int
+    ) -> None:
+        """Fold one dispatch's recovery accounting into telemetry."""
+        fault_counts = {"timeout": 0, "broken_pool": 0, "crash": 0,
+                        "error": 0}
+        for health in healths:
+            for kind in health.faults:
+                fault_counts[kind] = fault_counts.get(kind, 0) + 1
+        self.telemetry.record_health(
+            {
+                "dispatches": 1,
+                "degraded_dispatches": int(
+                    any(h.degraded for h in healths)
+                ),
+                "retries": sum(
+                    max(0, h.attempts - 1) for h in healths
+                ),
+                "serial_fallbacks": sum(
+                    1 for h in healths if h.outcome == SERIAL_FALLBACK
+                ),
+                "pool_rebuilds": pool_rebuilds,
+                "timeouts": fault_counts["timeout"],
+                "broken_pools": fault_counts["broken_pool"],
+                "crashes": fault_counts["crash"],
+                "errors": fault_counts["error"],
+            }
+        )
+        for health in healths:
+            self.telemetry.record_shard_wall(health.shard, health.wall_s)
 
     def _make_tasks(
         self,
@@ -443,6 +675,7 @@ class FleetScanExecutor:
                 n_captures=n_captures,
                 engine=self.engine,
                 interference=interference,
+                fault_injector=self.fault_injector,
             )
             for shard, chunk in enumerate(
                 partition_fleet(len(work), self.shards)
@@ -466,7 +699,7 @@ class FleetScanExecutor:
             _BusWork(index=i, name=name, line=line, seed=streams[i])
             for i, (name, line) in enumerate(self._buses.items())
         ]
-        fingerprints = self._dispatch(
+        fingerprints, _ = self._dispatch(
             self._make_tasks("enroll", work, n_captures=n_captures)
         )
         for name, fingerprint in zip(self._buses, fingerprints):
@@ -507,9 +740,20 @@ class FleetScanExecutor:
             )
             for i, (name, line) in enumerate(self._buses.items())
         ]
-        records = self._dispatch(
+        records, healths = self._dispatch(
             self._make_tasks("scan", work, interference=interference)
         )
+        recovery_by_shard = {
+            h.shard: h.outcome for h in healths if h.degraded
+        }
+        records = [
+            record
+            if record.shard not in recovery_by_shard
+            else replace(
+                record, recovery=recovery_by_shard[record.shard]
+            )
+            for record in records
+        ]
         cadence = self._cadence()
         for (name, t), record in zip(cadence.visits(self.bus_names()), records):
             self._runtime.record(
@@ -522,6 +766,7 @@ class FleetScanExecutor:
                     location_m=record.location_m,
                     bus=name,
                     shard=record.shard,
+                    recovery=record.recovery,
                 )
             )
             self._blocked[name] = record.action is Action.BLOCK
@@ -530,6 +775,8 @@ class FleetScanExecutor:
             records=tuple(records),
             shards=self.shards,
             backend=self.resolved_backend(),
+            degraded=bool(recovery_by_shard),
+            shard_health=tuple(healths),
         )
 
     # -- the sharing trade-off, quantified ------------------------------

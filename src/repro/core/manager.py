@@ -174,7 +174,11 @@ class SharedITDRManager:
 
     # ------------------------------------------------------------------
     def fleet(
-        self, seed: int = 0, shards: int = 1, backend: str = "auto"
+        self,
+        seed: int = 0,
+        shards: int = 1,
+        backend: str = "auto",
+        retry_policy=None,
     ) -> FleetScanExecutor:
         """A sharded :class:`FleetScanExecutor` over this manager's fleet.
 
@@ -182,6 +186,8 @@ class SharedITDRManager:
         the executor owns its own iTDRs (per worker) and seed streams, so
         its outcomes are a pure function of (fleet, seed, shard count)
         rather than of this manager's consumed generator state.
+        ``retry_policy`` tunes the executor's worker-failure recovery
+        ladder (default :class:`~repro.core.faults.RetryPolicy`).
         """
         executor = FleetScanExecutor(
             self.authenticator,
@@ -191,6 +197,7 @@ class SharedITDRManager:
             shards=shards,
             backend=backend,
             seed=seed,
+            retry_policy=retry_policy,
         )
         for line in self._buses.values():
             executor.register(line)

@@ -39,6 +39,10 @@ class MonitorEvent:
             measurement itself is shard-independent (per-bus seed
             streams), so equality of monitoring *outcomes* never depends
             on this field.
+        recovery: How the measuring shard survived worker failure, when
+            it needed to (``"retried"`` / ``"serial_fallback"``); None
+            for a clean first attempt.  Provenance like ``shard``:
+            recovery relocates a measurement, it never changes it.
     """
 
     time_s: float
@@ -49,6 +53,7 @@ class MonitorEvent:
     location_m: Optional[float]
     bus: Optional[str] = None
     shard: Optional[int] = None
+    recovery: Optional[str] = None
 
     @property
     def is_alert(self) -> bool:
@@ -127,6 +132,10 @@ class EventLog:
     ) -> List[MonitorEvent]:
         """Non-PROCEED events in time order."""
         return [e for e in self.filter(side=side, bus=bus) if e.is_alert]
+
+    def recovered(self) -> List[MonitorEvent]:
+        """Events whose measuring shard needed failure recovery."""
+        return [e for e in self.events if e.recovery is not None]
 
     def first_alert_time(
         self, side: Optional[str] = None, bus: Optional[str] = None

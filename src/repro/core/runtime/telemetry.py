@@ -45,10 +45,30 @@ class Telemetry:
     ``cadence``
         ``checks_run`` and ``triggers_consumed`` folded in from the
         driving cadence(s);
+    ``health``
+        dispatch-fault accounting folded in from a sharded executor
+        (``dispatches``, ``degraded_dispatches``, ``retries``,
+        ``serial_fallbacks``, ``pool_rebuilds``, per-fault-kind
+        counters, and ``per_shard_wall_s`` wall-time cells); all-zero
+        with an empty wall-time map for single-datapath workloads, so
+        the snapshot shape stays identical across every workload;
     ``detection``
         ``onset_s``, ``first_alert_s``, overall ``latency_s`` and
         ``per_side`` latencies for the given attack onset.
     """
+
+    #: Health counters every snapshot carries (zeroed when unused).
+    HEALTH_KEYS = (
+        "dispatches",
+        "degraded_dispatches",
+        "retries",
+        "serial_fallbacks",
+        "pool_rebuilds",
+        "timeouts",
+        "broken_pools",
+        "crashes",
+        "errors",
+    )
 
     def __init__(self, score_bins: int = SCORE_BINS) -> None:
         if score_bins < 1:
@@ -57,6 +77,8 @@ class Telemetry:
         #: Every event this workload ever emitted, in time order.
         self.log = EventLog()
         self._cadence = {"checks_run": 0, "triggers_consumed": 0}
+        self._health = {key: 0 for key in self.HEALTH_KEYS}
+        self._shard_wall: Dict[int, Dict[str, float]] = {}
 
     # -- sink protocol -------------------------------------------------
     def emit(self, event: MonitorEvent) -> None:
@@ -67,6 +89,20 @@ class Telemetry:
         """Fold one run's cadence accounting into the workload totals."""
         for key in self._cadence:
             self._cadence[key] += int(counters.get(key, 0))
+
+    def record_health(self, counters: Dict[str, int]) -> None:
+        """Fold one dispatch's fault/recovery accounting into the totals."""
+        for key in self._health:
+            self._health[key] += int(counters.get(key, 0))
+
+    def record_shard_wall(self, shard: int, wall_s: float) -> None:
+        """Fold one shard's dispatch wall time into its running cell."""
+        cell = self._shard_wall.setdefault(
+            shard, {"dispatches": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        cell["dispatches"] += 1
+        cell["total_s"] += float(wall_s)
+        cell["max_s"] = max(cell["max_s"], float(wall_s))
 
     # -- the structured surface ----------------------------------------
     def _cell(self, events: List[MonitorEvent]) -> dict:
@@ -140,5 +176,12 @@ class Telemetry:
             },
             "totals": self._cell(self.log.events),
             "cadence": dict(self._cadence),
+            "health": {
+                **self._health,
+                "per_shard_wall_s": {
+                    shard: dict(cell)
+                    for shard, cell in sorted(self._shard_wall.items())
+                },
+            },
             "detection": detection,
         }

@@ -158,12 +158,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     summary = []
     for name, runner in build_suite(scale):
-        started = time.time()
+        started = time.perf_counter()
         try:
             text, ok = runner()
         except Exception as exc:  # pragma: no cover - surfaced in summary
             text, ok = f"FAILED with {exc!r}", False
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         emit("\n" + "=" * 72)
         emit(f"{name}   [{elapsed:.1f}s]   shape: {'OK' if ok else 'FAIL'}")
         emit("=" * 72)

@@ -156,7 +156,7 @@ class TestTelemetryShape:
     CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
                  "tampered", "score"}
     TOP_KEYS = {"endpoints", "buses", "shards", "totals", "cadence",
-                "detection"}
+                "health", "detection"}
 
     def test_snapshot_shape(self, factory):
         ex, _, _, tapped = run_one(factory, 3, "serial")
@@ -175,6 +175,21 @@ class TestTelemetryShape:
         assert sum(
             cell["checks"] for cell in snap["shards"].values()
         ) == snap["totals"]["checks"]
+
+    def test_healthy_scans_report_clean_health(self, factory):
+        ex, _, _, _ = run_one(factory, 3, "serial")
+        health = ex.telemetry.snapshot()["health"]
+        # enroll + two scans = three dispatches, none degraded.
+        assert health["dispatches"] == 3
+        assert health["degraded_dispatches"] == 0
+        assert health["retries"] == 0
+        assert health["serial_fallbacks"] == 0
+        assert health["pool_rebuilds"] == 0
+        # Every shard accrues wall time on every dispatch.
+        assert set(health["per_shard_wall_s"]) == set(range(3))
+        for cell in health["per_shard_wall_s"].values():
+            assert cell["dispatches"] == 3
+            assert cell["total_s"] >= cell["max_s"] > 0.0
 
     def test_detection_latency_reads_off_the_cadence_clock(self, factory):
         ex, _, _, tapped = run_one(factory, 2, "serial")

@@ -94,7 +94,11 @@ def workloads(factory):
 CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
              "tampered", "score"}
 SCORE_KEYS = {"count", "mean", "min", "max", "hist", "bin_edges"}
-TOP_KEYS = {"endpoints", "buses", "shards", "totals", "cadence", "detection"}
+TOP_KEYS = {"endpoints", "buses", "shards", "totals", "cadence", "health",
+            "detection"}
+HEALTH_KEYS = {"dispatches", "degraded_dispatches", "retries",
+               "serial_fallbacks", "pool_rebuilds", "timeouts",
+               "broken_pools", "crashes", "errors", "per_shard_wall_s"}
 DETECTION_KEYS = {"onset_s", "first_alert_s", "latency_s", "per_side"}
 
 
@@ -153,10 +157,17 @@ class TestSharedTelemetrySurface:
         # populates the per-bus breakdown.
         assert set(manager["buses"]) == names
         assert membus["buses"] == {} and iolink["buses"] == {}
-        # Shard cells belong to sharded fleet scans alone; every
-        # single-datapath workload leaves them empty.
+        # Shard cells and dispatch-health accounting belong to sharded
+        # fleet scans alone; every single-datapath workload leaves the
+        # cells empty and the health counters zeroed (same key shape).
         for snap in (membus, iolink, manager):
             assert snap["shards"] == {}
+            assert set(snap["health"]) == HEALTH_KEYS
+            assert snap["health"]["per_shard_wall_s"] == {}
+            assert all(
+                v == 0 for k, v in snap["health"].items()
+                if k != "per_shard_wall_s"
+            )
 
     def test_detection_latency_reads_identically(self, workloads):
         """A clean run reports the same null detection block everywhere."""
