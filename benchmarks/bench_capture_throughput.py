@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.config import prototype_itdr, prototype_line_factory
 from repro.env.emi import nearby_digital_circuit
 
-from conftest import emit
+from conftest import emit, smoke_mode
 
 N_CAPTURES = 64
 
@@ -62,7 +62,8 @@ def test_batch_averaging_at_least_5x_loop(benchmark):
         f"speedup                  : {speedup:10.1f}x (floor: 5x)",
     )
     assert len(capture.waveform) == itdr.record_length(line)
-    assert speedup >= 5.0
+    if not smoke_mode():
+        assert speedup >= 5.0
 
 
 def test_batch_interference_no_regression(benchmark):
@@ -103,7 +104,8 @@ def test_batch_interference_no_regression(benchmark):
         f"speedup                  : {batch_rate / loop_rate:10.1f}x",
     )
     assert len(result.waveform) == itdr.record_length(line)
-    assert batch_rate > 0.8 * loop_rate
+    if not smoke_mode():
+        assert batch_rate > 0.8 * loop_rate
 
 
 def test_calibration_throughput(benchmark):

@@ -32,7 +32,7 @@ from repro.core import (
 from repro.core.itdr import ITDR
 from repro.txline.materials import FR4
 
-from conftest import emit
+from conftest import emit, smoke_mode
 
 N_BUSES = 64
 SHARDS = 4
@@ -106,7 +106,7 @@ def test_fleet_scan_throughput(benchmark, record_fleet_result):
     assert len(sharded_outcome.records) == N_BUSES
 
     speedup = serial_s / sharded_s
-    gate_speedup = cores >= SHARDS
+    gate_speedup = cores >= SHARDS and not smoke_mode()
     record_fleet_result(
         "fleet_scan_throughput",
         {

@@ -54,6 +54,7 @@ from .fleet import (
 )
 from .itdr import IIPCapture, ITDR, ITDRConfig, MeasurementBudget
 from .latency import LatencyModel, LatencyPoint
+from .solvecache import SolveCache, process_solve_cache
 from .manager import ScanOutcome, SharedITDRManager
 from .multiwire import (
     FUSION_POLICIES,
@@ -118,6 +119,8 @@ __all__ = [
     "available_workers",
     "partition_fleet",
     "spawn_bus_streams",
+    "SolveCache",
+    "process_solve_cache",
     "EndpointState",
     "Action",
     "MonitorResult",

@@ -67,6 +67,7 @@ from .fingerprint import Fingerprint
 from .itdr import ITDR, ITDRConfig
 from .resources import ResourceModel, ResourceReport
 from .runtime import MonitorEvent, MonitorRuntime, RoundRobinCadence, Telemetry
+from .solvecache import SolveCache, process_solve_cache
 from .tamper import TamperDetector
 
 __all__ = [
@@ -267,16 +268,21 @@ def _worker_itdr(config_key: str, config: ITDRConfig) -> ITDR:
     return itdr
 
 
-def _run_shard(task: _ShardTask) -> list:
+def _run_shard(task: _ShardTask) -> tuple:
     """Execute one shard's visits; also the serial backend's inner loop.
 
     Runs identically inline (serial backend) and in a pool worker
     (process backend): per bus, rebind the iTDR generator to the bus's
     own stream, then enroll or monitor.  Nothing here may depend on
     shard identity except the provenance label on the records.
+
+    Returns ``(items, cache_delta)``: the ``(index, payload)`` pairs plus
+    the solve-cache hit/miss/eviction counters this shard contributed —
+    provenance the parent folds into telemetry, never into outcomes.
     """
     if task.fault_injector is not None:
         task.fault_injector.apply(task.mode, task.shard, task.attempt)
+    solve_stats_before = process_solve_cache().stats()
     itdr = _worker_itdr(task.config_key, task.config)
     out = []
     for work in task.work:
@@ -315,7 +321,12 @@ def _run_shard(task: _ShardTask) -> list:
                     ),
                 )
             )
-    return out
+    solve_stats_after = process_solve_cache().stats()
+    cache_delta = {
+        key: solve_stats_after[key] - solve_stats_before[key]
+        for key in SolveCache.COUNTER_KEYS
+    }
+    return out, cache_delta
 
 
 def merge_shard_outputs(shard_outputs: Sequence[Sequence[tuple]]) -> list:
@@ -622,7 +633,11 @@ class FleetScanExecutor:
         else:
             outputs, healths = self._dispatch_process(tasks)
         self._record_health(healths, self._pool_rebuilds - rebuilds_before)
-        return merge_shard_outputs(outputs), healths
+        shard_items = []
+        for items, cache_delta in outputs:
+            shard_items.append(items)
+            self.telemetry.record_cache(cache_delta)
+        return merge_shard_outputs(shard_items), healths
 
     def _record_health(
         self, healths: Sequence[ShardHealth], pool_rebuilds: int

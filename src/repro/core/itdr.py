@@ -15,6 +15,7 @@ numpy — the workhorse of the statistical experiments.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -29,6 +30,7 @@ from .apc import APCConverter
 from .comparator import Comparator
 from .ets import ETSSampler, PhaseSteppingPLL
 from .pdm import PDMScheme, TriangleWave, VernierRelation
+from .solvecache import process_solve_cache
 from .trigger import TriggerGenerator
 
 __all__ = ["ITDRConfig", "IIPCapture", "MeasurementBudget", "ITDR"]
@@ -57,6 +59,10 @@ class ITDRConfig:
         edge_amplitude: Driver voltage swing, volts.
         trigger: Trigger generator (clock-lane default: every cycle fires).
         record_margin: Extra record time past the line round trip, seconds.
+        reflection_cache_size: Capacity of the per-iTDR reflected-waveform
+            LRU (the L1 in front of the process-wide solve memo).  Size it
+            to the number of distinct line states an iTDR alternates
+            between; the default covers the monitoring loop's handful.
         phase_jitter_rms: RMS timing jitter of the phase-stepping PLL,
             seconds.  Each trigger samples the waveform at a slightly wrong
             instant; over the repetition count this blurs the waveform
@@ -79,11 +85,14 @@ class ITDRConfig:
         default_factory=lambda: TriggerGenerator(clock_lane=True)
     )
     record_margin: float = 0.3e-9
+    reflection_cache_size: int = 16
     phase_jitter_rms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ValueError("repetitions must be >= 1")
+        if self.reflection_cache_size < 1:
+            raise ValueError("reflection_cache_size must be >= 1")
         if not 0 < self.coupling <= 1:
             raise ValueError("coupling must be in (0, 1]")
         if self.pdm_amplitude < 0:
@@ -162,8 +171,11 @@ class ITDR:
         # Keyed by a content hash of the resolved electrical state, so
         # mutating a line or its modifiers in place can never serve stale
         # physics; evicted least-recently-used, bounded to stay a cache.
+        # This is the L1 in front of the process-wide SolveCache (L2),
+        # which shares solved states across every iTDR in the process.
         self._reflection_cache: "OrderedDict" = OrderedDict()
-        self._reflection_cache_max = 16
+        self._reflection_cache_max = config.reflection_cache_size
+        self._solve_key_prefix: Optional[tuple] = None
         if config.use_pdm:
             p, q = config.pdm_vernier
             relation = VernierRelation(p, q)
@@ -203,6 +215,27 @@ class ITDR:
         )
         return int(np.ceil(span / self.pll.phase_step))
 
+    def _solve_key(self, profile_hash: str, engine: str, n_out: int) -> tuple:
+        """Fully content-addressed solve key, shareable across iTDRs.
+
+        The per-iTDR inputs to a solve (probe-edge shape and coupling) are
+        folded into a digest computed once, so two iTDRs with identical
+        configurations produce identical keys and share entries in the
+        process-wide cache — while iTDRs that differ in any solve input
+        can never collide.
+        """
+        if self._solve_key_prefix is None:
+            edge = self.probe_edge()
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.ascontiguousarray(edge.samples).tobytes())
+            digest.update(
+                np.array(
+                    [edge.dt, edge.t0, self.config.coupling], dtype=float
+                ).tobytes()
+            )
+            self._solve_key_prefix = ("reflection", digest.hexdigest())
+        return (*self._solve_key_prefix, profile_hash, engine, n_out)
+
     def true_reflection(
         self,
         line: TransmissionLine,
@@ -214,22 +247,31 @@ class ITDR:
         This is the physical ground truth the APC estimates; exposed for
         validation and for computing ideal similarity bounds.  Identical
         electrical states are memoised by content (the resolved profile's
-        hash plus engine and record length): repeated captures of an
-        unchanged state — the averaging and monitoring paths — pay for one
-        physics solve, while any in-place mutation of the line or its
-        modifiers hashes differently and triggers a fresh solve.
+        hash plus the probe-edge/coupling digest, engine and record
+        length) in two levels: the per-iTDR LRU sized by
+        ``ITDRConfig.reflection_cache_size``, then the process-wide
+        :func:`~repro.core.solvecache.process_solve_cache` shared by every
+        iTDR in the process (fleet workers, experiment loops).  Repeated
+        captures of an unchanged state pay for one physics solve, while
+        any in-place mutation of the line or its modifiers hashes
+        differently and triggers a fresh solve.
         """
         profile = line.profile_under(modifiers)
         n_out = self.record_length(line)
-        key = (profile.content_hash(), engine, n_out)
+        key = self._solve_key(profile.content_hash(), engine, n_out)
+        solves = process_solve_cache()
         cached = self._reflection_cache.get(key)
         if cached is not None:
             self._reflection_cache.move_to_end(key)
+            solves.record_hit()
             return cached
-        wave = line.reflected_waveform(
-            self.probe_edge(), engine=engine, n_out=n_out, profile=profile
-        )
-        wave = wave.scaled(self.config.coupling)
+        wave = solves.get(key)
+        if wave is None:
+            wave = line.reflected_waveform(
+                self.probe_edge(), engine=engine, n_out=n_out, profile=profile
+            )
+            wave = wave.scaled(self.config.coupling)
+            solves.put(key, wave)
         if len(self._reflection_cache) >= self._reflection_cache_max:
             self._reflection_cache.popitem(last=False)
         self._reflection_cache[key] = wave
@@ -384,6 +426,7 @@ class ITDR:
         z_batch: Optional[np.ndarray] = None,
         tau_batch: Optional[np.ndarray] = None,
         interference=None,
+        engine: str = "born",
     ) -> np.ndarray:
         """Vectorised captures, shape ``(n_captures, N)`` voltage estimates.
 
@@ -391,13 +434,15 @@ class ITDR:
         capture sees its own line state — the temperature/vibration path.
         Without them, all captures measure the same static state and only
         comparator statistics differ — the room-temperature path (identical
-        to :meth:`capture_stack` with no modifiers).
+        to :meth:`capture_stack` with no modifiers).  ``engine`` selects
+        the physics kernel for either path (``"born"`` or ``"lattice"`` —
+        both expose the batch API).
         """
         if n_captures < 1:
             raise ValueError("n_captures must be >= 1")
         if z_batch is None:
             return self.capture_stack(
-                line, n_captures, interference=interference
+                line, n_captures, interference=interference, engine=engine
             )
         if tau_batch is None:
             raise ValueError("tau_batch is required with z_batch")
@@ -406,7 +451,8 @@ class ITDR:
         n_out = self.record_length(line)
         v_batch = (
             line.batch_reflected_waveforms(
-                self.probe_edge(), z_batch, tau_batch, n_out=n_out
+                self.probe_edge(), z_batch, tau_batch, n_out=n_out,
+                engine=engine,
             )
             * self.config.coupling
         )

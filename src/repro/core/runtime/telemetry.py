@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..divot import Action
+from ..solvecache import SolveCache, process_solve_cache
 from .events import EventLog, MonitorEvent
 
 __all__ = ["Telemetry", "SCORE_BINS"]
@@ -49,9 +50,13 @@ class Telemetry:
         dispatch-fault accounting folded in from a sharded executor
         (``dispatches``, ``degraded_dispatches``, ``retries``,
         ``serial_fallbacks``, ``pool_rebuilds``, per-fault-kind
-        counters, and ``per_shard_wall_s`` wall-time cells); all-zero
-        with an empty wall-time map for single-datapath workloads, so
-        the snapshot shape stays identical across every workload;
+        counters, and ``per_shard_wall_s`` wall-time cells), plus the
+        ``solve_cache`` section: ``process`` is this process's live
+        solve-memo counters (hits/misses/evictions/occupancy), and
+        ``workers`` accumulates the per-shard deltas fleet dispatches
+        shipped home; all-zero with an empty wall-time map for
+        single-datapath workloads, so the snapshot shape stays
+        identical across every workload;
     ``detection``
         ``onset_s``, ``first_alert_s``, overall ``latency_s`` and
         ``per_side`` latencies for the given attack onset.
@@ -79,6 +84,7 @@ class Telemetry:
         self._cadence = {"checks_run": 0, "triggers_consumed": 0}
         self._health = {key: 0 for key in self.HEALTH_KEYS}
         self._shard_wall: Dict[int, Dict[str, float]] = {}
+        self._solve_cache = {key: 0 for key in SolveCache.COUNTER_KEYS}
 
     # -- sink protocol -------------------------------------------------
     def emit(self, event: MonitorEvent) -> None:
@@ -94,6 +100,16 @@ class Telemetry:
         """Fold one dispatch's fault/recovery accounting into the totals."""
         for key in self._health:
             self._health[key] += int(counters.get(key, 0))
+
+    def record_cache(self, counters: Dict[str, int]) -> None:
+        """Fold one shard's solve-cache hit/miss/eviction delta in.
+
+        Worker processes own their per-process solve caches; the parent
+        cannot read them directly, so each shard ships the counter delta
+        its visits produced and the dispatch loop folds it here.
+        """
+        for key in self._solve_cache:
+            self._solve_cache[key] += int(counters.get(key, 0))
 
     def record_shard_wall(self, shard: int, wall_s: float) -> None:
         """Fold one shard's dispatch wall time into its running cell."""
@@ -181,6 +197,10 @@ class Telemetry:
                 "per_shard_wall_s": {
                     shard: dict(cell)
                     for shard, cell in sorted(self._shard_wall.items())
+                },
+                "solve_cache": {
+                    "process": process_solve_cache().stats(),
+                    "workers": dict(self._solve_cache),
                 },
             },
             "detection": detection,

@@ -52,8 +52,13 @@ def run(
     tau_multipliers: Sequence[int] = (1, 4, 16, 64),
     n_probe: int = 60,
     seed: int = 7,
+    engine: str = "born",
 ) -> ETSAblationResult:
-    """Sweep the ETS step across multiples of the prototype's 11.16 ps."""
+    """Sweep the ETS step across multiples of the prototype's 11.16 ps.
+
+    ``engine`` selects the physics kernel (``"born"`` or ``"lattice"``)
+    every enrollment and probe capture routes through.
+    """
     base = prototype_itdr_config()
     factory = prototype_line_factory()
     lines = factory.manufacture_batch(4)
@@ -66,11 +71,11 @@ def run(
         itdr = ITDR(config, rng=np.random.default_rng(seed))
         refs = []
         for line in lines:
-            enroll = itdr.capture_batch(line, 16)
+            enroll = itdr.capture_batch(line, 16, engine=engine)
             refs.append(canonical_rows(enroll.mean(axis=0, keepdims=True))[0])
         genuine, impostor = [], []
         for i, line in enumerate(lines):
-            caps = canonical_rows(itdr.capture_batch(line, n_probe))
+            caps = canonical_rows(itdr.capture_batch(line, n_probe, engine=engine))
             for j, ref in enumerate(refs):
                 scores = (1.0 + caps @ ref) / 2.0
                 (genuine if i == j else impostor).append(scores)

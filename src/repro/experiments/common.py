@@ -100,6 +100,7 @@ def score_lines(
     state_batcher: Optional[
         Callable[[TransmissionLine, int], Tuple[np.ndarray, np.ndarray]]
     ] = None,
+    engine: str = "born",
 ) -> AuthScores:
     """The Fig. 7 scoring loop: every capture against every enrollment.
 
@@ -108,21 +109,23 @@ def score_lines(
     enrolled reference.  Same-line scores are genuine, cross-line scores
     impostor.  ``state_batcher(line, n)`` optionally supplies per-capture
     perturbed ``(z_batch, tau_batch)`` line states — the hook through which
-    temperature sweeps and vibration enter.
+    temperature sweeps and vibration enter.  ``engine`` selects the physics
+    kernel every capture routes through (``"born"`` or ``"lattice"``).
     """
     references = []
     for line in lines:
-        enroll = itdr.capture_batch(line, n_enroll)
+        enroll = itdr.capture_batch(line, n_enroll, engine=engine)
         references.append(canonical_rows(enroll.mean(axis=0, keepdims=True))[0])
     genuine: List[np.ndarray] = []
     impostor: List[np.ndarray] = []
     for i, line in enumerate(lines):
         if state_batcher is None:
-            captures = itdr.capture_batch(line, n_measurements)
+            captures = itdr.capture_batch(line, n_measurements, engine=engine)
         else:
             z_batch, tau_batch = state_batcher(line, n_measurements)
             captures = itdr.capture_batch(
-                line, n_measurements, z_batch=z_batch, tau_batch=tau_batch
+                line, n_measurements, z_batch=z_batch, tau_batch=tau_batch,
+                engine=engine,
             )
         captures = canonical_rows(captures)
         for j, reference in enumerate(references):

@@ -102,14 +102,20 @@ def run(
     scale: ExperimentScale = SMALL,
     seed: int = 7,
     itdr=None,
+    engine: str = "born",
 ) -> Fig7Result:
-    """Run the authentication experiment at the given scale."""
+    """Run the authentication experiment at the given scale.
+
+    ``engine`` selects the physics kernel every capture routes through
+    (``"born"`` default, ``"lattice"`` for the exact reference physics).
+    """
     factory = prototype_line_factory()
     lines = factory.manufacture_batch(scale.n_lines)
     if itdr is None:
         itdr = prototype_itdr(rng=np.random.default_rng(seed))
     scores = score_lines(
-        lines, itdr, scale.n_measurements, n_enroll=scale.n_enroll
+        lines, itdr, scale.n_measurements, n_enroll=scale.n_enroll,
+        engine=engine,
     )
     eer, threshold = scores.eer()
     return Fig7Result(scores=scores, eer=eer, threshold=threshold)

@@ -13,6 +13,7 @@ from .edges import (
     raised_cosine_edge,
     step_edge,
 )
+from .convolution import batch_convolve_full, conv_method, convolve_full
 from .eightbten import Decoder8b10b, Encoder8b10b, decode_bits, encode_bytes
 from .eye import EyeMetrics, eye_metrics, fold_eye
 from .filters import dc_block, differentiator, moving_average, single_pole_lowpass
@@ -66,4 +67,7 @@ __all__ = [
     "moving_average",
     "dc_block",
     "differentiator",
+    "conv_method",
+    "convolve_full",
+    "batch_convolve_full",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .convolution import convolve_full
 from .waveform import Waveform
 
 __all__ = [
@@ -47,7 +48,8 @@ def moving_average(wave: Waveform, window: int) -> Waveform:
     window = min(window, len(wave))
     kernel = np.ones(window) / window
     padded = np.pad(wave.samples, (window // 2, window - 1 - window // 2), mode="edge")
-    out = np.convolve(padded, kernel, mode="valid")
+    # "valid" slice of the full convolution: len(padded) - window + 1 points.
+    out = convolve_full(padded, kernel)[window - 1 : len(padded)]
     return Waveform(out, wave.dt, wave.t0)
 
 

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .convolution import convolve_full
+
 __all__ = ["Waveform"]
 
 
@@ -178,7 +180,7 @@ class Waveform:
         impulse of area 1 (single sample of height ``1/dt``) is the identity.
         """
         self._check_compatible_dt(kernel)
-        out = np.convolve(self.samples, kernel.samples) * self.dt
+        out = convolve_full(self.samples, kernel.samples) * self.dt
         return Waveform(out, self.dt, self.t0 + kernel.t0)
 
     def _check_compatible_dt(self, other: "Waveform") -> None:

@@ -85,7 +85,9 @@ class TransmissionLine:
                 data edge), sampled on the analog grid.
             modifiers: Environment/attack chain active during the capture.
             engine: ``"born"`` (fast, first order) or ``"lattice"`` (exact).
-            n_out: Output record length in samples (born engine only).
+                Both render on the incident waveform's grid and honour
+                ``n_out``, so either can drive the capture path.
+            n_out: Output record length in samples.
             profile: Pre-resolved electrical state; when given, ``modifiers``
                 are assumed to be already applied (the iTDR passes the
                 profile it hashed for its cache so the chain runs once).
@@ -96,7 +98,8 @@ class TransmissionLine:
             born = BornEngine(incident.dt)
             return born.reflection_response(profile, incident, n_out=n_out)
         if engine == "lattice":
-            return LatticeEngine().reflection_response(profile, incident)
+            lattice = LatticeEngine(grid_dt=incident.dt)
+            return lattice.reflection_response(profile, incident, n_out=n_out)
         raise ValueError(f"unknown engine {engine!r}")
 
     def batch_reflected_waveforms(
@@ -105,24 +108,41 @@ class TransmissionLine:
         z_batch: np.ndarray,
         tau_batch: np.ndarray,
         n_out: Optional[int] = None,
+        engine: str = "born",
     ) -> np.ndarray:
-        """Born responses for many per-capture perturbed states at once.
+        """Responses for many per-capture perturbed states at once.
 
         ``z_batch``/``tau_batch`` have shape ``(C, S)`` — one row per
         capture.  The load reflection and loss come from the unperturbed full
         profile; per-capture load changes should instead go through
-        :meth:`reflected_waveform` with an attack modifier.
+        :meth:`reflected_waveform` with an attack modifier.  Both engines
+        share the batch API; the lattice additionally requires each row's
+        delays to be uniform (a temperature stretch is, a per-segment
+        perturbation is not).
         """
         profile = self.full_profile
-        born = BornEngine(incident.dt)
-        return born.batch_reflection_responses(
-            z_batch,
-            tau_batch,
-            profile.load_reflection(),
-            profile.loss_per_segment,
-            incident,
-            n_out=n_out,
-        )
+        if engine == "born":
+            born = BornEngine(incident.dt)
+            return born.batch_reflection_responses(
+                z_batch,
+                tau_batch,
+                profile.load_reflection(),
+                profile.loss_per_segment,
+                incident,
+                n_out=n_out,
+            )
+        if engine == "lattice":
+            lattice = LatticeEngine(grid_dt=incident.dt)
+            return lattice.batch_reflection_responses(
+                z_batch,
+                tau_batch,
+                profile.load_reflection(),
+                profile.loss_per_segment,
+                incident,
+                n_out=n_out,
+                r_src=profile.source_reflection(),
+            )
+        raise ValueError(f"unknown engine {engine!r}")
 
     # ------------------------------------------------------------------
     def swap_receiver(self, receiver: Optional[ReceiverPackage]) -> "TransmissionLine":

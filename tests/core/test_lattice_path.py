@@ -1,0 +1,122 @@
+"""The lattice engine as a first-class capture path.
+
+API parity pins: every capture surface (``true_reflection``,
+``capture_stack``, ``capture_batch``, the fleet executor) accepts
+``engine="lattice"`` and produces records with the same shape and grid as
+the Born path, physically close to it (the engines differ only in
+multiple-scattering terms), and byte-identical across shard counts —
+the determinism contract must hold for both kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Authenticator,
+    FleetScanExecutor,
+    TamperDetector,
+    process_solve_cache,
+    prototype_itdr,
+    prototype_itdr_config,
+)
+from repro.core.itdr import ITDR
+from repro.txline.materials import FR4
+
+
+def make_executor(factory, shards, backend, engine):
+    config = prototype_itdr_config()
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=ITDR(config).probe_edge().duration,
+    )
+    executor = FleetScanExecutor(
+        Authenticator(0.85),
+        detector,
+        itdr_config=config,
+        captures_per_check=4,
+        shards=shards,
+        backend=backend,
+        seed=11,
+        engine=engine,
+    )
+    for line in factory.manufacture_batch(4, first_seed=700):
+        executor.register(line)
+    return executor
+
+
+class TestLatticeCapturePath:
+    def test_true_reflection_close_to_born(self, line):
+        itdr = prototype_itdr(rng=np.random.default_rng(0))
+        lattice = itdr.true_reflection(line, engine="lattice")
+        born = itdr.true_reflection(line, engine="born")
+        assert len(lattice) == len(born) == itdr.record_length(line)
+        assert lattice.dt == born.dt
+        peak = np.max(np.abs(born.samples))
+        assert np.max(np.abs(lattice.samples - born.samples)) < 0.01 * peak
+        assert np.corrcoef(lattice.samples, born.samples)[0, 1] > 0.999
+
+    def test_capture_stack_shape_and_grid(self, line):
+        itdr = prototype_itdr(rng=np.random.default_rng(1))
+        stack = itdr.capture_stack(line, 5, engine="lattice")
+        assert stack.shape == (5, itdr.record_length(line))
+        assert np.all(np.isfinite(stack))
+
+    def test_capture_batch_per_row_states(self, line):
+        """The z_batch/tau_batch path renders per-row lattice physics on
+        the analog grid — uniform per-row stretch moves echoes."""
+        itdr = prototype_itdr(rng=np.random.default_rng(2))
+        profile = line.full_profile
+        c = 3
+        z_batch = np.tile(profile.z, (c, 1))
+        stretch = 1.0 + 1e-3 * np.arange(c)
+        tau_batch = np.tile(profile.tau, (c, 1)) * stretch[:, None]
+        out = itdr.capture_batch(
+            line, c, z_batch=z_batch, tau_batch=tau_batch, engine="lattice"
+        )
+        assert out.shape == (c, itdr.record_length(line))
+
+    def test_unknown_engine_rejected(self, line):
+        itdr = prototype_itdr(rng=np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            itdr.capture_stack(line, 1, engine="fdtd")
+
+
+class TestLatticeFleetDeterminism:
+    def test_lattice_scan_byte_identical_across_shards(self, factory):
+        with make_executor(factory, 1, "serial", "lattice") as serial:
+            serial.enroll(n_captures=4)
+            serial_scan = serial.scan()
+        with make_executor(factory, 2, "process", "lattice") as parallel:
+            parallel.enroll(n_captures=4)
+            parallel_scan = parallel.scan()
+        assert serial_scan.canonical_bytes() == parallel_scan.canonical_bytes()
+
+    def test_lattice_and_born_scans_agree_on_actions(self, factory):
+        """Same fleet, same seed: the engines may differ in fine waveform
+        detail but must agree on every monitoring decision."""
+        with make_executor(factory, 1, "serial", "lattice") as lat:
+            lat.enroll(n_captures=4)
+            lattice_scan = lat.scan()
+        with make_executor(factory, 1, "serial", "born") as born:
+            born.enroll(n_captures=4)
+            born_scan = born.scan()
+        for a, b in zip(lattice_scan.records, born_scan.records):
+            assert a.bus == b.bus
+            assert a.action is b.action
+            assert a.score == pytest.approx(b.score, abs=0.05)
+
+    def test_repeat_scans_fold_worker_cache_hits_home(self, factory):
+        process_solve_cache().clear()
+        with make_executor(factory, 1, "serial", "lattice") as executor:
+            executor.enroll(n_captures=4)
+            executor.scan()
+            executor.scan()
+            workers = executor.telemetry.snapshot()["health"]["solve_cache"][
+                "workers"
+            ]
+        # Scan 2 re-measures the same electrical states as scan 1, so the
+        # shard's solve-cache delta ships home with hits and no misses.
+        assert workers["hits"] > 0
+        process_solve_cache().clear()

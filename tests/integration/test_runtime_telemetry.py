@@ -98,7 +98,8 @@ TOP_KEYS = {"endpoints", "buses", "shards", "totals", "cadence", "health",
             "detection"}
 HEALTH_KEYS = {"dispatches", "degraded_dispatches", "retries",
                "serial_fallbacks", "pool_rebuilds", "timeouts",
-               "broken_pools", "crashes", "errors", "per_shard_wall_s"}
+               "broken_pools", "crashes", "errors", "per_shard_wall_s",
+               "solve_cache"}
 DETECTION_KEYS = {"onset_s", "first_alert_s", "latency_s", "per_side"}
 
 
@@ -166,8 +167,19 @@ class TestSharedTelemetrySurface:
             assert snap["health"]["per_shard_wall_s"] == {}
             assert all(
                 v == 0 for k, v in snap["health"].items()
-                if k != "per_shard_wall_s"
+                if k not in ("per_shard_wall_s", "solve_cache")
             )
+            # The solve-cache section: live process counters plus the
+            # worker-delta accumulator, which no single-datapath
+            # workload ever folds into.
+            cache = snap["health"]["solve_cache"]
+            assert set(cache) == {"process", "workers"}
+            assert set(cache["process"]) == {
+                "hits", "misses", "evictions", "entries", "capacity"
+            }
+            assert cache["workers"] == {
+                "hits": 0, "misses": 0, "evictions": 0
+            }
 
     def test_detection_latency_reads_identically(self, workloads):
         """A clean run reports the same null detection block everywhere."""

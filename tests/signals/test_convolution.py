@@ -1,0 +1,92 @@
+"""The shared convolution helper: determinism and numerical contracts.
+
+Every hot-path convolution routes through :mod:`repro.signals.convolution`;
+the method choice must be a pure function of operand sizes (never of data,
+shard count, or environment) or the fleet's byte-identity guarantee breaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.signals import batch_convolve_full, conv_method, convolve_full
+from repro.signals.convolution import DIRECT_COST_CEILING, MIN_FFT_LENGTH
+
+
+class TestMethodSelection:
+    def test_pure_function_of_sizes(self):
+        assert conv_method(1000, 1000) == conv_method(1000, 1000)
+
+    def test_short_kernels_stay_direct(self):
+        assert conv_method(100_000, MIN_FFT_LENGTH - 1) == "direct"
+
+    def test_small_products_stay_direct(self):
+        n = int(np.sqrt(DIRECT_COST_CEILING))
+        assert conv_method(n, n) == "direct"
+
+    def test_large_balanced_operands_go_fft(self):
+        assert conv_method(4096, 512) == "fft"
+
+    def test_symmetric_in_arguments(self):
+        for n, m in [(10, 2000), (33, 1000), (64, 64)]:
+            assert conv_method(n, m) == conv_method(m, n)
+
+    def test_rejects_empty_operands(self):
+        with pytest.raises(ValueError):
+            conv_method(0, 5)
+
+
+class TestConvolveFull:
+    @pytest.mark.parametrize("n,m", [(8, 3), (40, 33), (700, 96), (2048, 64)])
+    def test_matches_numpy_reference(self, n, m):
+        rng = np.random.default_rng(n * 1000 + m)
+        a = rng.standard_normal(n)
+        b = rng.standard_normal(m)
+        out = convolve_full(a, b)
+        ref = np.convolve(a, b)
+        assert out.shape == (n + m - 1,)
+        assert np.allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_direct_path_is_exactly_numpy(self):
+        """On the direct path the helper IS np.convolve — bit for bit."""
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(100)
+        b = rng.standard_normal(7)
+        assert conv_method(len(a), len(b)) == "direct"
+        assert convolve_full(a, b).tobytes() == np.convolve(a, b).tobytes()
+
+    def test_repeat_calls_are_byte_identical(self):
+        """Same inputs, same bytes — on the FFT path too (determinism)."""
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal(4096)
+        b = rng.standard_normal(512)
+        assert conv_method(len(a), len(b)) == "fft"
+        assert convolve_full(a, b).tobytes() == convolve_full(a, b).tobytes()
+
+
+class TestBatchConvolveFull:
+    @pytest.mark.parametrize("c,k,m", [(1, 50, 5), (6, 372, 30), (4, 900, 64)])
+    def test_rows_match_single_convolutions(self, c, k, m):
+        rng = np.random.default_rng(c + k + m)
+        rows = rng.standard_normal((c, k))
+        kernel = rng.standard_normal(m)
+        out = batch_convolve_full(rows, kernel)
+        assert out.shape == (c, k + m - 1)
+        for row, full in zip(rows, out):
+            assert np.allclose(full, np.convolve(row, kernel), atol=1e-12)
+
+    def test_row_results_independent_of_batch_size(self):
+        """A row convolves to the same bytes alone or in a batch — the
+        property that keeps shard partitioning invisible."""
+        rng = np.random.default_rng(2)
+        rows = rng.standard_normal((5, 300))
+        kernel = rng.standard_normal(24)
+        whole = batch_convolve_full(rows, kernel)
+        for i in range(5):
+            alone = batch_convolve_full(rows[i : i + 1], kernel)
+            assert whole[i].tobytes() == alone[0].tobytes()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            batch_convolve_full(np.ones((2, 2, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            batch_convolve_full(np.ones((2, 5)), np.ones((2, 3)))

@@ -208,3 +208,50 @@ class TestResponses:
         y1 = engine.reflection_response(p, x, n_out=300)
         y2 = engine.reflection_response(p, x.scaled(2.0), n_out=300)
         assert np.allclose(y2.samples, 2 * y1.samples)
+
+
+class TestGridValidation:
+    """The lattice grid check: forgiving of float noise, loud otherwise."""
+
+    def test_tiny_dt_mismatch_tolerated(self):
+        p = single_bump_profile()
+        incident = Waveform(np.ones(20), dt=TAU * (1 + 1e-8))
+        out = LatticeEngine().reflection_response(p, incident, n_out=60)
+        exact = LatticeEngine().reflection_response(
+            p, Waveform(np.ones(20), dt=TAU), n_out=60
+        )
+        assert np.array_equal(out.samples, exact.samples)
+
+    def test_percent_dt_mismatch_raises_with_guidance(self):
+        p = single_bump_profile()
+        incident = Waveform(np.ones(20), dt=TAU * 1.01)
+        with pytest.raises(ValueError, match="does not match"):
+            LatticeEngine().reflection_response(p, incident)
+
+    def test_analog_grid_validates_against_grid_dt(self):
+        p = single_bump_profile()
+        engine = LatticeEngine(grid_dt=TAU / 2)
+        good = Waveform(np.ones(20), dt=(TAU / 2) * (1 + 1e-7))
+        engine.reflection_response(p, good, n_out=120)
+        with pytest.raises(ValueError, match="analog grid_dt"):
+            engine.reflection_response(p, Waveform(np.ones(20), dt=TAU))
+
+    def test_transmission_response_validates_too(self):
+        p = single_bump_profile()
+        LatticeEngine().transmission_response(
+            p, Waveform(np.ones(20), dt=TAU * (1 - 1e-8))
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            LatticeEngine().transmission_response(
+                p, Waveform(np.ones(20), dt=TAU * 0.99)
+            )
+
+    def test_batch_rows_validated_per_row(self):
+        """A mixed-delay native batch flags the offending geometry."""
+        z = np.tile(np.linspace(49.0, 51.0, 8), (2, 1))
+        tau = np.stack([np.full(8, TAU), np.full(8, TAU * 1.01)])
+        incident = Waveform(np.ones(6), dt=TAU)
+        with pytest.raises(ValueError, match="segment delay"):
+            LatticeEngine().batch_reflection_responses(
+                z, tau, 0.0, 1.0, incident
+            )
