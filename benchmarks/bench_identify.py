@@ -1,0 +1,163 @@
+"""1:N identification throughput: sketch index vs brute-force scoring.
+
+The ``FingerprintStore`` answers "which enrolled bus is this?" with a
+coarse ``(M, D)`` sketch mat-vec feeding exact rescoring on a top-K
+shortlist; brute force is the exact ``(M, N)`` score over every template.
+This bench enrolls fleets of 10^3 and 10^4 synthetic IIPs (10^5 with
+``REPRO_FULL_SCALE=1``), fires noisy genuine queries through both paths,
+and pins:
+
+* **answer identity** — rank-1 (and acceptance) from the sketch path is
+  identical to brute force on every clean query, at every size, on any
+  machine — the index is a shortcut, never a different answer;
+* **>= 10x speedup at 10^4 enrolled lines** — gated off under
+  ``REPRO_BENCH_SMOKE=1`` like every wall-clock floor (shared CI runners
+  cannot hold perf ratios), enforced elsewhere.
+
+Templates are synthetic (correlated Gaussian records, canonicalised by
+``Fingerprint``) rather than physics solves: the store never looks inside
+a template, so index throughput scaling only needs realistic shapes, and
+10^4 physics enrollments would swamp the harness.  Results land in
+``benchmarks/BENCH_identify.json``.
+"""
+
+import time
+
+import numpy as np
+from scipy.ndimage import gaussian_filter1d
+
+from repro.core import Fingerprint, FingerprintStore
+from repro.core.itdr import IIPCapture
+from repro.signals.waveform import Waveform
+
+from conftest import emit, smoke_mode
+
+RECORD_LENGTH = 512
+DT = 11.16e-12
+N_QUERIES = 64
+NOISE_RMS = 0.05  # relative to the unit-norm template
+SPEEDUP_FLOOR = 10.0
+SPEEDUP_GATE_SIZE = 10_000
+
+
+def store_sizes() -> list:
+    if smoke_mode():
+        return [256, 2048]
+    import os
+
+    sizes = [1_000, 10_000]
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        sizes.append(100_000)
+    return sizes
+
+
+def synthetic_rows(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``(n, RECORD_LENGTH)`` correlated records shaped like IIPs.
+
+    Smoothed white noise concentrates energy at low-mid frequencies the
+    way reflection profiles do; canonicalisation happens in the
+    ``Fingerprint`` constructor.
+    """
+    rows = rng.standard_normal((n, RECORD_LENGTH))
+    return gaussian_filter1d(rows, sigma=3.0, axis=1, mode="wrap")
+
+
+def build_store(rows: np.ndarray) -> FingerprintStore:
+    store = FingerprintStore()
+    store.enroll_many(
+        [
+            Fingerprint(name=f"bus-{i:06d}", samples=row, dt=DT)
+            for i, row in enumerate(rows)
+        ]
+    )
+    return store
+
+
+def make_queries(
+    store: FingerprintStore, rows: np.ndarray, rng: np.random.Generator
+) -> list:
+    """Noisy genuine captures of randomly chosen enrolled lines."""
+    picks = rng.choice(len(rows), size=N_QUERIES, replace=False)
+    queries = []
+    for i in picks:
+        template = store.current(f"bus-{i:06d}").samples
+        noisy = template + NOISE_RMS * np.linalg.norm(template) \
+            * rng.standard_normal(RECORD_LENGTH) / np.sqrt(RECORD_LENGTH)
+        queries.append(
+            IIPCapture(
+                waveform=Waveform(noisy, DT),
+                line_name=f"bus-{i:06d}",
+                n_triggers=0,
+                duration_s=0.0,
+            )
+        )
+    return queries
+
+
+def time_path(store, queries, method: str, repeats: int = 3):
+    """(best identifications/sec, results) for one lookup path."""
+    best = np.inf
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = [store.identify(q, method=method) for q in queries]
+        best = min(best, time.perf_counter() - start)
+    return len(queries) / best, results
+
+
+def test_identify_throughput_vs_store_size(record_identify_result):
+    rng = np.random.default_rng(2024)
+    report_lines = []
+    for size in store_sizes():
+        rows = synthetic_rows(size, rng)
+        store = build_store(rows)
+        assert len(store) == size
+        queries = make_queries(store, rows, rng)
+
+        sketch_ips, sketch_results = time_path(store, queries, "sketch")
+        brute_ips, brute_results = time_path(store, queries, "brute")
+
+        # Answer identity on every clean query: same rank-1 bus, same
+        # acceptance, scores equal to the last ulp (BLAS accumulates the
+        # shortlist gather and the full mat-vec with shape-dependent
+        # blocking) — the index never changes the answer, only the work.
+        for q, rs, rb in zip(queries, sketch_results, brute_results):
+            assert rs.bus == rb.bus == q.line_name
+            assert abs(rs.score - rb.score) <= 1e-12
+            assert rs.accepted == rb.accepted
+
+        speedup = sketch_ips / brute_ips
+        gate = size >= SPEEDUP_GATE_SIZE and not smoke_mode()
+        record_identify_result(
+            f"identify_{size}",
+            {
+                "store_size": size,
+                "record_length": RECORD_LENGTH,
+                "n_queries": N_QUERIES,
+                "shortlist_size": store.shortlist_size,
+                "sketch_dim": store.sketch.dim(RECORD_LENGTH),
+                "sketch_ids_per_s": sketch_ips,
+                "brute_ids_per_s": brute_ips,
+                "speedup": speedup,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "speedup_gated": gate,
+                "rank1_identical_to_brute": True,
+            },
+        )
+        report_lines.append(
+            f"M={size:>7}: sketch {sketch_ips:10.0f} ids/s   "
+            f"brute {brute_ips:10.0f} ids/s   speedup {speedup:6.2f}x"
+            f"{'   (floor enforced)' if gate else ''}"
+        )
+        if gate:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"sketch index only {speedup:.2f}x over brute force at "
+                f"M={size} (floor {SPEEDUP_FLOOR}x)"
+            )
+    emit(
+        "1:N IDENTIFICATION — sketch index vs brute force",
+        "\n".join(report_lines)
+        + f"\nqueries per size         : {N_QUERIES} "
+        f"(noise {NOISE_RMS:.2f} rel RMS)\n"
+        "rank-1 vs brute force    : identical on every query",
+    )

@@ -25,9 +25,11 @@ from repro.experiments.common import FULL, ExperimentScale
 
 BENCH_FLEET_JSON = Path(__file__).resolve().parent / "BENCH_fleet.json"
 BENCH_PHYSICS_JSON = Path(__file__).resolve().parent / "BENCH_physics.json"
+BENCH_IDENTIFY_JSON = Path(__file__).resolve().parent / "BENCH_identify.json"
 
 _fleet_results = {}
 _physics_results = {}
+_identify_results = {}
 
 
 def smoke_mode() -> bool:
@@ -66,6 +68,21 @@ def record_physics_result():
     return _record
 
 
+@pytest.fixture
+def record_identify_result():
+    """Collect one bench's machine-readable row for ``BENCH_identify.json``.
+
+    The 1:N identification bench records identifications/sec vs store
+    size here, so the index-vs-brute-force trajectory can be tracked
+    across commits next to the fleet and physics numbers.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        _identify_results[name] = payload
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _fleet_results:
         BENCH_FLEET_JSON.write_text(
@@ -74,6 +91,10 @@ def pytest_sessionfinish(session, exitstatus):
     if _physics_results:
         BENCH_PHYSICS_JSON.write_text(
             json.dumps(_physics_results, indent=2, sort_keys=True) + "\n"
+        )
+    if _identify_results:
+        BENCH_IDENTIFY_JSON.write_text(
+            json.dumps(_identify_results, indent=2, sort_keys=True) + "\n"
         )
 
 

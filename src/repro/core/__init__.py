@@ -45,12 +45,21 @@ from .faults import (
     ShardHealth,
 )
 from .fleet import (
+    FleetIdentifyOutcome,
+    FleetIdentifyRecord,
     FleetRecord,
     FleetScanExecutor,
     FleetScanOutcome,
     available_workers,
     partition_fleet,
     spawn_bus_streams,
+)
+from .identify import (
+    FingerprintStore,
+    IdentifyResult,
+    SketchSpec,
+    TemplateVersion,
+    UpdatePolicy,
 )
 from .itdr import IIPCapture, ITDR, ITDRConfig, MeasurementBudget
 from .latency import LatencyModel, LatencyPoint
@@ -94,6 +103,11 @@ __all__ = [
     "MeasurementBudget",
     "Fingerprint",
     "FingerprintROM",
+    "FingerprintStore",
+    "IdentifyResult",
+    "SketchSpec",
+    "TemplateVersion",
+    "UpdatePolicy",
     "similarity",
     "capture_similarity",
     "error_function",
@@ -113,6 +127,8 @@ __all__ = [
     "FleetDispatchError",
     "RetryPolicy",
     "ShardHealth",
+    "FleetIdentifyOutcome",
+    "FleetIdentifyRecord",
     "FleetRecord",
     "FleetScanExecutor",
     "FleetScanOutcome",

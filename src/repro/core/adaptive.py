@@ -116,7 +116,12 @@ class AdaptiveReference:
 
     # ------------------------------------------------------------------
     def current(self) -> Fingerprint:
-        """The reference as it stands now."""
+        """The reference as it stands now.
+
+        A frozen snapshot: the :class:`Fingerprint` constructor copies and
+        freezes its samples, so the returned object neither aliases this
+        reference's live update buffer nor can be mutated by the caller.
+        """
         return Fingerprint(name=self.name, samples=self._samples, dt=self.dt)
 
     def score(self, capture: IIPCapture) -> float:

@@ -19,7 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
-from .fingerprint import Fingerprint
+from .fingerprint import Fingerprint, dt_compatible
 from .itdr import IIPCapture
 
 __all__ = [
@@ -56,11 +56,22 @@ def similarity(x: np.ndarray, y: np.ndarray) -> float:
 
 
 def capture_similarity(capture: IIPCapture, fingerprint: Fingerprint) -> float:
-    """Similarity between a fresh capture and an enrolled fingerprint."""
+    """Similarity between a fresh capture and an enrolled fingerprint.
+
+    Both the record length and the time grid must agree: two length-equal
+    records sampled at different ``dt`` are different physical measurements,
+    and scoring them would silently compare across ETS configurations.
+    """
     if len(capture.waveform) != len(fingerprint.samples):
         raise ValueError(
             "capture and fingerprint lengths differ "
             f"({len(capture.waveform)} vs {len(fingerprint.samples)}); "
+            "they must come from the same record configuration"
+        )
+    if not dt_compatible(capture.waveform.dt, fingerprint.dt):
+        raise ValueError(
+            "capture and fingerprint time grids differ "
+            f"(dt {capture.waveform.dt} vs {fingerprint.dt}); "
             "they must come from the same record configuration"
         )
     return similarity(capture.waveform.samples, fingerprint.samples)

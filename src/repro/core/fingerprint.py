@@ -6,11 +6,28 @@ secrecy: an IIP is useless off its exact physical line — knowing the
 fingerprint does not let an attacker reproduce the line that generates it.
 We model the ROM as a plain dictionary with JSON import/export, secrecy-free
 by design.
+
+Integrity discipline (the substrate the content-addressed fleet store in
+:mod:`repro.core.identify` builds on):
+
+* a :class:`Fingerprint` owns its samples — the constructor copies and
+  freezes the array, so no caller can mutate an enrolled reference after
+  the fact;
+* every constructed fingerprint is in canonical form (zero-mean,
+  unit-norm), whatever gain or offset the input carried, so one physical
+  line has exactly one sample representation and one :meth:`digest`;
+* records from different time grids never compare: ``dt`` agreement is
+  validated at enrollment and at scoring time;
+* :meth:`FingerprintROM.export_json` is deterministic (sorted keys), so
+  equal contents serialise to equal bytes and the export→import→export
+  round trip is bitwise exact.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
@@ -18,7 +35,18 @@ import numpy as np
 
 from .itdr import IIPCapture
 
-__all__ = ["Fingerprint", "FingerprintROM"]
+__all__ = ["Fingerprint", "FingerprintROM", "dt_compatible"]
+
+#: Relative tolerance on time-grid agreement.  Wide enough to absorb
+#: float round-off in a dt that was serialised and re-parsed, far too
+#: tight to let records from genuinely different ETS configurations
+#: (phase steps differ at the percent scale or more) compare silently.
+DT_RTOL = 1e-9
+
+
+def dt_compatible(dt_a: float, dt_b: float) -> bool:
+    """Whether two records share a time grid (within :data:`DT_RTOL`)."""
+    return math.isclose(dt_a, dt_b, rel_tol=DT_RTOL, abs_tol=0.0)
 
 
 @dataclass(frozen=True)
@@ -27,7 +55,10 @@ class Fingerprint:
 
     Attributes:
         name: Identity of the enrolled line/channel.
-        samples: Zero-mean, unit-norm reference waveform samples.
+        samples: Zero-mean, unit-norm reference waveform samples.  The
+            constructor canonicalises whatever it is given and freezes the
+            result (read-only, privately copied), so the stored reference
+            can neither carry stray gain nor be mutated through an alias.
         dt: Time grid spacing of the samples, seconds.
         n_captures: How many captures were averaged at enrollment.
         enrolled_temperature_c: Ambient temperature at enrollment (matters
@@ -41,17 +72,45 @@ class Fingerprint:
     enrolled_temperature_c: float = 23.0
 
     def __post_init__(self) -> None:
-        samples = np.asarray(self.samples, dtype=float)
-        object.__setattr__(self, "samples", samples)
+        samples = np.array(self.samples, dtype=float, copy=True)
         if samples.ndim != 1 or len(samples) == 0:
             raise ValueError("fingerprint samples must be a non-empty 1-D array")
+        samples = self._canonicalize(samples)
+        samples.setflags(write=False)
+        object.__setattr__(self, "samples", samples)
 
     @staticmethod
     def _canonicalize(samples: np.ndarray) -> np.ndarray:
+        """Zero-mean, unit-norm form — idempotent at the bit level.
+
+        An already-canonical array (residuals at float round-off scale)
+        is returned untouched: re-canonicalising would perturb the last
+        few bits every pass, which would break content addressing and
+        the bitwise export→import→export round trip.  Anything carrying
+        real gain or offset (beyond ~1e-9) is normalised.
+        """
         x = np.asarray(samples, dtype=float)
-        x = x - np.mean(x)
-        norm = np.linalg.norm(x)
+        scale = float(np.max(np.abs(x))) if len(x) else 0.0
+        mean = float(np.mean(x))
+        norm = float(np.linalg.norm(x))
+        if abs(mean) <= 1e-9 * max(scale, 1e-300) and abs(norm - 1.0) <= 1e-9:
+            return x
+        x = x - mean
+        norm = float(np.linalg.norm(x))
         return x / norm if norm > 0 else x
+
+    def digest(self) -> str:
+        """Content address of this reference: sha256 over (samples, dt).
+
+        Canonicalisation makes this well defined — the same physical
+        enrollment serialises to the same digest whatever gain/offset the
+        raw record carried.  The name is deliberately excluded: a digest
+        identifies wave *content*, the store maps names onto it.
+        """
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.samples).tobytes())
+        h.update(np.float64(self.dt).tobytes())
+        return h.hexdigest()
 
     @classmethod
     def from_captures(
@@ -60,17 +119,29 @@ class Fingerprint:
         name: Optional[str] = None,
         enrolled_temperature_c: float = 23.0,
     ) -> "Fingerprint":
-        """Enroll from one or more captures (averaging suppresses APC noise)."""
+        """Enroll from one or more captures (averaging suppresses APC noise).
+
+        All constituent captures must share both a record length and a
+        time grid: averaging samples from different ``dt`` grids would
+        silently blend incompatible measurements.
+        """
         captures = list(captures)
         if not captures:
             raise ValueError("at least one capture is required to enroll")
         first = captures[0]
         if any(len(c.waveform) != len(first.waveform) for c in captures):
             raise ValueError("all enrollment captures must share a length")
+        if any(
+            not dt_compatible(c.waveform.dt, first.waveform.dt)
+            for c in captures
+        ):
+            raise ValueError(
+                "all enrollment captures must share a time grid (dt)"
+            )
         mean = np.mean([c.waveform.samples for c in captures], axis=0)
         return cls(
             name=name or first.line_name,
-            samples=cls._canonicalize(mean),
+            samples=mean,
             dt=first.waveform.dt,
             n_captures=len(captures),
             enrolled_temperature_c=enrolled_temperature_c,
@@ -88,13 +159,14 @@ class Fingerprint:
 
         The batched counterpart of :meth:`from_captures` — one row per
         constituent capture, as returned by ``ITDR.capture_stack``.
+        Canonicalisation happens in the constructor.
         """
         stack = np.asarray(stack, dtype=float)
         if stack.ndim != 2 or stack.shape[0] < 1 or stack.shape[1] < 1:
             raise ValueError("stack must be a non-empty (n_captures, N) array")
         return cls(
             name=name,
-            samples=cls._canonicalize(stack.mean(axis=0)),
+            samples=stack.mean(axis=0),
             dt=dt,
             n_captures=stack.shape[0],
             enrolled_temperature_c=enrolled_temperature_c,
@@ -155,9 +227,17 @@ class FingerprintROM:
         return len(self._store)
 
     def export_json(self) -> str:
-        """Serialise the whole ROM to a JSON string."""
+        """Serialise the whole ROM to a deterministic JSON string.
+
+        Entries and keys are sorted, so two ROMs with equal contents
+        export equal bytes regardless of insertion order, and
+        ``export → import → export`` is bitwise stable (floats traverse
+        JSON via shortest-repr, which round-trips float64 exactly;
+        canonicalisation is bit-idempotent on already-canonical samples).
+        """
         return json.dumps(
-            {name: fp.to_dict() for name, fp in self._store.items()}
+            {name: fp.to_dict() for name, fp in self._store.items()},
+            sort_keys=True,
         )
 
     @classmethod

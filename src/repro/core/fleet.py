@@ -40,6 +40,7 @@ visible only in the ``degraded``/``shard_health`` provenance.
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 import os
 import pickle
@@ -64,6 +65,7 @@ from .faults import (
     run_with_recovery,
 )
 from .fingerprint import Fingerprint
+from .identify import FingerprintStore, SketchSpec, UpdatePolicy
 from .itdr import ITDR, ITDRConfig
 from .resources import ResourceModel, ResourceReport
 from .runtime import MonitorEvent, MonitorRuntime, RoundRobinCadence, Telemetry
@@ -71,6 +73,8 @@ from .solvecache import SolveCache, process_solve_cache
 from .tamper import TamperDetector
 
 __all__ = [
+    "FleetIdentifyOutcome",
+    "FleetIdentifyRecord",
     "FleetRecord",
     "FleetScanOutcome",
     "FleetScanExecutor",
@@ -213,6 +217,76 @@ class FleetScanOutcome:
         return pickle.dumps(payload, protocol=4)
 
 
+@dataclass(frozen=True)
+class FleetIdentifyRecord:
+    """One bus's outcome within a fleet identification scan.
+
+    ``identified`` is the store's rank-1 answer for the capture this bus
+    produced; ``correct`` compares it to the registered identity (the
+    scan's ground truth).  ``shard``/``recovery`` are provenance only,
+    excluded from the canonical bytes like their :class:`FleetRecord`
+    counterparts.
+    """
+
+    index: int
+    bus: str
+    shard: int
+    identified: Optional[str]
+    score: float
+    accepted: bool
+    runner_up: Optional[str]
+    separation: Optional[float]
+    recovery: Optional[str] = None
+
+    @property
+    def correct(self) -> bool:
+        """Whether the store's rank-1 answer names the capture's true bus."""
+        return self.identified == self.bus
+
+
+@dataclass(frozen=True)
+class FleetIdentifyOutcome:
+    """One fleet-wide identification pass, records in registration order."""
+
+    records: Tuple[FleetIdentifyRecord, ...]
+    shards: int
+    backend: str
+    store_digest: str
+    method: str
+    degraded: bool = False
+    shard_health: Tuple[ShardHealth, ...] = ()
+
+    def rank1_accuracy(self) -> float:
+        """Fraction of buses the store identified correctly at rank 1."""
+        if not self.records:
+            return 0.0
+        return sum(r.correct for r in self.records) / len(self.records)
+
+    def misidentified(self) -> List[Tuple[str, FleetIdentifyRecord]]:
+        """(bus name, record) pairs where rank-1 named the wrong bus."""
+        return [(r.bus, r) for r in self.records if not r.correct]
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic serialisation of the shard-independent outcome.
+
+        Mirrors :meth:`FleetScanOutcome.canonical_bytes`: the measurement
+        and identification content is a pure function of (fleet, seed,
+        store), so serial and K-shard passes produce identical bytes;
+        ``shard``/``recovery``/health provenance is excluded.  Serialised
+        as JSON rather than pickle: identify records repeat the bus name
+        in two fields (``bus`` and ``identified``), and pickle's string
+        memoisation would make the bytes depend on whether those are one
+        interned object (in-parent serial run) or two equal ones (worker
+        round trip) — value-based JSON sees only the content.
+        """
+        payload = [
+            [r.index, r.bus, r.identified, r.score, r.accepted,
+             r.runner_up, r.separation]
+            for r in self.records
+        ]
+        return json.dumps(payload).encode()
+
+
 # ----------------------------------------------------------------------
 # the worker side
 # ----------------------------------------------------------------------
@@ -299,6 +373,19 @@ def _run_shard(task: _ShardTask) -> tuple:
                 work.line, n_captures=task.n_captures, engine=task.engine
             )
             out.append((work.index, fingerprint))
+        elif task.mode == "identify":
+            # The 1:N store lives in the parent (shipping 10^4+ templates
+            # to every worker would dwarf the capture cost); a worker's
+            # job is only the averaged measurement, on the same per-bus
+            # stream discipline as every other mode.
+            capture = itdr.capture_averaged(
+                work.line,
+                task.captures_per_check,
+                modifiers=work.modifiers,
+                interference=task.interference,
+                engine=task.engine,
+            )
+            out.append((work.index, (task.shard, capture)))
         else:
             # The fleet's reference for this bus is authoritative even if
             # it was enrolled (or swapped in) under another line's name.
@@ -720,6 +807,125 @@ class FleetScanExecutor:
         for name, fingerprint in zip(self._buses, fingerprints):
             self._fingerprints[name] = fingerprint
         return dict(self._fingerprints)
+
+    def build_store(
+        self,
+        sketch: Optional[SketchSpec] = None,
+        policy: Optional[UpdatePolicy] = None,
+        shortlist_size: int = 8,
+    ) -> FingerprintStore:
+        """The fleet's 1:N identification store, fed by its enrollment.
+
+        Every enrolled fingerprint lands in a fresh content-addressed
+        :class:`~repro.core.identify.FingerprintStore` in registration
+        order (the store digest is insertion-order independent anyway).
+        """
+        if not self._fingerprints:
+            raise RuntimeError("enroll() the fleet before building a store")
+        store = FingerprintStore(
+            sketch=sketch, policy=policy, shortlist_size=shortlist_size
+        )
+        store.enroll_many(list(self._fingerprints.values()))
+        return store
+
+    def identify_scan(
+        self,
+        store: Optional[FingerprintStore] = None,
+        modifiers_by_bus: Optional[Dict[str, Sequence]] = None,
+        interference=None,
+        method: str = "sketch",
+    ) -> FleetIdentifyOutcome:
+        """One fleet-wide 1:N identification pass.
+
+        Shards measure one averaged capture per bus (same per-bus seed
+        streams as :meth:`scan`, so the pass is byte-identical across
+        backends and shard counts); the parent runs every capture through
+        the store's indexed :meth:`~repro.core.identify.FingerprintStore.
+        identify` and reports per-bus rank-1 hits as canonical runtime
+        events — ``Telemetry.snapshot()``'s per-bus cells carry the
+        fleet's identification accuracy (PROCEED = correct rank-1 and
+        accepted, ALERT otherwise).
+
+        ``store`` defaults to :meth:`build_store` over this fleet's own
+        enrollment; pass a shared store to audit one fleet against a
+        larger enrolled population.
+        """
+        if not self._buses:
+            raise RuntimeError("no buses registered")
+        if store is None:
+            store = self.build_store()
+        modifiers_by_bus = modifiers_by_bus or {}
+        unknown = set(modifiers_by_bus) - set(self._buses)
+        if unknown:
+            raise KeyError(
+                f"modifiers for unregistered buses: {sorted(unknown)}"
+            )
+        streams = spawn_bus_streams(self._root, self.n_buses)
+        work = [
+            _BusWork(
+                index=i,
+                name=name,
+                line=line,
+                seed=streams[i],
+                modifiers=tuple(modifiers_by_bus.get(name, ())),
+            )
+            for i, (name, line) in enumerate(self._buses.items())
+        ]
+        payloads, healths = self._dispatch(
+            self._make_tasks("identify", work, interference=interference)
+        )
+        recovery_by_shard = {
+            h.shard: h.outcome for h in healths if h.degraded
+        }
+        records = []
+        for (name, _), (index, (shard, capture)) in zip(
+            self._buses.items(), enumerate(payloads)
+        ):
+            result = store.identify(capture, method=method)
+            records.append(
+                FleetIdentifyRecord(
+                    index=index,
+                    bus=name,
+                    shard=shard,
+                    identified=result.bus,
+                    score=result.score,
+                    accepted=result.accepted,
+                    runner_up=result.runner_up,
+                    separation=result.separation,
+                    recovery=recovery_by_shard.get(shard),
+                )
+            )
+        cadence = self._cadence()
+        for (name, t), record in zip(
+            cadence.visits(self.bus_names()), records
+        ):
+            self._runtime.record(
+                MonitorEvent(
+                    time_s=t,
+                    side=name,
+                    action=(
+                        Action.PROCEED
+                        if record.correct and record.accepted
+                        else Action.ALERT
+                    ),
+                    score=record.score,
+                    tampered=False,
+                    location_m=None,
+                    bus=name,
+                    shard=record.shard,
+                    recovery=record.recovery,
+                )
+            )
+        self._runtime.finish()
+        return FleetIdentifyOutcome(
+            records=tuple(records),
+            shards=self.shards,
+            backend=self.resolved_backend(),
+            store_digest=store.digest(),
+            method=method,
+            degraded=bool(recovery_by_shard),
+            shard_health=tuple(healths),
+        )
 
     def scan(
         self,

@@ -1,0 +1,665 @@
+"""1:N fleet identification: "which enrolled bus is this?" at scale.
+
+The paper's deployment story is a *fleet* of protected buses, but the
+authentication layer (:mod:`repro.core.auth`) is strictly 1:1 — enroll one
+line, score one capture against it.  This module adds the population view
+the PUF-framework literature calls identification: a content-addressed
+:class:`FingerprintStore` holding up to 10⁵–10⁶ enrolled IIPs, with an
+indexed :meth:`FingerprintStore.identify` lookup that beats brute-force
+scoring without changing the answer.
+
+Index design
+------------
+
+Brute force scores a query against every enrolled template — an ``(M, N)``
+matrix-vector product over full records (``N`` in the hundreds).  The store
+instead keeps a coarse **sketch** per template: stacked low-dimensional
+projections of the canonical waveform —
+
+* the first few complex rFFT bins (the spectral shape of the reflection
+  profile, where line-to-line contrast concentrates), and
+* a fixed random orthonormal projection (a Johnson-Lindenstrauss sketch
+  carrying full-band contrast the truncated spectrum misses),
+
+unit-normalised and stacked into one ``(M, D)`` matrix with ``D ≪ N``.  A
+query costs one ``(M, D)`` mat-vec plus a top-K ``argpartition`` to produce
+a shortlist, then **exact** similarity rescoring (the same canonical inner
+product :func:`repro.core.auth.capture_similarity` computes) on the
+shortlist rows only.  Whenever the true best match survives the shortlist
+cut — the common case by a wide margin, pinned in the property suite — the
+rank-1 answer is *identical* to brute force, because the final ordering is
+decided by exact scores.
+
+Drift-aware templates
+---------------------
+
+Aging (:mod:`repro.env.aging`) drifts fingerprints cumulatively and
+temperature (:mod:`repro.env.temperature`) swings them reversibly, so the
+store keeps **versioned** templates per bus and folds strongly-identified
+captures into a new version (exponential blend, the fleet-scale sibling of
+:class:`repro.core.adaptive.AdaptiveReference`).  The update guard is the
+security argument, so it is stated precisely:
+
+    A capture may update bus *b*'s template only if (i) it scores at least
+    ``threshold + update_margin`` against *b*'s current template, (ii) *b*
+    is the exact rank-1 identification, and (iii) the rank-1 score beats
+    the runner-up by at least ``min_separation``.
+
+Consequences: an impostor cannot ride a drift window, because to move
+*b*'s template at all it must first outscore every enrolled bus — its own
+true identity included — *and* clear the acceptance threshold with margin
+against *b*'s current (genuine) template; a borderline capture (genuine or
+not) never moves anything.  Each accepted update moves the unit-norm
+template by at most ``2·alpha`` in L2, so the acceptance region tracks
+slow genuine drift and cannot jump.  ``tests/property/test_identify_guard
+.py`` pins this over hypothesis-generated aging + temperature schedules.
+
+Snapshots
+---------
+
+:meth:`FingerprintStore.export_json` serialises the whole store — sketch
+spec, update policy, and every template version — deterministically
+(sorted keys), so equal stores export equal bytes, the
+export→import→export round trip is bitwise exact, and
+:meth:`FingerprintStore.digest` is a stable content address for the full
+versioned population.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .fingerprint import Fingerprint, dt_compatible
+from .itdr import IIPCapture
+
+__all__ = [
+    "SketchSpec",
+    "UpdatePolicy",
+    "TemplateVersion",
+    "IdentifyResult",
+    "FingerprintStore",
+]
+
+
+# ----------------------------------------------------------------------
+# the coarse index
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SketchSpec:
+    """Shape of the coarse pre-filter sketch.
+
+    Attributes:
+        n_spectral: Complex rFFT bins kept (bin 1 upward — the DC bin of a
+            canonical record is zero by construction).  Contributes
+            ``2 * n_spectral`` real dimensions.
+        n_projection: Rows of the fixed random orthonormal projection.
+        projection_seed: Seed of the projection; a pure function of
+            ``(projection_seed, record length)``, so rebuilding the index
+            (import, re-enroll) reproduces the sketch bitwise.
+    """
+
+    n_spectral: int = 8
+    n_projection: int = 16
+    projection_seed: int = 0x1D
+
+    def __post_init__(self) -> None:
+        if self.n_spectral < 0 or self.n_projection < 0:
+            raise ValueError("sketch dimensions must be non-negative")
+        if self.n_spectral + self.n_projection == 0:
+            raise ValueError("sketch must keep at least one dimension")
+
+    def n_spectral_for(self, n_samples: int) -> int:
+        """Spectral bins actually available for records of this length."""
+        return min(self.n_spectral, max(0, n_samples // 2))
+
+    def dim(self, n_samples: int) -> int:
+        """Total sketch dimensionality for records of ``n_samples``."""
+        return 2 * self.n_spectral_for(n_samples) + min(
+            self.n_projection, n_samples
+        )
+
+    def projection(self, n_samples: int) -> np.ndarray:
+        """The fixed ``(n_projection, n_samples)`` orthonormal projection."""
+        k = min(self.n_projection, n_samples)
+        if k == 0:
+            return np.zeros((0, n_samples))
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.projection_seed, n_samples])
+        )
+        gauss = rng.standard_normal((n_samples, k))
+        q, _ = np.linalg.qr(gauss)
+        return q.T
+
+    def sketch_rows(
+        self, rows: np.ndarray, projection: np.ndarray
+    ) -> np.ndarray:
+        """Sketch a ``(B, N)`` batch of canonical rows into ``(B, D)``.
+
+        Rows are unit-normalised in sketch space so the index mat-vec is
+        a cosine similarity; an all-zero sketch (degenerate record) is
+        left as zeros.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        n = rows.shape[1]
+        k = self.n_spectral_for(n)
+        parts = []
+        if k > 0:
+            spectrum = np.fft.rfft(rows, axis=1)[:, 1 : 1 + k]
+            parts.append(spectrum.real)
+            parts.append(spectrum.imag)
+        if projection.shape[0] > 0:
+            parts.append(rows @ projection.T)
+        sketch = np.hstack(parts)
+        norms = np.linalg.norm(sketch, axis=1, keepdims=True)
+        return np.divide(
+            sketch, norms, out=np.zeros_like(sketch), where=norms > 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "n_spectral": self.n_spectral,
+            "n_projection": self.n_projection,
+            "projection_seed": self.projection_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SketchSpec":
+        return cls(
+            n_spectral=int(data["n_spectral"]),
+            n_projection=int(data["n_projection"]),
+            projection_seed=int(data["projection_seed"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# drift policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UpdatePolicy:
+    """The margin-guarded template-update rule (module docstring lemma).
+
+    Attributes:
+        threshold: Acceptance threshold on the exact similarity score.
+        update_margin: Extra score above ``threshold`` a capture must
+            clear before it may move a template.
+        min_separation: Minimum rank-1 vs runner-up gap; an ambiguous
+            identification never updates anything.
+        alpha: Exponential blend weight per accepted update.
+        max_versions: Version history depth kept per bus (oldest trimmed).
+    """
+
+    threshold: float = 0.85
+    update_margin: float = 0.05
+    min_separation: float = 0.05
+    alpha: float = 0.1
+    max_versions: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if self.update_margin < 0 or self.min_separation < 0:
+            raise ValueError("margins must be non-negative")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.max_versions < 1:
+            raise ValueError("max_versions must be >= 1")
+
+    def may_update(
+        self, score: float, runner_up_score: Optional[float]
+    ) -> bool:
+        """Whether an identification clears the update guard."""
+        if score < self.threshold + self.update_margin:
+            return False
+        if runner_up_score is None:  # single-bus store: nothing to confuse
+            return True
+        return score - runner_up_score >= self.min_separation
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "update_margin": self.update_margin,
+            "min_separation": self.min_separation,
+            "alpha": self.alpha,
+            "max_versions": self.max_versions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UpdatePolicy":
+        return cls(
+            threshold=float(data["threshold"]),
+            update_margin=float(data["update_margin"]),
+            min_separation=float(data["min_separation"]),
+            alpha=float(data["alpha"]),
+            max_versions=int(data["max_versions"]),
+        )
+
+
+@dataclass(frozen=True)
+class TemplateVersion:
+    """One entry in a bus's template history.
+
+    Attributes:
+        version: Monotonic per-bus counter (0 = the original enrollment).
+        fingerprint: The template as of this version (canonical, frozen).
+        origin: ``"enroll"`` or ``"update"``.
+        score: The identification score that justified an update (None
+            for enrollments).
+    """
+
+    version: int
+    fingerprint: Fingerprint
+    origin: str
+    score: Optional[float] = None
+
+    def digest(self) -> str:
+        """Content address of this version's waveform."""
+        return self.fingerprint.digest()
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "fingerprint": self.fingerprint.to_dict(),
+            "origin": self.origin,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TemplateVersion":
+        return cls(
+            version=int(data["version"]),
+            fingerprint=Fingerprint.from_dict(data["fingerprint"]),
+            origin=str(data["origin"]),
+            score=None if data.get("score") is None else float(data["score"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# lookup outcome
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IdentifyResult:
+    """Outcome of one 1:N lookup.
+
+    The shortlist is ordered by **exact** score (ties broken by name), so
+    ``bus`` is identical to brute force whenever the true best match made
+    the shortlist (``score`` agrees to the last ulp — BLAS accumulates
+    the shortlist gather and the full mat-vec with shape-dependent
+    blocking).
+    """
+
+    bus: Optional[str]
+    score: float
+    accepted: bool
+    runner_up: Optional[str]
+    runner_up_score: Optional[float]
+    shortlist: Tuple[str, ...]
+    shortlist_scores: Tuple[float, ...]
+    method: str
+
+    @property
+    def separation(self) -> Optional[float]:
+        """Rank-1 minus runner-up score (None for a single-bus store)."""
+        if self.runner_up_score is None:
+            return None
+        return self.score - self.runner_up_score
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class FingerprintStore:
+    """Content-addressed 1:N identification database of enrolled IIPs.
+
+    Args:
+        sketch: Coarse index shape (default :class:`SketchSpec`).
+        policy: Template-update guard (default :class:`UpdatePolicy`).
+        shortlist_size: Candidates the sketch pre-filter hands to exact
+            rescoring.
+
+    All enrolled templates must share one record configuration (length
+    and ``dt``) — the store serves one fleet datapath, and the canonical
+    layer (:class:`Fingerprint`) guarantees per-template integrity.
+    Template rows live in capacity-doubled ``(M, N)`` / ``(M, D)``
+    matrices, so a lookup is two mat-vecs and a gather regardless of
+    how the store was grown.
+    """
+
+    def __init__(
+        self,
+        sketch: Optional[SketchSpec] = None,
+        policy: Optional[UpdatePolicy] = None,
+        shortlist_size: int = 8,
+    ) -> None:
+        if shortlist_size < 1:
+            raise ValueError("shortlist_size must be >= 1")
+        self.sketch = sketch if sketch is not None else SketchSpec()
+        self.policy = policy if policy is not None else UpdatePolicy()
+        self.shortlist_size = shortlist_size
+        self._n_samples: Optional[int] = None
+        self._dt: Optional[float] = None
+        self._projection: Optional[np.ndarray] = None
+        self._versions: Dict[str, List[TemplateVersion]] = {}
+        self._row_of: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._samples: Optional[np.ndarray] = None
+        self._sketches: Optional[np.ndarray] = None
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._versions
+
+    def names(self) -> List[str]:
+        """Enrolled bus identities, sorted."""
+        return sorted(self._versions)
+
+    @property
+    def record_length(self) -> Optional[int]:
+        """Samples per template (None while empty)."""
+        return self._n_samples
+
+    @property
+    def dt(self) -> Optional[float]:
+        """Shared template time grid (None while empty)."""
+        return self._dt
+
+    def current(self, name: str) -> Fingerprint:
+        """The live template for a bus (its newest version)."""
+        return self._versions[name][-1].fingerprint
+
+    def versions(self, name: str) -> Tuple[TemplateVersion, ...]:
+        """A bus's template history, oldest first."""
+        return tuple(self._versions[name])
+
+    def digest(self) -> str:
+        """Content address of the whole versioned population.
+
+        Stable under insertion order (names are sorted) and process
+        restarts; any template byte, version step, or policy change
+        produces a new digest — the discipline a replicated fleet
+        deployment uses to agree on "which enrollment database is this?".
+        """
+        h = hashlib.sha256()
+        h.update(
+            json.dumps(
+                {
+                    "sketch": self.sketch.to_dict(),
+                    "policy": self.policy.to_dict(),
+                    "shortlist_size": self.shortlist_size,
+                },
+                sort_keys=True,
+            ).encode()
+        )
+        for name in self.names():
+            for version in self._versions[name]:
+                h.update(
+                    f"{name}\x00{version.version}\x00{version.origin}"
+                    f"\x00{version.score!r}\x00{version.digest()}\n".encode()
+                )
+        return h.hexdigest()
+
+    # -- enrollment -----------------------------------------------------
+    def _ensure_grid(self, fingerprint: Fingerprint) -> None:
+        if self._n_samples is None:
+            self._n_samples = len(fingerprint.samples)
+            self._dt = float(fingerprint.dt)
+            self._projection = self.sketch.projection(self._n_samples)
+            dim = self.sketch.dim(self._n_samples)
+            self._samples = np.empty((4, self._n_samples))
+            self._sketches = np.empty((4, dim))
+            return
+        if len(fingerprint.samples) != self._n_samples:
+            raise ValueError(
+                f"record length {len(fingerprint.samples)} does not match "
+                f"the store's {self._n_samples}"
+            )
+        if not dt_compatible(fingerprint.dt, self._dt):
+            raise ValueError(
+                f"dt {fingerprint.dt} does not match the store's {self._dt}"
+            )
+
+    def _set_row(self, name: str, samples: np.ndarray) -> None:
+        row = self._row_of.get(name)
+        if row is None:
+            row = len(self._names)
+            if row == len(self._samples):
+                self._samples = np.concatenate(
+                    [self._samples, np.empty_like(self._samples)]
+                )
+                self._sketches = np.concatenate(
+                    [self._sketches, np.empty_like(self._sketches)]
+                )
+            self._names.append(name)
+            self._row_of[name] = row
+        self._samples[row] = samples
+        self._sketches[row] = self.sketch.sketch_rows(
+            samples[None, :], self._projection
+        )[0]
+
+    def enroll(self, fingerprint: Fingerprint) -> str:
+        """Add a bus under its fingerprint name; returns the content digest.
+
+        Re-enrolling the identical content is an idempotent no-op;
+        enrolling different content under a taken name is an error (drift
+        flows through :meth:`observe`, not silent overwrites).
+        """
+        name = fingerprint.name
+        digest = fingerprint.digest()
+        if name in self._versions:
+            if self._versions[name][-1].digest() == digest:
+                return digest
+            raise ValueError(
+                f"bus {name!r} already enrolled with different content; "
+                "template evolution goes through observe()"
+            )
+        self._ensure_grid(fingerprint)
+        self._versions[name] = [
+            TemplateVersion(version=0, fingerprint=fingerprint, origin="enroll")
+        ]
+        self._set_row(name, fingerprint.samples)
+        return digest
+
+    def enroll_many(self, fingerprints: Sequence[Fingerprint]) -> List[str]:
+        """Enroll a batch; returns the per-fingerprint digests."""
+        return [self.enroll(fp) for fp in fingerprints]
+
+    # -- lookup ---------------------------------------------------------
+    def _canonical_query(self, samples: np.ndarray, dt: float) -> np.ndarray:
+        if not self._versions:
+            raise RuntimeError("identify on an empty store")
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1 or len(samples) != self._n_samples:
+            raise ValueError(
+                f"query length {samples.shape} does not match the store's "
+                f"({self._n_samples},) records"
+            )
+        if not dt_compatible(dt, self._dt):
+            raise ValueError(
+                f"query dt {dt} does not match the store's {self._dt}"
+            )
+        return Fingerprint._canonicalize(samples)
+
+    def _result_from_candidates(
+        self, query: np.ndarray, candidates: np.ndarray, method: str
+    ) -> IdentifyResult:
+        """Exact-rescore ``candidates`` (row indices) and rank them."""
+        exact = 0.5 * (1.0 + self._samples[candidates] @ query)
+        order = sorted(
+            range(len(candidates)),
+            key=lambda i: (-exact[i], self._names[candidates[i]]),
+        )
+        shortlist = tuple(self._names[candidates[i]] for i in order)
+        scores = tuple(float(exact[i]) for i in order)
+        runner_up = shortlist[1] if len(shortlist) > 1 else None
+        runner_up_score = scores[1] if len(scores) > 1 else None
+        return IdentifyResult(
+            bus=shortlist[0],
+            score=scores[0],
+            accepted=scores[0] >= self.policy.threshold,
+            runner_up=runner_up,
+            runner_up_score=runner_up_score,
+            shortlist=shortlist,
+            shortlist_scores=scores,
+            method=method,
+        )
+
+    def identify_samples(
+        self, samples: np.ndarray, dt: float, method: str = "sketch"
+    ) -> IdentifyResult:
+        """1:N lookup of a raw sample array (see :meth:`identify`)."""
+        if method not in ("sketch", "brute"):
+            raise ValueError("method must be 'sketch' or 'brute'")
+        query = self._canonical_query(samples, dt)
+        m = len(self._names)
+        k = min(self.shortlist_size, m)
+        if method == "brute" or m <= k:
+            candidates = np.arange(m)
+            if method == "sketch":
+                method = "brute"  # the shortlist was the whole store
+            return self._result_from_candidates(query, candidates, method)
+        query_sketch = self.sketch.sketch_rows(
+            query[None, :], self._projection
+        )[0]
+        coarse = self._sketches[:m] @ query_sketch
+        candidates = np.argpartition(coarse, m - k)[m - k:]
+        return self._result_from_candidates(query, candidates, "sketch")
+
+    def identify(
+        self, capture: IIPCapture, method: str = "sketch"
+    ) -> IdentifyResult:
+        """Which enrolled bus produced this capture?
+
+        ``method="sketch"`` (default) runs the coarse index then exact
+        rescoring on the shortlist; ``method="brute"`` scores every
+        template exactly — the reference the index must agree with.
+        """
+        return self.identify_samples(
+            capture.waveform.samples, capture.waveform.dt, method=method
+        )
+
+    def identify_stack(
+        self, stack: np.ndarray, dt: float, method: str = "sketch"
+    ) -> List[IdentifyResult]:
+        """Batched lookup of a ``(B, N)`` capture stack.
+
+        The sketch pass for all queries is one ``(B, D) @ (D, M)`` matmul
+        — the shape fleet-scale identification scans batched through
+        ``ITDR.capture_stack`` arrive in.
+        """
+        stack = np.atleast_2d(np.asarray(stack, dtype=float))
+        if method not in ("sketch", "brute"):
+            raise ValueError("method must be 'sketch' or 'brute'")
+        m = len(self._names)
+        k = min(self.shortlist_size, m)
+        queries = np.stack(
+            [self._canonical_query(row, dt) for row in stack]
+        )
+        if method == "brute" or m <= k:
+            return [
+                self._result_from_candidates(q, np.arange(m), "brute")
+                for q in queries
+            ]
+        sketches = self.sketch.sketch_rows(queries, self._projection)
+        coarse = sketches @ self._sketches[:m].T
+        results = []
+        for q, row in zip(queries, coarse):
+            candidates = np.argpartition(row, m - k)[m - k:]
+            results.append(
+                self._result_from_candidates(q, candidates, "sketch")
+            )
+        return results
+
+    # -- drift-aware updates --------------------------------------------
+    def observe(
+        self, capture: IIPCapture, method: str = "sketch"
+    ) -> Tuple[IdentifyResult, bool]:
+        """Identify a capture and, if the guard allows, track drift.
+
+        Returns ``(result, updated)``.  The template only moves when the
+        :class:`UpdatePolicy` guard holds (see the module docstring);
+        an update blends the current template toward the capture by
+        ``alpha`` and appends a new :class:`TemplateVersion`.
+        """
+        result = self.identify(capture, method=method)
+        if not self.policy.may_update(result.score, result.runner_up_score):
+            return result, False
+        name = result.bus
+        history = self._versions[name]
+        old = history[-1].fingerprint
+        query = self._canonical_query(
+            capture.waveform.samples, capture.waveform.dt
+        )
+        blended = (1.0 - self.policy.alpha) * old.samples \
+            + self.policy.alpha * query
+        updated = Fingerprint(
+            name=name,
+            samples=blended,
+            dt=old.dt,
+            n_captures=old.n_captures,
+            enrolled_temperature_c=old.enrolled_temperature_c,
+        )
+        history.append(
+            TemplateVersion(
+                version=history[-1].version + 1,
+                fingerprint=updated,
+                origin="update",
+                score=result.score,
+            )
+        )
+        del history[: max(0, len(history) - self.policy.max_versions)]
+        self._set_row(name, updated.samples)
+        return result, True
+
+    # -- snapshots ------------------------------------------------------
+    def export_json(self) -> str:
+        """Deterministic JSON snapshot of the whole store.
+
+        Sorted keys end to end, so equal stores export equal bytes and
+        export→import→export round-trips bitwise (canonical samples are
+        bit-idempotent through JSON's exact float round trip).
+        """
+        return json.dumps(
+            {
+                "sketch": self.sketch.to_dict(),
+                "policy": self.policy.to_dict(),
+                "shortlist_size": self.shortlist_size,
+                "buses": {
+                    name: [v.to_dict() for v in history]
+                    for name, history in self._versions.items()
+                },
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def import_json(cls, payload: str) -> "FingerprintStore":
+        """Rebuild a store (index included) from :meth:`export_json`.
+
+        The sketch index is recomputed from the template samples; because
+        the projection is a pure function of (seed, record length), the
+        restored store identifies byte-identically to the original.
+        """
+        data = json.loads(payload)
+        store = cls(
+            sketch=SketchSpec.from_dict(data["sketch"]),
+            policy=UpdatePolicy.from_dict(data["policy"]),
+            shortlist_size=int(data["shortlist_size"]),
+        )
+        for name in sorted(data["buses"]):
+            history = [
+                TemplateVersion.from_dict(entry)
+                for entry in data["buses"][name]
+            ]
+            if not history:
+                raise ValueError(f"bus {name!r} has an empty history")
+            store._ensure_grid(history[0].fingerprint)
+            store._versions[name] = history
+            store._set_row(name, history[-1].fingerprint.samples)
+        return store

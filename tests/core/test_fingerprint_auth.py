@@ -12,6 +12,7 @@ from repro.core.auth import (
     similarity,
 )
 from repro.core.fingerprint import Fingerprint, FingerprintROM
+from repro.signals.waveform import Waveform
 
 
 class TestSimilarity:
@@ -178,6 +179,142 @@ class TestFingerprintROM:
             clone.load(enrolled_fingerprint.name).samples,
             enrolled_fingerprint.samples,
         )
+
+
+class TestFingerprintIntegrity:
+    """Regression pins for the four ROM-integrity bugfixes."""
+
+    def test_constructor_copies_its_input(self):
+        raw = np.sin(np.linspace(0, 5, 64))
+        fp = Fingerprint(name="x", samples=raw, dt=1e-12)
+        before = fp.samples.copy()
+        raw[:] = 0.0  # the caller's array is not the fingerprint's
+        assert np.array_equal(fp.samples, before)
+
+    def test_samples_are_frozen(self):
+        fp = Fingerprint(
+            name="x", samples=np.sin(np.linspace(0, 5, 64)), dt=1e-12
+        )
+        with pytest.raises(ValueError):
+            fp.samples[0] = 42.0
+
+    def test_from_dict_copies_and_freezes(self):
+        fp = Fingerprint(
+            name="x", samples=np.sin(np.linspace(0, 5, 64)), dt=1e-12
+        )
+        back = Fingerprint.from_dict(fp.to_dict())
+        with pytest.raises(ValueError):
+            back.samples[0] = 42.0
+
+    def test_adaptive_reference_hands_out_frozen_snapshots(self, line, itdr):
+        from repro.core.adaptive import AdaptiveReference
+
+        fp = Fingerprint.from_captures([itdr.capture(line) for _ in range(4)])
+        ref = AdaptiveReference(fp, threshold=0.5, update_margin=0.0)
+        snapshot = ref.current()
+        frozen = snapshot.samples.copy()
+        with pytest.raises(ValueError):
+            snapshot.samples[0] = 42.0
+        ref.consider(itdr.capture(line))  # accepted: moves the live buffer
+        assert ref.n_updates == 1
+        assert np.array_equal(snapshot.samples, frozen)
+
+    def test_direct_construction_is_canonical(self):
+        raw = 7.5 * np.sin(np.linspace(0, 5, 64)) + 3.0  # gain and offset
+        fp = Fingerprint(name="x", samples=raw, dt=1e-12)
+        assert abs(fp.samples.mean()) < 1e-12
+        assert np.linalg.norm(fp.samples) == pytest.approx(1.0)
+
+    def test_gain_does_not_change_the_digest(self):
+        # Power-of-two gain commutes exactly with every float op in the
+        # canonical form, so the digest (bitwise content address) is
+        # invariant; arbitrary gain+offset agree to rounding error.
+        raw = np.sin(np.linspace(0, 5, 64))
+        a = Fingerprint(name="x", samples=raw, dt=1e-12)
+        b = Fingerprint(name="x", samples=4.0 * raw, dt=1e-12)
+        c = Fingerprint(name="x", samples=3.0 * raw + 1.0, dt=1e-12)
+        assert a.digest() == b.digest()
+        np.testing.assert_allclose(c.samples, a.samples, atol=1e-12)
+
+    def test_canonicalization_is_bit_idempotent(self):
+        raw = np.random.default_rng(0).normal(size=128)
+        fp = Fingerprint(name="x", samples=raw, dt=1e-12)
+        again = Fingerprint(name="x", samples=fp.samples, dt=1e-12)
+        assert again.samples.tobytes() == fp.samples.tobytes()
+
+    def test_digest_differs_across_content_and_dt(self):
+        rng = np.random.default_rng(1)
+        a = Fingerprint(name="x", samples=rng.normal(size=64), dt=1e-12)
+        b = Fingerprint(name="x", samples=rng.normal(size=64), dt=1e-12)
+        c = Fingerprint(name="x", samples=a.samples, dt=2e-12)
+        assert a.digest() != b.digest()
+        assert a.digest() != c.digest()
+
+    def test_from_captures_rejects_mixed_dt(self, line, itdr):
+        from dataclasses import replace
+
+        cap = itdr.capture(line)
+        other = replace(
+            cap, waveform=Waveform(cap.waveform.samples, cap.waveform.dt * 2)
+        )
+        with pytest.raises(ValueError, match="time grid"):
+            Fingerprint.from_captures([cap, other])
+
+    def test_capture_similarity_rejects_mixed_dt(self, line, itdr):
+        cap = itdr.capture(line)
+        wrong_grid = Fingerprint(
+            name=line.name,
+            samples=cap.waveform.samples,
+            dt=cap.waveform.dt * 2,
+        )
+        with pytest.raises(ValueError, match="time grid"):
+            capture_similarity(cap, wrong_grid)
+
+    def test_dt_tolerance_absorbs_float_roundoff(self, line, itdr):
+        cap = itdr.capture(line)
+        nudged = Fingerprint(
+            name=line.name,
+            samples=cap.waveform.samples,
+            dt=cap.waveform.dt * (1.0 + 1e-14),
+        )
+        assert capture_similarity(cap, nudged) == pytest.approx(1.0)
+
+
+class TestROMDeterministicExport:
+    def _fingerprints(self):
+        rng = np.random.default_rng(7)
+        return [
+            Fingerprint(name=f"bus-{i}", samples=rng.normal(size=48), dt=1e-12)
+            for i in range(4)
+        ]
+
+    def test_insertion_order_invisible(self):
+        fps = self._fingerprints()
+        forward, backward = FingerprintROM(), FingerprintROM()
+        for fp in fps:
+            forward.store(fp)
+        for fp in reversed(fps):
+            backward.store(fp)
+        assert forward.export_json() == backward.export_json()
+
+    def test_export_import_export_bitwise(self):
+        rom = FingerprintROM()
+        for fp in self._fingerprints():
+            rom.store(fp)
+        first = rom.export_json()
+        second = FingerprintROM.import_json(first).export_json()
+        assert first == second  # float exactness included
+
+    def test_samples_bitwise_through_json(self):
+        rom = FingerprintROM()
+        fps = self._fingerprints()
+        for fp in fps:
+            rom.store(fp)
+        clone = FingerprintROM.import_json(rom.export_json())
+        for fp in fps:
+            assert clone.load(fp.name).samples.tobytes() == \
+                fp.samples.tobytes()
+            assert clone.load(fp.name).digest() == fp.digest()
 
 
 class TestAuthenticator:

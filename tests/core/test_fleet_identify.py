@@ -1,0 +1,156 @@
+"""Fleet-scale 1:N identification through the sharded executor.
+
+Pins for the PR-6 wiring: a fleet's enrollment feeds a
+``FingerprintStore``, ``identify_scan`` reports per-bus rank-1 hits
+through the unified runtime, and the pass keeps the executor's
+serial/parallel byte-identity contract.
+"""
+
+import json
+
+import pytest
+
+from repro.attacks import WireTap
+from repro.core import (
+    Authenticator,
+    FingerprintStore,
+    FleetScanExecutor,
+    TamperDetector,
+    UpdatePolicy,
+    prototype_itdr_config,
+)
+from repro.core.itdr import ITDR
+from repro.txline.materials import FR4
+
+N_BUSES = 4
+FIRST_SEED = 400
+ROOT_SEED = 7
+
+
+def make_executor(factory, shards=1, backend="auto", seed=ROOT_SEED):
+    config = prototype_itdr_config()
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=ITDR(config).probe_edge().duration,
+    )
+    executor = FleetScanExecutor(
+        Authenticator(0.85),
+        detector,
+        itdr_config=config,
+        captures_per_check=8,
+        shards=shards,
+        backend=backend,
+        seed=seed,
+    )
+    for line in factory.manufacture_batch(N_BUSES, first_seed=FIRST_SEED):
+        executor.register(line)
+    return executor
+
+
+def run_identify(factory, shards, backend, **kwargs):
+    with make_executor(factory, shards=shards, backend=backend) as ex:
+        ex.enroll(n_captures=8)
+        return ex, ex.identify_scan(**kwargs)
+
+
+class TestFleetIdentification:
+    def test_clean_fleet_identifies_at_rank1(self, factory):
+        ex, outcome = run_identify(factory, 2, "serial")
+        assert outcome.rank1_accuracy() == 1.0
+        assert outcome.misidentified() == []
+        assert outcome.method == "sketch"
+        assert [r.bus for r in outcome.records] == ex.bus_names()
+        for record in outcome.records:
+            assert record.correct and record.accepted
+            assert record.identified == record.bus
+            assert record.score > ex.authenticator.threshold
+
+    def test_store_digest_is_the_enrollments(self, factory):
+        with make_executor(factory, shards=1, backend="serial") as ex:
+            ex.enroll(n_captures=8)
+            store = ex.build_store()
+            outcome = ex.identify_scan(store=store)
+            assert outcome.store_digest == store.digest()
+            assert sorted(store.names()) == sorted(ex.bus_names())
+
+    def test_build_store_requires_enrollment(self, factory):
+        with make_executor(factory, shards=1, backend="serial") as ex:
+            with pytest.raises(RuntimeError, match="enroll"):
+                ex.build_store()
+
+    def test_unknown_modifier_bus_is_rejected(self, factory):
+        with make_executor(factory, shards=1, backend="serial") as ex:
+            ex.enroll(n_captures=8)
+            with pytest.raises(KeyError):
+                ex.identify_scan(
+                    modifiers_by_bus={"no-such-bus": [WireTap(0.1)]}
+                )
+
+    def test_tapped_bus_scores_below_its_clean_self(self, factory):
+        ex, clean = run_identify(factory, 2, "serial")
+        victim = ex.bus_names()[2]
+        with make_executor(factory, shards=2, backend="serial") as ex2:
+            ex2.enroll(n_captures=8)
+            tapped = ex2.identify_scan(
+                modifiers_by_bus={victim: [WireTap(0.12)]}
+            )
+        by_bus = {r.bus: r for r in tapped.records}
+        clean_by_bus = {r.bus: r for r in clean.records}
+        assert by_bus[victim].score < clean_by_bus[victim].score
+
+
+class TestByteIdentity:
+    def test_serial_shard_counts_are_byte_identical(self, factory):
+        _, one = run_identify(factory, 1, "serial")
+        _, three = run_identify(factory, 3, "serial")
+        assert one.canonical_bytes() == three.canonical_bytes()
+        assert one.store_digest == three.store_digest
+
+    def test_process_backend_matches_serial(self, factory):
+        _, serial = run_identify(factory, 1, "serial")
+        _, parallel = run_identify(factory, 2, "process")
+        assert serial.canonical_bytes() == parallel.canonical_bytes()
+        assert serial.store_digest == parallel.store_digest
+
+    def test_canonical_bytes_exclude_provenance(self, factory):
+        _, outcome = run_identify(factory, 3, "serial")
+        payload = json.loads(outcome.canonical_bytes().decode())
+        assert len(payload) == N_BUSES
+        # index, bus, identified, score, accepted, runner_up, separation
+        assert all(len(row) == 7 for row in payload)
+        shard_labels = {r.shard for r in outcome.records}
+        assert shard_labels <= set(range(3))
+
+
+class TestRuntimeWiring:
+    def test_identification_lands_in_per_bus_telemetry(self, factory):
+        ex, outcome = run_identify(factory, 2, "serial")
+        snap = ex.telemetry.snapshot()
+        assert set(snap["buses"]) == set(ex.bus_names())
+        for name, cell in snap["buses"].items():
+            assert cell["checks"] == 1
+            assert cell["proceeds"] == 1  # clean fleet: all rank-1 hits
+            assert cell["alerts"] == 0
+        assert snap["totals"]["checks"] == N_BUSES
+
+    def test_events_ride_the_cadence_clock(self, factory):
+        ex, outcome = run_identify(factory, 2, "serial")
+        visit = ex.per_bus_check_time_s()
+        times = [event.time_s for event in ex.event_log]
+        assert times == sorted(times)
+        for i, event in enumerate(ex.event_log):
+            assert event.time_s == pytest.approx((i + 1) * visit)
+
+    def test_shared_store_audits_a_sub_fleet(self, factory):
+        """A store enrolled from one fleet identifies another's captures."""
+        with make_executor(factory, shards=1, backend="serial") as ex:
+            fingerprints = ex.enroll(n_captures=8)
+            shared = FingerprintStore(
+                policy=UpdatePolicy(threshold=0.85), shortlist_size=4
+            )
+            shared.enroll_many(list(fingerprints.values()))
+            outcome = ex.identify_scan(store=shared, method="brute")
+            assert outcome.method == "brute"
+            assert outcome.rank1_accuracy() == 1.0

@@ -1,0 +1,289 @@
+"""Unit tests for the 1:N identification store (repro.core.identify)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Fingerprint,
+    FingerprintStore,
+    SketchSpec,
+    UpdatePolicy,
+)
+from repro.core.itdr import IIPCapture
+from repro.signals.waveform import Waveform
+
+DT = 11.16e-12
+N = 128
+
+
+def synthetic_fleet(m, rng, n=N):
+    """Distinct correlated records, one per synthetic bus."""
+    rows = rng.standard_normal((m, n))
+    # light smoothing concentrates energy at low frequencies like IIPs
+    kernel = np.array([0.25, 0.5, 0.25])
+    for _ in range(2):
+        rows = np.apply_along_axis(
+            lambda r: np.convolve(r, kernel, mode="same"), 1, rows
+        )
+    return [
+        Fingerprint(name=f"bus-{i:04d}", samples=row, dt=DT)
+        for i, row in enumerate(rows)
+    ]
+
+
+def capture_of(fp, noise=0.0, rng=None):
+    samples = np.array(fp.samples)
+    if noise and rng is not None:
+        samples = samples + noise * rng.standard_normal(len(samples)) \
+            / np.sqrt(len(samples))
+    return IIPCapture(
+        waveform=Waveform(samples, fp.dt),
+        line_name=fp.name,
+        n_triggers=0,
+        duration_s=0.0,
+    )
+
+
+@pytest.fixture
+def np_rng():
+    return np.random.default_rng(99)
+
+
+class TestEnrollment:
+    def test_enroll_and_lookup_roundtrip(self, np_rng):
+        store = FingerprintStore()
+        fleet = synthetic_fleet(6, np_rng)
+        digests = store.enroll_many(fleet)
+        assert len(store) == 6
+        assert store.names() == sorted(fp.name for fp in fleet)
+        for fp, digest in zip(fleet, digests):
+            assert fp.name in store
+            assert store.current(fp.name).digest() == digest
+
+    def test_reenroll_same_content_is_idempotent(self, np_rng):
+        store = FingerprintStore()
+        (fp,) = synthetic_fleet(1, np_rng)
+        first = store.enroll(fp)
+        again = store.enroll(Fingerprint(name=fp.name, samples=fp.samples,
+                                         dt=fp.dt))
+        assert first == again
+        assert len(store.versions(fp.name)) == 1
+
+    def test_reenroll_different_content_is_an_error(self, np_rng):
+        store = FingerprintStore()
+        a, b = synthetic_fleet(2, np_rng)
+        store.enroll(a)
+        with pytest.raises(ValueError, match="observe"):
+            store.enroll(Fingerprint(name=a.name, samples=b.samples, dt=DT))
+
+    def test_grid_mismatches_are_rejected(self, np_rng):
+        store = FingerprintStore()
+        (fp,) = synthetic_fleet(1, np_rng)
+        store.enroll(fp)
+        short = np_rng.standard_normal(N // 2)
+        with pytest.raises(ValueError, match="record length"):
+            store.enroll(Fingerprint(name="short", samples=short, dt=DT))
+        with pytest.raises(ValueError, match="dt"):
+            store.enroll(
+                Fingerprint(
+                    name="wrong-dt",
+                    samples=np_rng.standard_normal(N),
+                    dt=2 * DT,
+                )
+            )
+
+    def test_growth_past_initial_capacity(self, np_rng):
+        """Capacity doubling keeps every enrolled row addressable."""
+        store = FingerprintStore(shortlist_size=4)
+        fleet = synthetic_fleet(37, np_rng)  # crosses 4 -> 8 -> 16 -> 32 -> 64
+        store.enroll_many(fleet)
+        for fp in fleet:
+            result = store.identify(capture_of(fp))
+            assert result.bus == fp.name
+            assert result.score == pytest.approx(1.0)
+
+
+class TestIdentify:
+    def test_clean_queries_identify_exactly(self, np_rng):
+        store = FingerprintStore(shortlist_size=4)
+        fleet = synthetic_fleet(50, np_rng)
+        store.enroll_many(fleet)
+        for fp in fleet[::7]:
+            r = store.identify(capture_of(fp))
+            assert (r.bus, r.accepted, r.method) == (fp.name, True, "sketch")
+
+    def test_sketch_matches_brute_on_noisy_queries(self, np_rng):
+        store = FingerprintStore(shortlist_size=8)
+        fleet = synthetic_fleet(60, np_rng)
+        store.enroll_many(fleet)
+        for fp in fleet[::5]:
+            cap = capture_of(fp, noise=0.05, rng=np_rng)
+            rs = store.identify(cap, method="sketch")
+            rb = store.identify(cap, method="brute")
+            assert rs.bus == rb.bus
+            # scores agree to the last ulp (BLAS shape-dependent rounding)
+            assert rs.score == pytest.approx(rb.score, abs=1e-12)
+            assert rs.accepted == rb.accepted
+
+    def test_small_store_falls_back_to_brute(self, np_rng):
+        store = FingerprintStore(shortlist_size=8)
+        store.enroll_many(synthetic_fleet(3, np_rng))
+        r = store.identify_samples(np_rng.standard_normal(N), DT)
+        assert r.method == "brute"  # shortlist covered the whole store
+        assert len(r.shortlist) == 3
+
+    def test_identify_stack_matches_scalar_path(self, np_rng):
+        store = FingerprintStore(shortlist_size=6)
+        fleet = synthetic_fleet(40, np_rng)
+        store.enroll_many(fleet)
+        picks = fleet[::9]
+        stack = np.stack(
+            [
+                fp.samples + 0.03 * np_rng.standard_normal(N) / np.sqrt(N)
+                for fp in picks
+            ]
+        )
+        batched = store.identify_stack(stack, DT)
+        for fp, row, res in zip(picks, stack, batched):
+            scalar = store.identify_samples(row, DT)
+            assert res.bus == scalar.bus == fp.name
+            assert res.score == pytest.approx(scalar.score, abs=1e-12)
+
+    def test_query_grid_validation(self, np_rng):
+        store = FingerprintStore()
+        store.enroll_many(synthetic_fleet(4, np_rng))
+        with pytest.raises(ValueError, match="length"):
+            store.identify_samples(np_rng.standard_normal(N * 2), DT)
+        with pytest.raises(ValueError, match="dt"):
+            store.identify_samples(np_rng.standard_normal(N), DT * 3)
+        with pytest.raises(ValueError, match="method"):
+            store.identify_samples(np_rng.standard_normal(N), DT,
+                                   method="psychic")
+
+    def test_empty_store_identify_is_an_error(self, np_rng):
+        with pytest.raises(RuntimeError, match="empty"):
+            FingerprintStore().identify_samples(
+                np_rng.standard_normal(N), DT
+            )
+
+
+class TestObserve:
+    def test_genuine_strong_capture_updates_the_template(self, np_rng):
+        store = FingerprintStore(policy=UpdatePolicy(alpha=0.2))
+        fleet = synthetic_fleet(6, np_rng)
+        store.enroll_many(fleet)
+        fp = fleet[0]
+        before = store.current(fp.name).samples.copy()
+        drifted = fp.samples + 0.02 * np_rng.standard_normal(N) / np.sqrt(N)
+        result, updated = store.observe(
+            IIPCapture(Waveform(drifted, DT), fp.name, 0, 0.0)
+        )
+        assert result.bus == fp.name and updated
+        history = store.versions(fp.name)
+        assert [v.origin for v in history] == ["enroll", "update"]
+        assert history[-1].score == result.score
+        after = store.current(fp.name).samples
+        assert not np.array_equal(after, before)
+        # unit-norm blend moves the template by at most 2*alpha
+        assert np.linalg.norm(after - before) <= 2 * store.policy.alpha
+
+    def test_weak_capture_never_moves_anything(self, np_rng):
+        store = FingerprintStore()
+        fleet = synthetic_fleet(6, np_rng)
+        store.enroll_many(fleet)
+        digest = store.digest()
+        junk = np_rng.standard_normal(N)
+        result, updated = store.observe(
+            IIPCapture(Waveform(junk, DT), "junk", 0, 0.0)
+        )
+        assert not updated and not result.accepted
+        assert store.digest() == digest
+
+    def test_version_history_is_trimmed(self, np_rng):
+        store = FingerprintStore(
+            policy=UpdatePolicy(max_versions=3, alpha=0.05)
+        )
+        fleet = synthetic_fleet(4, np_rng)
+        store.enroll_many(fleet)
+        fp = fleet[0]
+        for _ in range(6):
+            _, updated = store.observe(capture_of(fp, 0.01, np_rng))
+            assert updated
+        history = store.versions(fp.name)
+        assert len(history) == 3
+        assert history[-1].version == 6  # counter keeps climbing past trims
+
+
+class TestSnapshots:
+    def _populated(self, np_rng):
+        store = FingerprintStore(
+            sketch=SketchSpec(n_spectral=6, n_projection=10),
+            policy=UpdatePolicy(threshold=0.8),
+            shortlist_size=5,
+        )
+        fleet = synthetic_fleet(8, np_rng)
+        store.enroll_many(fleet)
+        store.observe(capture_of(fleet[2], 0.02, np_rng))
+        return store, fleet
+
+    def test_export_import_export_bitwise(self, np_rng):
+        store, _ = self._populated(np_rng)
+        first = store.export_json()
+        second = FingerprintStore.import_json(first).export_json()
+        assert first == second
+
+    def test_restored_store_identifies_identically(self, np_rng):
+        store, fleet = self._populated(np_rng)
+        clone = FingerprintStore.import_json(store.export_json())
+        assert clone.digest() == store.digest()
+        for fp in fleet:
+            cap = capture_of(fp, 0.04, np_rng)
+            a = store.identify(cap)
+            b = clone.identify(cap)
+            assert (a.bus, a.score, a.shortlist) == (b.bus, b.score,
+                                                     b.shortlist)
+
+    def test_digest_is_insertion_order_independent(self, np_rng):
+        fleet = synthetic_fleet(8, np_rng)
+        forward, backward = FingerprintStore(), FingerprintStore()
+        forward.enroll_many(fleet)
+        backward.enroll_many(list(reversed(fleet)))
+        assert forward.digest() == backward.digest()
+        assert forward.export_json() == backward.export_json()
+
+    def test_digest_tracks_every_version_step(self, np_rng):
+        store, fleet = self._populated(np_rng)
+        before = store.digest()
+        _, updated = store.observe(capture_of(fleet[0], 0.01, np_rng))
+        assert updated
+        assert store.digest() != before
+
+
+class TestSketchSpec:
+    def test_projection_is_deterministic_and_orthonormal(self):
+        spec = SketchSpec()
+        p1 = spec.projection(N)
+        p2 = spec.projection(N)
+        assert np.array_equal(p1, p2)
+        np.testing.assert_allclose(
+            p1 @ p1.T, np.eye(spec.n_projection), atol=1e-12
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SketchSpec(n_spectral=-1)
+        with pytest.raises(ValueError):
+            SketchSpec(n_spectral=0, n_projection=0)
+        with pytest.raises(ValueError):
+            UpdatePolicy(alpha=0.0)
+        with pytest.raises(ValueError):
+            UpdatePolicy(threshold=1.5)
+        with pytest.raises(ValueError):
+            FingerprintStore(shortlist_size=0)
+
+    def test_short_records_clip_the_sketch(self):
+        spec = SketchSpec(n_spectral=8, n_projection=16)
+        assert spec.dim(8) == 2 * 4 + 8
+        rows = np.random.default_rng(0).standard_normal((3, 8))
+        sketch = spec.sketch_rows(rows, spec.projection(8))
+        assert sketch.shape == (3, spec.dim(8))

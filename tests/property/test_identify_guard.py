@@ -1,0 +1,204 @@
+"""Hypothesis pins for the identification store's two security claims.
+
+(1) **The template-update guard admits no impostor drift schedule.**  The
+    store folds strongly-identified captures into its templates so genuine
+    aging/temperature drift cannot decay the acceptance score — the attack
+    this opens is an impostor *riding the drift window*: presenting
+    captures that update (poison) someone else's template.  Hypothesis
+    sweeps physical drift schedules (service age × operating temperature)
+    for a foreign line and for enrolled-but-different buses, and asserts
+    the guard's lemma: a template only ever moves toward captures of its
+    own line.
+
+(2) **The sketch index is a shortcut, never a different answer.**  On any
+    query whose brute-force winner survives the shortlist cut, the
+    sketch path's rank-1 bus and exact score are identical to brute
+    force, and brute force itself is the literal numpy argmax.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Fingerprint, FingerprintStore, UpdatePolicy
+from repro.core.config import prototype_itdr, prototype_line_factory
+from repro.core.itdr import IIPCapture
+from repro.env.aging import AgingModel
+from repro.env.temperature import TemperatureCondition
+from repro.signals.waveform import Waveform
+
+# ----------------------------------------------------------------------
+# shared physics fixture (built once; hypothesis examples reuse it)
+# ----------------------------------------------------------------------
+_SETUP = None
+
+
+def physics_setup():
+    """3 enrolled buses + 1 foreign (never-enrolled) impostor line."""
+    global _SETUP
+    if _SETUP is None:
+        factory = prototype_line_factory()
+        lines = factory.manufacture_batch(3, first_seed=500)
+        foreign = factory.manufacture(seed=900)
+        itdr = prototype_itdr(rng=np.random.default_rng(42))
+        fingerprints = [
+            Fingerprint.from_captures(
+                [itdr.capture(line) for _ in range(8)]
+            )
+            for line in lines
+        ]
+        _SETUP = (lines, foreign, itdr, fingerprints)
+    return _SETUP
+
+
+def fresh_store():
+    _, _, _, fingerprints = physics_setup()
+    store = FingerprintStore(policy=UpdatePolicy())
+    store.enroll_many(fingerprints)
+    return store
+
+
+def drifted_capture(itdr, line, years, temperature_c):
+    modifiers = [
+        AgingModel().at_age(line.full_profile, years),
+        TemperatureCondition(temperature_c),
+    ]
+    return itdr.capture(line, modifiers=modifiers)
+
+
+# A drift schedule: successive (service age, operating temperature)
+# conditions an attacker can choose to present captures under.
+drift_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=-20.0, max_value=85.0),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestUpdateGuard:
+    @given(schedule=drift_schedules)
+    @settings(max_examples=10, deadline=None)
+    def test_foreign_line_never_updates_anything(self, schedule):
+        """No (age, temperature) schedule lets a never-enrolled line's
+        captures move any enrolled template — or even be accepted."""
+        lines, foreign, itdr, _ = physics_setup()
+        store = fresh_store()
+        digest = store.digest()
+        for years, temperature_c in schedule:
+            capture = drifted_capture(itdr, foreign, years, temperature_c)
+            result, updated = store.observe(capture)
+            assert not updated
+            assert not result.accepted
+        assert store.digest() == digest
+
+    @given(schedule=drift_schedules)
+    @settings(max_examples=10, deadline=None)
+    def test_enrolled_bus_drift_stays_in_its_own_lane(self, schedule):
+        """A drifting enrolled bus may update — but only its *own*
+        template; every other bus's history is untouched."""
+        lines, _, itdr, _ = physics_setup()
+        store = fresh_store()
+        drifter = lines[0]
+        others = [line.name for line in lines[1:]]
+        before = {name: store.versions(name) for name in others}
+        for years, temperature_c in schedule:
+            capture = drifted_capture(itdr, drifter, years, temperature_c)
+            result, updated = store.observe(capture)
+            if updated:
+                # the guard's lemma: an update goes to the capture's
+                # rank-1 identity, which must be the drifting line itself
+                assert result.bus == drifter.name
+                assert result.score >= (
+                    store.policy.threshold + store.policy.update_margin
+                )
+        for name in others:
+            assert store.versions(name) == before[name]
+
+    @given(schedule=drift_schedules)
+    @settings(max_examples=10, deadline=None)
+    def test_updates_move_templates_slower_than_two_alpha(self, schedule):
+        """Each accepted update moves the unit-norm template by <= 2·alpha
+        in L2 — the acceptance region tracks drift, it cannot jump."""
+        lines, _, itdr, _ = physics_setup()
+        store = fresh_store()
+        drifter = lines[0]
+        for years, temperature_c in schedule:
+            old = store.current(drifter.name).samples
+            capture = drifted_capture(itdr, drifter, years, temperature_c)
+            _, updated = store.observe(capture)
+            if updated:
+                new = store.current(drifter.name).samples
+                assert np.linalg.norm(new - old) <= 2 * store.policy.alpha
+
+
+# ----------------------------------------------------------------------
+# sketch-vs-brute agreement on synthetic stores (pure numpy, fast)
+# ----------------------------------------------------------------------
+DT = 1e-11
+
+
+def synthetic_store(seed, m, n, shortlist_size):
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal((m, n))
+    store = FingerprintStore(shortlist_size=shortlist_size)
+    store.enroll_many(
+        [
+            Fingerprint(name=f"bus-{i:04d}", samples=row, dt=DT)
+            for i, row in enumerate(rows)
+        ]
+    )
+    return store, rows, rng
+
+
+class TestSketchMatchesBrute:
+    @given(
+        seed=st.integers(0, 2**16),
+        m=st.integers(2, 60),
+        shortlist_size=st.integers(1, 12),
+        noise=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank1_equals_brute_argmax_on_shortlist_hit(
+        self, seed, m, shortlist_size, noise
+    ):
+        n = 64
+        store, rows, rng = synthetic_store(seed, m, n, shortlist_size)
+        target = int(rng.integers(m))
+        query = rows[target] + noise * np.linalg.norm(rows[target]) \
+            * rng.standard_normal(n) / np.sqrt(n)
+        capture = IIPCapture(Waveform(query, DT), "?", 0, 0.0)
+
+        brute = store.identify(capture, method="brute")
+        sketch = store.identify(capture, method="sketch")
+
+        # brute force IS the numpy argmax over exact scores
+        canonical = Fingerprint._canonicalize(np.asarray(query, float))
+        exact = 0.5 * (1.0 + store._samples[:m] @ canonical)
+        assert brute.score == np.max(exact)
+        winners = [store._names[i] for i in np.flatnonzero(exact == exact.max())]
+        assert brute.bus == min(winners)  # name-ordered tie-break
+
+        # the shortlist-hit path: identical rank-1 answer; scores agree
+        # to the last ulp (BLAS accumulates a (k, N) gather and the full
+        # (m, N) mat-vec with shape-dependent blocking)
+        if brute.bus in sketch.shortlist:
+            assert sketch.bus == brute.bus
+            assert sketch.score == pytest.approx(brute.score, abs=1e-12)
+
+    @given(seed=st.integers(0, 2**16), m=st.integers(2, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_clean_queries_always_hit_the_shortlist(self, seed, m):
+        """An exact enrolled record always survives the coarse cut: its
+        sketch cosine is exactly 1, the maximum possible."""
+        n = 48
+        store, rows, _ = synthetic_store(seed, m, shortlist_size=4, n=n)
+        for i in (0, m // 2, m - 1):
+            name = f"bus-{i:04d}"
+            template = store.current(name).samples
+            result = store.identify_samples(template, DT)
+            assert result.bus == name
+            assert result.score == pytest.approx(1.0, abs=1e-12)
