@@ -151,6 +151,11 @@ class FleetRecord:
     #: needed recovery ("retried" / "serial_fallback"), None when the
     #: first attempt succeeded.  Excluded from the canonical bytes.
     recovery: Optional[str] = None
+    #: Registry name of the bus's protected-link protocol, stamped by the
+    #: parent from its registration table.  Registration metadata rather
+    #: than measurement content, so excluded from the canonical bytes
+    #: (it is a pure function of the fleet, not of the scan).
+    protocol: Optional[str] = None
 
     @property
     def is_alert(self) -> bool:
@@ -237,6 +242,9 @@ class FleetIdentifyRecord:
     runner_up: Optional[str]
     separation: Optional[float]
     recovery: Optional[str] = None
+    #: Registration metadata like :attr:`FleetRecord.protocol`; excluded
+    #: from the canonical bytes.
+    protocol: Optional[str] = None
 
     @property
     def correct(self) -> bool:
@@ -525,6 +533,7 @@ class FleetScanExecutor:
         ).hexdigest()
         self._root = np.random.SeedSequence(seed)
         self._buses: Dict[str, TransmissionLine] = {}
+        self._protocols: Dict[str, Optional[str]] = {}
         self._fingerprints: Dict[str, Fingerprint] = {}
         self._blocked: Dict[str, bool] = {}
         #: Workload-lifetime telemetry; every scan folds into it.
@@ -534,8 +543,16 @@ class FleetScanExecutor:
         self._pool_rebuilds = 0
 
     # -- fleet membership ----------------------------------------------
-    def register(self, line: TransmissionLine) -> None:
-        """Put a bus under protection (enrolls lazily via :meth:`enroll`)."""
+    def register(
+        self, line: TransmissionLine, protocol: Optional[str] = None
+    ) -> None:
+        """Put a bus under protection (enrolls lazily via :meth:`enroll`).
+
+        ``protocol`` is an opaque protected-link label (a registry name
+        such as ``"jtag"``); it rides on this bus's records and events so
+        mixed-protocol fleets get per-protocol telemetry cells, and never
+        influences measurement.
+        """
         if self._fingerprints:
             raise RuntimeError(
                 "cannot register new buses after enroll(); seed streams "
@@ -544,6 +561,7 @@ class FleetScanExecutor:
         if line.name in self._buses:
             raise ValueError(f"bus {line.name!r} already registered")
         self._buses[line.name] = line
+        self._protocols[line.name] = protocol
         self._blocked[line.name] = False
 
     @property
@@ -554,6 +572,10 @@ class FleetScanExecutor:
     def bus_names(self) -> List[str]:
         """Registered bus names in registration (= scan) order."""
         return list(self._buses)
+
+    def bus_protocols(self) -> Dict[str, Optional[str]]:
+        """Protocol label per registered bus, in registration order."""
+        return dict(self._protocols)
 
     def is_blocked(self, name: str) -> bool:
         """Whether a specific bus is currently refused service."""
@@ -893,6 +915,7 @@ class FleetScanExecutor:
                     runner_up=result.runner_up,
                     separation=result.separation,
                     recovery=recovery_by_shard.get(shard),
+                    protocol=self._protocols[name],
                 )
             )
         cadence = self._cadence()
@@ -914,6 +937,7 @@ class FleetScanExecutor:
                     bus=name,
                     shard=record.shard,
                     recovery=record.recovery,
+                    protocol=record.protocol,
                 )
             )
         self._runtime.finish()
@@ -968,10 +992,10 @@ class FleetScanExecutor:
             h.shard: h.outcome for h in healths if h.degraded
         }
         records = [
-            record
-            if record.shard not in recovery_by_shard
-            else replace(
-                record, recovery=recovery_by_shard[record.shard]
+            replace(
+                record,
+                recovery=recovery_by_shard.get(record.shard),
+                protocol=self._protocols[record.bus],
             )
             for record in records
         ]
@@ -988,6 +1012,7 @@ class FleetScanExecutor:
                     bus=name,
                     shard=record.shard,
                     recovery=record.recovery,
+                    protocol=record.protocol,
                 )
             )
             self._blocked[name] = record.action is Action.BLOCK

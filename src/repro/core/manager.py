@@ -78,6 +78,7 @@ class SharedITDRManager:
         self.tamper_detector = tamper_detector
         self.captures_per_check = captures_per_check
         self._buses: Dict[str, TransmissionLine] = {}
+        self._protocols: Dict[str, Optional[str]] = {}
         self._endpoints: Dict[str, DivotEndpoint] = {}
         #: Workload-lifetime telemetry; every scan folds into it.
         self.telemetry = Telemetry()
@@ -87,11 +88,19 @@ class SharedITDRManager:
         self._runtime = MonitorRuntime(telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
-    def register(self, line: TransmissionLine) -> None:
-        """Put a bus under protection (calibrates lazily via calibrate_all)."""
+    def register(
+        self, line: TransmissionLine, protocol: Optional[str] = None
+    ) -> None:
+        """Put a bus under protection (calibrates lazily via calibrate_all).
+
+        ``protocol`` is an opaque protected-link label (a registry name
+        such as ``"jtag"``) carried on this bus's events so mixed fleets
+        get per-protocol telemetry cells; it never affects measurement.
+        """
         if line.name in self._buses:
             raise ValueError(f"bus {line.name!r} already registered")
         self._buses[line.name] = line
+        self._protocols[line.name] = protocol
         self._endpoints[line.name] = DivotEndpoint(
             name=f"shared/{line.name}",
             itdr=self.itdr,
@@ -108,6 +117,10 @@ class SharedITDRManager:
     def bus_names(self) -> List[str]:
         """Registered bus names in scan order."""
         return list(self._buses)
+
+    def bus_protocols(self) -> Dict[str, Optional[str]]:
+        """Protocol label per registered bus, in scan order."""
+        return dict(self._protocols)
 
     @property
     def event_log(self) -> EventLog:
@@ -164,6 +177,7 @@ class SharedITDRManager:
                 [self._buses[name]],
                 side=name,
                 bus=name,
+                protocol=self._protocols[name],
                 modifiers=modifiers_by_bus.get(name, ()),
                 interference=interference,
                 engine=engine,
@@ -199,8 +213,8 @@ class SharedITDRManager:
             seed=seed,
             retry_policy=retry_policy,
         )
-        for line in self._buses.values():
-            executor.register(line)
+        for name, line in self._buses.items():
+            executor.register(line, protocol=self._protocols[name])
         return executor
 
     # ------------------------------------------------------------------

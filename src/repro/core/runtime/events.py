@@ -43,6 +43,11 @@ class MonitorEvent:
             it needed to (``"retried"`` / ``"serial_fallback"``); None
             for a clean first attempt.  Provenance like ``shard``:
             recovery relocates a measurement, it never changes it.
+        protocol: Registry name of the protected-link protocol that
+            produced this event (``"membus"``, ``"jtag"``, ...); None for
+            workloads assembled outside the protocol registry.  An opaque
+            label — core carries it for filtering/telemetry, the registry
+            itself lives above core.
     """
 
     time_s: float
@@ -54,6 +59,7 @@ class MonitorEvent:
     bus: Optional[str] = None
     shard: Optional[int] = None
     recovery: Optional[str] = None
+    protocol: Optional[str] = None
 
     @property
     def is_alert(self) -> bool:
@@ -68,6 +74,7 @@ class MonitorEvent:
         result: MonitorResult,
         bus: Optional[str] = None,
         shard: Optional[int] = None,
+        protocol: Optional[str] = None,
     ) -> "MonitorEvent":
         """Flatten one endpoint decision into the canonical record."""
         return cls(
@@ -79,6 +86,7 @@ class MonitorEvent:
             location_m=result.tamper.location_m,
             bus=bus,
             shard=shard,
+            protocol=protocol,
         )
 
 
@@ -117,14 +125,16 @@ class EventLog:
         side: Optional[str] = None,
         bus: Optional[str] = None,
         shard: Optional[int] = None,
+        protocol: Optional[str] = None,
     ) -> List[MonitorEvent]:
-        """Events matching the given side/bus/shard, in time order."""
+        """Events matching the given side/bus/shard/protocol, in time order."""
         return [
             e
             for e in self.events
             if (side is None or e.side == side)
             and (bus is None or e.bus == bus)
             and (shard is None or e.shard == shard)
+            and (protocol is None or e.protocol == protocol)
         ]
 
     def alerts(

@@ -62,6 +62,7 @@ class MonitorRuntime:
         timeline=None,
         side: Optional[str] = None,
         bus: Optional[str] = None,
+        protocol: Optional[str] = None,
         modifiers: Sequence = (),
         modifiers_by_lane: Optional[dict] = None,
         interference=None,
@@ -98,7 +99,7 @@ class MonitorRuntime:
         self.record(
             MonitorEvent.from_result(
                 t, side if side is not None else endpoint.name, result,
-                bus=bus,
+                bus=bus, protocol=protocol,
             )
         )
         return result

@@ -36,6 +36,11 @@ class Telemetry:
         sub-dict (count/mean/min/max plus a fixed-bin histogram);
     ``buses``
         the same cell shape keyed by bus name, for multi-bus workloads;
+    ``protocols``
+        the same cell shape keyed by protected-link protocol name
+        (``"membus"``, ``"jtag"``, ...), for registry-assembled
+        workloads and mixed-protocol fleets; empty when events carry no
+        protocol label;
     ``shards``
         the same cell shape keyed by shard id, for sharded fleet scans
         (empty for single-datapath workloads — shard labels are
@@ -161,6 +166,9 @@ class Telemetry:
         sides = sorted({e.side for e in self.log})
         buses = sorted({e.bus for e in self.log if e.bus is not None})
         shards = sorted({e.shard for e in self.log if e.shard is not None})
+        protocols = sorted(
+            {e.protocol for e in self.log if e.protocol is not None}
+        )
         detection = {
             "onset_s": onset_s,
             "first_alert_s": self.log.first_alert_time(),
@@ -189,6 +197,10 @@ class Telemetry:
             "shards": {
                 shard: self._cell(self.log.filter(shard=shard))
                 for shard in shards
+            },
+            "protocols": {
+                protocol: self._cell(self.log.filter(protocol=protocol))
+                for protocol in protocols
             },
             "totals": self._cell(self.log.events),
             "cadence": dict(self._cadence),

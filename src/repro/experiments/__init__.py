@@ -16,6 +16,7 @@ from . import (
     ext_cloning,
     ext_enrollment,
     ext_jitter,
+    ext_protocols,
     ext_sensitivity,
     ext_sharing,
     ext_stack,

@@ -1,0 +1,89 @@
+"""Extension experiment X-PROTO: one architecture, every bus protocol.
+
+The paper demonstrates DIVOT on a DDR memory bus and sketches a serial
+link as future work; the architecture itself never cared which protocol
+rides the copper.  The protocol registry makes that claim executable:
+each registered protocol declares its framing, traffic model, cadence
+discipline, and canonical attack scenario, and the same generic
+``ProtectedLink`` monitors all of them.  This experiment walks the whole
+registry — memory bus, 8b/10b serial link, JTAG, SPI, I2C — running a
+clean session and the protocol's canonical attack on each, and reports
+the detection story on one table: no false alerts on clean traffic, the
+attack caught within two sustained check periods everywhere, across
+line rates spanning four orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.report import format_table
+from ..protocols import ProtectedLink, registry
+
+__all__ = ["ProtocolZooResult", "run"]
+
+
+@dataclass
+class ProtocolZooResult:
+    """Per-protocol clean/attack outcomes across the registry."""
+
+    rows: List[Tuple[str, str, float, int, int, float]]
+    # (protocol, cadence, bit_rate, clean_checks, clean_alerts,
+    #  attack_latency_in_periods; latency is inf when undetected)
+
+    def no_false_alerts(self) -> bool:
+        """Every clean session completed checks and raised no alert."""
+        return all(
+            checks >= 1 and alerts == 0
+            for _, _, _, checks, alerts, _ in self.rows
+        )
+
+    def every_attack_detected(self) -> bool:
+        """Each canonical attack is caught within two check periods."""
+        return all(latency <= 2.0 for *_, latency in self.rows)
+
+    def covers_the_registry(self) -> bool:
+        """One row per registered protocol — the zoo is complete."""
+        return [r[0] for r in self.rows] == registry.load_all()
+
+    def report(self) -> str:
+        """The protocol-zoo detection table."""
+        body = [
+            [name, cadence, f"{rate:.3g}", checks, alerts,
+             "MISSED" if latency == float("inf") else f"{latency:.2f}"]
+            for name, cadence, rate, checks, alerts, latency in self.rows
+        ]
+        return format_table(
+            ["protocol", "cadence", "bit rate (b/s)", "clean checks",
+             "false alerts", "attack latency (periods)"],
+            body,
+            title=(
+                "Protocol zoo (paper: bus-agnostic architecture — "
+                "membus Fig. 6, serial link future work, +jtag/spi/i2c)"
+            ),
+        )
+
+
+def run(seed: int = 7, n_calibration_captures: int = 8) -> ProtocolZooResult:
+    """Clean session + canonical attack for every registered protocol."""
+    rows: List[Tuple[str, str, float, int, int, float]] = []
+    for name in registry.load_all():
+        link = ProtectedLink.from_registry(name, seed=seed)
+        link.calibrate(n_captures=n_calibration_captures)
+
+        clean = link.session(seed=1)
+        attacked, _ = link.attack_session(onset_s=0.0, seed=1)
+        latency_s = attacked.detection_latency(0.0)
+        period = link.sustained_check_period_s()
+        latency = float("inf") if latency_s is None else latency_s / period
+
+        rows.append((
+            name,
+            link.spec.cadence,
+            link.spec.bit_rate,
+            clean.checks_run,
+            len(clean.alerts()),
+            latency,
+        ))
+    return ProtocolZooResult(rows=rows)

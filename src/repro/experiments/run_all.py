@@ -29,6 +29,7 @@ from . import (
     ext_cloning,
     ext_enrollment,
     ext_jitter,
+    ext_protocols,
     ext_sensitivity,
     ext_sharing,
     ext_stack,
@@ -126,6 +127,11 @@ def build_suite(scale: ExperimentScale) -> List[Tuple[str, Callable]]:
         ("X-SENS averaging sensitivity",
          wrap(ext_sensitivity.run, "report",
               lambda r: r.margin_grows_with_averaging())),
+        ("X-PROTO protocol zoo",
+         wrap(ext_protocols.run, "report",
+              lambda r: r.covers_the_registry()
+              and r.no_false_alerts()
+              and r.every_attack_detected())),
     ]
 
 

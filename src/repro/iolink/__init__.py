@@ -8,7 +8,19 @@ clockless lane.
 
 from .frame import Frame, FrameError, crc16_ccitt
 from .link import LINE_CODINGS, SerialLink, TransmitRecord
-from .protected import LinkEvent, LinkRunResult, ProtectedSerialLink
+from .protected import LinkRunResult, ProtectedSerialLink
+from .protocol import IOLINK_SPEC, iolink_traffic
+
+
+def __getattr__(name: str):
+    # PEP 562: forward the deprecated alias lazily so merely importing
+    # the package stays silent — only actual use warns.
+    if name == "LinkEvent":
+        from . import protected
+
+        return protected.LinkEvent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Frame",
@@ -20,4 +32,6 @@ __all__ = [
     "ProtectedSerialLink",
     "LinkEvent",
     "LinkRunResult",
+    "IOLINK_SPEC",
+    "iolink_traffic",
 ]

@@ -13,28 +13,34 @@ memory bus and the shared manager.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..attacks.base import AttackTimeline
 from ..core.auth import Authenticator
-from ..core.divot import DivotEndpoint
 from ..core.itdr import ITDR
-from ..core.runtime import (
-    EventLog,
-    MonitorEvent,
-    MonitorRuntime,
-    Telemetry,
-    TriggerBudgetCadence,
-)
+from ..core.runtime import EventLog, MonitorEvent, MonitorRuntime
 from ..core.tamper import TamperDetector
+from ..protocols.link import ProtectedLink
 from .frame import Frame, FrameError
 from .link import SerialLink
+from .protocol import IOLINK_SPEC
 
 __all__ = ["LinkEvent", "LinkRunResult", "ProtectedSerialLink"]
 
-#: Deprecated alias — link sessions emit the canonical runtime event.
-LinkEvent = MonitorEvent
+
+def __getattr__(name: str):
+    # PEP 562: the compatibility alias survives, but loudly.
+    if name == "LinkEvent":
+        warnings.warn(
+            "LinkEvent is a deprecated alias; use "
+            "repro.core.runtime.MonitorEvent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return MonitorEvent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -92,21 +98,23 @@ class ProtectedSerialLink:
         captures_per_check: int = 16,
     ) -> None:
         self.link = link
-        self.tx_endpoint = DivotEndpoint(
-            "serdes-tx", tx_itdr, authenticator, tamper_detector,
+        # Assembly — endpoints, telemetry, cadence arithmetic — is the
+        # registered serial-link protocol.
+        self.protected_link = ProtectedLink(
+            IOLINK_SPEC,
+            link.line,
+            (tx_itdr, rx_itdr),
+            authenticator,
+            tamper_detector,
             captures_per_check=captures_per_check,
         )
-        self.rx_endpoint = DivotEndpoint(
-            "serdes-rx", rx_itdr, authenticator, tamper_detector,
-            captures_per_check=captures_per_check,
-        )
+        self.tx_endpoint = self.protected_link.endpoint("tx")
+        self.rx_endpoint = self.protected_link.endpoint("rx")
         #: Workload-lifetime telemetry shared by every session.
-        self.telemetry = Telemetry()
+        self.telemetry = self.protected_link.telemetry
         # One monitoring check costs this many triggers — arithmetic owned
         # by the traffic-fed cadence.
-        self.triggers_per_check = TriggerBudgetCadence.from_budget(
-            tx_itdr, link.line, captures_per_check
-        ).cost_triggers
+        self.triggers_per_check = self.protected_link.check_cost_triggers
 
     # ------------------------------------------------------------------
     def calibrate(self, n_captures: int = 8) -> None:
@@ -155,8 +163,8 @@ class ProtectedSerialLink:
         least one full monitoring check has run (bounded by ``max_idle_s``)
         — the standard cure for monitor starvation on quiet links.
         """
-        cadence = TriggerBudgetCadence(self.triggers_per_check)
-        runtime = MonitorRuntime(cadence, telemetry=self.telemetry)
+        runtime = self.protected_link.new_runtime()
+        cadence = runtime.cadence
         result = LinkRunResult(log=runtime.log)
         t = 0.0
         for frame in frames:
@@ -195,10 +203,4 @@ class ProtectedSerialLink:
         timeline: Optional[AttackTimeline],
     ) -> None:
         """One two-way check: both ends evaluate the lane at time ``t``."""
-        for side, endpoint in (
-            ("tx", self.tx_endpoint),
-            ("rx", self.rx_endpoint),
-        ):
-            runtime.check(
-                endpoint, t, [self.link.line], timeline=timeline, side=side
-            )
+        self.protected_link.check(runtime, t, timeline)

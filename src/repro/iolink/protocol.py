@@ -1,0 +1,78 @@
+"""The 8b/10b serial link as a registered protocol.
+
+The paper's future-work direction ("extending the DIVOT design to I/O
+buses") made concrete: a 5 Gb/s serial lane whose monitor is fed by the
+(1, 0) trigger pattern in the live coded bit stream, on a
+:class:`~repro.core.runtime.TriggerBudgetCadence`.  The spec feeds the
+generic protocol layer; the framed transport
+(:class:`~repro.iolink.protected.ProtectedSerialLink`) keeps its
+delivery loop and delegates assembly to the same spec.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..attacks.wiretap import WireTap
+from ..core.trigger import TriggerGenerator
+from ..protocols.registry import register
+from ..protocols.spec import ProtocolSpec, TrafficBurst
+from ..signals.eightbten import Encoder8b10b
+from .frame import Frame
+
+__all__ = ["BIT_RATE", "iolink_traffic", "IOLINK_SPEC"]
+
+#: Default line rate: 5 Gb/s, the serial lane's operating point.
+BIT_RATE = 5e9
+
+
+def iolink_traffic(
+    rng: np.random.Generator, n_units: int
+) -> Iterator[TrafficBurst]:
+    """A seeded frame stream in its coded wire form.
+
+    Each unit is one CRC-framed payload pushed through a fresh 8b/10b
+    encoder (running disparity carried across frames), with triggers
+    counted in the actual coded bits — the same wire the transport's
+    :meth:`~repro.iolink.link.SerialLink.transmit` produces.
+    """
+    encoder = Encoder8b10b()
+    trigger = TriggerGenerator(pattern=(1, 0))
+    for i in range(n_units):
+        n_payload = int(rng.integers(32, 129))
+        payload = tuple(
+            int(b) for b in rng.integers(0, 256, n_payload)
+        )
+        frame = Frame(sequence=i & 0xFF, payload=payload)
+        bits = encoder.encode(frame.to_bytes())
+        yield TrafficBurst(
+            n_bits=len(bits),
+            n_triggers=trigger.count_triggers(bits),
+            duration_s=len(bits) / BIT_RATE,
+            kind="frame",
+        )
+
+
+IOLINK_SPEC = register(
+    ProtocolSpec(
+        name="iolink",
+        title="8b/10b serial I/O link",
+        cadence="trigger-budget",
+        sides=("tx", "rx"),
+        endpoint_names=("serdes-tx", "serdes-rx"),
+        bit_rate=BIT_RATE,
+        clock_lane=False,
+        traffic=iolink_traffic,
+        default_attack=lambda line: WireTap(position_m=0.12),
+        attack_label="inline wiretap (parallel stub clipped on the lane)",
+        captures_per_check=4,
+        line_seed=62,
+        default_units=600,
+        description=(
+            "CRC-framed 8b/10b traffic at 5 Gb/s; monitoring banks "
+            "(1, 0) triggers from the live coded stream."
+        ),
+    )
+)

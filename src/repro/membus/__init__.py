@@ -11,8 +11,9 @@ from .bus import MemoryBus
 from .controller import CompletedRequest, MemoryController
 from .dram import AccessResult, DRAMTiming, SDRAMDevice
 from .encryption import CounterModeEngine, EncryptedWord, xtea_encrypt_block
+from .protocol import MEMBUS_SPEC, membus_traffic
 from .scheduler import FCFSPolicy, FRFCFSPolicy, make_policy
-from .system import MonitorEvent, ProtectedMemorySystem, RunResult
+from .system import ProtectedMemorySystem, RunResult
 from .transactions import (
     AddressMap,
     DecodedAddress,
@@ -20,6 +21,24 @@ from .transactions import (
     MemoryRequest,
     TraceGenerator,
 )
+
+
+def __getattr__(name: str):
+    # PEP 562: the PR-2 compatibility re-export survives, but loudly.
+    if name == "MonitorEvent":
+        import warnings
+
+        warnings.warn(
+            "repro.membus.MonitorEvent is a deprecated alias; use "
+            "repro.core.runtime.MonitorEvent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..core.runtime import MonitorEvent
+
+        return MonitorEvent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "MemoryOp",
@@ -42,4 +61,6 @@ __all__ = [
     "ProtectedMemorySystem",
     "MonitorEvent",
     "RunResult",
+    "MEMBUS_SPEC",
+    "membus_traffic",
 ]

@@ -1,0 +1,76 @@
+"""The memory bus as a registered protocol.
+
+This is the paper's home turf (Fig. 6): the DDR clock lane carries the
+IIP, both ends run DIVOT endpoints, and monitoring is free-running on a
+:class:`~repro.core.runtime.PeriodicCadence` because the clock toggles
+every cycle regardless of traffic.  The spec here feeds the generic
+protocol layer — registry discovery, generic sessions, mixed-protocol
+fleets — while :class:`~repro.membus.system.ProtectedMemorySystem`
+keeps its trace-driven controller loop and delegates assembly to the
+same spec.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..attacks.probe import MagneticProbe
+from ..protocols.registry import register
+from ..protocols.spec import ProtocolSpec, TrafficBurst
+
+__all__ = ["CLOCK_RATE", "membus_traffic", "MEMBUS_SPEC"]
+
+#: Default bus clock: 1.2 GHz, the prototype's DDR operating point.
+CLOCK_RATE = 1.2e9
+
+
+def membus_traffic(
+    rng: np.random.Generator, n_units: int
+) -> Iterator[TrafficBurst]:
+    """A seeded request stream as clock-lane occupancy.
+
+    Each unit is one memory request's bus time — activate, column
+    access, and data burst — in clock cycles.  The clock lane toggles
+    every cycle, so every cycle is a trigger; the generic session uses
+    this where the full controller model
+    (:meth:`~repro.membus.system.ProtectedMemorySystem.run`) is not in
+    play.
+    """
+    for _ in range(n_units):
+        cycles = int(rng.integers(16, 65))
+        read = bool(rng.integers(0, 2))
+        yield TrafficBurst(
+            n_bits=cycles,
+            n_triggers=cycles,
+            duration_s=cycles / CLOCK_RATE,
+            kind="read" if read else "write",
+        )
+
+
+MEMBUS_SPEC = register(
+    ProtocolSpec(
+        name="membus",
+        title="DDR memory bus clock lane",
+        cadence="periodic",
+        sides=("cpu", "module"),
+        endpoint_names=("cpu-memctl", "dimm-ctl"),
+        bit_rate=CLOCK_RATE,
+        clock_lane=True,
+        traffic=membus_traffic,
+        default_attack=lambda line: MagneticProbe(
+            position_m=0.12, coupling=0.06
+        ),
+        attack_label=(
+            "EM probe coupled onto the clock lane (memory-bus snooping)"
+        ),
+        captures_per_check=4,
+        line_seed=50,
+        default_units=4000,
+        description=(
+            "The paper's Fig. 6 system: free-running periodic monitoring "
+            "on the always-toggling DDR clock lane."
+        ),
+    )
+)

@@ -29,20 +29,15 @@ import numpy as np
 
 from ..attacks.base import AttackTimeline
 from ..core.auth import Authenticator
-from ..core.divot import DivotEndpoint
 from ..core.itdr import ITDR
-from ..core.runtime import (
-    EventLog,
-    MonitorEvent,
-    MonitorRuntime,
-    PeriodicCadence,
-    Telemetry,
-)
+from ..core.runtime import EventLog, MonitorEvent, MonitorRuntime
 from ..core.tamper import TamperDetector
+from ..protocols.link import ProtectedLink
 from ..txline.line import TransmissionLine
 from .bus import MemoryBus
 from .controller import CompletedRequest, MemoryController
 from .dram import SDRAMDevice
+from .protocol import MEMBUS_SPEC
 from .transactions import MemoryRequest
 
 __all__ = ["MonitorEvent", "RunResult", "ProtectedMemorySystem"]
@@ -120,37 +115,27 @@ class ProtectedMemorySystem:
         #: authenticate — the paper's multi-wire accuracy direction wired
         #: into the Fig. 6 design.
         self.extra_lanes = tuple(extra_lanes)
-        self.cpu_endpoint = DivotEndpoint(
-            "cpu-memctl",
-            cpu_itdr,
+        # Assembly — endpoints, telemetry, cadence arithmetic — is the
+        # registered memory-bus protocol; the bus clock rate sizes the
+        # periodic cadence (the clock lane toggles every cycle).
+        self.protected_link = ProtectedLink(
+            MEMBUS_SPEC,
+            bus.line,
+            (cpu_itdr, module_itdr),
             authenticator,
             tamper_detector,
             captures_per_check=captures_per_check,
+            trigger_rate=bus.clock_frequency,
         )
-        self.module_endpoint = DivotEndpoint(
-            "dimm-ctl",
-            module_itdr,
-            authenticator,
-            tamper_detector,
-            captures_per_check=captures_per_check,
-        )
+        self.cpu_endpoint = self.protected_link.endpoint("cpu")
+        self.module_endpoint = self.protected_link.endpoint("module")
         device.auth_gate = lambda: not self.module_endpoint.is_blocked
         self.device = device
         self.controller = MemoryController(device, endpoint=self.cpu_endpoint)
         #: Workload-lifetime telemetry; every run's events and cadence
         #: accounting fold into this one surface.
-        self.telemetry = Telemetry()
-        # A monitoring decision consumes its trigger budget at the bus clock
-        # rate (the clock lane toggles every cycle), times the averaging
-        # depth of one check — arithmetic owned by the periodic cadence.
-        cadence = PeriodicCadence.from_budget(
-            cpu_itdr,
-            bus.line,
-            captures_per_check,
-            trigger_rate=bus.clock_frequency,
-        )
-        self.capture_period_s = cadence.period_s
-        self._check_cost_triggers = cadence.cost_triggers
+        self.telemetry = self.protected_link.telemetry
+        self.capture_period_s = self.protected_link.check_period_s
 
     # ------------------------------------------------------------------
     def calibrate(self, n_captures: int = 8) -> None:
@@ -162,10 +147,7 @@ class ProtectedMemorySystem:
     # ------------------------------------------------------------------
     def _new_runtime(self) -> MonitorRuntime:
         """A fresh per-run runtime sharing the workload telemetry."""
-        cadence = PeriodicCadence(
-            self.capture_period_s, cost_triggers=self._check_cost_triggers
-        )
-        return MonitorRuntime(cadence, telemetry=self.telemetry)
+        return self.protected_link.new_runtime()
 
     def _check_both(
         self,
@@ -175,13 +157,6 @@ class ProtectedMemorySystem:
         module_line_override: Optional[TransmissionLine],
     ) -> None:
         """One concurrent two-way check: CPU side, then module side."""
-        runtime.check(
-            self.cpu_endpoint,
-            t,
-            [self.bus.line, *self.extra_lanes],
-            timeline=timeline,
-            side="cpu",
-        )
         module_line = module_line_override or self.bus.line
         if module_line is not self.bus.line:
             # Keep the enrolled name: the module looks up its own ROM entry
@@ -199,12 +174,14 @@ class ProtectedMemorySystem:
             # the main lane alone: in the attacker's machine the strobe
             # lanes are foreign too, so this is the lenient case.
             module_lines = [module_line]
-        runtime.check(
-            self.module_endpoint,
+        self.protected_link.check(
+            runtime,
             t,
-            module_lines,
-            timeline=timeline,
-            side="module",
+            timeline,
+            lines_by_side={
+                "cpu": [self.bus.line, *self.extra_lanes],
+                "module": module_lines,
+            },
         )
 
     # ------------------------------------------------------------------

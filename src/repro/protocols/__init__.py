@@ -1,0 +1,43 @@
+"""The pluggable protected-link layer: protocols as data, not code.
+
+The memory bus and the serial link started as two hand-built
+applications that each assembled DIVOT endpoints, cadence arithmetic,
+and telemetry by hand.  This package dissolves that duplication into a
+declarative registry: a protocol contributes one
+:class:`~repro.protocols.spec.ProtocolSpec` — its framing, its seeded
+traffic model, its trigger extraction, its cadence discipline, its
+canonical attack scenario — and the generic
+:class:`~repro.protocols.link.ProtectedLink` assembles everything else.
+
+Three protocols ship here (JTAG, SPI, I2C); the memory bus and the
+serial link contribute their specs from their own packages
+(``repro.membus.protocol``, ``repro.iolink.protocol``), discovered by
+:func:`~repro.protocols.registry.load_all`.  Mixed-protocol fleets ride
+the sharded executor via :func:`~repro.protocols.fleet.build_protocol_fleet`.
+
+Adding a protocol is: write a traffic model, declare a spec, call
+:func:`~repro.protocols.registry.register`.  See
+``docs/ARCHITECTURE.md`` for the recipe.
+"""
+
+from . import registry
+from .fleet import build_protocol_fleet, default_attacks_by_bus
+from .link import LinkSessionResult, ProtectedLink, default_tamper_detector
+from .spec import ProtocolSpec, TrafficBurst
+
+# Built-in protocols self-register at import time; external providers
+# (membus, iolink) are discovered lazily by registry.load_all().
+from . import jtag as _jtag  # noqa: F401
+from . import spi as _spi  # noqa: F401
+from . import i2c as _i2c  # noqa: F401
+
+__all__ = [
+    "registry",
+    "ProtocolSpec",
+    "TrafficBurst",
+    "ProtectedLink",
+    "LinkSessionResult",
+    "default_tamper_detector",
+    "build_protocol_fleet",
+    "default_attacks_by_bus",
+]

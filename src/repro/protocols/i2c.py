@@ -1,0 +1,118 @@
+"""I2C (fast-mode) as a DIVOT-protected link.
+
+I2C is the board-management plane: EEPROMs, sensors, power controllers —
+all addressed over two shared wires with no authentication whatsoever.
+The canonical hardware implant is a trojan peripheral soldered onto the
+bus that claims an address (or shadows a legitimate one): electrically
+it changes the termination network the moment it is attached, which is
+exactly the load modification DIVOT's IIP monitoring detects.
+
+Traffic is addressed transactions: START, a 7-bit address plus the R/W
+bit, per-byte acknowledges, a 1-4 byte payload, STOP — with seeded
+clock-stretching (a slow peripheral holding SCL) lengthening a
+transaction's wire time without adding data edges.  The data (SDA) lane
+is trigger-fed like SPI, on a much slower clock: monitoring cost in
+*time* is two orders of magnitude higher at the same trigger budget,
+which is the honest price of protecting a 400 kHz bus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..attacks.trojan import LoadModification
+from ..core.trigger import TriggerGenerator
+from .registry import register
+from .spec import ProtocolSpec, TrafficBurst
+
+__all__ = ["SCL_RATE", "i2c_transaction_bits", "i2c_traffic", "I2C_SPEC"]
+
+#: Fast-mode serial clock: 400 kHz.
+SCL_RATE = 400e3
+
+#: Reserved address space below 0x08 and above 0x77 is never claimed.
+ADDRESS_RANGE = (0x08, 0x78)
+
+
+def i2c_transaction_bits(
+    address: int, read: bool, data: List[int]
+) -> List[int]:
+    """The SDA bit sequence of one addressed transaction.
+
+    7-bit address MSB-first, the R/W bit, then each byte MSB-first, each
+    nine-bit group closed by an ACK (0).  START/STOP conditions are level
+    transitions outside the bit clock and carried as framing overhead by
+    the traffic model, not as data bits.
+    """
+    lo, hi = ADDRESS_RANGE
+    if not lo <= address < hi:
+        raise ValueError(
+            f"address must be in [{lo:#04x}, {hi:#04x}), got {address:#04x}"
+        )
+    if not data:
+        raise ValueError("at least one data byte is required")
+    bits = [(address >> shift) & 1 for shift in range(6, -1, -1)]
+    bits.append(1 if read else 0)
+    bits.append(0)  # address ACK
+    for byte in data:
+        if not 0 <= byte <= 0xFF:
+            raise ValueError("data bytes must be in [0, 255]")
+        bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+        bits.append(0)  # byte ACK
+    return bits
+
+
+def i2c_traffic(
+    rng: np.random.Generator, n_units: int
+) -> Iterator[TrafficBurst]:
+    """A seeded management-plane session: short addressed transfers.
+
+    A quarter of transactions hit a slow peripheral that stretches the
+    clock after the address phase — pure added wire time (SCL held low
+    puts no edges on SDA), so stretching lowers the *trigger rate*
+    without changing the trigger count, a property the trigger-budget
+    cadence handles for free.
+    """
+    trigger = TriggerGenerator(pattern=(1, 0))
+    lo, hi = ADDRESS_RANGE
+    for _ in range(n_units):
+        address = int(rng.integers(lo, hi))
+        read = bool(rng.integers(0, 2))
+        data = [int(b) for b in rng.integers(0, 256, int(rng.integers(1, 5)))]
+        bits = i2c_transaction_bits(address, read, data)
+        stretch = int(rng.integers(2, 17)) if rng.random() < 0.25 else 0
+        n_bits = len(bits) + 2 + stretch  # START + STOP + held cycles
+        yield TrafficBurst(
+            n_bits=n_bits,
+            n_triggers=trigger.count_triggers(bits),
+            duration_s=n_bits / SCL_RATE,
+            kind="read" if read else "write",
+        )
+
+
+I2C_SPEC = register(
+    ProtocolSpec(
+        name="i2c",
+        title="I2C fast-mode management bus",
+        cadence="trigger-budget",
+        sides=("controller", "target"),
+        endpoint_names=("i2c-ctrl", "i2c-target"),
+        bit_rate=SCL_RATE,
+        clock_lane=False,
+        traffic=i2c_traffic,
+        default_attack=lambda line: LoadModification(),
+        attack_label=(
+            "trojan peripheral claiming an address (termination-network "
+            "load change at attach time)"
+        ),
+        captures_per_check=4,
+        line_seed=86,
+        default_units=10000,
+        description=(
+            "Addressed transactions with clock-stretching at 400 kHz; "
+            "trigger-fed monitoring like SPI, on a far slower clock."
+        ),
+    )
+)

@@ -1,0 +1,238 @@
+"""JTAG (IEEE 1149.1) as a DIVOT-protected link.
+
+A probe clipped onto a debug header is *literally* the paper's threat
+model: JTAG exposes scan access to every chip on the chain, and the
+physical port is the classic entry point for readout and fault attacks.
+DIVOT endpoints at the controller and the first TAP authenticate the
+debug bus itself — a clipped-on pod disturbs the IIP before a single
+scan completes.
+
+The traffic model walks the real 16-state TAP state machine (state names
+and TMS transition table per IEEE Std 1149.1, after Glasgow's
+``jtag_probe`` applet): instruction and data register scans move through
+Select/Capture/Shift/Exit1/Update, with occasional Pause excursions and
+Test-Logic-Reset re-entries.  TCK is a clock lane — every cycle launches
+the same edge, so the trigger supply is unconditional and monitoring
+runs on a :class:`~repro.core.runtime.PeriodicCadence`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..attacks.probe import CapacitiveSnoop
+from .registry import register
+from .spec import ProtocolSpec, TrafficBurst
+
+__all__ = [
+    "JTAGState",
+    "JTAG_TRANSITIONS",
+    "TAPController",
+    "tms_path",
+    "scan_lengths",
+    "jtag_traffic",
+    "JTAG_SPEC",
+]
+
+#: Default TCK rate: 10 MHz, a common debug-pod operating point.
+TCK_RATE = 10e6
+
+
+class JTAGState(str, enum.Enum):
+    """TAP controller states; names are SVF, values are IEEE names."""
+
+    RESET = "Test-Logic-Reset"
+    IDLE = "Run-Test/Idle"
+    DRSELECT = "Select-DR-Scan"
+    DRCAPTURE = "Capture-DR"
+    DRSHIFT = "Shift-DR"
+    DREXIT1 = "Exit1-DR"
+    DRPAUSE = "Pause-DR"
+    DREXIT2 = "Exit2-DR"
+    DRUPDATE = "Update-DR"
+    IRSELECT = "Select-IR-Scan"
+    IRCAPTURE = "Capture-IR"
+    IRSHIFT = "Shift-IR"
+    IREXIT1 = "Exit1-IR"
+    IRPAUSE = "Pause-IR"
+    IREXIT2 = "Exit2-IR"
+    IRUPDATE = "Update-IR"
+
+
+#: ``state -> (next if TMS=0, next if TMS=1)`` — the IEEE 1149.1 figure
+#: 6-1 state diagram as a table.
+JTAG_TRANSITIONS: Dict[JTAGState, Tuple[JTAGState, JTAGState]] = {
+    JTAGState.RESET: (JTAGState.IDLE, JTAGState.RESET),
+    JTAGState.IDLE: (JTAGState.IDLE, JTAGState.DRSELECT),
+    JTAGState.DRSELECT: (JTAGState.DRCAPTURE, JTAGState.IRSELECT),
+    JTAGState.DRCAPTURE: (JTAGState.DRSHIFT, JTAGState.DREXIT1),
+    JTAGState.DRSHIFT: (JTAGState.DRSHIFT, JTAGState.DREXIT1),
+    JTAGState.DREXIT1: (JTAGState.DRPAUSE, JTAGState.DRUPDATE),
+    JTAGState.DRPAUSE: (JTAGState.DRPAUSE, JTAGState.DREXIT2),
+    JTAGState.DREXIT2: (JTAGState.DRSHIFT, JTAGState.DRUPDATE),
+    JTAGState.DRUPDATE: (JTAGState.IDLE, JTAGState.DRSELECT),
+    JTAGState.IRSELECT: (JTAGState.IRCAPTURE, JTAGState.RESET),
+    JTAGState.IRCAPTURE: (JTAGState.IRSHIFT, JTAGState.IREXIT1),
+    JTAGState.IRSHIFT: (JTAGState.IRSHIFT, JTAGState.IREXIT1),
+    JTAGState.IREXIT1: (JTAGState.IRPAUSE, JTAGState.IRUPDATE),
+    JTAGState.IRPAUSE: (JTAGState.IRPAUSE, JTAGState.IREXIT2),
+    JTAGState.IREXIT2: (JTAGState.IRSHIFT, JTAGState.IRUPDATE),
+    JTAGState.IRUPDATE: (JTAGState.IDLE, JTAGState.DRSELECT),
+}
+
+
+class TAPController:
+    """A behavioural TAP: clocks TMS bits, tracks the 1149.1 state."""
+
+    def __init__(self) -> None:
+        # Five TMS=1 cycles reach Test-Logic-Reset from any state, so a
+        # fresh controller starts there by definition.
+        self.state = JTAGState.RESET
+
+    def step(self, tms: int) -> JTAGState:
+        """Clock one TCK cycle with the given TMS level."""
+        if tms not in (0, 1):
+            raise ValueError("tms must be 0 or 1")
+        self.state = JTAG_TRANSITIONS[self.state][tms]
+        return self.state
+
+    def walk(self, tms_bits) -> JTAGState:
+        """Clock a whole TMS sequence; returns the final state."""
+        for tms in tms_bits:
+            self.step(int(tms))
+        return self.state
+
+
+def tms_path(start: JTAGState, target: JTAGState) -> List[int]:
+    """Shortest TMS sequence from ``start`` to ``target`` (BFS).
+
+    The state graph is strongly connected, so a path always exists;
+    ``start == target`` gives the empty path.
+    """
+    if start is target:
+        return []
+    frontier = [(start, [])]
+    seen = {start}
+    while frontier:
+        next_frontier = []
+        for state, path in frontier:
+            for tms in (0, 1):
+                nxt = JTAG_TRANSITIONS[state][tms]
+                if nxt is target:
+                    return path + [tms]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    next_frontier.append((nxt, path + [tms]))
+        frontier = next_frontier
+    raise RuntimeError("TAP state graph is connected; unreachable")
+
+
+def scan_lengths(kind: str, n_shift_bits: int, pause_cycles: int = 0) -> int:
+    """TCK cycles one register scan occupies, from Run-Test/Idle back.
+
+    ``kind`` is ``"ir"`` or ``"dr"``.  The walk is
+    Idle -> Select(-IR) -> Capture -> Shift (``n_shift_bits`` cycles,
+    the last one exiting) -> [Pause excursion] -> Update -> Idle, which
+    is 5 overhead cycles plus the shift bits, plus ``2 + pause_cycles``
+    when the scan parks in Pause (Exit1 -> Pause ... -> Exit2).
+    """
+    if kind not in ("ir", "dr"):
+        raise ValueError("kind must be 'ir' or 'dr'")
+    if n_shift_bits < 1:
+        raise ValueError("n_shift_bits must be >= 1")
+    if pause_cycles < 0:
+        raise ValueError("pause_cycles must be non-negative")
+    overhead = 5 if kind == "dr" else 6  # IR path crosses Select-DR too
+    pause = (2 + pause_cycles) if pause_cycles else 0
+    return overhead + n_shift_bits + pause
+
+
+def _scan_tms(kind: str, n_shift_bits: int, pause_cycles: int) -> List[int]:
+    """The TMS sequence realising :func:`scan_lengths`' cycle count."""
+    tms = [1] if kind == "dr" else [1, 1]  # Select-DR(-Scan) [-> Select-IR]
+    tms += [0, 0]  # Capture -> Shift
+    tms += [0] * (n_shift_bits - 1)  # stay in Shift
+    tms += [1]  # last shift bit exits to Exit1
+    if pause_cycles:
+        tms += [0]  # Exit1 -> Pause
+        tms += [0] * pause_cycles  # dwell in Pause
+        tms += [1]  # Pause -> Exit2
+        tms += [1]  # Exit2 -> Update
+    else:
+        tms += [1]  # Exit1 -> Update
+    tms += [0]  # Update -> Idle
+    return tms
+
+
+def jtag_traffic(
+    rng: np.random.Generator, n_units: int
+) -> Iterator[TrafficBurst]:
+    """A seeded debug session: IR/DR scans with idle and reset breaks.
+
+    Each unit is one TAP operation validated against the transition
+    table (the TMS walk must land back in Run-Test/Idle), so the burst
+    lengths are exact cycle counts of legal 1149.1 traffic.
+    """
+    tap = TAPController()
+    tap.walk([1] * 5)  # harness reset: five TMS=1 reach Test-Logic-Reset
+    tap.step(0)  # settle in Run-Test/Idle
+    for _ in range(n_units):
+        roll = rng.random()
+        if roll < 0.15:
+            # Re-synchronise: Test-Logic-Reset and back to Idle.
+            cycles = 6
+            tap.walk([1] * 5)
+            tap.step(0)
+            kind = "reset"
+        elif roll < 0.30:
+            # Run-Test/Idle dwell (e.g. waiting out an operation).
+            cycles = int(rng.integers(4, 33))
+            tap.walk([0] * cycles)
+            kind = "idle"
+        else:
+            scan = "ir" if roll < 0.55 else "dr"
+            n_bits = (
+                int(rng.integers(4, 9))
+                if scan == "ir"
+                else int(rng.integers(8, 33))
+            )
+            pause = int(rng.integers(0, 5)) if rng.random() < 0.2 else 0
+            tms = _scan_tms(scan, n_bits, pause)
+            cycles = len(tms)
+            assert cycles == scan_lengths(scan, n_bits, pause)
+            end = tap.walk(tms)
+            assert end is JTAGState.IDLE
+            kind = f"{scan}-scan"
+        # TCK is a clock lane: every cycle is a trigger.
+        yield TrafficBurst(
+            n_bits=cycles,
+            n_triggers=cycles,
+            duration_s=cycles / TCK_RATE,
+            kind=kind,
+        )
+
+
+JTAG_SPEC = register(
+    ProtocolSpec(
+        name="jtag",
+        title="JTAG debug port (IEEE 1149.1)",
+        cadence="periodic",
+        sides=("controller", "tap"),
+        endpoint_names=("jtag-ctrl", "jtag-tap"),
+        bit_rate=TCK_RATE,
+        clock_lane=True,
+        traffic=jtag_traffic,
+        default_attack=lambda line: CapacitiveSnoop(position_m=0.12),
+        attack_label="debug-port probe tap (capacitive pod on TCK)",
+        captures_per_check=4,
+        line_seed=84,
+        default_units=4000,
+        description=(
+            "TAP state-machine traffic on a 10 MHz TCK clock lane; "
+            "monitoring is free-running like the memory bus clock."
+        ),
+    )
+)

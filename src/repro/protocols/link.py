@@ -1,0 +1,326 @@
+"""The generic DIVOT-protected link, assembled from a protocol spec.
+
+One class replaces the per-workload assembly code the memory-bus and
+serial-link applications used to duplicate: given a
+:class:`~repro.protocols.spec.ProtocolSpec`, :class:`ProtectedLink`
+builds the DIVOT endpoint per side, the workload-lifetime
+:class:`~repro.core.runtime.Telemetry`, and the cadence arithmetic, and
+drives per-session :class:`~repro.core.runtime.MonitorRuntime` instances
+whose events carry the protocol label.  Applications with bespoke
+traffic loops (the memory controller, the framed serial link) keep their
+loops and delegate assembly and checking here; protocols without one
+(JTAG, SPI, I2C) get a complete :meth:`session` /
+:meth:`attack_session` driver for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..attacks.base import AttackTimeline
+from ..core.auth import Authenticator
+from ..core.config import prototype_itdr, prototype_line_factory
+from ..core.divot import DivotEndpoint
+from ..core.itdr import ITDR
+from ..core.runtime import (
+    Cadence,
+    EventLog,
+    MonitorEvent,
+    MonitorRuntime,
+    PeriodicCadence,
+    Telemetry,
+    TriggerBudgetCadence,
+)
+from ..core.tamper import TamperDetector
+from ..txline.line import TransmissionLine
+from ..txline.materials import FR4
+from .spec import ProtocolSpec, TrafficBurst
+
+__all__ = ["LinkSessionResult", "ProtectedLink", "default_tamper_detector"]
+
+
+def default_tamper_detector(itdr: ITDR) -> TamperDetector:
+    """The standard FR4 tamper policy, aligned to this iTDR's probe edge."""
+    return TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+
+
+@dataclass
+class LinkSessionResult:
+    """Everything one generic protected session produced.
+
+    Events live in a canonical :class:`~repro.core.runtime.EventLog`;
+    the alert/latency queries delegate to it, so they mean the same
+    thing as on every other workload.  ``checks_run`` and
+    ``triggers_consumed`` come from the cadence's accounting.
+    """
+
+    log: EventLog = field(default_factory=EventLog)
+    duration_s: float = 0.0
+    checks_run: int = 0
+    triggers_consumed: int = 0
+    units_sent: int = 0
+
+    @property
+    def events(self) -> List[MonitorEvent]:
+        """The raw monitoring events in time order."""
+        return self.log.events
+
+    def alerts(self) -> List[MonitorEvent]:
+        """Non-PROCEED events in time order."""
+        return self.log.alerts()
+
+    def first_alert_time(self) -> Optional[float]:
+        """Time of the first BLOCK/ALERT, or None for a clean session."""
+        return self.log.first_alert_time()
+
+    def detection_latency(self, onset_s: float) -> Optional[float]:
+        """Time from attack onset to the first alert at/after it."""
+        return self.log.detection_latency(onset_s)
+
+
+class ProtectedLink:
+    """A DIVOT-protected bus of any registered protocol.
+
+    Args:
+        spec: The protocol's declarative spec.
+        line: The physical conductor under protection.
+        itdrs: One measurement engine per spec side, in side order.
+        authenticator / tamper_detector: Shared decision policies.
+        captures_per_check: Averaging depth per monitoring decision
+            (defaults to the spec's).
+        trigger_rate: Trigger supply rate for periodic cadence sizing;
+            defaults to the spec's line rate (clock lanes trigger every
+            cycle).  Applications whose clock differs from the spec
+            default (e.g. a down-clocked memory bus) override it.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        line: TransmissionLine,
+        itdrs: Sequence[ITDR],
+        authenticator: Authenticator,
+        tamper_detector: TamperDetector,
+        captures_per_check: Optional[int] = None,
+        trigger_rate: Optional[float] = None,
+    ) -> None:
+        itdrs = tuple(itdrs)
+        if len(itdrs) != len(spec.sides):
+            raise ValueError(
+                f"{spec.name} needs {len(spec.sides)} iTDRs "
+                f"(sides {spec.sides}), got {len(itdrs)}"
+            )
+        self.spec = spec
+        self.line = line
+        self.captures_per_check = (
+            spec.captures_per_check
+            if captures_per_check is None
+            else captures_per_check
+        )
+        self.endpoints: Dict[str, DivotEndpoint] = {}
+        for side, name, itdr in zip(spec.sides, spec.endpoint_names, itdrs):
+            self.endpoints[side] = DivotEndpoint(
+                name,
+                itdr,
+                authenticator,
+                tamper_detector,
+                captures_per_check=self.captures_per_check,
+            )
+        #: Workload-lifetime telemetry; every session folds into it.
+        self.telemetry = Telemetry()
+        # Cadence arithmetic is sized once from the first side's engine
+        # (the engines share a configuration); sessions get fresh cadence
+        # instances so accounting never leaks across runs.
+        sizing = itdrs[0]
+        if spec.cadence == "periodic":
+            rate = (
+                trigger_rate
+                if trigger_rate is not None
+                else spec.expected_trigger_rate()
+            )
+            template = PeriodicCadence.from_budget(
+                sizing, line, self.captures_per_check, trigger_rate=rate
+            )
+            #: Fixed time between scheduled checks (periodic cadence).
+            self.check_period_s: Optional[float] = template.period_s
+        else:
+            template = TriggerBudgetCadence.from_budget(
+                sizing, line, self.captures_per_check
+            )
+            # A data lane's period is traffic-dependent; the bound at
+            # 100 % utilisation is cost / expected rate.
+            self.check_period_s = None
+        #: Triggers one monitoring check consumes.
+        self.check_cost_triggers: int = template.cost_triggers
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        line: Optional[TransmissionLine] = None,
+        seed: int = 0,
+        authenticator: Optional[Authenticator] = None,
+        tamper_detector: Optional[TamperDetector] = None,
+        captures_per_check: Optional[int] = None,
+    ) -> "ProtectedLink":
+        """A ready-to-calibrate link for a registered protocol.
+
+        Every stochastic element descends from ``seed`` through one
+        ``SeedSequence`` (one child per side's iTDR); the line defaults
+        to the prototype manufacturing model at the spec's line seed.
+        """
+        from .registry import get
+
+        spec = get(name)
+        if line is None:
+            line = prototype_line_factory().manufacture(
+                seed=spec.line_seed, name=f"{spec.name}-lane"
+            )
+        children = np.random.SeedSequence(seed).spawn(len(spec.sides))
+        itdrs = [
+            prototype_itdr(rng=np.random.default_rng(child))
+            for child in children
+        ]
+        if authenticator is None:
+            authenticator = Authenticator(0.85)
+        if tamper_detector is None:
+            tamper_detector = default_tamper_detector(itdrs[0])
+        return cls(
+            spec,
+            line,
+            itdrs,
+            authenticator,
+            tamper_detector,
+            captures_per_check=captures_per_check,
+        )
+
+    # ------------------------------------------------------------------
+    def endpoint(self, side: str) -> DivotEndpoint:
+        """The DIVOT endpoint at one side of the link."""
+        return self.endpoints[side]
+
+    def calibrate(self, n_captures: int = 8) -> None:
+        """Pair every endpoint with the line (installation-time step)."""
+        for side in self.spec.sides:
+            self.endpoints[side].calibrate(self.line, n_captures=n_captures)
+
+    def sustained_check_period_s(self) -> float:
+        """Time between checks at 100 % line utilisation.
+
+        The periodic cadence's fixed period, or — for traffic-fed lanes —
+        one check's trigger cost at the lane's expected trigger rate.
+        The detection-latency bound a fully-utilised link sustains.
+        """
+        if self.check_period_s is not None:
+            return self.check_period_s
+        return self.check_cost_triggers / self.spec.expected_trigger_rate()
+
+    # ------------------------------------------------------------------
+    def new_cadence(self) -> Cadence:
+        """A fresh per-session cadence with this link's sizing."""
+        if self.spec.cadence == "periodic":
+            return PeriodicCadence(
+                self.check_period_s, cost_triggers=self.check_cost_triggers
+            )
+        return TriggerBudgetCadence(self.check_cost_triggers)
+
+    def new_runtime(self) -> MonitorRuntime:
+        """A fresh per-session runtime sharing the workload telemetry."""
+        return MonitorRuntime(self.new_cadence(), telemetry=self.telemetry)
+
+    def check(
+        self,
+        runtime: MonitorRuntime,
+        t: float,
+        timeline: Optional[AttackTimeline] = None,
+        lines_by_side: Optional[Dict[str, Sequence]] = None,
+    ) -> None:
+        """One concurrent multi-way check: every side, in spec order.
+
+        ``lines_by_side`` lets an application substitute a side's lane
+        bundle (fused extra lanes, a cold-boot foreign line); sides not
+        named measure the protected line itself.
+        """
+        for side in self.spec.sides:
+            lines = [self.line]
+            if lines_by_side is not None and side in lines_by_side:
+                lines = list(lines_by_side[side])
+            runtime.check(
+                self.endpoints[side],
+                t,
+                lines,
+                timeline=timeline,
+                side=side,
+                protocol=self.spec.name,
+            )
+
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        n_units: Optional[int] = None,
+        timeline: Optional[AttackTimeline] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        bursts: Optional[Iterable[TrafficBurst]] = None,
+    ) -> LinkSessionResult:
+        """One protected traffic session driven by the spec's model.
+
+        Bursts play back to back; the cadence decides when checks
+        complete (clock lanes on the period, data lanes whenever the
+        banked trigger pool affords one), every check measuring all
+        sides under whatever the timeline has active.  Sessions under an
+        attack that stayed undetected get one final forced check at the
+        session end — routed through the cadence so it is never free.
+        """
+        if bursts is None:
+            bursts = self.spec.traffic_bursts(n_units, rng=rng, seed=seed)
+        runtime = self.new_runtime()
+        cadence = runtime.cadence
+        feed = isinstance(cadence, TriggerBudgetCadence)
+        result = LinkSessionResult(log=runtime.log)
+        t = 0.0
+        for burst in bursts:
+            t += burst.duration_s
+            result.units_sent += 1
+            if feed:
+                cadence.feed(burst.n_triggers)
+            for due in cadence.due(t):
+                self.check(runtime, due, timeline)
+        result.duration_s = t
+        if timeline is not None and not result.alerts():
+            self.check(runtime, cadence.force(t), timeline)
+        runtime.finish()
+        result.checks_run = cadence.checks_run
+        result.triggers_consumed = cadence.triggers_consumed
+        return result
+
+    def attack_session(
+        self,
+        n_units: Optional[int] = None,
+        onset_s: float = 0.0,
+        attack=None,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> Tuple[LinkSessionResult, AttackTimeline]:
+        """A session under the spec's canonical attack scenario.
+
+        The attack (default: the spec's ``default_attack`` built for
+        this link's line) lands at ``onset_s`` and stays active; the
+        returned timeline gives detection-latency queries their onset.
+        """
+        if attack is None:
+            attack = self.spec.default_attack(self.line)
+        timeline = AttackTimeline().add(attack, start_s=onset_s)
+        result = self.session(
+            n_units=n_units, timeline=timeline, rng=rng, seed=seed
+        )
+        return result, timeline

@@ -1,0 +1,110 @@
+"""The protected-link protocol registry.
+
+Protocols self-register at import time: a provider module builds a
+:class:`~repro.protocols.spec.ProtocolSpec` and calls :func:`register`.
+Two kinds of provider exist:
+
+* the built-in protocol modules under ``repro/protocols/`` (JTAG, SPI,
+  I2C) — imported eagerly by the package ``__init__``;
+* application packages contributing their workload's protocol as a
+  ``protocol`` module (``repro.membus.protocol``,
+  ``repro.iolink.protocol``) — discovered by :func:`load_all` via
+  ``pkgutil``, by *name* rather than by import statement, so the layer
+  rule "core and protocols never import applications" holds in the
+  static import graph while applications still plug in (the classic
+  entry-point pattern).
+
+Registration is idempotent per provider (re-importing a module re-offers
+the same spec harmlessly) but refuses silent replacement: two different
+specs under one name is a wiring bug.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import pkgutil
+from dataclasses import replace
+from typing import Dict, List
+
+from .spec import ProtocolSpec
+
+__all__ = ["register", "unregister", "get", "names", "specs", "load_all"]
+
+_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+#: Modules in this package that are infrastructure, not protocols.
+_INFRASTRUCTURE = frozenset(
+    {"__init__", "spec", "registry", "link", "fleet"}
+)
+
+
+def register(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add one protocol to the registry; returns the registered spec.
+
+    The provider module is recorded on the spec (from the traffic
+    model's ``__module__``) so completeness tooling can map registry
+    entries back to source modules.
+    """
+    provider = getattr(spec.traffic, "__module__", None)
+    if spec.provider != provider:
+        spec = replace(spec, provider=provider)
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if existing == spec:
+            return existing
+        raise ValueError(
+            f"protocol {spec.name!r} already registered by "
+            f"{existing.provider}; refusing to replace it"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Drop one protocol (testing hook; production registries only grow)."""
+    _REGISTRY.pop(name, None)
+
+
+def load_all() -> List[str]:
+    """Import every known provider; returns the registered names.
+
+    Walks this package for built-in protocol modules, then every
+    ``repro.<package>.protocol`` module an application package ships —
+    resolved through ``importlib`` by dotted name, so applications stay
+    invisible to the protocols layer's static import graph.
+    """
+    package = importlib.import_module(__package__)
+    for module in pkgutil.iter_modules(package.__path__):
+        if module.name not in _INFRASTRUCTURE:
+            importlib.import_module(f"{__package__}.{module.name}")
+    root = importlib.import_module(__package__.rsplit(".", 1)[0])
+    for module in pkgutil.iter_modules(root.__path__):
+        if not module.ispkg or module.name == "protocols":
+            continue
+        provider = f"{root.__name__}.{module.name}.protocol"
+        if importlib.util.find_spec(provider) is not None:
+            importlib.import_module(provider)
+    return names()
+
+
+def get(name: str) -> ProtocolSpec:
+    """The spec registered under ``name`` (loading providers if needed)."""
+    if name not in _REGISTRY:
+        load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no protocol {name!r}; registered: {names()}"
+        ) from None
+
+
+def names() -> List[str]:
+    """Registered protocol names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def specs() -> List[ProtocolSpec]:
+    """Registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in names()]

@@ -1,0 +1,96 @@
+"""SPI (mode 0) as a DIVOT-protected link.
+
+The serial peripheral bus carries firmware, configuration bitstreams,
+and secrets between a controller and its flash/peripheral — and a MISO
+wiretap is the cheapest firmware-extraction attack there is: two probe
+clips on an unpopulated header.  DIVOT endpoints at the controller and
+peripheral authenticate the lane, so the parallel stub a tap hangs on
+MISO disturbs the IIP the moment it is clipped.
+
+Traffic is mode-0 framing: chip-select asserts, a command byte and a
+data payload shift MSB-first on the data lane, chip-select deasserts.
+The data lane has no free edge supply, so monitoring is traffic-fed
+(:class:`~repro.core.runtime.TriggerBudgetCadence`): each check costs
+triggers the passing transactions must bank — quiet buses genuinely
+starve the monitor, exactly like the 8b/10b serial link.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..attacks.wiretap import WireTap
+from ..core.trigger import TriggerGenerator
+from .registry import register
+from .spec import ProtocolSpec, TrafficBurst
+
+__all__ = ["SCLK_RATE", "spi_transaction_bits", "spi_traffic", "SPI_SPEC"]
+
+#: Default serial clock: 25 MHz, a common flash operating point.
+SCLK_RATE = 25e6
+
+#: Chip-select framing overhead in bit times (assert + deassert).
+CS_OVERHEAD_BITS = 2
+
+
+def spi_transaction_bits(
+    rng: np.random.Generator, n_data_bytes: int
+) -> np.ndarray:
+    """The MOSI bit stream of one transaction: command + payload.
+
+    Mode 0, MSB first — the wire order a logic analyser (or an iTDR
+    trigger comparator) sees.  Bytes are drawn from the given generator,
+    so identical seeds give identical wire bits.
+    """
+    if n_data_bytes < 1:
+        raise ValueError("n_data_bytes must be >= 1")
+    words = rng.integers(0, 256, size=1 + n_data_bytes, dtype=np.uint8)
+    return np.unpackbits(words)
+
+
+def spi_traffic(
+    rng: np.random.Generator, n_units: int
+) -> Iterator[TrafficBurst]:
+    """A seeded controller session: command + payload transactions.
+
+    Payload sizes span register pokes (8 bytes) to page-sized flash
+    reads (32 bytes); triggers are (1, 0) pattern matches in the actual
+    MOSI bit stream, so the trigger supply is a measured property of the
+    traffic, not an assumed rate.
+    """
+    trigger = TriggerGenerator(pattern=(1, 0))
+    for _ in range(n_units):
+        n_data = int(rng.integers(8, 33))
+        bits = spi_transaction_bits(rng, n_data)
+        n_bits = len(bits) + CS_OVERHEAD_BITS
+        yield TrafficBurst(
+            n_bits=n_bits,
+            n_triggers=trigger.count_triggers(bits),
+            duration_s=n_bits / SCLK_RATE,
+            kind="transaction",
+        )
+
+
+SPI_SPEC = register(
+    ProtocolSpec(
+        name="spi",
+        title="SPI mode-0 controller/peripheral bus",
+        cadence="trigger-budget",
+        sides=("controller", "peripheral"),
+        endpoint_names=("spi-ctrl", "spi-periph"),
+        bit_rate=SCLK_RATE,
+        clock_lane=False,
+        traffic=spi_traffic,
+        default_attack=lambda line: WireTap(position_m=0.12),
+        attack_label="MISO wiretap (parallel stub clipped on the data lane)",
+        captures_per_check=4,
+        line_seed=81,
+        default_units=2000,
+        description=(
+            "Mode-0 command+payload transactions at 25 MHz; the data "
+            "lane banks (1,0) triggers like the 8b/10b serial link."
+        ),
+    )
+)

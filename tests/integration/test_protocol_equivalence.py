@@ -1,0 +1,134 @@
+"""Byte-identity pins for the protocol-registry refactor.
+
+The membus and iolink workloads were re-assembled on the generic
+``repro.protocols.ProtectedLink`` layer; these digests were captured from
+the pre-refactor assembly code at fixed seeds and pin that the refactor
+changed *nothing observable*: the canonical ``EventLog`` stream and every
+pre-existing section of ``Telemetry.snapshot()`` are byte-identical.
+
+The digest covers only the sections that existed before the refactor
+(``endpoints``/``buses``/``totals``/``cadence``/``detection`` plus the
+full event tuple stream) — new provenance surfaces (the ``protocols``
+cells) are additive and deliberately outside the pin.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.attacks import MagneticProbe, WireTap
+from repro.attacks.base import AttackTimeline
+from repro.core import Authenticator, TamperDetector, prototype_itdr
+from repro.core.config import prototype_line_factory
+from repro.iolink import Frame, ProtectedSerialLink, SerialLink
+from repro.membus import (
+    AddressMap,
+    MemoryBus,
+    ProtectedMemorySystem,
+    SDRAMDevice,
+    TraceGenerator,
+)
+from repro.txline.materials import FR4
+
+
+def make_detector(itdr):
+    return TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=itdr.probe_edge().duration,
+    )
+
+
+def canonical_digest(telemetry, log, onset_s) -> str:
+    """One hash over the event stream + the pre-refactor snapshot sections.
+
+    Floats serialise through ``repr`` (shortest round-trip), so equal
+    bits give equal text; the ``protocols`` section added by the registry
+    refactor is excluded on purpose — it did not exist on main.
+    """
+    events = [
+        [e.time_s, e.side, e.action.value, e.score, e.tampered,
+         e.location_m, e.bus]
+        for e in log
+    ]
+    snap = telemetry.snapshot(onset_s=onset_s)
+    sections = {
+        key: snap[key]
+        for key in ("endpoints", "buses", "totals", "cadence", "detection")
+    }
+    payload = json.dumps([events, sections], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def membus_fixed_seed_session():
+    """The pinned membus scenario: fixed seeds, probe landing mid-run."""
+    factory = prototype_line_factory()
+    line = factory.manufacture(seed=50, name="membus-clk")
+    bus = MemoryBus(line=line, clock_frequency=1.2e9)
+    amap = AddressMap(n_banks=4, n_rows=32, n_columns=16)
+    system = ProtectedMemorySystem(
+        bus,
+        SDRAMDevice(address_map=amap),
+        prototype_itdr(rng=np.random.default_rng(51)),
+        prototype_itdr(rng=np.random.default_rng(52)),
+        Authenticator(0.85),
+        make_detector(prototype_itdr()),
+        captures_per_check=4,
+    )
+    system.calibrate(n_captures=4)
+    gen = TraceGenerator(amap, seed=53)
+    timeline = AttackTimeline().add(MagneticProbe(0.12), start_s=0.0)
+    result = system.run(
+        gen.random(200, write_fraction=0.4),
+        timeline=timeline,
+        monitor_first=True,
+    )
+    return system, result, 0.0
+
+
+def iolink_fixed_seed_session():
+    """The pinned iolink scenario: fixed seeds, wire tap from onset."""
+    factory = prototype_line_factory()
+    link_line = factory.manufacture(seed=60)
+    tx = prototype_itdr(rng=np.random.default_rng(61))
+    plink = ProtectedSerialLink(
+        SerialLink(link_line, bit_rate=5e9),
+        tx,
+        prototype_itdr(rng=np.random.default_rng(62)),
+        Authenticator(0.85),
+        make_detector(tx),
+        captures_per_check=4,
+    )
+    plink.calibrate(n_captures=4)
+    rng = np.random.default_rng(63)
+    frames = [
+        Frame(sequence=i % 256,
+              payload=tuple(rng.integers(0, 256, 64).tolist()))
+        for i in range(120)
+    ]
+    timeline = AttackTimeline().add(WireTap(0.12), start_s=0.0)
+    result = plink.send(frames, timeline=timeline)
+    return plink, result, 0.0
+
+
+#: sha256 digests captured from the pre-refactor (PR 1-6) assembly code.
+GOLDEN = {
+    "membus": "96c1cb331e3bd2d19228da19bf08176ba4337adf646b0a6c5eb15a330bdcd8c4",
+    "iolink": "7c6e6d78648bd86a70be5abcce36647a89e3c7fb70fbc9916e434336dd01ed3e",
+}
+
+
+class TestProtocolRefactorByteIdentity:
+    def test_membus_events_and_telemetry_unchanged(self):
+        system, result, onset = membus_fixed_seed_session()
+        assert canonical_digest(
+            system.telemetry, result.log, onset
+        ) == GOLDEN["membus"]
+
+    def test_iolink_events_and_telemetry_unchanged(self):
+        plink, result, onset = iolink_fixed_seed_session()
+        assert canonical_digest(
+            plink.telemetry, result.log, onset
+        ) == GOLDEN["iolink"]

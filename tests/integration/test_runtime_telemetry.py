@@ -18,7 +18,6 @@ from repro.core import (
 )
 from repro.core.runtime import EventLog, MonitorEvent, Telemetry
 from repro.iolink import Frame, ProtectedSerialLink, SerialLink
-from repro.iolink.protected import LinkEvent
 from repro.membus import (
     AddressMap,
     MemoryBus,
@@ -26,7 +25,13 @@ from repro.membus import (
     SDRAMDevice,
     TraceGenerator,
 )
+from repro.protocols import ProtectedLink, registry
 from repro.txline.materials import FR4
+
+#: Every protocol the registry knows — the telemetry-shape contract is
+#: parametrized over all of them, so a newly registered protocol is
+#: held to the shared surface automatically.
+ALL_PROTOCOLS = registry.load_all()
 
 
 def make_detector(itdr):
@@ -94,8 +99,8 @@ def workloads(factory):
 CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
              "tampered", "score"}
 SCORE_KEYS = {"count", "mean", "min", "max", "hist", "bin_edges"}
-TOP_KEYS = {"endpoints", "buses", "shards", "totals", "cadence", "health",
-            "detection"}
+TOP_KEYS = {"endpoints", "buses", "shards", "protocols", "totals",
+            "cadence", "health", "detection"}
 HEALTH_KEYS = {"dispatches", "degraded_dispatches", "retries",
                "serial_fallbacks", "pool_rebuilds", "timeouts",
                "broken_pools", "crashes", "errors", "per_shard_wall_s",
@@ -141,7 +146,13 @@ class TestSharedTelemetrySurface:
             assert snap["cadence"]["checks_run"] > 0, name
 
     def test_events_are_canonical_monitor_events(self, workloads):
+        # The PR-2 compatibility aliases survive but warn on use.
+        with pytest.deprecated_call():
+            from repro.iolink.protected import LinkEvent
         assert LinkEvent is MonitorEvent
+        with pytest.deprecated_call():
+            from repro.membus import MonitorEvent as MembusMonitorEvent
+        assert MembusMonitorEvent is MonitorEvent
         for name, workload in workloads.items():
             for event in workload.telemetry.log:
                 assert type(event) is MonitorEvent, name
@@ -190,3 +201,57 @@ class TestSharedTelemetrySurface:
             assert detect["first_alert_s"] is None, name
             sides = workload.telemetry.snapshot()["endpoints"]
             assert detect["per_side"] == {s: None for s in sides}, name
+
+    def test_workload_events_carry_their_protocol_label(self, workloads):
+        """The refactored workloads stamp the registry name on events;
+        the shared manager (protocol-agnostic registration) does not."""
+        for name, label in (("membus", "membus"), ("iolink", "iolink")):
+            snap = workloads[name].telemetry.snapshot()
+            assert set(snap["protocols"]) == {label}, name
+            assert snap["protocols"][label]["checks"] == len(
+                workloads[name].telemetry.log
+            ), name
+        assert workloads["manager"].telemetry.snapshot()["protocols"] == {}
+
+
+@pytest.fixture(scope="module")
+def protocol_links():
+    """One clean generic session per registered protocol."""
+    links = {}
+    for name in ALL_PROTOCOLS:
+        link = ProtectedLink.from_registry(name, seed=7)
+        link.calibrate(n_captures=8)
+        link.session(seed=1)
+        links[name] = link
+    return links
+
+
+class TestEveryRegisteredProtocol:
+    """The PR-2 telemetry contract, over the whole registry."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_snapshot_shape_matches_the_shared_surface(
+        self, protocol_links, protocol
+    ):
+        link = protocol_links[protocol]
+        snap = link.telemetry.snapshot()
+        assert set(snap) == TOP_KEYS
+        assert set(snap["detection"]) == DETECTION_KEYS
+        assert set(snap["cadence"]) == {"checks_run", "triggers_consumed"}
+        for cell in [snap["totals"], *snap["endpoints"].values(),
+                     *snap["protocols"].values()]:
+            assert set(cell) == CELL_KEYS
+            assert set(cell["score"]) == SCORE_KEYS
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_events_fill_the_protocol_cell(self, protocol_links, protocol):
+        link = protocol_links[protocol]
+        snap = link.telemetry.snapshot()
+        log = link.telemetry.log
+        assert len(log) > 0
+        assert all(event.protocol == protocol for event in log)
+        assert set(snap["protocols"]) == {protocol}
+        assert snap["protocols"][protocol]["checks"] == len(log)
+        assert set(snap["endpoints"]) == set(
+            registry.get(protocol).sides
+        )

@@ -1,0 +1,214 @@
+"""End-to-end protected sessions for every registered protocol.
+
+Each protocol must hold the full DIVOT story on the generic link: a
+clean session runs scheduled checks without false alerts, and the
+protocol's canonical attack scenario is detected with latency bounded
+by the cadence the traffic sustains.  JTAG's TAP state machine gets its
+own unit coverage — the traffic model is only as honest as the
+transition table under it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocols import ProtectedLink, registry
+from repro.protocols.jtag import (
+    JTAG_TRANSITIONS,
+    JTAGState,
+    TAPController,
+    scan_lengths,
+    tms_path,
+)
+
+ALL_PROTOCOLS = registry.load_all()
+
+#: iTDR seed every session in this file descends from.
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def calibrated_links():
+    """One calibrated registry-default link per protocol."""
+    links = {}
+    for name in ALL_PROTOCOLS:
+        link = ProtectedLink.from_registry(name, seed=SEED)
+        link.calibrate(n_captures=8)
+        links[name] = link
+    return links
+
+
+class TestCleanSessions:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_clean_session_checks_without_false_alerts(
+        self, calibrated_links, protocol
+    ):
+        link = calibrated_links[protocol]
+        result = link.session(seed=1)
+        assert result.units_sent == link.spec.default_units
+        assert result.checks_run >= 1, (
+            f"{protocol} default session never completed a check"
+        )
+        assert result.alerts() == []
+        assert result.first_alert_time() is None
+        # Check accounting is never free: every check consumed its budget.
+        assert result.triggers_consumed == (
+            result.checks_run * link.check_cost_triggers
+        )
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_sessions_are_reproducible(self, protocol):
+        def run():
+            link = ProtectedLink.from_registry(protocol, seed=SEED)
+            link.calibrate(n_captures=8)
+            result = link.session(n_units=link.spec.default_units, seed=1)
+            return [
+                (e.time_s, e.side, e.action.value, e.score)
+                for e in result.events
+            ]
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_cadence_discipline_matches_the_spec(self, calibrated_links,
+                                                 protocol):
+        link = calibrated_links[protocol]
+        spec = link.spec
+        if spec.cadence == "periodic":
+            assert link.check_period_s is not None
+            assert link.sustained_check_period_s() == link.check_period_s
+        else:
+            assert link.check_period_s is None
+            assert link.sustained_check_period_s() > 0
+
+
+class TestAttackScenarios:
+    """Satellite: the registry-default attack is detected, promptly."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_default_attack_raises_an_alert(self, calibrated_links,
+                                            protocol):
+        link = calibrated_links[protocol]
+        result, timeline = link.attack_session(onset_s=0.0, seed=1)
+        assert result.alerts(), (
+            f"{protocol}: {link.spec.attack_label} went undetected"
+        )
+        assert all(e.protocol == protocol for e in result.events)
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_detection_latency_is_bounded_by_the_cadence(
+        self, calibrated_links, protocol
+    ):
+        link = calibrated_links[protocol]
+        result, _ = link.attack_session(onset_s=0.0, seed=1)
+        latency = result.detection_latency(0.0)
+        assert latency is not None
+        # An attack active from t=0 is caught within two sustained check
+        # periods — one period of schedule slack, one of judgement.
+        assert latency <= 2 * link.sustained_check_period_s(), protocol
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_default_attack_builds_a_real_attack(self, protocol):
+        from repro.attacks.base import Attack
+
+        spec = registry.get(protocol)
+        attack = spec.default_attack(None)
+        assert isinstance(attack, Attack), (
+            f"{protocol} default_attack must build an Attack"
+        )
+        assert spec.attack_label
+
+
+class TestTAPStateMachine:
+    """IEEE 1149.1 unit coverage for the JTAG traffic model."""
+
+    def test_transition_table_is_total(self):
+        assert set(JTAG_TRANSITIONS) == set(JTAGState)
+        for state, (on_zero, on_one) in JTAG_TRANSITIONS.items():
+            assert isinstance(on_zero, JTAGState), state
+            assert isinstance(on_one, JTAGState), state
+
+    def test_five_ones_reset_from_any_state(self):
+        for start in JTAGState:
+            tap = TAPController()
+            tap.state = start
+            assert tap.walk([1] * 5) is JTAGState.RESET
+
+    def test_canonical_dr_scan_walk(self):
+        tap = TAPController()
+        tap.step(0)  # Reset -> Idle
+        walk = [
+            (1, JTAGState.DRSELECT),
+            (0, JTAGState.DRCAPTURE),
+            (0, JTAGState.DRSHIFT),
+            (0, JTAGState.DRSHIFT),
+            (1, JTAGState.DREXIT1),
+            (1, JTAGState.DRUPDATE),
+            (0, JTAGState.IDLE),
+        ]
+        for tms, expected in walk:
+            assert tap.step(tms) is expected
+
+    def test_tms_path_reaches_every_state(self):
+        for start in JTAGState:
+            for target in JTAGState:
+                path = tms_path(start, target)
+                tap = TAPController()
+                tap.state = start
+                assert tap.walk(path) is target
+
+    def test_scan_lengths_match_real_walks(self):
+        from repro.protocols.jtag import _scan_tms
+
+        for kind in ("ir", "dr"):
+            for n_bits in (1, 4, 8, 32):
+                for pause in (0, 1, 4):
+                    tms = _scan_tms(kind, n_bits, pause)
+                    assert len(tms) == scan_lengths(kind, n_bits, pause)
+                    tap = TAPController()
+                    tap.step(0)  # Reset -> Idle
+                    assert tap.walk(tms) is JTAGState.IDLE
+
+    def test_step_rejects_non_binary_tms(self):
+        with pytest.raises(ValueError):
+            TAPController().step(2)
+
+
+class TestTrafficModels:
+    """Wire-level sanity for the three new protocols' traffic."""
+
+    def test_jtag_bursts_are_clock_lane_exact(self):
+        spec = registry.get("jtag")
+        for burst in spec.traffic_bursts(n_units=100, seed=3):
+            assert burst.n_triggers == burst.n_bits  # every cycle triggers
+            assert burst.duration_s == burst.n_bits / spec.bit_rate
+
+    def test_spi_bursts_carry_frame_overhead(self):
+        from repro.protocols.spi import CS_OVERHEAD_BITS
+
+        spec = registry.get("spi")
+        for burst in spec.traffic_bursts(n_units=100, seed=3):
+            data_bits = burst.n_bits - CS_OVERHEAD_BITS
+            assert data_bits % 8 == 0  # whole command+payload bytes
+            assert 0 < burst.n_triggers < data_bits
+
+    def test_i2c_stretching_adds_time_not_triggers(self):
+        spec = registry.get("i2c")
+        rng = np.random.default_rng(3)
+        bursts = list(spec.traffic(rng, 400))
+        # Longest unstretched transaction: START/STOP + address group +
+        # four data-byte groups of nine bits each.
+        max_unstretched = 2 + 9 + 9 * 4
+        stretched = [b for b in bursts if b.n_bits > max_unstretched]
+        assert stretched, "no clock-stretched transaction in 400 draws"
+        for burst in bursts:
+            assert burst.n_triggers <= burst.n_bits
+
+    def test_i2c_rejects_reserved_addresses(self):
+        from repro.protocols.i2c import i2c_transaction_bits
+
+        with pytest.raises(ValueError):
+            i2c_transaction_bits(0x03, read=False, data=[1])
+        with pytest.raises(ValueError):
+            i2c_transaction_bits(0x7B, read=True, data=[1])
+        bits = i2c_transaction_bits(0x50, read=False, data=[0xA5])
+        assert len(bits) == 9 + 9  # addr+rw+ack, byte+ack

@@ -1,0 +1,115 @@
+"""Registry completeness: no orphan modules, no half-wired protocols.
+
+The pluggable layer only works if its invariants are policed: every
+protocol module under ``repro/protocols/`` actually registers a spec,
+every application ``protocol`` module registers one, and every
+registered spec is fully wired — a working seeded traffic model, a
+canonical attack scenario, and coverage by the parametrized telemetry
+and link-session suites.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.protocols import registry
+from repro.protocols.registry import _INFRASTRUCTURE
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+PROTOCOLS_DIR = SRC / "repro" / "protocols"
+TESTS_DIR = Path(__file__).resolve().parents[1]
+
+ALL_PROTOCOLS = registry.load_all()
+
+
+def protocol_modules_on_disk():
+    """Dotted names of non-infrastructure modules in the package."""
+    return {
+        f"repro.protocols.{path.stem}"
+        for path in PROTOCOLS_DIR.glob("*.py")
+        if path.stem not in _INFRASTRUCTURE
+    }
+
+
+def application_provider_modules():
+    """Dotted names of every ``repro.<app>.protocol`` module shipped."""
+    found = set()
+    for package in (SRC / "repro").iterdir():
+        if package.name == "protocols" or not package.is_dir():
+            continue
+        if (package / "protocol.py").exists():
+            found.add(f"repro.{package.name}.protocol")
+    return found
+
+
+def load_test_module(filename):
+    """Import a sibling test module by path (no package installation)."""
+    spec = importlib.util.spec_from_file_location(
+        f"_completeness_{filename.replace('.', '_')}",
+        TESTS_DIR / "protocols" / filename,
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestEveryModuleRegisters:
+    def test_every_protocol_module_registers_a_spec(self):
+        providers = {spec.provider for spec in registry.specs()}
+        orphans = protocol_modules_on_disk() - providers
+        assert not orphans, (
+            f"modules under repro/protocols/ registering nothing: "
+            f"{sorted(orphans)} — register a ProtocolSpec or add the "
+            f"module to registry._INFRASTRUCTURE"
+        )
+
+    def test_every_application_provider_registers_a_spec(self):
+        providers = {spec.provider for spec in registry.specs()}
+        orphans = application_provider_modules() - providers
+        assert not orphans, (
+            f"application protocol modules registering nothing: "
+            f"{sorted(orphans)}"
+        )
+
+    def test_no_spec_comes_from_an_unknown_module(self):
+        known = protocol_modules_on_disk() | application_provider_modules()
+        for spec in registry.specs():
+            assert spec.provider in known, (
+                f"{spec.name} registered from unexpected module "
+                f"{spec.provider}"
+            )
+
+
+class TestEveryProtocolIsFullyWired:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_has_a_working_seeded_traffic_model(self, protocol):
+        spec = registry.get(protocol)
+        bursts = list(spec.traffic_bursts(n_units=5, seed=11))
+        assert len(bursts) == 5
+        assert all(b.duration_s > 0 for b in bursts)
+        assert any(b.n_triggers > 0 for b in bursts), (
+            f"{protocol} traffic offers the monitor no triggers at all"
+        )
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_has_an_attack_scenario(self, protocol):
+        from repro.attacks.base import Attack
+
+        spec = registry.get(protocol)
+        assert isinstance(spec.default_attack(None), Attack)
+        assert spec.attack_label
+
+    def test_covered_by_the_telemetry_shape_suite(self):
+        module = load_test_module("../integration/test_runtime_telemetry.py")
+        assert module.ALL_PROTOCOLS == ALL_PROTOCOLS, (
+            "the telemetry-shape parametrization has drifted from the "
+            "registry"
+        )
+
+    def test_covered_by_the_link_session_suite(self):
+        module = load_test_module("test_protocol_links.py")
+        assert module.ALL_PROTOCOLS == ALL_PROTOCOLS, (
+            "the link-session parametrization has drifted from the "
+            "registry"
+        )

@@ -1,0 +1,154 @@
+"""The protocol spec/registry contract, including seeded-RNG discipline.
+
+Every registered traffic model takes an explicit generator and consumes
+randomness only from it: same seed, same wire bits, no global-state
+leakage.  The registry itself is checked for discovery, conflict
+handling, and provider stamping.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.protocols import ProtocolSpec, TrafficBurst, registry
+from repro.protocols.spec import DEFAULT_TRAFFIC_SEED
+
+ALL_PROTOCOLS = registry.load_all()
+
+
+def _dummy_traffic(rng, n_units):
+    for _ in range(n_units):
+        yield TrafficBurst(
+            n_bits=8, n_triggers=2, duration_s=8e-9, kind="unit"
+        )
+
+
+def make_spec(**overrides):
+    fields = dict(
+        name="dummy",
+        title="Dummy lane",
+        cadence="trigger-budget",
+        sides=("a", "b"),
+        endpoint_names=("a-end", "b-end"),
+        bit_rate=1e9,
+        clock_lane=False,
+        traffic=_dummy_traffic,
+        default_attack=lambda line: None,
+        attack_label="no scenario (test dummy)",
+    )
+    fields.update(overrides)
+    return ProtocolSpec(**fields)
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_cadence(self):
+        with pytest.raises(ValueError, match="cadence"):
+            make_spec(cadence="sometimes")
+
+    def test_rejects_mismatched_sides_and_endpoints(self):
+        with pytest.raises(ValueError, match="endpoint_names"):
+            make_spec(sides=("a", "b"), endpoint_names=("only-one",))
+
+    def test_rejects_nonpositive_rates_and_counts(self):
+        with pytest.raises(ValueError):
+            make_spec(bit_rate=0.0)
+        with pytest.raises(ValueError):
+            make_spec(captures_per_check=0)
+        with pytest.raises(ValueError):
+            make_spec(default_units=0)
+
+    def test_burst_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            TrafficBurst(n_bits=-1, n_triggers=0, duration_s=1e-9)
+        with pytest.raises(ValueError):
+            TrafficBurst(n_bits=1, n_triggers=0, duration_s=-1e-9)
+
+
+class TestRegistry:
+    def test_all_builtins_and_workloads_register(self):
+        assert set(ALL_PROTOCOLS) == {
+            "membus", "iolink", "jtag", "spi", "i2c"
+        }
+        assert ALL_PROTOCOLS == sorted(ALL_PROTOCOLS)
+
+    def test_get_unknown_name_lists_what_exists(self):
+        with pytest.raises(KeyError, match="jtag"):
+            registry.get("uart")
+
+    def test_register_is_idempotent_but_conflicts_loudly(self):
+        spec = registry.get("spi")
+        assert registry.register(spec) is spec  # same spec: no-op
+        clashing = make_spec(name="spi")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(clashing)
+
+    def test_provider_module_is_stamped(self):
+        assert registry.get("jtag").provider == "repro.protocols.jtag"
+        assert registry.get("membus").provider == "repro.membus.protocol"
+        assert registry.get("iolink").provider == "repro.iolink.protocol"
+
+
+class TestSeededRandomnessDiscipline:
+    """Satellite: no protocol consumes unseeded randomness."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_traffic_signature_takes_an_explicit_generator(self, protocol):
+        spec = registry.get(protocol)
+        params = list(inspect.signature(spec.traffic).parameters)
+        assert params[0] == "rng", (
+            f"{protocol} traffic model must take the generator first"
+        )
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_same_seed_means_identical_bursts(self, protocol):
+        spec = registry.get(protocol)
+        one = list(spec.traffic_bursts(n_units=40, seed=5))
+        two = list(spec.traffic_bursts(n_units=40, seed=5))
+        other = list(spec.traffic_bursts(n_units=40, seed=6))
+        assert one == two
+        assert len(one) == 40
+        assert one != other, f"{protocol} traffic ignores its seed"
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_rng_and_seed_are_mutually_exclusive(self, protocol):
+        spec = registry.get(protocol)
+        with pytest.raises(ValueError, match="not both"):
+            spec.traffic_bursts(
+                n_units=1, rng=np.random.default_rng(0), seed=0
+            )
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_no_protocol_touches_global_or_fresh_generators(
+        self, protocol, monkeypatch
+    ):
+        """Traffic generation draws only from the generator handed in.
+
+        Every ambient randomness source is booby-trapped: constructing a
+        fresh generator or touching numpy's global stream fails the test.
+        """
+        spec = registry.get(protocol)
+        rng = np.random.default_rng(5)
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                f"{protocol} traffic reached for ambient randomness"
+            )
+
+        monkeypatch.setattr(np.random, "default_rng", boom)
+        for name in ("random", "randint", "rand", "randn", "choice",
+                     "integers", "seed"):
+            if hasattr(np.random, name):
+                monkeypatch.setattr(np.random, name, boom)
+        bursts = list(spec.traffic_bursts(n_units=30, rng=rng))
+        assert len(bursts) == 30
+
+    def test_default_seed_is_pinned(self):
+        """The no-argument path is seeded too — never wall-clock random."""
+        for protocol in ALL_PROTOCOLS:
+            spec = registry.get(protocol)
+            implicit = list(spec.traffic_bursts(n_units=10))
+            explicit = list(
+                spec.traffic_bursts(n_units=10, seed=DEFAULT_TRAFFIC_SEED)
+            )
+            assert implicit == explicit, protocol

@@ -24,9 +24,16 @@ ALLOWED: Dict[str, Set[str]] = {
     "attacks": {"signals", "txline"},
     "core": {"signals", "txline", "env", "attacks"},
     "analysis": {"signals", "txline", "env", "attacks", "core"},
+    "protocols": {"signals", "txline", "env", "attacks", "core"},
     "baselines": {"signals", "txline", "env", "attacks", "core", "analysis"},
-    "membus": {"signals", "txline", "env", "attacks", "core", "analysis"},
-    "iolink": {"signals", "txline", "env", "attacks", "core", "analysis"},
+    "membus": {
+        "signals", "txline", "env", "attacks", "core", "analysis",
+        "protocols",
+    },
+    "iolink": {
+        "signals", "txline", "env", "attacks", "core", "analysis",
+        "protocols",
+    },
 }
 
 APPLICATIONS = {"membus", "iolink", "baselines"}
@@ -94,6 +101,17 @@ class TestImportLayers:
                 f"layer: {sorted(imported & APPLICATIONS)}"
             )
             assert "experiments" not in imported
+
+    def test_protocols_never_imports_applications(self):
+        """The protocol layer discovers application-owned specs by dotted
+        name (``importlib``), never by static import — so it can sit
+        below the applications that register with it."""
+        for path in modules_of("protocols"):
+            imported = repro_packages_imported(path)
+            assert not (imported & APPLICATIONS), (
+                f"{path.relative_to(SRC)} reaches into an application "
+                f"layer: {sorted(imported & APPLICATIONS)}"
+            )
 
     def test_applications_never_import_each_other_or_experiments(self):
         for app in sorted(APPLICATIONS):
