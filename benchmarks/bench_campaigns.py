@@ -1,0 +1,105 @@
+"""Adaptive campaign throughput: the attacker-vs-detector loop's pin.
+
+X-CAMPAIGN's whole value is iteration: every round re-proposes attacks,
+re-scans the fleet, and re-judges — so campaign wall-clock is round
+latency times adaptation depth.  This bench times one full suite run
+(every stock strategy against every default protocol) and records
+rounds/sec plus the per-protocol frontier summaries to
+``benchmarks/BENCH_campaigns.json``.
+
+Asserted unconditionally, on any machine:
+
+* serial and sharded campaigns are byte-identical (determinism is a
+  correctness property, not a perf property);
+* the adaptive profile-fitting cloner beats the one-shot baseline on
+  at least one operating point per protocol (the clone gap).
+"""
+
+import time
+
+from repro.campaigns import Campaign, CampaignSuite
+from repro.core.runtime import Telemetry
+
+from conftest import emit, smoke_mode
+
+SEED = 7
+
+
+def _suite_params():
+    if smoke_mode():
+        return ("jtag",), 3
+    return ("jtag", "spi", "i2c"), 5
+
+
+def test_campaign_suite_throughput(benchmark, record_campaign_result):
+    protocols, n_rounds = _suite_params()
+    telemetry = Telemetry()
+    suite = CampaignSuite(
+        protocols=protocols,
+        seed=SEED,
+        n_rounds=n_rounds,
+        shards=2,
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    outcomes = suite.run()
+    wall_s = time.perf_counter() - start
+
+    serial = Campaign(
+        protocols[0], seed=SEED, n_rounds=n_rounds, shards=1,
+        backend="serial",
+    ).run()
+    assert (
+        serial.canonical_bytes() == outcomes[protocols[0]].canonical_bytes()
+    )
+
+    snapshot = telemetry.snapshot()
+    for protocol in protocols:
+        assert snapshot["campaigns"][f"{protocol}/clone_gap"]["gap"] > 0
+
+    n_arms = len(outcomes[protocols[0]].arms)
+    total_rounds = len(protocols) * n_arms * n_rounds
+    rounds_per_s = total_rounds / wall_s
+
+    benchmark(
+        lambda: Campaign(
+            protocols[0], seed=SEED, n_rounds=n_rounds
+        ).run()
+    )
+
+    record_campaign_result(
+        "campaign_suite_throughput",
+        {
+            "protocols": list(protocols),
+            "n_rounds": n_rounds,
+            "n_arms": n_arms,
+            "suite_wall_s": wall_s,
+            "rounds_per_s": rounds_per_s,
+            "byte_identical": True,
+            "clone_gap": {
+                protocol: snapshot["campaigns"][f"{protocol}/clone_gap"][
+                    "gap"
+                ]
+                for protocol in protocols
+            },
+            "auc": {
+                f"{protocol}/{report.strategy}": report.auc
+                for protocol in protocols
+                for report in outcomes[protocol].arms
+            },
+        },
+    )
+    emit(
+        "ADAPTIVE CAMPAIGN SUITE — attacker-vs-detector loop throughput",
+        f"protocols                : {', '.join(protocols)}\n"
+        f"arms x rounds            : {n_arms} x {n_rounds}\n"
+        f"suite wall time          : {wall_s * 1e3:10.1f} ms\n"
+        f"adaptive rounds / sec    : {rounds_per_s:10.1f}\n"
+        "serial/sharded outcomes  : byte-identical\n"
+        "clone gap (per protocol) : "
+        + ", ".join(
+            f"{p}="
+            f"{snapshot['campaigns'][f'{p}/clone_gap']['gap']:.2f}"
+            for p in protocols
+        ),
+    )

@@ -26,10 +26,12 @@ from repro.experiments.common import FULL, ExperimentScale
 BENCH_FLEET_JSON = Path(__file__).resolve().parent / "BENCH_fleet.json"
 BENCH_PHYSICS_JSON = Path(__file__).resolve().parent / "BENCH_physics.json"
 BENCH_IDENTIFY_JSON = Path(__file__).resolve().parent / "BENCH_identify.json"
+BENCH_CAMPAIGNS_JSON = Path(__file__).resolve().parent / "BENCH_campaigns.json"
 
 _fleet_results = {}
 _physics_results = {}
 _identify_results = {}
+_campaign_results = {}
 
 
 def smoke_mode() -> bool:
@@ -83,6 +85,21 @@ def record_identify_result():
     return _record
 
 
+@pytest.fixture
+def record_campaign_result():
+    """Collect one bench's machine-readable row for ``BENCH_campaigns.json``.
+
+    The adaptive-campaign bench records rounds/sec and per-protocol
+    frontier summaries here, so the attacker-vs-detector trajectory can
+    be tracked across commits next to the other bench families.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        _campaign_results[name] = payload
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _fleet_results:
         BENCH_FLEET_JSON.write_text(
@@ -95,6 +112,10 @@ def pytest_sessionfinish(session, exitstatus):
     if _identify_results:
         BENCH_IDENTIFY_JSON.write_text(
             json.dumps(_identify_results, indent=2, sort_keys=True) + "\n"
+        )
+    if _campaign_results:
+        BENCH_CAMPAIGNS_JSON.write_text(
+            json.dumps(_campaign_results, indent=2, sort_keys=True) + "\n"
         )
 
 

@@ -6,6 +6,15 @@ from .export import (
     scores_to_csv,
     waveform_to_csv,
 )
+from .frontier import (
+    LatencyPoint,
+    RocPoint,
+    detection_latency_frontier,
+    operating_point,
+    pareto_front,
+    roc_auc,
+    roc_sweep,
+)
 from .report import format_histogram, format_series, format_table
 from .stats import (
     BootstrapResult,
@@ -24,6 +33,13 @@ __all__ = [
     "bootstrap_eer",
     "BootstrapResult",
     "det_points",
+    "RocPoint",
+    "LatencyPoint",
+    "roc_sweep",
+    "roc_auc",
+    "operating_point",
+    "detection_latency_frontier",
+    "pareto_front",
     "waveform_to_csv",
     "scores_to_csv",
     "capture_to_json",

@@ -1,0 +1,221 @@
+"""ROC sweeps and detection-latency frontiers for adversary campaigns.
+
+A campaign produces two sample sets per (protocol, strategy) arm: the
+*suspicion statistic* the detector computed on clean rounds and the same
+statistic on attacked rounds (peak smoothed error for tamper-channel
+attacks, ``1 - similarity`` for authentication-channel attacks — in both
+conventions larger means more suspicious).  Sweeping the decision
+threshold over the pooled sample values yields the full ROC curve; the
+same sweep against the attacked rounds *in round order* yields the
+detection-latency frontier — how many adaptive rounds the adversary
+survives at each tolerated false-alarm rate.  Both are exact empirical
+curves (no binning, no interpolation), so their points are reproducible
+byte-for-byte at a fixed campaign seed and are safe to pin in
+regression tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RocPoint",
+    "LatencyPoint",
+    "roc_sweep",
+    "roc_auc",
+    "operating_point",
+    "detection_latency_frontier",
+    "pareto_front",
+]
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of a detector threshold sweep.
+
+    Attributes:
+        threshold: Decision level on the suspicion statistic; a round is
+            flagged when its statistic is >= the threshold.
+        fpr: Fraction of clean rounds flagged at this threshold.
+        tpr: Fraction of attacked rounds flagged at this threshold.
+    """
+
+    threshold: float
+    fpr: float
+    tpr: float
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of the false-alarm-rate / time-to-detect trade.
+
+    Attributes:
+        threshold: Decision level on the suspicion statistic.
+        fpr: Clean-round false-alarm rate at this threshold.
+        rounds_to_detect: 1-based index of the first attacked round the
+            detector flags, or None when the whole campaign evades this
+            threshold.
+    """
+
+    threshold: float
+    fpr: float
+    rounds_to_detect: Optional[int]
+
+    @property
+    def detected(self) -> bool:
+        """Whether the campaign was caught at all at this threshold."""
+        return self.rounds_to_detect is not None
+
+
+def _statistics(values: Sequence[float], label: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{label} must be a non-empty 1-D sample set")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{label} must be finite")
+    return arr
+
+
+def _sweep_thresholds(
+    clean: np.ndarray, attack: np.ndarray
+) -> np.ndarray:
+    """Every decision level that changes the empirical error rates.
+
+    The pooled unique sample values — sweeping between two adjacent
+    values cannot move either rate — plus one level strictly above the
+    pooled maximum, so the (fpr=0, tpr=0) corner is always present.
+    """
+    pooled = np.unique(np.concatenate([clean, attack]))
+    top = pooled[-1] + max(1.0, abs(pooled[-1])) * 1e-9 + 1e-300
+    return np.concatenate([pooled, [top]])
+
+
+def roc_sweep(
+    clean: Sequence[float],
+    attack: Sequence[float],
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[RocPoint]:
+    """The exact empirical ROC curve of a suspicion statistic.
+
+    Points come back in increasing-threshold order (decreasing FPR);
+    both endpoints are included: the lowest pooled value flags
+    everything (fpr = tpr = 1) and the synthetic top threshold flags
+    nothing.
+    """
+    clean_arr = _statistics(clean, "clean")
+    attack_arr = _statistics(attack, "attack")
+    if thresholds is None:
+        levels = _sweep_thresholds(clean_arr, attack_arr)
+    else:
+        levels = np.asarray(list(thresholds), dtype=float)
+        if levels.ndim != 1 or levels.size == 0:
+            raise ValueError("thresholds must be non-empty 1-D")
+        levels = np.sort(levels)
+    clean_sorted = np.sort(clean_arr)
+    attack_sorted = np.sort(attack_arr)
+    n_clean = clean_sorted.size
+    n_attack = attack_sorted.size
+    fpr = 1.0 - np.searchsorted(clean_sorted, levels, side="left") / n_clean
+    tpr = 1.0 - np.searchsorted(attack_sorted, levels, side="left") / n_attack
+    return [
+        RocPoint(threshold=float(t), fpr=float(f), tpr=float(p))
+        for t, f, p in zip(levels, fpr, tpr)
+    ]
+
+
+def roc_auc(points: Sequence[RocPoint]) -> float:
+    """Trapezoidal area under an ROC point list (0.5 = chance)."""
+    if not points:
+        raise ValueError("need at least one ROC point")
+    fpr = np.array([p.fpr for p in points], dtype=float)
+    tpr = np.array([p.tpr for p in points], dtype=float)
+    # Sort by (fpr, tpr): ties on the FPR axis are vertical risers of
+    # the empirical staircase, and integrating must leave each riser
+    # from its top, not from whichever tied point happened to sort last.
+    order = np.lexsort((tpr, fpr))
+    fpr, tpr = fpr[order], tpr[order]
+    # Anchor both ends so a sweep that never reaches a corner still
+    # integrates over the full FPR axis.
+    fpr = np.concatenate([[0.0], fpr, [1.0]])
+    tpr = np.concatenate([[tpr[0]], tpr, [tpr[-1]]])
+    return float(np.trapezoid(tpr, fpr))
+
+
+def operating_point(
+    points: Sequence[RocPoint], max_fpr: float
+) -> RocPoint:
+    """The best-TPR point whose false-positive rate fits the budget.
+
+    The deployment question every campaign table answers: "allowing at
+    most this false-alarm rate, what fraction of attack rounds does the
+    detector catch?"  Raises when no point fits (only possible with an
+    explicit threshold grid — default sweeps always include fpr = 0).
+    """
+    if not 0.0 <= max_fpr <= 1.0:
+        raise ValueError("max_fpr must be in [0, 1]")
+    eligible = [p for p in points if p.fpr <= max_fpr]
+    if not eligible:
+        raise ValueError(f"no operating point with fpr <= {max_fpr}")
+    return max(eligible, key=lambda p: (p.tpr, -p.fpr, -p.threshold))
+
+
+def detection_latency_frontier(
+    clean: Sequence[float],
+    attack_by_round: Sequence[float],
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[LatencyPoint]:
+    """False-alarm rate versus rounds-until-detection, per threshold.
+
+    ``attack_by_round`` is the suspicion statistic of each attacked
+    round *in campaign order* — for an adaptive adversary the sequence
+    typically decays, which is exactly what this frontier exposes: a
+    strict threshold catches round one; a lax one may never fire again
+    once the adversary has tuned itself below it.
+    """
+    clean_arr = _statistics(clean, "clean")
+    attack_arr = _statistics(attack_by_round, "attack_by_round")
+    if thresholds is None:
+        levels = _sweep_thresholds(clean_arr, attack_arr)
+    else:
+        levels = np.sort(np.asarray(list(thresholds), dtype=float))
+    clean_sorted = np.sort(clean_arr)
+    n_clean = clean_sorted.size
+    points = []
+    for level in levels:
+        fpr = 1.0 - float(
+            np.searchsorted(clean_sorted, level, side="left")
+        ) / n_clean
+        hits = np.nonzero(attack_arr >= level)[0]
+        rounds = int(hits[0]) + 1 if hits.size else None
+        points.append(
+            LatencyPoint(
+                threshold=float(level), fpr=fpr, rounds_to_detect=rounds
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[LatencyPoint]) -> List[LatencyPoint]:
+    """The undominated subset of a latency frontier.
+
+    A point dominates another when it is no worse on both axes (false
+    alarms and time-to-detect) and strictly better on one; undetected
+    points count as infinite latency.  Returned in increasing-FPR
+    order — the curve an operator actually chooses from.
+    """
+
+    def latency(p: LatencyPoint) -> float:
+        return float("inf") if p.rounds_to_detect is None else p.rounds_to_detect
+
+    ordered = sorted(points, key=lambda p: (p.fpr, latency(p)))
+    front: List[LatencyPoint] = []
+    best = float("inf")
+    for point in ordered:
+        lat = latency(point)
+        if lat < best:
+            front.append(point)
+            best = lat
+    return front

@@ -15,6 +15,13 @@ from .cloning import (
     CloningAttacker,
     FabCapability,
 )
+from .fitting import (
+    AdaptiveCloningAttacker,
+    ProfileSubstitution,
+    impulse_taps,
+    peel_profile,
+)
+from .interposer import InterposerImplant
 from .probe import CapacitiveSnoop, MagneticProbe
 from .trojan import ChipSwap, ColdBootSwap, LoadModification
 from .wiretap import WireTap, WireTapResidue
@@ -30,7 +37,12 @@ __all__ = [
     "LoadModification",
     "ChipSwap",
     "ColdBootSwap",
+    "InterposerImplant",
     "CloningAttacker",
+    "AdaptiveCloningAttacker",
+    "ProfileSubstitution",
+    "impulse_taps",
+    "peel_profile",
     "FabCapability",
     "HOBBYIST",
     "COMMERCIAL",

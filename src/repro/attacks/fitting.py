@@ -1,0 +1,391 @@
+"""Profile-fitting cloning: inverse-scattering the IIP from reflections.
+
+The strongest attack on any measurable PUF is to *measure it and fit a
+model*: the fingerprint DIVOT relies on is an impedance profile, and a
+lossless-layered-medium reflection response determines its profile
+exactly (Goupillaud's inverse scattering / layer peeling).  This module
+implements the matched pair:
+
+* :func:`impulse_taps` — the exact forward lattice: the reflection
+  impulse-response taps (one per segment round trip) a bench
+  reflectometer with a matched source observes;
+* :func:`peel_profile` — the exact inverse: dynamic deconvolution that
+  walks down the line one interface at a time, recovering every segment
+  impedance and the termination from the taps.
+
+Noiselessly, ``peel_profile(impulse_taps(p)) == p`` to machine
+precision — the pinned contract.  With bench noise the peel *amplifies*
+errors with depth (each layer divides by ``1 - r`` and by the loss
+factor twice), which is the physically honest limit on this attack: the
+adversary's fitted profile degrades toward the far end, and averaging
+more observations buys accuracy only as ``1/sqrt(N)``.
+
+:class:`AdaptiveCloningAttacker` builds the campaign adversary on top:
+observe, fit, fabricate at a real fab's patterning resolution, then
+iteratively *trim* the realised clone toward the fit — the adaptive
+loop that beats the one-shot :class:`~repro.attacks.cloning.
+CloningAttacker` baseline.  :class:`ProfileSubstitution` plugs the
+counterfeit into any modifier chain (fleet scans included).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..txline.line import TransmissionLine
+from ..txline.profile import ImpedanceProfile, correlated_field
+from .base import Attack
+from .cloning import FabCapability
+
+__all__ = [
+    "impulse_taps",
+    "peel_profile",
+    "ProfileSubstitution",
+    "AdaptiveCloningAttacker",
+]
+
+#: Largest |reflection coefficient| the peel will accept from noisy taps
+#: before clamping — keeps one bad division from corrupting every layer
+#: below it.
+_R_CLAMP = 0.97
+
+
+def _uniform_tau(profile: ImpedanceProfile) -> float:
+    """The common segment delay, or an error for non-uniform lines.
+
+    The tap algebra needs one round-trip pitch; manufactured prototype
+    lines are uniform by construction (the factory fills ``tau`` with
+    one segment delay).
+    """
+    tau = profile.tau
+    mean = float(tau.mean())
+    if np.any(np.abs(tau - mean) > 1e-9 * mean):
+        raise ValueError("profile-fitting needs a uniform-tau line")
+    return mean
+
+
+def _coefficients(profile: ImpedanceProfile, z_ref: float) -> np.ndarray:
+    """Down-crossing reflection coefficients, bench to load."""
+    z = profile.z
+    r = np.empty(len(z) + 1)
+    r[0] = (z[0] - z_ref) / (z[0] + z_ref)
+    r[1:-1] = (z[1:] - z[:-1]) / (z[1:] + z[:-1])
+    r[-1] = (profile.z_load - z[-1]) / (profile.z_load + z[-1])
+    return r
+
+
+def impulse_taps(
+    profile: ImpedanceProfile,
+    n_taps: Optional[int] = None,
+    z_ref: float = 50.0,
+) -> np.ndarray:
+    """Exact reflection impulse-response taps of a layered line.
+
+    A unit impulse launches from a matched ``z_ref`` bench; the return
+    is sampled at the round-trip pitch ``2 * tau``.  Tap ``k`` carries
+    every multiple-scattering path of total delay ``2 k tau`` — the
+    exact Goupillaud lattice, with the per-segment loss applied on each
+    one-way traversal.
+
+    ``n_taps`` defaults to ``n_segments + 1``, the minimum that reaches
+    the termination (and hence the minimum :func:`peel_profile` needs).
+    """
+    if z_ref <= 0:
+        raise ValueError("z_ref must be positive")
+    _uniform_tau(profile)
+    n_seg = profile.n_segments
+    if n_taps is None:
+        n_taps = n_seg + 1
+    if n_taps < 1:
+        raise ValueError("n_taps must be >= 1")
+    r = _coefficients(profile, z_ref)
+    g = profile.loss_per_segment
+    down = np.zeros(n_seg)
+    up = np.zeros(n_seg)
+    h = np.zeros(2 * n_taps - 1)
+    for t in range(len(h)):
+        d_arr = g * down
+        u_arr = g * up
+        source = 1.0 if t == 0 else 0.0
+        from_below = u_arr[0]
+        h[t] = r[0] * source + (1.0 - r[0]) * from_below
+        new_down = np.empty(n_seg)
+        new_up = np.empty(n_seg)
+        new_down[0] = (1.0 + r[0]) * source - r[0] * from_below
+        a = d_arr[:-1]
+        b = u_arr[1:]
+        ri = r[1:-1]
+        new_down[1:] = (1.0 + ri) * a - ri * b
+        new_up[:-1] = ri * a + (1.0 - ri) * b
+        new_up[-1] = r[-1] * d_arr[-1]
+        down, up = new_down, new_up
+    # Reflections reach the bench only at even lattice times.
+    return h[::2]
+
+
+def peel_profile(
+    taps: np.ndarray,
+    tau_s: float,
+    n_segments: int,
+    z_ref: float = 50.0,
+    loss_per_segment: float = 1.0,
+    z_source: float = 50.0,
+) -> ImpedanceProfile:
+    """Layer-peel an impedance profile out of reflection taps.
+
+    The inverse of :func:`impulse_taps`: walk interfaces top-down; at
+    each one the first surviving tap fixes the local reflection
+    coefficient, the scattering relations reconstruct the wave pair
+    just below it, and one round-trip shift descends a layer.  The
+    loss factor is assumed known (laminate datasheet) and compensated
+    exactly.  Needs ``n_segments + 1`` taps; noise in late taps surfaces
+    as error in deep segments — the attack's physical accuracy limit.
+    """
+    taps = np.asarray(taps, dtype=float)
+    if taps.ndim != 1:
+        raise ValueError("taps must be 1-D")
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    if len(taps) < n_segments + 1:
+        raise ValueError(
+            f"need {n_segments + 1} taps to peel {n_segments} segments, "
+            f"got {len(taps)}"
+        )
+    if tau_s <= 0:
+        raise ValueError("tau_s must be positive")
+    if not 0 < loss_per_segment <= 1.0:
+        raise ValueError("loss_per_segment must be in (0, 1]")
+    g = loss_per_segment
+    down = np.zeros_like(taps)
+    down[0] = 1.0
+    up = taps.copy()
+    coeffs = np.empty(n_segments + 1)
+    for i in range(n_segments + 1):
+        r = up[0] / down[0]
+        r = float(np.clip(r, -_R_CLAMP, _R_CLAMP))
+        coeffs[i] = r
+        if i == n_segments:
+            break
+        from_below = (up - r * down) / (1.0 - r)
+        through = (1.0 + r) * down - r * from_below
+        down = g * through[:-1]
+        up = from_below[1:] / g
+    z = np.empty(n_segments)
+    z_here = z_ref
+    for i in range(n_segments):
+        z_here = z_here * (1.0 + coeffs[i]) / (1.0 - coeffs[i])
+        z[i] = z_here
+    z_load = z_here * (1.0 + coeffs[-1]) / (1.0 - coeffs[-1])
+    return ImpedanceProfile(
+        z=z,
+        tau=np.full(n_segments, tau_s),
+        z_source=z_source,
+        z_load=float(z_load),
+        loss_per_segment=loss_per_segment,
+    )
+
+
+class ProfileSubstitution(Attack):
+    """Swap the whole electrical state for a counterfeit's profile.
+
+    The physical act behind every cloning scenario: the genuine line is
+    gone and the endpoint now measures the counterfeit.  Expressed as a
+    profile modifier so clone presentation rides the same fleet-scan
+    path as every other attack.
+    """
+
+    kind = "clone-substitution"
+    mechanisms = frozenset({"inductive", "capacitive", "galvanic"})
+
+    def __init__(self, replacement: ImpedanceProfile, label: str = "clone"):
+        if not isinstance(replacement, ImpedanceProfile):
+            raise TypeError("replacement must be an ImpedanceProfile")
+        self.replacement = replacement
+        self.label = str(label)
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        if profile.n_segments != self.replacement.n_segments:
+            raise ValueError(
+                "counterfeit segment count differs from the protected "
+                f"line ({self.replacement.n_segments} vs "
+                f"{profile.n_segments})"
+            )
+        return self.replacement
+
+    def describe(self) -> str:
+        return f"{self.kind} ({self.label})"
+
+
+class AdaptiveCloningAttacker:
+    """Observe-fit-fabricate-trim: the adaptive cloning campaign core.
+
+    Per round the adversary (a) takes one more averaged bench
+    observation of the target's reflection taps, (b) re-fits the
+    profile by layer peeling the accumulated average, and (c) either
+    fabricates a first clone (patterning-resolution boxcar command plus
+    the fab's fresh process noise, exactly the one-shot attacker's
+    physics) or laser-trims the existing clone toward the latest fit.
+    Trimming is post-fab rework: finer-pitched than patterning and
+    incremental, but each pass leaves fresh trim noise, so the clone
+    converges to a floor set by trim pitch and noise — below the
+    one-shot clone's error, never to zero.
+
+    All randomness comes from the per-round generator the campaign
+    hands in, so a campaign's clones are a pure function of its seeds.
+    """
+
+    def __init__(
+        self,
+        capability: FabCapability,
+        z_ref: float = 50.0,
+        bench_noise: float = 2.0e-4,
+        trim_gain: float = 0.6,
+        trim_pitch_fraction: float = 0.25,
+        trim_noise_fraction: float = 0.1,
+    ) -> None:
+        if bench_noise < 0:
+            raise ValueError("bench_noise must be non-negative")
+        if not 0.0 < trim_gain <= 1.0:
+            raise ValueError("trim_gain must be in (0, 1]")
+        if not 0.0 < trim_pitch_fraction <= 1.0:
+            raise ValueError("trim_pitch_fraction must be in (0, 1]")
+        if trim_noise_fraction < 0:
+            raise ValueError("trim_noise_fraction must be non-negative")
+        self.capability = capability
+        self.z_ref = float(z_ref)
+        self.bench_noise = float(bench_noise)
+        self.trim_gain = float(trim_gain)
+        self.trim_pitch_fraction = float(trim_pitch_fraction)
+        self.trim_noise_fraction = float(trim_noise_fraction)
+        self._taps_sum: Optional[np.ndarray] = None
+        self._n_observations = 0
+        self._clone_z: Optional[np.ndarray] = None
+        self._clone_load: Optional[float] = None
+        self._tau_s: Optional[float] = None
+        self._template: Optional[ImpedanceProfile] = None
+
+    # -- observation ----------------------------------------------------
+    @property
+    def n_observations(self) -> int:
+        """Averaged bench observations taken so far."""
+        return self._n_observations
+
+    def observe(
+        self, line: TransmissionLine, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One bench reflectometry pass on the target line.
+
+        Returns (and accumulates) the exact taps plus this pass's bench
+        noise; the running average is what :meth:`fit` peels.
+        """
+        profile = line.full_profile
+        self._tau_s = _uniform_tau(profile)
+        self._template = profile
+        taps = impulse_taps(profile, z_ref=self.z_ref)
+        noisy = taps + rng.normal(0.0, self.bench_noise, size=taps.shape)
+        if self._taps_sum is None:
+            self._taps_sum = noisy.copy()
+        else:
+            self._taps_sum += noisy
+        self._n_observations += 1
+        return noisy
+
+    def fit(self) -> ImpedanceProfile:
+        """Layer-peel the averaged observations into a profile estimate."""
+        if self._taps_sum is None:
+            raise RuntimeError("observe() the target before fitting")
+        mean_taps = self._taps_sum / self._n_observations
+        template = self._template
+        return peel_profile(
+            mean_taps,
+            tau_s=self._tau_s,
+            n_segments=template.n_segments,
+            z_ref=self.z_ref,
+            loss_per_segment=template.loss_per_segment,
+            z_source=template.z_source,
+        )
+
+    # -- fabrication ----------------------------------------------------
+    def _boxcar(self, values: np.ndarray, pitch_m: float) -> np.ndarray:
+        seg_len = self._tau_s * self._velocity()
+        step = max(1, int(round(pitch_m / seg_len)))
+        out = np.empty_like(values)
+        for start in range(0, len(values), step):
+            out[start:start + step] = values[start:start + step].mean()
+        return out
+
+    def _velocity(self) -> float:
+        # The bench knows the laminate: segment length follows from the
+        # measured tau at the material's propagation velocity.  The
+        # ratio is all the boxcar needs, so any consistent velocity
+        # works; use the physical one implied by the template's loss.
+        from ..txline.materials import FR4
+
+        return FR4.velocity_at(FR4.t_ref_c)
+
+    def advance(self, rng: np.random.Generator) -> ImpedanceProfile:
+        """Fabricate on the first call, trim on every later one.
+
+        Returns the realised counterfeit profile after this round's
+        fab/trim step — the profile a :class:`ProfileSubstitution`
+        should present to the defender.
+        """
+        fitted = self.fit()
+        cap = self.capability
+        seg_len = self._tau_s * self._velocity()
+        corr = max(1, int(round(5e-3 / seg_len)))
+        if self._clone_z is None:
+            commanded = self._boxcar(
+                fitted.z, cap.patterning_resolution_m
+            )
+            fresh = correlated_field(
+                len(commanded), cap.process_sigma, corr, rng
+            )
+            step = max(
+                1, int(round(cap.patterning_resolution_m / seg_len))
+            )
+            n_steps = int(np.ceil(len(commanded) / step))
+            step_err = np.repeat(
+                rng.normal(0.0, cap.impedance_accuracy, size=n_steps),
+                step,
+            )[: len(commanded)]
+            self._clone_z = commanded * (1.0 + fresh + step_err)
+            self._clone_load = fitted.z_load * (
+                1.0 + rng.normal(0.0, cap.impedance_accuracy)
+            )
+        else:
+            residual = fitted.z - self._clone_z
+            command = self._boxcar(
+                residual,
+                cap.patterning_resolution_m * self.trim_pitch_fraction,
+            )
+            trim_noise = correlated_field(
+                len(command),
+                cap.process_sigma * self.trim_noise_fraction,
+                corr,
+                rng,
+            )
+            self._clone_z = (
+                self._clone_z
+                + self.trim_gain * command
+                + self._clone_z * trim_noise
+            )
+            self._clone_load = self._clone_load + self.trim_gain * (
+                fitted.z_load - self._clone_load
+            )
+        return self.clone_profile()
+
+    def clone_profile(self) -> ImpedanceProfile:
+        """The counterfeit's current electrical state."""
+        if self._clone_z is None:
+            raise RuntimeError("advance() at least once first")
+        template = self._template
+        return ImpedanceProfile(
+            z=self._clone_z.copy(),
+            tau=template.tau.copy(),
+            z_source=template.z_source,
+            z_load=float(self._clone_load),
+            loss_per_segment=template.loss_per_segment,
+        )

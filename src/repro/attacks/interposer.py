@@ -1,0 +1,92 @@
+"""Chiplet-era attacks: malicious interposers at die-to-die boundaries.
+
+The paper predates the chiplet explosion, but its own argument extends
+off-package: once a system is assembled from dies on an interposer, the
+die-to-die links are buses an adversary can sit on.  ChipletQuake
+(PAPERS.md) demonstrates exactly this verification problem — and shows
+impedance sensing at the boundary is the tool that solves it.  A
+hardware implant spliced into the boundary (a logging interposer, a
+man-in-the-middle die, a rework-station graft) cannot avoid adding
+parasitics where it joins the link: its inbound routing inserts series
+inductance — a local impedance *rise* just before the boundary — and
+its input stage adds die capacitance — an impedance *dip* just after.
+The signature is therefore a signed doublet straddling the boundary
+position, unlike the single-signed bumps of probes and taps; shrinking
+the implant shrinks the doublet, but an implant that still functions
+needs a minimum footprint and minimum parasitics, which is the floor an
+adaptive adversary converges to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..txline.materials import FR4
+from ..txline.profile import ImpedanceProfile
+from .base import Attack
+
+__all__ = ["InterposerImplant"]
+
+
+class InterposerImplant(Attack):
+    """A hardware implant grafted at a chiplet/interposer boundary.
+
+    Attributes:
+        boundary_m: Position of the die-to-die boundary along the link,
+            metres from the source.
+        footprint_m: Physical extent of the implant's joint; the series
+            lobe sits half a footprint before the boundary and the
+            shunt lobe half a footprint after it.
+        series_delta: Relative impedance rise of the inbound-routing
+            (series-inductance) lobe.
+        shunt_delta: Relative impedance dip of the die-capacitance
+            (shunt) lobe.
+    """
+
+    kind = "interposer-implant"
+    mechanisms = frozenset({"inductive", "capacitive", "galvanic"})
+
+    def __init__(
+        self,
+        boundary_m: float,
+        footprint_m: float = 3.0e-3,
+        series_delta: float = 0.03,
+        shunt_delta: float = 0.04,
+        velocity: float = FR4.velocity_at(FR4.t_ref_c),
+    ) -> None:
+        if boundary_m < 0:
+            raise ValueError("boundary_m must be non-negative")
+        if footprint_m <= 0:
+            raise ValueError("footprint_m must be positive")
+        if series_delta < 0 or shunt_delta < 0:
+            raise ValueError("parasitic deltas must be non-negative")
+        if velocity <= 0:
+            raise ValueError("velocity must be positive")
+        self.boundary_m = float(boundary_m)
+        self.footprint_m = float(footprint_m)
+        self.series_delta = float(series_delta)
+        self.shunt_delta = float(shunt_delta)
+        self.velocity = float(velocity)
+
+    def location_m(self) -> float:
+        return self.boundary_m
+
+    def modify(self, profile: ImpedanceProfile) -> ImpedanceProfile:
+        starts = profile.segment_positions(self.velocity)
+        centers = starts + 0.5 * profile.tau * self.velocity
+        half = 0.5 * self.footprint_m
+        sigma = 0.5 * half
+        series = self.series_delta * np.exp(
+            -0.5 * ((centers - (self.boundary_m - half)) / sigma) ** 2
+        )
+        shunt = self.shunt_delta * np.exp(
+            -0.5 * ((centers - (self.boundary_m + half)) / sigma) ** 2
+        )
+        return profile.with_impedance(profile.z * (1.0 + series - shunt))
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} at {self.boundary_m * 100:.1f} cm "
+            f"(footprint {self.footprint_m * 1e3:.1f} mm, "
+            f"+{self.series_delta:.3f}/-{self.shunt_delta:.3f})"
+        )

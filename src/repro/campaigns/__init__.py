@@ -1,0 +1,56 @@
+"""Adaptive adversary campaigns against the DIVOT detector.
+
+The campaign layer closes the loop the attack modules leave open: real
+adversaries iterate.  A :class:`~repro.campaigns.engine.Campaign` plays
+seeded :class:`~repro.campaigns.strategy.CampaignStrategy` arms —
+probe-placement search, profile-fitting cloning, chiplet-boundary
+implants — through repeated attack/capture rounds against a protocol's
+own tuned fleet detector, and reports ROC curves and detection-latency
+frontiers per arm through the shared telemetry surface.
+"""
+
+from .engine import (
+    ArmReport,
+    ArmRound,
+    Campaign,
+    CampaignOutcome,
+    CampaignSuite,
+    campaign_streams,
+    clone_gap,
+)
+from .strategies import (
+    BoundaryImplantSearch,
+    CanonicalScenario,
+    OneShotCloner,
+    ProbePlacementSearch,
+    ProfileFittingCloner,
+    default_strategies,
+)
+from .strategy import (
+    STATISTIC_CHANNELS,
+    ArmContext,
+    CampaignStrategy,
+    RoundFeedback,
+    validate_strategies,
+)
+
+__all__ = [
+    "ArmContext",
+    "ArmReport",
+    "ArmRound",
+    "BoundaryImplantSearch",
+    "Campaign",
+    "CampaignOutcome",
+    "CampaignStrategy",
+    "CampaignSuite",
+    "CanonicalScenario",
+    "OneShotCloner",
+    "ProbePlacementSearch",
+    "ProfileFittingCloner",
+    "RoundFeedback",
+    "STATISTIC_CHANNELS",
+    "campaign_streams",
+    "clone_gap",
+    "default_strategies",
+    "validate_strategies",
+]

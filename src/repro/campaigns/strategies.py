@@ -1,0 +1,287 @@
+"""The stock adaptive adversaries every campaign ships with.
+
+Three adaptive families (plus two baselines) cover the threat classes
+the roadmap's chiplet-era scenarios call for:
+
+* **probe-placement search** — a snooper that explores tap positions,
+  exploits the least-disturbing one, and titrates its coupling against
+  the detector's feedback (Awal & Rahman's probing-attack analysis);
+* **profile-fitting cloning** — the strongest PUF attack: layer-peel
+  the IIP from bench reflection measurements, fabricate, then trim the
+  clone toward the fit round after round (versus the one-shot cloning
+  baseline from the unclonability experiment);
+* **boundary-implant search** — a chiplet/interposer implant that
+  shrinks its parasitic footprint toward the smallest still-functional
+  graft (the ChipletQuake verification scenario).
+
+Every strategy draws exclusively from the per-round generator the
+engine supplies, so campaign outcomes are pure functions of their seed
+coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..attacks.cloning import COMMERCIAL, CloningAttacker, FabCapability
+from ..attacks.fitting import AdaptiveCloningAttacker, ProfileSubstitution
+from ..attacks.interposer import InterposerImplant
+from ..attacks.probe import MagneticProbe
+from ..txline.materials import FR4
+from .strategy import ArmContext, CampaignStrategy, RoundFeedback
+
+__all__ = [
+    "CanonicalScenario",
+    "ProbePlacementSearch",
+    "OneShotCloner",
+    "ProfileFittingCloner",
+    "BoundaryImplantSearch",
+    "default_strategies",
+]
+
+
+def _line_length_m(ctx: ArmContext) -> float:
+    profile = ctx.line.full_profile
+    return float(np.sum(profile.tau)) * FR4.velocity_at(FR4.t_ref_c)
+
+
+class CanonicalScenario(CampaignStrategy):
+    """The protocol's registry-default attack, replayed unchanged.
+
+    The non-adaptive control arm: every protocol spec names a canonical
+    scenario (debug-pod snoop, MISO wiretap, management-bus load mod);
+    replaying it verbatim gives each campaign the static baseline the
+    adaptive arms are measured against.
+    """
+
+    name = "canonical"
+    statistic = "tamper"
+
+    def begin(self, ctx: ArmContext, rng: np.random.Generator) -> None:
+        super().begin(ctx, rng)
+        self._attack = ctx.spec.default_attack(ctx.line)
+
+    def propose(self, round_index: int, rng: np.random.Generator) -> List:
+        return [self._attack]
+
+
+class ProbePlacementSearch(CampaignStrategy):
+    """A snooper searching for the stealthiest probe placement.
+
+    Explore-then-exploit: the first rounds sweep a position grid along
+    the line at the nominal coupling; after exploration the probe parks
+    at the position whose measured disturbance was smallest and titrates
+    coupling against detection — backing off multiplicatively whenever a
+    round is flagged, creeping back up (the snooper wants signal) while
+    it survives.  The coupling floor models the weakest probe that still
+    recovers data.
+    """
+
+    name = "probe-search"
+    statistic = "tamper"
+
+    def __init__(
+        self,
+        n_positions: int = 4,
+        coupling: float = 0.018,
+        min_coupling: float = 0.002,
+        backoff: float = 0.7,
+        recovery: float = 1.1,
+    ) -> None:
+        if n_positions < 1:
+            raise ValueError("n_positions must be >= 1")
+        if not 0 < min_coupling <= coupling:
+            raise ValueError("need 0 < min_coupling <= coupling")
+        if not 0 < backoff < 1:
+            raise ValueError("backoff must be in (0, 1)")
+        if recovery < 1:
+            raise ValueError("recovery must be >= 1")
+        self.n_positions = n_positions
+        self.base_coupling = float(coupling)
+        self.min_coupling = float(min_coupling)
+        self.backoff = float(backoff)
+        self.recovery = float(recovery)
+
+    def begin(self, ctx: ArmContext, rng: np.random.Generator) -> None:
+        super().begin(ctx, rng)
+        length = _line_length_m(ctx)
+        self._grid = np.linspace(
+            0.15 * length, 0.85 * length, self.n_positions
+        )
+        self._coupling = self.base_coupling
+        self._observed: List[float] = []
+        self._best_position: Optional[float] = None
+
+    def propose(self, round_index: int, rng: np.random.Generator) -> List:
+        if round_index < len(self._grid):
+            position = float(self._grid[round_index])
+        else:
+            position = self._best_position
+        self._last_position = position
+        return [
+            MagneticProbe(position_m=position, coupling=self._coupling)
+        ]
+
+    def observe(
+        self, feedback: RoundFeedback, rng: np.random.Generator
+    ) -> None:
+        exploring = feedback.round_index < len(self._grid)
+        if exploring:
+            self._observed.append(feedback.peak_error)
+            if len(self._observed) == len(self._grid):
+                best = int(np.argmin(self._observed))
+                self._best_position = float(self._grid[best])
+        if feedback.detected:
+            self._coupling = max(
+                self.min_coupling, self._coupling * self.backoff
+            )
+        elif not exploring:
+            self._coupling = min(
+                self.base_coupling, self._coupling * self.recovery
+            )
+
+
+class OneShotCloner(CampaignStrategy):
+    """The unclonability experiment's attacker, replayed as an arm.
+
+    Fabricates once from perfect knowledge of the target profile (the
+    fingerprint ROM dump) at a given fab tier, then presents the same
+    counterfeit every round — the PR-era baseline the adaptive cloner
+    must beat.
+    """
+
+    name = "clone-oneshot"
+    statistic = "auth"
+
+    def __init__(self, capability: FabCapability = COMMERCIAL) -> None:
+        self.capability = capability
+
+    def begin(self, ctx: ArmContext, rng: np.random.Generator) -> None:
+        super().begin(ctx, rng)
+        attacker = CloningAttacker(self.capability, rng)
+        clone = attacker.fabricate(ctx.line, name=f"{ctx.line.name}-clone")
+        self._substitution = ProfileSubstitution(
+            clone.full_profile, label="one-shot"
+        )
+
+    def propose(self, round_index: int, rng: np.random.Generator) -> List:
+        return [self._substitution]
+
+
+class ProfileFittingCloner(CampaignStrategy):
+    """Layer-peeling cloner that trims its counterfeit every round.
+
+    Each round the adversary takes one more bench reflectometry pass on
+    the genuine line, re-fits the profile by inverse scattering
+    (:func:`~repro.attacks.fitting.peel_profile`), and laser-trims the
+    realised clone toward the fit — converging below the one-shot fab
+    floor.  The strongest attack in the suite, and the reason the
+    detection-latency frontier exists: early rounds are detectable,
+    late rounds may not be.
+    """
+
+    name = "clone-fit"
+    statistic = "auth"
+
+    def __init__(
+        self,
+        capability: FabCapability = COMMERCIAL,
+        bench_noise: float = 2.0e-4,
+    ) -> None:
+        self.capability = capability
+        self.bench_noise = float(bench_noise)
+
+    def begin(self, ctx: ArmContext, rng: np.random.Generator) -> None:
+        super().begin(ctx, rng)
+        self._attacker = AdaptiveCloningAttacker(
+            self.capability, bench_noise=self.bench_noise
+        )
+
+    def propose(self, round_index: int, rng: np.random.Generator) -> List:
+        self._attacker.observe(self.ctx.line, rng)
+        profile = self._attacker.advance(rng)
+        return [ProfileSubstitution(profile, label=f"fit-r{round_index}")]
+
+
+class BoundaryImplantSearch(CampaignStrategy):
+    """A chiplet-boundary implant minimising its parasitic signature.
+
+    Starts from an off-the-shelf interposer graft and, whenever a round
+    is flagged, shrinks its parasitic deltas and footprint toward the
+    smallest implant that still functions (the floors) — the
+    ChipletQuake question: does boundary impedance sensing still see
+    the best implant an adversary can build?
+    """
+
+    name = "implant-search"
+    statistic = "tamper"
+
+    def __init__(
+        self,
+        boundary_fraction: float = 0.5,
+        delta_shrink: float = 0.75,
+        footprint_shrink: float = 0.85,
+        min_delta: float = 0.004,
+        min_footprint_m: float = 1.0e-3,
+    ) -> None:
+        if not 0 < boundary_fraction < 1:
+            raise ValueError("boundary_fraction must be in (0, 1)")
+        if not 0 < delta_shrink < 1 or not 0 < footprint_shrink < 1:
+            raise ValueError("shrink factors must be in (0, 1)")
+        if min_delta <= 0 or min_footprint_m <= 0:
+            raise ValueError("functional floors must be positive")
+        self.boundary_fraction = float(boundary_fraction)
+        self.delta_shrink = float(delta_shrink)
+        self.footprint_shrink = float(footprint_shrink)
+        self.min_delta = float(min_delta)
+        self.min_footprint_m = float(min_footprint_m)
+
+    def begin(self, ctx: ArmContext, rng: np.random.Generator) -> None:
+        super().begin(ctx, rng)
+        self._boundary = self.boundary_fraction * _line_length_m(ctx)
+        self._series = InterposerImplant(self._boundary).series_delta
+        self._shunt = InterposerImplant(self._boundary).shunt_delta
+        self._footprint = InterposerImplant(self._boundary).footprint_m
+
+    def propose(self, round_index: int, rng: np.random.Generator) -> List:
+        return [
+            InterposerImplant(
+                boundary_m=self._boundary,
+                footprint_m=self._footprint,
+                series_delta=self._series,
+                shunt_delta=self._shunt,
+            )
+        ]
+
+    def observe(
+        self, feedback: RoundFeedback, rng: np.random.Generator
+    ) -> None:
+        if feedback.detected:
+            self._series = max(
+                self.min_delta, self._series * self.delta_shrink
+            )
+            self._shunt = max(
+                self.min_delta, self._shunt * self.delta_shrink
+            )
+            self._footprint = max(
+                self.min_footprint_m,
+                self._footprint * self.footprint_shrink,
+            )
+
+
+def default_strategies() -> Sequence[CampaignStrategy]:
+    """A fresh instance of every stock arm, in canonical order.
+
+    One control (the spec's canonical scenario), one non-adaptive
+    cloning baseline, and the three adaptive families.  Fresh instances
+    every call — strategies are stateful and single-use.
+    """
+    return (
+        CanonicalScenario(),
+        ProbePlacementSearch(),
+        OneShotCloner(),
+        ProfileFittingCloner(),
+        BoundaryImplantSearch(),
+    )

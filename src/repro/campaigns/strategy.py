@@ -1,0 +1,135 @@
+"""Campaign strategy contract: how an adaptive adversary plugs in.
+
+A campaign *arm* is one adversary playing repeated rounds against one
+protected bus: each round it proposes an attack state (a profile-modifier
+chain), the defender's fleet scan judges the bus, and the adversary sees
+exactly what a real one would — whether the round was flagged and with
+what statistic — before adapting for the next round.  The contract is
+deliberately narrow so strategies stay pure adversary logic:
+
+* all adversary randomness flows through the per-round generator the
+  engine hands in (derived from the campaign's seed coordinates), so a
+  strategy's play is a pure function of ``(campaign seed, protocol,
+  arm, round)`` — the invariant the interleaving property test pins;
+* strategies never touch the executor or the detector; they see the
+  target line (an adversary can always measure the bus it is attacking)
+  and the spec (public protocol knowledge), nothing else.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.divot import Action
+from ..protocols.spec import ProtocolSpec
+from ..txline.line import TransmissionLine
+
+__all__ = ["STATISTIC_CHANNELS", "ArmContext", "RoundFeedback",
+           "CampaignStrategy", "validate_strategies"]
+
+#: Suspicion-statistic channels an arm may be judged on: ``"tamper"``
+#: reads the detector's peak smoothed error, ``"auth"`` reads
+#: ``1 - similarity`` — in both conventions larger means more
+#: suspicious.
+STATISTIC_CHANNELS = ("tamper", "auth")
+
+
+@dataclass(frozen=True)
+class ArmContext:
+    """What one adversary knows when its campaign begins.
+
+    Attributes:
+        spec: The protocol under attack (public knowledge: rates,
+            cadence, canonical scenarios).
+        line: The physical bus the arm attacks — the adversary has bench
+            access to the very line it is tapping, so strategies may
+            measure it.
+        n_rounds: Scheduled campaign length.
+    """
+
+    spec: ProtocolSpec
+    line: TransmissionLine
+    n_rounds: int
+
+
+@dataclass(frozen=True)
+class RoundFeedback:
+    """What the adversary observes after one attacked round.
+
+    Attributes:
+        round_index: 0-based round number.
+        action: The defender's decision on the attacked bus.
+        score: Authentication similarity the defender computed.
+        tampered: Whether the tamper detector fired.
+        peak_error: The tamper detector's decision statistic.
+    """
+
+    round_index: int
+    action: Action
+    score: float
+    tampered: bool
+    peak_error: float
+
+    @property
+    def detected(self) -> bool:
+        """Whether the round drew any defender reaction (non-PROCEED)."""
+        return self.action is not Action.PROCEED
+
+
+class CampaignStrategy(ABC):
+    """One adaptive adversary: proposes attacks, learns from detection.
+
+    Subclasses set :attr:`name` (the telemetry/arm label) and
+    :attr:`statistic` (the channel ROC sweeps judge the arm on) and
+    implement the three-phase round loop below.  Instances are single-
+    use: one strategy object drives one arm of one campaign.
+    """
+
+    #: Arm label, unique within a campaign (telemetry cell key suffix).
+    name: str = "strategy"
+    #: Channel from :data:`STATISTIC_CHANNELS` this arm is judged on.
+    statistic: str = "tamper"
+
+    def begin(self, ctx: ArmContext, rng: np.random.Generator) -> None:
+        """One-time setup before round 0 (default: store the context)."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def propose(
+        self, round_index: int, rng: np.random.Generator
+    ) -> List:
+        """The modifier chain to mount on the attack bus this round."""
+
+    def observe(
+        self, feedback: RoundFeedback, rng: np.random.Generator
+    ) -> None:
+        """Adapt to one round's outcome (default: no adaptation)."""
+
+    # ------------------------------------------------------------------
+    def statistic_of(self, score: float, peak_error: float) -> float:
+        """This arm's suspicion statistic from one record's fields."""
+        if self.statistic == "tamper":
+            return float(peak_error)
+        if self.statistic == "auth":
+            return 1.0 - float(score)
+        raise ValueError(
+            f"statistic must be one of {STATISTIC_CHANNELS}, "
+            f"got {self.statistic!r}"
+        )
+
+
+def validate_strategies(strategies: Sequence[CampaignStrategy]) -> None:
+    """Reject arm sets a campaign cannot label unambiguously."""
+    names = [s.name for s in strategies]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate strategy names: {sorted(names)}")
+    for strategy in strategies:
+        if strategy.statistic not in STATISTIC_CHANNELS:
+            raise ValueError(
+                f"strategy {strategy.name!r} has unknown statistic "
+                f"{strategy.statistic!r}"
+            )

@@ -147,6 +147,12 @@ class FleetRecord:
     score: float
     tampered: bool
     location_m: Optional[float]
+    #: Peak of the smoothed error function E_xy this visit measured —
+    #: the tamper detector's decision statistic, carried home so
+    #: threshold sweeps (ROC curves, campaign frontiers) can re-judge
+    #: the same measurement at any operating point.  Measurement
+    #: content, so included in the canonical bytes.
+    peak_error: float = 0.0
     #: Provenance like ``shard``: how this bus's shard got done when it
     #: needed recovery ("retried" / "serial_fallback"), None when the
     #: first attempt succeeded.  Excluded from the canonical bytes.
@@ -175,6 +181,7 @@ class FleetRecord:
             score=result.auth.score,
             tampered=result.tamper.tampered,
             location_m=result.tamper.location_m,
+            peak_error=result.tamper.peak_error,
         )
 
 
@@ -216,7 +223,7 @@ class FleetScanOutcome:
         """
         payload = tuple(
             (r.index, r.bus, r.action.value, r.score, r.tampered,
-             r.location_m)
+             r.location_m, r.peak_error)
             for r in self.records
         )
         return pickle.dumps(payload, protocol=4)
@@ -504,6 +511,7 @@ class FleetScanExecutor:
         engine: str = "born",
         retry_policy: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -536,8 +544,10 @@ class FleetScanExecutor:
         self._protocols: Dict[str, Optional[str]] = {}
         self._fingerprints: Dict[str, Fingerprint] = {}
         self._blocked: Dict[str, bool] = {}
-        #: Workload-lifetime telemetry; every scan folds into it.
-        self.telemetry = Telemetry()
+        #: Workload-lifetime telemetry; every scan folds into it.  A
+        #: shared sink may be passed in so several executors (e.g. one
+        #: campaign arm each) aggregate into one snapshot surface.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._runtime = MonitorRuntime(telemetry=self.telemetry)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_rebuilds = 0
@@ -808,7 +818,37 @@ class FleetScanExecutor:
         ]
 
     # -- lifecycle ------------------------------------------------------
-    def enroll(self, n_captures: int = 8) -> Dict[str, Fingerprint]:
+    def _operation_streams(
+        self,
+        streams: Optional[Sequence[np.random.SeedSequence]],
+    ) -> List[np.random.SeedSequence]:
+        """Per-bus seed streams for one operation, default or supplied.
+
+        The default spawns from the executor root in registration order
+        (the PR-3 discipline: one fresh child per bus per operation).
+        Callers may instead supply the streams themselves — one per
+        registered bus, in registration order — making an operation's
+        randomness a pure function of the caller's own coordinates
+        (e.g. a campaign's ``(seed, arm, round)``) rather than of how
+        many operations this executor ran before it.  Supplied streams
+        flow through the identical per-bus rebinding in the workers, so
+        the byte-identity guarantees are unchanged.
+        """
+        if streams is None:
+            return spawn_bus_streams(self._root, self.n_buses)
+        streams = list(streams)
+        if len(streams) != self.n_buses:
+            raise ValueError(
+                f"need one stream per registered bus "
+                f"({self.n_buses}), got {len(streams)}"
+            )
+        return streams
+
+    def enroll(
+        self,
+        n_captures: int = 8,
+        streams: Optional[Sequence[np.random.SeedSequence]] = None,
+    ) -> Dict[str, Fingerprint]:
         """Enroll every registered bus, sharded like a scan.
 
         Each bus's enrollment draws come from its own spawned stream, so
@@ -818,7 +858,7 @@ class FleetScanExecutor:
             raise RuntimeError("no buses registered")
         if n_captures < 1:
             raise ValueError("n_captures must be >= 1")
-        streams = spawn_bus_streams(self._root, self.n_buses)
+        streams = self._operation_streams(streams)
         work = [
             _BusWork(index=i, name=name, line=line, seed=streams[i])
             for i, (name, line) in enumerate(self._buses.items())
@@ -856,6 +896,7 @@ class FleetScanExecutor:
         modifiers_by_bus: Optional[Dict[str, Sequence]] = None,
         interference=None,
         method: str = "sketch",
+        streams: Optional[Sequence[np.random.SeedSequence]] = None,
     ) -> FleetIdentifyOutcome:
         """One fleet-wide 1:N identification pass.
 
@@ -882,7 +923,7 @@ class FleetScanExecutor:
             raise KeyError(
                 f"modifiers for unregistered buses: {sorted(unknown)}"
             )
-        streams = spawn_bus_streams(self._root, self.n_buses)
+        streams = self._operation_streams(streams)
         work = [
             _BusWork(
                 index=i,
@@ -955,6 +996,7 @@ class FleetScanExecutor:
         self,
         modifiers_by_bus: Optional[Dict[str, Sequence]] = None,
         interference=None,
+        streams: Optional[Sequence[np.random.SeedSequence]] = None,
     ) -> FleetScanOutcome:
         """One full fleet pass: measure and judge every bus, sharded.
 
@@ -973,7 +1015,7 @@ class FleetScanExecutor:
         unknown = set(modifiers_by_bus) - set(self._buses)
         if unknown:
             raise KeyError(f"modifiers for unregistered buses: {sorted(unknown)}")
-        streams = spawn_bus_streams(self._root, self.n_buses)
+        streams = self._operation_streams(streams)
         work = [
             _BusWork(
                 index=i,

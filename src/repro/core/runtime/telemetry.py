@@ -64,7 +64,13 @@ class Telemetry:
         identical across every workload;
     ``detection``
         ``onset_s``, ``first_alert_s``, overall ``latency_s`` and
-        ``per_side`` latencies for the given attack onset.
+        ``per_side`` latencies for the given attack onset;
+    ``campaigns``
+        adaptive-adversary campaign cells folded in via
+        :meth:`record_campaign`, keyed ``"<protocol>/<strategy>"`` —
+        ROC points, AUC, detection-latency frontiers, and baseline
+        gaps; empty for workloads that ran no campaign, so the
+        snapshot shape stays identical across every workload.
     """
 
     #: Health counters every snapshot carries (zeroed when unused).
@@ -90,6 +96,7 @@ class Telemetry:
         self._health = {key: 0 for key in self.HEALTH_KEYS}
         self._shard_wall: Dict[int, Dict[str, float]] = {}
         self._solve_cache = {key: 0 for key in SolveCache.COUNTER_KEYS}
+        self._campaigns: Dict[str, dict] = {}
 
     # -- sink protocol -------------------------------------------------
     def emit(self, event: MonitorEvent) -> None:
@@ -115,6 +122,18 @@ class Telemetry:
         """
         for key in self._solve_cache:
             self._solve_cache[key] += int(counters.get(key, 0))
+
+    def record_campaign(self, key: str, cell: dict) -> None:
+        """Fold one campaign arm's frontier summary into the snapshot.
+
+        ``key`` identifies the cell (convention:
+        ``"<protocol>/<strategy>"``); recording the same key twice
+        replaces the cell — a campaign re-run supersedes its earlier
+        summary rather than double-counting it.
+        """
+        if not key:
+            raise ValueError("campaign key must be non-empty")
+        self._campaigns[key] = dict(cell)
 
     def record_shard_wall(self, shard: int, wall_s: float) -> None:
         """Fold one shard's dispatch wall time into its running cell."""
@@ -216,4 +235,8 @@ class Telemetry:
                 },
             },
             "detection": detection,
+            "campaigns": {
+                key: dict(cell)
+                for key, cell in sorted(self._campaigns.items())
+            },
         }

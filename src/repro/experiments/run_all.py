@@ -26,6 +26,7 @@ from . import (
     baseline_comparison,
     env_robustness,
     ext_adaptation,
+    ext_campaigns,
     ext_cloning,
     ext_enrollment,
     ext_jitter,
@@ -132,6 +133,13 @@ def build_suite(scale: ExperimentScale) -> List[Tuple[str, Callable]]:
               lambda r: r.covers_the_registry()
               and r.no_false_alerts()
               and r.every_attack_detected())),
+        ("X-CAMPAIGN adaptive campaigns",
+         wrap(ext_campaigns.run, "report",
+              lambda r: r.covers_protocols()
+              and r.frontiers_complete()
+              and r.adaptive_cloner_beats_baseline()
+              and r.sharding_is_invisible()
+              and r.adaptation_pays())),
     ]
 
 

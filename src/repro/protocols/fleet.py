@@ -19,6 +19,7 @@ from ..core.auth import Authenticator
 from ..core.config import prototype_itdr, prototype_line_factory
 from ..core.fleet import FleetScanExecutor
 from ..core.tamper import TamperDetector
+from ..txline.materials import FR4
 from . import registry
 from .link import default_tamper_detector
 
@@ -32,7 +33,7 @@ def build_protocol_fleet(
     seed: int = 0,
     shards: int = 1,
     backend: str = "auto",
-    captures_per_check: int = 4,
+    captures_per_check: Optional[int] = None,
     authenticator: Optional[Authenticator] = None,
     tamper_detector: Optional[TamperDetector] = None,
     retry_policy=None,
@@ -48,16 +49,56 @@ def build_protocol_fleet(
             named ``<protocol>-<k>``.
         seed / shards / backend / captures_per_check / retry_policy /
             fault_injector: Forwarded to the executor.
+
+    Decision policies default to the *specs' own* tuning when every
+    selected spec agrees (one executor ships one policy set to its
+    shards); a mixed-tuning selection must pass explicit policies —
+    or run per-protocol executors, which is what
+    :class:`~repro.campaigns.engine.Campaign` does.
     """
     if buses_per_protocol < 1:
         raise ValueError("buses_per_protocol must be >= 1")
     specs = [registry.get(name) for name in (
         protocols if protocols is not None else registry.load_all()
     )]
+
+    def consensus(label, values, fallback):
+        distinct = sorted(set(values))
+        if len(distinct) > 1:
+            raise ValueError(
+                f"selected specs disagree on {label} ({distinct}); pass "
+                "an explicit policy or use per-protocol executors"
+            )
+        return distinct[0] if distinct else fallback
+
+    if captures_per_check is None:
+        captures_per_check = consensus(
+            "captures_per_check",
+            [s.captures_per_check for s in specs], 4,
+        )
     if authenticator is None:
-        authenticator = Authenticator(0.85)
+        authenticator = Authenticator(consensus(
+            "auth_threshold", [s.auth_threshold for s in specs], 0.85,
+        ))
     if tamper_detector is None:
-        tamper_detector = default_tamper_detector(prototype_itdr())
+        itdr = prototype_itdr()
+        if specs:
+            threshold = consensus(
+                "tamper_threshold", [s.tamper_threshold for s in specs],
+                None,
+            )
+            window = consensus(
+                "tamper_smooth_window",
+                [s.tamper_smooth_window for s in specs], None,
+            )
+            tamper_detector = TamperDetector(
+                threshold=threshold,
+                velocity=FR4.velocity_at(FR4.t_ref_c),
+                smooth_window=window,
+                alignment_offset_s=itdr.probe_edge().duration,
+            )
+        else:
+            tamper_detector = default_tamper_detector(itdr)
     executor = FleetScanExecutor(
         authenticator,
         tamper_detector,

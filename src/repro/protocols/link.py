@@ -190,10 +190,13 @@ class ProtectedLink:
             prototype_itdr(rng=np.random.default_rng(child))
             for child in children
         ]
+        # Decision policies come from the spec's own tuning — identical
+        # to the historical shared prototype values unless a spec
+        # declares otherwise.
         if authenticator is None:
-            authenticator = Authenticator(0.85)
+            authenticator = spec.authenticator()
         if tamper_detector is None:
-            tamper_detector = default_tamper_detector(itdrs[0])
+            tamper_detector = spec.tamper_detector(itdrs[0])
         return cls(
             spec,
             line,

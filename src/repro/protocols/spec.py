@@ -97,6 +97,14 @@ class ProtocolSpec:
         attack_label: One-line description of that scenario.
         captures_per_check: Default averaging depth per monitoring
             decision for links assembled from this spec.
+        auth_threshold: Similarity floor the spec's authenticator
+            accepts (the paper's prototype operating point by default).
+            Per-protocol tuning lives here so every consumer — links,
+            fleets, campaigns — reads one declarative source.
+        tamper_threshold: Smoothed error-function ceiling the spec's
+            tamper detector tolerates before raising an ALERT.
+        tamper_smooth_window: Boxcar width (samples) of the detector's
+            error-function smoothing for this protocol.
         line_seed: Default manufacturing seed when a link is built from
             the registry without an explicit line.
         default_units: Traffic units per default session, sized so a
@@ -116,6 +124,9 @@ class ProtocolSpec:
     attack_label: str
     trigger_pattern: Tuple[int, int] = (1, 0)
     captures_per_check: int = 4
+    auth_threshold: float = 0.85
+    tamper_threshold: float = 2.5e-3
+    tamper_smooth_window: int = 7
     line_seed: int = 0
     default_units: int = 64
     description: str = ""
@@ -139,11 +150,41 @@ class ProtocolSpec:
             raise ValueError("bit_rate must be positive")
         if self.captures_per_check < 1:
             raise ValueError("captures_per_check must be >= 1")
+        if not 0.0 < self.auth_threshold <= 1.0:
+            raise ValueError("auth_threshold must be in (0, 1]")
+        if self.tamper_threshold <= 0:
+            raise ValueError("tamper_threshold must be positive")
+        if self.tamper_smooth_window < 1:
+            raise ValueError("tamper_smooth_window must be >= 1")
         if self.default_units < 1:
             raise ValueError("default_units must be >= 1")
         # Validates the pattern eagerly (same rules as the runtime
         # trigger generator), so a bad spec fails at registration.
         TriggerGenerator(pattern=self.trigger_pattern)
+
+    # ------------------------------------------------------------------
+    def authenticator(self):
+        """The similarity policy this protocol's endpoints deploy."""
+        from ..core.auth import Authenticator
+
+        return Authenticator(self.auth_threshold)
+
+    def tamper_detector(self, itdr):
+        """This protocol's tamper policy, aligned to one iTDR's edge.
+
+        Same construction as the prototype default, but thresholded and
+        smoothed by the spec's own tuning — the per-protocol detector
+        the registry promises.
+        """
+        from ..core.tamper import TamperDetector
+        from ..txline.materials import FR4
+
+        return TamperDetector(
+            threshold=self.tamper_threshold,
+            velocity=FR4.velocity_at(FR4.t_ref_c),
+            smooth_window=self.tamper_smooth_window,
+            alignment_offset_s=itdr.probe_edge().duration,
+        )
 
     # ------------------------------------------------------------------
     def trigger_generator(self) -> TriggerGenerator:

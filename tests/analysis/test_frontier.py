@@ -1,0 +1,116 @@
+"""Unit tests for the ROC / detection-latency frontier analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LatencyPoint,
+    RocPoint,
+    detection_latency_frontier,
+    operating_point,
+    pareto_front,
+    roc_auc,
+    roc_sweep,
+)
+
+
+class TestRocSweep:
+    def test_separable_samples_give_perfect_corner(self):
+        points = roc_sweep([0.1, 0.2, 0.3], [0.7, 0.8, 0.9])
+        # Some threshold catches every attack with zero false alarms.
+        assert any(p.fpr == 0.0 and p.tpr == 1.0 for p in points)
+        assert roc_auc(points) == pytest.approx(1.0)
+
+    def test_identical_samples_are_chance(self):
+        samples = [0.2, 0.4, 0.6, 0.8]
+        points = roc_sweep(samples, samples)
+        assert roc_auc(points) == pytest.approx(0.5)
+        for p in points:
+            assert p.fpr == pytest.approx(p.tpr)
+
+    def test_both_corners_always_present(self):
+        points = roc_sweep([0.5, 0.6], [0.55, 0.7])
+        assert points[0].fpr == 1.0 and points[0].tpr == 1.0
+        assert points[-1].fpr == 0.0 and points[-1].tpr == 0.0
+
+    def test_thresholds_sorted_and_rates_monotone(self):
+        rng = np.random.default_rng(0)
+        points = roc_sweep(rng.normal(0, 1, 50), rng.normal(1, 1, 50))
+        thresholds = [p.threshold for p in points]
+        assert thresholds == sorted(thresholds)
+        fprs = [p.fpr for p in points]
+        assert fprs == sorted(fprs, reverse=True)
+
+    def test_explicit_threshold_grid(self):
+        points = roc_sweep([0.1, 0.3], [0.2, 0.4], thresholds=[0.25])
+        assert len(points) == 1
+        assert points[0].fpr == 0.5 and points[0].tpr == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_sweep([], [0.5])
+        with pytest.raises(ValueError):
+            roc_sweep([0.5], [np.nan])
+        with pytest.raises(ValueError):
+            roc_sweep([0.5], [0.5], thresholds=[])
+
+
+class TestOperatingPoint:
+    def test_budget_selects_best_tpr(self):
+        points = roc_sweep([0.1, 0.2, 0.5], [0.15, 0.6, 0.7])
+        best = operating_point(points, max_fpr=0.0)
+        assert best.fpr == 0.0
+        assert best.tpr == pytest.approx(2.0 / 3.0)
+
+    def test_unreachable_budget_raises(self):
+        points = [RocPoint(threshold=0.5, fpr=0.2, tpr=0.9)]
+        with pytest.raises(ValueError):
+            operating_point(points, max_fpr=0.1)
+        with pytest.raises(ValueError):
+            operating_point(points, max_fpr=1.5)
+
+
+class TestLatencyFrontier:
+    def test_decaying_adversary_shows_the_trade(self):
+        """Strict thresholds catch round 1; lax ones never fire."""
+        clean = [0.01, 0.012, 0.011]
+        attack = [0.5, 0.1, 0.02]  # adaptive decay
+        points = detection_latency_frontier(clean, attack)
+        strict = min(points, key=lambda p: p.threshold)
+        lax = max(points, key=lambda p: p.threshold)
+        assert strict.rounds_to_detect == 1
+        assert lax.rounds_to_detect is None
+        assert not lax.detected
+
+    def test_rounds_are_one_based_first_hits(self):
+        points = detection_latency_frontier(
+            [0.0], [0.1, 0.9, 0.9], thresholds=[0.5]
+        )
+        assert points[0].rounds_to_detect == 2
+
+    def test_fpr_matches_roc_sweep(self):
+        clean = [0.1, 0.2, 0.3, 0.4]
+        attack = [0.25, 0.35]
+        roc = roc_sweep(clean, attack)
+        latency = detection_latency_frontier(clean, attack)
+        assert [p.fpr for p in roc] == [p.fpr for p in latency]
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [
+            LatencyPoint(threshold=0.1, fpr=0.5, rounds_to_detect=1),
+            LatencyPoint(threshold=0.2, fpr=0.3, rounds_to_detect=1),
+            LatencyPoint(threshold=0.3, fpr=0.3, rounds_to_detect=2),
+            LatencyPoint(threshold=0.4, fpr=0.0, rounds_to_detect=None),
+        ]
+        front = pareto_front(points)
+        assert [p.threshold for p in front] == [0.2]
+
+    def test_undetected_never_dominates_detected(self):
+        points = [
+            LatencyPoint(threshold=0.1, fpr=0.0, rounds_to_detect=None),
+            LatencyPoint(threshold=0.2, fpr=0.1, rounds_to_detect=3),
+        ]
+        front = pareto_front(points)
+        assert any(p.rounds_to_detect == 3 for p in front)

@@ -1,0 +1,176 @@
+"""Unit tests for profile-fitting cloning: the layer-peeling pair.
+
+The contract everything rests on: :func:`peel_profile` is the exact
+inverse of :func:`impulse_taps` — noiseless taps recover every segment
+impedance and the termination to machine precision, on real manufactured
+(lossy) lines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    COMMERCIAL,
+    AdaptiveCloningAttacker,
+    CloningAttacker,
+    ProfileSubstitution,
+    impulse_taps,
+    peel_profile,
+)
+from repro.txline.profile import ImpedanceProfile
+
+
+def _peel_roundtrip(profile):
+    taps = impulse_taps(profile)
+    return peel_profile(
+        taps,
+        tau_s=float(profile.tau.mean()),
+        n_segments=profile.n_segments,
+        loss_per_segment=profile.loss_per_segment,
+        z_source=profile.z_source,
+    )
+
+
+class TestLayerPeeling:
+    def test_roundtrip_recovers_manufactured_line(self, line):
+        """peel(forward(z)) == z on a real (lossy, 170-segment) line."""
+        profile = line.full_profile
+        fitted = _peel_roundtrip(profile)
+        np.testing.assert_allclose(fitted.z, profile.z, rtol=1e-9)
+        assert fitted.z_load == pytest.approx(profile.z_load, rel=1e-9)
+
+    def test_roundtrip_on_lossless_synthetic(self):
+        rng = np.random.default_rng(3)
+        z = 50.0 * (1.0 + 0.05 * rng.standard_normal(24))
+        profile = ImpedanceProfile(
+            z=z, tau=np.full(24, 1e-11), z_load=60.0
+        )
+        fitted = _peel_roundtrip(profile)
+        np.testing.assert_allclose(fitted.z, z, rtol=1e-10)
+        assert fitted.z_load == pytest.approx(60.0, rel=1e-10)
+
+    def test_first_tap_is_front_reflection(self):
+        profile = ImpedanceProfile(
+            z=np.array([75.0, 75.0]), tau=np.full(2, 1e-11)
+        )
+        taps = impulse_taps(profile)
+        assert taps[0] == pytest.approx((75.0 - 50.0) / (75.0 + 50.0))
+
+    def test_matched_line_reflects_only_at_load(self):
+        profile = ImpedanceProfile(
+            z=np.full(8, 50.0), tau=np.full(8, 1e-11), z_load=100.0
+        )
+        taps = impulse_taps(profile)
+        np.testing.assert_allclose(taps[:-1], 0.0, atol=1e-15)
+        assert taps[-1] == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        profile = ImpedanceProfile(
+            z=np.full(4, 50.0), tau=np.full(4, 1e-11)
+        )
+        with pytest.raises(ValueError):
+            impulse_taps(profile, n_taps=0)
+        with pytest.raises(ValueError):
+            impulse_taps(profile, z_ref=0.0)
+        taps = impulse_taps(profile)
+        with pytest.raises(ValueError):
+            peel_profile(taps, tau_s=0.0, n_segments=4)
+        with pytest.raises(ValueError):
+            peel_profile(taps[:3], tau_s=1e-11, n_segments=4)
+        with pytest.raises(ValueError):
+            peel_profile(taps, tau_s=1e-11, n_segments=4,
+                         loss_per_segment=0.0)
+        with pytest.raises(ValueError):
+            # Non-uniform tau is outside the tap algebra.
+            impulse_taps(
+                ImpedanceProfile(
+                    z=np.full(4, 50.0),
+                    tau=np.array([1e-11, 2e-11, 1e-11, 1e-11]),
+                )
+            )
+
+    def test_noise_degrades_with_depth(self, line):
+        """Bench noise hurts deep segments most — the attack's limit."""
+        profile = line.full_profile
+        rng = np.random.default_rng(7)
+        taps = impulse_taps(profile)
+        noisy = taps + rng.normal(0.0, 5e-4, size=taps.shape)
+        fitted = peel_profile(
+            noisy,
+            tau_s=float(profile.tau.mean()),
+            n_segments=profile.n_segments,
+            loss_per_segment=profile.loss_per_segment,
+        )
+        err = np.abs(fitted.z - profile.z)
+        n = len(err)
+        assert err[: n // 4].mean() < err[-n // 4:].mean()
+
+
+class TestProfileSubstitution:
+    def test_replaces_wholesale(self, line):
+        p0 = line.full_profile
+        counterfeit = p0.with_impedance(p0.z * 1.01)
+        sub = ProfileSubstitution(counterfeit)
+        assert sub.modify(p0) is counterfeit
+
+    def test_segment_count_must_match(self, line):
+        p0 = line.full_profile
+        short = ImpedanceProfile(
+            z=p0.z[:-1].copy(), tau=p0.tau[:-1].copy()
+        )
+        with pytest.raises(ValueError):
+            ProfileSubstitution(short).modify(p0)
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            ProfileSubstitution("not a profile")
+
+
+class TestAdaptiveCloningAttacker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCloningAttacker(COMMERCIAL, bench_noise=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveCloningAttacker(COMMERCIAL, trim_gain=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveCloningAttacker(COMMERCIAL, trim_pitch_fraction=0.0)
+
+    def test_requires_observation_before_fit(self):
+        attacker = AdaptiveCloningAttacker(COMMERCIAL)
+        with pytest.raises(RuntimeError):
+            attacker.fit()
+        with pytest.raises(RuntimeError):
+            attacker.clone_profile()
+
+    def test_trimming_converges_below_one_shot(self, line):
+        """The adaptive loop beats the one-shot fab floor."""
+        true = line.full_profile
+        oneshot = CloningAttacker(
+            COMMERCIAL, np.random.default_rng(11)
+        ).fabricate(line).full_profile
+        def rel(p):
+            return float(
+                np.sqrt(np.mean(((p.z - true.z) / true.z) ** 2))
+            )
+
+        attacker = AdaptiveCloningAttacker(COMMERCIAL)
+        rng = np.random.default_rng(12)
+        errors = []
+        for _ in range(5):
+            attacker.observe(line, rng)
+            errors.append(rel(attacker.advance(rng)))
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.5 * rel(oneshot)
+
+    def test_deterministic_under_a_seeded_generator(self, line):
+        def play(seed):
+            attacker = AdaptiveCloningAttacker(COMMERCIAL)
+            rng = np.random.default_rng(seed)
+            for _ in range(3):
+                attacker.observe(line, rng)
+                profile = attacker.advance(rng)
+            return profile
+
+        a, b = play(5), play(5)
+        np.testing.assert_array_equal(a.z, b.z)
+        assert a.z_load == b.z_load

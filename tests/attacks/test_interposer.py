@@ -1,0 +1,50 @@
+"""Unit tests for the chiplet-boundary interposer implant."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import InterposerImplant
+
+
+class TestInterposerImplant:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterposerImplant(boundary_m=-0.01)
+        with pytest.raises(ValueError):
+            InterposerImplant(0.1, footprint_m=0.0)
+        with pytest.raises(ValueError):
+            InterposerImplant(0.1, series_delta=-0.01)
+        with pytest.raises(ValueError):
+            InterposerImplant(0.1, shunt_delta=-0.01)
+        with pytest.raises(ValueError):
+            InterposerImplant(0.1, velocity=0.0)
+
+    def test_signed_doublet_straddles_boundary(self, line):
+        """Series rise before the boundary, shunt dip after it."""
+        p0 = line.full_profile
+        implant = InterposerImplant(boundary_m=0.12)
+        delta = implant.modify(p0).z / p0.z - 1.0
+        starts = p0.segment_positions(implant.velocity)
+        rise_at = starts[int(np.argmax(delta))]
+        dip_at = starts[int(np.argmin(delta))]
+        assert delta.max() > 0 and delta.min() < 0
+        assert rise_at < 0.12 < dip_at
+
+    def test_deltas_scale_the_signature(self, line):
+        p0 = line.full_profile
+        small = InterposerImplant(0.12, series_delta=0.01, shunt_delta=0.01)
+        large = InterposerImplant(0.12, series_delta=0.04, shunt_delta=0.04)
+        def mag(imp):
+            return float(np.max(np.abs(imp.modify(p0).z / p0.z - 1)))
+
+        assert mag(large) > mag(small)
+
+    def test_location_and_describe(self):
+        implant = InterposerImplant(boundary_m=0.12)
+        assert implant.location_m() == 0.12
+        assert "interposer-implant" in implant.describe()
+
+    def test_mechanisms_cover_all_channels(self):
+        assert InterposerImplant(0.1).mechanisms == {
+            "inductive", "capacitive", "galvanic"
+        }

@@ -1,0 +1,98 @@
+"""Dedicated unit tests for the probing attack models.
+
+The probe models are the campaign layer's search space (placement and
+coupling are exactly what :class:`ProbePlacementSearch` titrates), so
+their parameter semantics get their own suite: validation, disturbance
+monotonicity in every knob, and determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CapacitiveSnoop, MagneticProbe
+
+
+def _disturbance(profile, modified):
+    return float(np.max(np.abs(modified.z / profile.z - 1.0)))
+
+
+class TestMagneticProbeParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MagneticProbe(0.1, coupling=-1e-6)
+        with pytest.raises(ValueError):
+            MagneticProbe(0.1, extent_m=0.0)
+        with pytest.raises(ValueError):
+            MagneticProbe(0.1, extent_m=-1e-3)
+        with pytest.raises(ValueError):
+            MagneticProbe(0.1, velocity=0.0)
+
+    def test_zero_coupling_is_identity(self, line):
+        p0 = line.full_profile
+        p = MagneticProbe(0.12, coupling=0.0).modify(p0)
+        np.testing.assert_allclose(p.z, p0.z)
+
+    def test_disturbance_monotone_in_coupling(self, line):
+        """More coupling, more disturbance — the backoff loop's premise."""
+        p0 = line.full_profile
+        couplings = [0.002, 0.005, 0.01, 0.018, 0.03]
+        disturbances = [
+            _disturbance(p0, MagneticProbe(0.12, coupling=c).modify(p0))
+            for c in couplings
+        ]
+        assert disturbances == sorted(disturbances)
+        assert disturbances[0] > 0
+
+    def test_peak_tracks_coupling_linearly(self, line):
+        p0 = line.full_profile
+        d1 = _disturbance(p0, MagneticProbe(0.12, coupling=0.01).modify(p0))
+        d2 = _disturbance(p0, MagneticProbe(0.12, coupling=0.02).modify(p0))
+        assert d2 == pytest.approx(2 * d1, rel=1e-6)
+
+    def test_wider_extent_spreads_disturbance(self, line):
+        p0 = line.full_profile
+        narrow = MagneticProbe(0.12, extent_m=2e-3).modify(p0)
+        wide = MagneticProbe(0.12, extent_m=10e-3).modify(p0)
+        def affected(p):
+            return int(np.sum(np.abs(p.z / p0.z - 1.0) > 1e-4))
+
+        assert affected(wide) > affected(narrow)
+
+    def test_modify_is_pure_and_deterministic(self, line):
+        p0 = line.full_profile
+        probe = MagneticProbe(0.12)
+        a, b = probe.modify(p0), probe.modify(p0)
+        np.testing.assert_array_equal(a.z, b.z)
+        # The input profile is untouched (modifiers must not mutate).
+        np.testing.assert_array_equal(
+            p0.z, line.full_profile.z
+        )
+
+
+class TestCapacitiveSnoopParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacitiveSnoop(0.1, loading=-0.01)
+        with pytest.raises(ValueError):
+            CapacitiveSnoop(0.1, extent_m=0.0)
+
+    def test_disturbance_monotone_in_loading(self, line):
+        p0 = line.full_profile
+        loadings = [0.01, 0.03, 0.05, 0.1]
+        disturbances = [
+            _disturbance(p0, CapacitiveSnoop(0.12, loading=l).modify(p0))
+            for l in loadings
+        ]
+        assert disturbances == sorted(disturbances)
+
+    def test_signs_oppose_the_magnetic_probe(self, line):
+        """Inductive raises Z, capacitive lowers it — the physics tags."""
+        p0 = line.full_profile
+        up = MagneticProbe(0.12).modify(p0).z / p0.z - 1.0
+        down = CapacitiveSnoop(0.12).modify(p0).z / p0.z - 1.0
+        assert up.max() > 0 and up.min() >= -1e-12
+        assert down.min() < 0 and down.max() <= 1e-12
+
+    def test_position_reported_for_localisation(self):
+        assert CapacitiveSnoop(0.07).location_m() == 0.07
+        assert MagneticProbe(0.21).location_m() == 0.21

@@ -1,0 +1,83 @@
+"""Dedicated unit tests for the load-modification attack family.
+
+Parameter validation, monotone termination disturbance, and seeded
+reproducibility of the chip-swap replacement parts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ChipSwap, ColdBootSwap, LoadModification
+
+
+class TestLoadModificationParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadModification(load_scale=0.0)
+        with pytest.raises(ValueError):
+            LoadModification(load_scale=-1.0)
+        with pytest.raises(ValueError):
+            LoadModification(n_segments=0)
+
+    def test_identity_parameters_change_nothing(self, line):
+        p0 = line.full_profile
+        p = LoadModification(load_scale=1.0, near_end_delta=0.0).modify(p0)
+        np.testing.assert_allclose(p.z, p0.z)
+        assert p.z_load == p0.z_load
+
+    def test_load_scale_monotone(self, line):
+        p0 = line.full_profile
+        scales = [1.05, 1.15, 1.4, 2.0]
+        deltas = [
+            abs(LoadModification(load_scale=s).modify(p0).z_load - p0.z_load)
+            for s in scales
+        ]
+        assert deltas == sorted(deltas)
+
+    def test_only_trailing_segments_touched(self, line):
+        p0 = line.full_profile
+        n = 3
+        p = LoadModification(n_segments=n, near_end_delta=0.08).modify(p0)
+        np.testing.assert_array_equal(p.z[:-n], p0.z[:-n])
+        assert np.all(p.z[-n:] > p0.z[-n:])
+
+    def test_n_segments_clipped_to_line(self, line):
+        p0 = line.full_profile
+        p = LoadModification(
+            n_segments=10 * p0.n_segments, near_end_delta=0.08
+        ).modify(p0)
+        assert p.n_segments == p0.n_segments
+        assert np.all(p.z > p0.z)
+
+
+class TestChipSwapSeeding:
+    def test_same_seed_same_replacement(self, populated_line):
+        p0 = populated_line.full_profile
+        a = ChipSwap(replacement_seed=42).modify(p0)
+        b = ChipSwap(replacement_seed=42).modify(p0)
+        np.testing.assert_array_equal(a.z, b.z)
+        assert a.z_load == b.z_load
+
+    def test_different_seed_different_replacement(self, populated_line):
+        p0 = populated_line.full_profile
+        a = ChipSwap(replacement_seed=42).modify(p0)
+        b = ChipSwap(replacement_seed=43).modify(p0)
+        assert a.z_load != b.z_load
+
+    def test_swap_changes_termination_only(self, populated_line):
+        p0 = populated_line.full_profile
+        p = ChipSwap(replacement_seed=42).modify(p0)
+        # Early segments (the board trace) are untouched.
+        half = p0.n_segments // 2
+        np.testing.assert_array_equal(p.z[:half], p0.z[:half])
+
+
+class TestColdBootSwap:
+    def test_measures_the_foreign_line(self, line, other_line):
+        swap = ColdBootSwap(foreign_line=other_line)
+        assert swap.measured_line() is other_line
+        assert swap.measured_line() is not line
+
+    def test_not_a_profile_modifier(self):
+        """Cold boot moves the module, it does not perturb a profile."""
+        assert not hasattr(ColdBootSwap, "modify")

@@ -1,0 +1,82 @@
+"""Dedicated unit tests for the wire-tap attack model.
+
+Parameter validation, disturbance monotonicity in the stub and damage
+knobs, and the paper's non-reversibility claim (the residue never
+vanishes once a tap was attached).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import WireTap, WireTapResidue
+
+
+def _disturbance(profile, modified):
+    return float(np.max(np.abs(modified.z / profile.z - 1.0)))
+
+
+class TestWireTapParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireTap(0.1, stub_impedance=0.0)
+        with pytest.raises(ValueError):
+            WireTap(0.1, stub_impedance=-50.0)
+        with pytest.raises(ValueError):
+            WireTap(0.1, extent_m=0.0)
+        with pytest.raises(ValueError):
+            WireTap(0.1, damage=-0.01)
+        with pytest.raises(ValueError):
+            WireTapResidue(0.1, damage=-0.01)
+
+    def test_lower_stub_impedance_disturbs_more(self, line):
+        """A fatter tap wire (lower Z stub) is a louder signature."""
+        p0 = line.full_profile
+        stubs = [400.0, 200.0, 100.0, 50.0]
+        disturbances = [
+            _disturbance(p0, WireTap(0.12, stub_impedance=s).modify(p0))
+            for s in stubs
+        ]
+        assert disturbances == sorted(disturbances)
+
+    def test_damage_monotone(self, line):
+        p0 = line.full_profile
+        damages = [0.0, 0.01, 0.02, 0.05]
+        disturbances = [
+            _disturbance(
+                p0, WireTapResidue(0.12, damage=d).modify(p0)
+            )
+            for d in damages
+        ]
+        assert disturbances == sorted(disturbances)
+        assert disturbances[0] == 0.0  # zero damage leaves no scar
+
+    def test_tap_is_deterministic(self, line):
+        p0 = line.full_profile
+        tap = WireTap(0.12)
+        np.testing.assert_array_equal(tap.modify(p0).z, tap.modify(p0).z)
+
+    def test_residue_inherits_tap_geometry(self):
+        tap = WireTap(0.17, damage=0.03, extent_m=4e-3)
+        residue = tap.residue()
+        assert residue.position_m == 0.17
+        assert residue.damage == 0.03
+        assert residue.extent_m == 4e-3
+        assert residue.location_m() == tap.location_m()
+
+    def test_non_reversibility(self, line):
+        """Removing the wire never restores the enrolled profile."""
+        p0 = line.full_profile
+        tap = WireTap(0.12)
+        after_removal = tap.residue().modify(p0)
+        assert _disturbance(p0, after_removal) > 0
+        # ... but the scar is strictly smaller than the attached tap.
+        attached = tap.modify(p0)
+        assert _disturbance(p0, after_removal) < _disturbance(p0, attached)
+
+    def test_drop_localised_at_tap(self, line):
+        p0 = line.full_profile
+        tap = WireTap(0.10)
+        delta = tap.modify(p0).z / p0.z - 1.0
+        starts = p0.segment_positions(tap.velocity)
+        deepest = starts[int(np.argmin(delta))]
+        assert abs(deepest - 0.10) < 5e-3

@@ -1,0 +1,196 @@
+"""Unit tests for the stock campaign strategies (adversary logic only)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import InterposerImplant, MagneticProbe, ProfileSubstitution
+from repro.campaigns import (
+    BoundaryImplantSearch,
+    CanonicalScenario,
+    OneShotCloner,
+    ProbePlacementSearch,
+    ProfileFittingCloner,
+    default_strategies,
+    validate_strategies,
+)
+from repro.campaigns.strategy import ArmContext, RoundFeedback
+from repro.core.divot import Action
+from repro.protocols import registry
+
+
+@pytest.fixture(scope="module")
+def ctx(request):
+    registry.load_all()
+    factory_line = request.getfixturevalue("line")
+    return ArmContext(
+        spec=registry.get("jtag"), line=factory_line, n_rounds=6
+    )
+
+
+def _feedback(round_index, detected, peak_error=1e-3, score=0.95):
+    return RoundFeedback(
+        round_index=round_index,
+        action=Action.ALERT if detected else Action.PROCEED,
+        score=score,
+        tampered=detected,
+        peak_error=peak_error,
+    )
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestRoster:
+    def test_default_roster_is_valid_and_fresh(self):
+        roster = default_strategies()
+        validate_strategies(roster)
+        assert len(roster) == 5
+        assert roster[0] is not default_strategies()[0]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            validate_strategies([CanonicalScenario(), CanonicalScenario()])
+
+    def test_unknown_statistic_rejected(self):
+        bad = CanonicalScenario()
+        bad.statistic = "vibes"
+        with pytest.raises(ValueError):
+            validate_strategies([bad])
+        with pytest.raises(ValueError):
+            bad.statistic_of(0.9, 1e-3)
+
+    def test_statistic_channels(self):
+        probe = ProbePlacementSearch()
+        assert probe.statistic_of(score=0.9, peak_error=3e-3) == 3e-3
+        cloner = OneShotCloner()
+        assert cloner.statistic_of(score=0.9, peak_error=3e-3) == (
+            pytest.approx(0.1)
+        )
+
+
+class TestCanonicalScenario:
+    def test_replays_the_spec_attack_unchanged(self, ctx):
+        strategy = CanonicalScenario()
+        strategy.begin(ctx, _rng())
+        first = strategy.propose(0, _rng())
+        later = strategy.propose(3, _rng())
+        assert first == later
+        assert len(first) == 1
+
+
+class TestProbePlacementSearch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbePlacementSearch(n_positions=0)
+        with pytest.raises(ValueError):
+            ProbePlacementSearch(min_coupling=0.0)
+        with pytest.raises(ValueError):
+            ProbePlacementSearch(backoff=1.0)
+
+    def test_explores_then_exploits_least_disturbing(self, ctx):
+        strategy = ProbePlacementSearch(n_positions=3)
+        strategy.begin(ctx, _rng())
+        positions = []
+        errors = [5e-3, 1e-3, 3e-3]
+        for r in range(3):
+            (probe,) = strategy.propose(r, _rng())
+            assert isinstance(probe, MagneticProbe)
+            positions.append(probe.position_m)
+            strategy.observe(
+                _feedback(r, detected=False, peak_error=errors[r]), _rng()
+            )
+        assert len(set(positions)) == 3  # every grid point visited
+        (exploit,) = strategy.propose(3, _rng())
+        assert exploit.position_m == positions[1]  # the quietest one
+
+    def test_coupling_backs_off_on_detection(self, ctx):
+        strategy = ProbePlacementSearch(n_positions=1, coupling=0.018)
+        strategy.begin(ctx, _rng())
+        strategy.propose(0, _rng())
+        strategy.observe(_feedback(0, detected=True), _rng())
+        (probe,) = strategy.propose(1, _rng())
+        assert probe.coupling == pytest.approx(0.018 * 0.7)
+
+    def test_coupling_floor_holds(self, ctx):
+        strategy = ProbePlacementSearch(
+            n_positions=1, coupling=0.004, min_coupling=0.002
+        )
+        strategy.begin(ctx, _rng())
+        for r in range(10):
+            strategy.propose(r, _rng())
+            strategy.observe(_feedback(r, detected=True), _rng())
+        (probe,) = strategy.propose(10, _rng())
+        assert probe.coupling == pytest.approx(0.002)
+
+    def test_titrates_back_up_when_undetected(self, ctx):
+        strategy = ProbePlacementSearch(n_positions=1, coupling=0.018)
+        strategy.begin(ctx, _rng())
+        strategy.propose(0, _rng())
+        strategy.observe(_feedback(0, detected=True), _rng())
+        strategy.propose(1, _rng())
+        strategy.observe(_feedback(1, detected=False), _rng())
+        (probe,) = strategy.propose(2, _rng())
+        assert probe.coupling == pytest.approx(0.018 * 0.7 * 1.1)
+        assert probe.coupling < 0.018  # capped at the base coupling
+
+
+class TestCloners:
+    def test_one_shot_fabricates_once(self, ctx):
+        strategy = OneShotCloner()
+        strategy.begin(ctx, _rng())
+        (a,) = strategy.propose(0, _rng())
+        (b,) = strategy.propose(5, _rng())
+        assert isinstance(a, ProfileSubstitution)
+        assert a is b  # the same physical counterfeit every round
+
+    def test_fitting_cloner_improves_round_over_round(self, ctx):
+        strategy = ProfileFittingCloner()
+        strategy.begin(ctx, _rng())
+        rng = _rng()
+        true = ctx.line.full_profile
+        def rel(sub):
+            return float(
+                np.sqrt(
+                    np.mean(((sub.replacement.z - true.z) / true.z) ** 2)
+                )
+            )
+
+        errs = [rel(strategy.propose(r, rng)[0]) for r in range(4)]
+        assert errs[-1] < errs[0]
+
+
+class TestBoundaryImplantSearch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryImplantSearch(boundary_fraction=0.0)
+        with pytest.raises(ValueError):
+            BoundaryImplantSearch(delta_shrink=1.0)
+        with pytest.raises(ValueError):
+            BoundaryImplantSearch(min_delta=0.0)
+
+    def test_shrinks_only_on_detection(self, ctx):
+        strategy = BoundaryImplantSearch()
+        strategy.begin(ctx, _rng())
+        (first,) = strategy.propose(0, _rng())
+        assert isinstance(first, InterposerImplant)
+        strategy.observe(_feedback(0, detected=False), _rng())
+        (second,) = strategy.propose(1, _rng())
+        assert second.series_delta == first.series_delta
+        strategy.observe(_feedback(1, detected=True), _rng())
+        (third,) = strategy.propose(2, _rng())
+        assert third.series_delta < second.series_delta
+        assert third.footprint_m < second.footprint_m
+
+    def test_functional_floors_hold(self, ctx):
+        strategy = BoundaryImplantSearch(
+            min_delta=0.004, min_footprint_m=1e-3
+        )
+        strategy.begin(ctx, _rng())
+        for r in range(30):
+            strategy.propose(r, _rng())
+            strategy.observe(_feedback(r, detected=True), _rng())
+        (implant,) = strategy.propose(30, _rng())
+        assert implant.series_delta == pytest.approx(0.004)
+        assert implant.shunt_delta == pytest.approx(0.004)
+        assert implant.footprint_m == pytest.approx(1e-3)

@@ -1,0 +1,46 @@
+"""Full-scale X-CAMPAIGN acceptance run (slow tier).
+
+Tier-1 covers the campaign engine on miniature configurations; this is
+the real experiment — every protocol, the full stock roster, sharded —
+asserting the same predicates ``run_all`` gates X-CAMPAIGN on.  Marked
+``slow``: deselected by default (see ``addopts``), selected explicitly
+by the CI slow job with ``-m slow``.
+"""
+
+import pytest
+
+from repro.experiments import ext_campaigns
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_campaigns.run()
+
+
+class TestXCampaignAcceptance:
+    def test_covers_every_protocol(self, result):
+        assert result.covers_protocols()
+        assert set(result.outcomes) == set(ext_campaigns.DEFAULT_PROTOCOLS)
+
+    def test_frontiers_complete(self, result):
+        assert result.frontiers_complete()
+
+    def test_adaptive_cloner_beats_baseline_everywhere(self, result):
+        assert result.adaptive_cloner_beats_baseline()
+        for protocol in result.outcomes:
+            gap = result.snapshot["campaigns"][f"{protocol}/clone_gap"]
+            assert gap["gap"] > 0.0, protocol
+
+    def test_sharding_is_invisible(self, result):
+        assert result.byte_identical
+        assert result.sharding_is_invisible()
+
+    def test_adaptation_pays(self, result):
+        assert result.adaptation_pays()
+
+    def test_report_renders(self, result):
+        text = result.report()
+        for strategy in ext_campaigns.ADAPTIVE_STRATEGIES:
+            assert strategy in text

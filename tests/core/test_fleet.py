@@ -156,7 +156,7 @@ class TestTelemetryShape:
     CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
                  "tampered", "score"}
     TOP_KEYS = {"endpoints", "buses", "shards", "protocols", "totals",
-                "cadence", "health", "detection"}
+                "cadence", "health", "detection", "campaigns"}
 
     def test_snapshot_shape(self, factory):
         ex, _, _, tapped = run_one(factory, 3, "serial")

@@ -100,7 +100,7 @@ CELL_KEYS = {"checks", "proceeds", "blocks", "alerts", "flagged",
              "tampered", "score"}
 SCORE_KEYS = {"count", "mean", "min", "max", "hist", "bin_edges"}
 TOP_KEYS = {"endpoints", "buses", "shards", "protocols", "totals",
-            "cadence", "health", "detection"}
+            "cadence", "health", "detection", "campaigns"}
 HEALTH_KEYS = {"dispatches", "degraded_dispatches", "retries",
                "serial_fallbacks", "pool_rebuilds", "timeouts",
                "broken_pools", "crashes", "errors", "per_shard_wall_s",

@@ -1,0 +1,102 @@
+"""Interleaving-invariance property for adversary campaigns.
+
+The campaign engine's determinism claim is coordinate-purity: every
+random draw descends from ``(seed, protocol, arm, slot, op)`` and
+nothing else.  The observable consequence — and what this suite pins —
+is that *how arms are interleaved onto executors is invisible*: running
+any subset of the stock arms, in any order, at any shard count, yields
+byte-identical per-arm rounds, ROC points, and merged event logs to the
+same arms' slices of the one joint campaign.  A regression here (a
+global counter, order-dependent stream consumption, shard-dependent
+reduction) breaks byte-identity immediately.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import (
+    BoundaryImplantSearch,
+    Campaign,
+    CanonicalScenario,
+    OneShotCloner,
+    ProbePlacementSearch,
+    ProfileFittingCloner,
+)
+from repro.protocols import registry
+
+registry.load_all()
+
+SEED = 29
+N_ROUNDS = 2
+PROTOCOL = "spi"
+
+#: Fresh-instance factories, indexed by canonical arm id.  Strategies
+#: are stateful and single-use, so every campaign needs new ones.
+ARM_FACTORIES = (
+    CanonicalScenario,
+    ProbePlacementSearch,
+    OneShotCloner,
+    ProfileFittingCloner,
+    BoundaryImplantSearch,
+)
+
+
+def _run(arm_ids, shards=1):
+    campaign = Campaign(
+        PROTOCOL,
+        strategies=[ARM_FACTORIES[a]() for a in arm_ids],
+        arm_ids=list(arm_ids),
+        seed=SEED,
+        n_rounds=N_ROUNDS,
+        shards=shards,
+    )
+    return campaign.run()
+
+
+#: The joint campaign every permuted run must slice into, computed once.
+_BASELINE = _run(range(len(ARM_FACTORIES)))
+_BASELINE_ARMS = {report.arm: report for report in _BASELINE.arms}
+
+arm_subsets = st.permutations(range(len(ARM_FACTORIES))).flatmap(
+    lambda perm: st.integers(1, len(perm)).map(lambda k: tuple(perm[:k]))
+)
+
+
+@given(arm_ids=arm_subsets, shards=st.sampled_from([1, 2]))
+@settings(max_examples=8, deadline=None)
+def test_interleaving_is_invisible(arm_ids, shards):
+    """Any ordered subset of arms replays its joint-campaign slice."""
+    outcome = _run(arm_ids, shards=shards)
+
+    # Per-arm reports — rounds, ROC, AUC, latency — are dataclass-equal
+    # to the joint campaign's, independent of order and shard count.
+    for report in outcome.arms:
+        assert report == _BASELINE_ARMS[report.arm]
+
+    # Re-assembled in canonical arm order, the subset's measurement
+    # content and merged event log are byte-identical to the joint
+    # campaign restricted to the same arms.
+    ordered = dataclasses.replace(
+        outcome, arms=tuple(sorted(outcome.arms, key=lambda r: r.arm))
+    )
+    reference = dataclasses.replace(
+        _BASELINE,
+        arms=tuple(
+            _BASELINE_ARMS[a] for a in sorted(arm_ids)
+        ),
+    )
+    assert ordered.canonical_bytes() == reference.canonical_bytes()
+    assert ordered.merged_events().events == reference.merged_events().events
+
+
+def test_full_roster_permutation_matches_exactly():
+    """One deterministic spot check: reversed arms, sharded, equal bytes."""
+    reversed_ids = tuple(reversed(range(len(ARM_FACTORIES))))
+    outcome = _run(reversed_ids, shards=2)
+    ordered = dataclasses.replace(
+        outcome, arms=tuple(sorted(outcome.arms, key=lambda r: r.arm))
+    )
+    assert ordered.canonical_bytes() == _BASELINE.canonical_bytes()
+    assert ordered.merged_events().events == _BASELINE.merged_events().events

@@ -130,6 +130,12 @@ class TestLatticeMatchesBorn:
             + abs(p.load_reflection())
             + abs(p.source_reflection())
         ) ** 2
+        # Near-zero reflections push the second-order term below the
+        # rounding noise of the first-order samples themselves; a few
+        # ULP of the sample scale keeps the bound meaningful there.
+        bound += 8 * np.finfo(float).eps * (
+            np.max(np.abs(h_lat.samples)) + np.max(np.abs(h_born.samples))
+        )
         assert np.max(np.abs(h_lat.samples - h_born.samples)) <= bound
 
     @given(eps=perturbations, stretch=st.floats(0.99, 1.01))

@@ -1,0 +1,128 @@
+"""Per-protocol detector tuning: spec fields → links, fleets, campaigns.
+
+PR-8 moved the decision-policy knobs (``captures_per_check``,
+``auth_threshold``, ``tamper_threshold``, ``tamper_smooth_window``) onto
+:class:`~repro.protocols.spec.ProtocolSpec`.  These tests pin the whole
+thread: validation at construction, the policy factories, the defaults
+:meth:`ProtectedLink.from_registry` assembles, and the consensus rule
+:func:`build_protocol_fleet` applies when specs disagree.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.auth import Authenticator
+from repro.core.config import prototype_itdr
+from repro.protocols import ProtectedLink, registry
+from repro.protocols.fleet import build_protocol_fleet
+
+ALL_PROTOCOLS = registry.load_all()
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "field, bad",
+        [
+            ("captures_per_check", 0),
+            ("auth_threshold", 0.0),
+            ("auth_threshold", 1.5),
+            ("tamper_threshold", 0.0),
+            ("tamper_smooth_window", 0),
+        ],
+    )
+    def test_tuning_fields_are_validated(self, field, bad):
+        spec = registry.get("jtag")
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, **{field: bad})
+
+
+class TestPolicyFactories:
+    def test_authenticator_carries_spec_threshold(self):
+        spec = registry.get("jtag")
+        tuned = dataclasses.replace(spec, auth_threshold=0.91)
+        assert spec.authenticator().threshold == spec.auth_threshold
+        assert tuned.authenticator().threshold == 0.91
+
+    def test_tamper_detector_carries_spec_tuning(self):
+        itdr = prototype_itdr()
+        tuned = dataclasses.replace(
+            registry.get("jtag"),
+            tamper_threshold=1.0e-3,
+            tamper_smooth_window=11,
+        )
+        detector = tuned.tamper_detector(itdr)
+        assert detector.threshold == 1.0e-3
+        assert detector.smooth_window == 11
+
+
+class TestLinkAssembly:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_from_registry_deploys_spec_policies(self, protocol):
+        spec = registry.get(protocol)
+        link = ProtectedLink.from_registry(protocol, seed=5)
+        assert link.captures_per_check == spec.captures_per_check
+        for side in spec.sides:
+            endpoint = link.endpoint(side)
+            assert endpoint.authenticator.threshold == spec.auth_threshold
+            assert (
+                endpoint.tamper_detector.threshold == spec.tamper_threshold
+            )
+            assert (
+                endpoint.tamper_detector.smooth_window
+                == spec.tamper_smooth_window
+            )
+
+    def test_explicit_overrides_beat_the_spec(self):
+        link = ProtectedLink.from_registry(
+            "jtag",
+            seed=5,
+            authenticator=Authenticator(0.5),
+            captures_per_check=9,
+        )
+        assert link.captures_per_check == 9
+        for side in link.spec.sides:
+            assert link.endpoint(side).authenticator.threshold == 0.5
+
+
+class TestFleetConsensus:
+    def test_agreeing_specs_build_without_policies(self):
+        executor = build_protocol_fleet(buses_per_protocol=1)
+        try:
+            assert len(executor.bus_protocols()) == len(ALL_PROTOCOLS)
+        finally:
+            executor.close()
+
+    def test_disagreeing_specs_demand_explicit_policy(self):
+        divergent = dataclasses.replace(
+            registry.get("jtag"),
+            name="jtag-hardened",
+            tamper_threshold=1.0e-3,
+        )
+        registry.register(divergent)
+        try:
+            with pytest.raises(ValueError, match="tamper_threshold"):
+                build_protocol_fleet(
+                    protocols=["jtag", "jtag-hardened"],
+                    buses_per_protocol=1,
+                )
+        finally:
+            registry.unregister("jtag-hardened")
+
+    def test_explicit_detector_bypasses_consensus(self):
+        divergent = dataclasses.replace(
+            registry.get("jtag"),
+            name="jtag-hardened",
+            tamper_threshold=1.0e-3,
+        )
+        registry.register(divergent)
+        try:
+            spec = registry.get("jtag")
+            executor = build_protocol_fleet(
+                protocols=["jtag", "jtag-hardened"],
+                buses_per_protocol=1,
+                tamper_detector=spec.tamper_detector(prototype_itdr()),
+            )
+            executor.close()
+        finally:
+            registry.unregister("jtag-hardened")

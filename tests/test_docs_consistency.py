@@ -16,7 +16,7 @@ EXPERIMENT_IDS = [
     "F2", "F3/F4", "F5", "F7a", "F7b", "F8", "E-VIB", "E-EMI",
     "F9bc", "F9ef", "F9hi", "T-OVH", "T-LAT", "F6", "A-BASE", "A-MULTI",
     "X-CLONE", "X-JIT", "X-LINK", "X-SHARE", "X-ADAPT", "X-STACK",
-    "X-ENROLL", "X-SENS",
+    "X-ENROLL", "X-SENS", "X-CAMPAIGN",
 ]
 
 
@@ -55,7 +55,7 @@ class TestExperimentsDoc:
         ["## F7", "## F8", "## F9", "## F6", "## T-OVH", "## T-LAT",
          "## A-BASE", "## A-MULTI", "## X-CLONE", "## X-JIT", "## X-LINK",
          "## X-SHARE", "## X-ADAPT", "## X-STACK", "## X-ENROLL",
-         "## X-SENS",
+         "## X-SENS", "## X-CAMPAIGN",
          "## Deviations"],
     )
     def test_sections_present(self, experiments_md, section):
@@ -80,7 +80,8 @@ class TestRunAllSuite:
         )
         for token in ["F2", "F5", "F7", "F8", "F9", "F6", "T-OVH", "T-LAT",
                       "A-BASE", "A-MULTI", "A-PDM", "A-TRIG", "A-ETS",
-                      "X-CLONE", "X-JIT", "X-SHARE", "X-ADAPT", "X-STACK"]:
+                      "X-CLONE", "X-JIT", "X-SHARE", "X-ADAPT", "X-STACK",
+                      "X-CAMPAIGN"]:
             assert token in suite_names
 
     def test_bench_files_cover_experiment_families(self):

@@ -26,6 +26,10 @@ ALLOWED: Dict[str, Set[str]] = {
     "analysis": {"signals", "txline", "env", "attacks", "core"},
     "protocols": {"signals", "txline", "env", "attacks", "core"},
     "baselines": {"signals", "txline", "env", "attacks", "core", "analysis"},
+    "campaigns": {
+        "signals", "txline", "env", "attacks", "core", "analysis",
+        "protocols",
+    },
     "membus": {
         "signals", "txline", "env", "attacks", "core", "analysis",
         "protocols",

@@ -123,6 +123,80 @@ class TestCodePins:
         assert rate == pytest.approx(0.25, abs=0.005)
 
 
+class TestCampaignPins:
+    """One canonical campaign per attack family, pinned at seed 13.
+
+    Campaigns are pure functions of their seed coordinates, so these
+    numbers are deterministic — wobble here means the seed-derivation
+    contract or the detector pipeline moved, not statistics.
+    """
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from repro.campaigns import Campaign
+        from repro.protocols import registry
+
+        registry.load_all()
+        return Campaign("jtag", seed=13, n_rounds=4).run()
+
+    def test_canonical_snoop_always_caught(self, outcome):
+        report = outcome.arm("canonical")
+        assert report.auc == pytest.approx(1.0)
+        assert report.first_detection_round == 1
+        assert report.rounds[-1].attack_statistic == pytest.approx(
+            0.01202436, rel=1e-5
+        )
+
+    def test_probe_family_search_evades(self, outcome):
+        """The probe-placement searcher parks below the noise floor."""
+        from repro.analysis import operating_point
+
+        report = outcome.arm("probe-search")
+        assert report.auc == pytest.approx(0.4375)
+        assert report.first_detection_round is None
+        assert operating_point(report.roc, max_fpr=0.0).tpr == 0.0
+        assert report.rounds[-1].attack_statistic == pytest.approx(
+            0.00187202, rel=1e-5
+        )
+
+    def test_cloning_family_adaptive_decay(self, outcome):
+        """The profile-fitting cloner's statistic decays round on round."""
+        report = outcome.arm("clone-fit")
+        assert report.auc == pytest.approx(0.9375)
+        samples = report.attack_samples
+        assert samples == sorted(samples, reverse=True)
+        assert samples[0] == pytest.approx(0.27291, rel=1e-4)
+        assert samples[-1] == pytest.approx(0.04798282, rel=1e-5)
+        baseline = outcome.arm("clone-oneshot")
+        assert baseline.auc == pytest.approx(1.0)
+        assert baseline.rounds[-1].attack_statistic == pytest.approx(
+            0.19623091, rel=1e-5
+        )
+
+    def test_cloning_family_gap(self, outcome):
+        from repro.campaigns import clone_gap
+
+        gap = clone_gap(
+            outcome.arm("clone-oneshot"), outcome.arm("clone-fit")
+        )
+        assert gap["gap"] == pytest.approx(0.75)
+        assert gap["tpr_oneshot"] == 1.0
+        assert gap["tpr_adaptive"] == pytest.approx(0.25)
+
+    def test_implant_family_partial_evasion(self, outcome):
+        from repro.analysis import operating_point
+
+        report = outcome.arm("implant-search")
+        assert report.auc == pytest.approx(0.875)
+        assert report.first_detection_round == 1
+        assert operating_point(report.roc, max_fpr=0.0).tpr == pytest.approx(
+            0.75
+        )
+        assert report.rounds[-1].attack_statistic == pytest.approx(
+            0.00286323, rel=1e-5
+        )
+
+
 class TestTamperPins:
     @pytest.fixture(scope="class")
     def setup(self):
