@@ -14,6 +14,14 @@ the O(N*M) direct product at capture-path sizes, and a fleet scan whose
 capture convolutions land on the FFT path stays byte-identical across
 shard counts — determinism survives the faster math.
 
+The third pin covers the fused count-only capture kernel: steady-state
+captures (monitoring checks, enrollment stacks, fleet scans) skip the
+dense probability-grid render and draw comparator counts straight from
+cached per-level CDF tables.  At the monitoring scale — one capture per
+check, warm caches — the fused path must be at least 5x the grid path
+in captures/sec while staying bit-for-bit identical to it, and must
+perform zero dense renders once warm.
+
 Results are written to ``benchmarks/BENCH_physics.json`` so the solver
 throughput trajectory can be tracked across commits.  Under
 ``REPRO_BENCH_SMOKE=1`` the sizes shrink and wall-clock floors are not
@@ -29,6 +37,7 @@ from repro.core import (
     Authenticator,
     FleetScanExecutor,
     TamperDetector,
+    prototype_itdr,
     prototype_itdr_config,
     prototype_line_factory,
 )
@@ -141,6 +150,90 @@ def test_batched_lattice_at_least_10x_scalar(benchmark, record_physics_result):
     )
     if not smoke_mode():
         assert speedup >= SPEEDUP_FLOOR
+
+
+FUSED_SPEEDUP_FLOOR = 5.0
+FUSED_ROUNDS = 60 if smoke_mode() else 300
+FUSED_STACKS = (1, 4, 64)
+
+
+def test_fused_capture_kernel_at_least_5x_grid(record_physics_result):
+    """Count-only captures beat the dense-grid path 5x at monitor scale.
+
+    Both iTDRs are warmed first (reflection solve + CDF tables cached),
+    then timed over repeated ``capture_stack`` calls — exactly the
+    steady-state monitoring loop.  The speedup must never be bought with
+    different statistics: the fused stacks are bit-for-bit the grid
+    stacks, and the fused iTDR performs zero dense renders while timed.
+    """
+    line = prototype_line_factory().manufacture(seed=900)
+
+    def rate(itdr, n_captures):
+        itdr.capture_stack(line, n_captures)  # warm every cache
+        start = time.perf_counter()
+        for _ in range(FUSED_ROUNDS):
+            itdr.capture_stack(line, n_captures)
+        return FUSED_ROUNDS * n_captures / (time.perf_counter() - start)
+
+    rows = {}
+    for n_captures in FUSED_STACKS:
+        grid_rate = rate(
+            prototype_itdr(
+                rng=np.random.default_rng(2), capture_kernel="grid"
+            ),
+            n_captures,
+        )
+        fused = prototype_itdr(rng=np.random.default_rng(2))
+        fused_rate = rate(fused, n_captures)
+        rows[n_captures] = (grid_rate, fused_rate)
+
+    # Bit-identity and zero dense renders in the steady state.
+    fused = prototype_itdr(rng=np.random.default_rng(3))
+    grid = prototype_itdr(rng=np.random.default_rng(3), capture_kernel="grid")
+    assert (
+        fused.capture_stack(line, 8).tobytes()
+        == grid.capture_stack(line, 8).tobytes()
+    )
+    before = fused.kernel_stats.snapshot()
+    fused.capture_stack(line, 8)
+    delta = fused.kernel_stats.delta(before)
+    assert delta["dense_renders"] == 0 and delta["grid_calls"] == 0
+
+    monitor_grid, monitor_fused = rows[1]
+    speedup = monitor_fused / monitor_grid
+    record_physics_result(
+        "fused_capture_kernel",
+        {
+            "rounds": FUSED_ROUNDS,
+            "per_stack": {
+                str(c): {
+                    "grid_captures_per_s": g,
+                    "fused_captures_per_s": f,
+                    "speedup": f / g,
+                }
+                for c, (g, f) in rows.items()
+            },
+            "monitor_scale_speedup": speedup,
+            "speedup_floor": FUSED_SPEEDUP_FLOOR,
+            "speedup_gated": not smoke_mode(),
+            "byte_identical": True,
+            "dense_renders_steady_state": 0,
+        },
+    )
+    emit(
+        "PHYSICS KERNELS — dense-grid vs fused count-only captures",
+        "\n".join(
+            f"C={c:3d}  grid {g:10.0f} cap/s   fused {f:10.0f} cap/s   "
+            f"{f / g:6.2f}x"
+            for c, (g, f) in rows.items()
+        )
+        + f"\nmonitor-scale speedup    : {speedup:10.1f}x "
+        f"(floor: {FUSED_SPEEDUP_FLOOR:.0f}x"
+        f"{', not enforced in smoke mode' if smoke_mode() else ''})"
+        "\nfused vs grid stacks     : byte-identical, 0 dense renders",
+    )
+    if not smoke_mode():
+        assert speedup >= FUSED_SPEEDUP_FLOOR
 
 
 def test_fft_convolution_beats_direct_at_size(record_physics_result):

@@ -84,6 +84,20 @@ class MixtureCdfInverter:
         p = np.clip(p, self._p_grid[0], self._p_grid[-1])
         return np.interp(p, self._p_grid, self._v_grid)
 
+    def count_lookup(self, repetitions: int) -> np.ndarray:
+        """Voltage estimate for every possible count, ``(repetitions + 1,)``.
+
+        A count-only capture path observes integer counts ``c`` in
+        ``0 .. repetitions``, so the continuous inversion collapses to a
+        finite table: ``lookup[c]`` is bitwise what ``invert(c / R)``
+        returns (both paths clip and interpolate the identical quotient
+        elementwise).  The fused capture kernel indexes this instead of
+        re-interpolating a dense ``(C, N)`` probability matrix per call.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        return self.invert(np.arange(repetitions + 1) / repetitions)
+
     def linear_window(self, threshold: float = 0.1) -> tuple:
         """Voltage span where sensitivity exceeds ``threshold`` x its peak.
 
@@ -139,6 +153,10 @@ class APCConverter:
     def invert(self, p_hat) -> np.ndarray:
         """CDF inversion only (Eq. 2), for externally obtained counts."""
         return self._inverter.invert(p_hat)
+
+    def count_lookup(self, repetitions: int) -> np.ndarray:
+        """Count→voltage table — see :meth:`MixtureCdfInverter.count_lookup`."""
+        return self._inverter.count_lookup(repetitions)
 
     def linear_window(self, threshold: float = 0.1) -> tuple:
         """The usable voltage window around ``v_ref`` (about +/-2 sigma)."""

@@ -101,16 +101,42 @@ class ETSSampler:
         ]
 
     def interleave(self, records: Sequence[Waveform]) -> Waveform:
-        """Rebuild the dense waveform from the M phase-stepped records."""
+        """Rebuild the dense waveform from the M phase-stepped records.
+
+        The records must actually be the M phase-stepped decimations of
+        one dense waveform: record ``m`` of a ``total``-sample interleave
+        holds ``ceil((total - m) / M)`` samples (what
+        ``Waveform.decimated(M, offset=m)`` produces) and every record
+        shares one real-time sample spacing.  Anything else raises —
+        historically, mismatched record lengths were written through
+        truncating strided slices into an uninitialised buffer, silently
+        returning garbage samples in the gaps.
+        """
         if len(records) != self.n_phases:
             raise ValueError(
                 f"expected {self.n_phases} records, got {len(records)}"
             )
-        lengths = [len(r) for r in records]
-        total = sum(lengths)
+        m_phases = self.n_phases
+        total = sum(len(r) for r in records)
+        dt0 = records[0].dt
+        for m, record in enumerate(records):
+            if not np.isclose(record.dt, dt0, rtol=1e-6, atol=0.0):
+                raise ValueError(
+                    f"record {m} has sample spacing {record.dt!r} but "
+                    f"record 0 has {dt0!r}; interleaved records must share "
+                    "one real-time grid"
+                )
+            expected = (total - m + m_phases - 1) // m_phases
+            if len(record) != expected:
+                raise ValueError(
+                    f"record {m} has {len(record)} samples, but phase {m} "
+                    f"of a {total}-sample, {m_phases}-phase interleave "
+                    f"must contribute {expected}; these records are not "
+                    "the phase-stepped decimations of one waveform"
+                )
         out = np.empty(total)
         for m, record in enumerate(records):
-            out[m :: self.n_phases][: len(record)] = record.samples
+            out[m::m_phases] = record.samples
         return Waveform(out, self.pll.phase_step, records[0].t0)
 
     # ------------------------------------------------------------------

@@ -365,14 +365,16 @@ def _run_shard(task: _ShardTask) -> tuple:
     own stream, then enroll or monitor.  Nothing here may depend on
     shard identity except the provenance label on the records.
 
-    Returns ``(items, cache_delta)``: the ``(index, payload)`` pairs plus
-    the solve-cache hit/miss/eviction counters this shard contributed —
-    provenance the parent folds into telemetry, never into outcomes.
+    Returns ``(items, cache_delta, kernel_delta)``: the
+    ``(index, payload)`` pairs plus the solve-cache hit/miss/eviction and
+    capture-kernel counters this shard contributed — provenance the
+    parent folds into telemetry, never into outcomes.
     """
     if task.fault_injector is not None:
         task.fault_injector.apply(task.mode, task.shard, task.attempt)
     solve_stats_before = process_solve_cache().stats()
     itdr = _worker_itdr(task.config_key, task.config)
+    kernel_before = itdr.kernel_stats.snapshot()
     out = []
     for work in task.work:
         itdr.rng = np.random.default_rng(work.seed)
@@ -428,7 +430,7 @@ def _run_shard(task: _ShardTask) -> tuple:
         key: solve_stats_after[key] - solve_stats_before[key]
         for key in SolveCache.COUNTER_KEYS
     }
-    return out, cache_delta
+    return out, cache_delta, itdr.kernel_stats.delta(kernel_before)
 
 
 def merge_shard_outputs(shard_outputs: Sequence[Sequence[tuple]]) -> list:
@@ -753,9 +755,10 @@ class FleetScanExecutor:
             outputs, healths = self._dispatch_process(tasks)
         self._record_health(healths, self._pool_rebuilds - rebuilds_before)
         shard_items = []
-        for items, cache_delta in outputs:
+        for items, cache_delta, kernel_delta in outputs:
             shard_items.append(items)
             self.telemetry.record_cache(cache_delta)
+            self.telemetry.record_kernel(kernel_delta)
         return merge_shard_outputs(shard_items), healths
 
     def _record_health(

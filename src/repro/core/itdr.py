@@ -16,7 +16,6 @@ numpy — the workhorse of the statistical experiments.
 from __future__ import annotations
 
 import hashlib
-import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -27,6 +26,11 @@ from ..signals.edges import EdgeShape
 from ..signals.waveform import Waveform
 from ..txline.line import TransmissionLine
 from .apc import APCConverter
+from .capturekernel import (
+    CaptureKernelStats,
+    FusedCountKernel,
+    binomial_cdf_table,
+)
 from .comparator import Comparator
 from .ets import ETSSampler, PhaseSteppingPLL
 from .pdm import PDMScheme, TriangleWave, VernierRelation
@@ -68,6 +72,18 @@ class ITDRConfig:
             instant; over the repetition count this blurs the waveform
             (deterministic) and leaves a slope-proportional residual noise
             (statistical).  0 models the paper's "timing stability" setup.
+        capture_kernel: ``"fused"`` (default) computes counts directly
+            from cached per-level decision tables whenever the state is
+            static and count-only — skipping every per-call dense-grid
+            table rebuild; ``"grid"`` forces the historical dense path
+            (the byte-identity reference the fused float64 kernel is
+            pinned against).  Jitter, interference, and per-capture
+            perturbed states always take the dense path regardless.
+        dtype: ``"float64"`` (default, the bitwise reference) or
+            ``"float32"`` — halves decision-table and estimate bandwidth
+            on the fused and batched-render paths.  Switching to float32
+            changes every capture's bits; tolerance-based goldens must be
+            re-pinned (see docs/TESTING.md).
     """
 
     clock_frequency: float = 156.25e6
@@ -87,6 +103,8 @@ class ITDRConfig:
     record_margin: float = 0.3e-9
     reflection_cache_size: int = 16
     phase_jitter_rms: float = 0.0
+    capture_kernel: str = "fused"
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -99,6 +117,15 @@ class ITDRConfig:
             raise ValueError("pdm_amplitude must be non-negative")
         if self.phase_jitter_rms < 0:
             raise ValueError("phase_jitter_rms must be non-negative")
+        if self.capture_kernel not in ("fused", "grid"):
+            raise ValueError("capture_kernel must be 'fused' or 'grid'")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError("dtype must be 'float64' or 'float32'")
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured working precision as a numpy dtype."""
+        return np.dtype(self.dtype)
 
 
 @dataclass(frozen=True)
@@ -195,15 +222,43 @@ class ITDR:
         else:
             self.pdm = None
             self.apc = APCConverter(self.comparator, v_ref=0.0)
+        #: Which kernel did the work, and whether any dense-grid waveform
+        #: was rendered — the fusion's regression surface (fleet dispatch
+        #: ships worker deltas home into telemetry).
+        self.kernel_stats = CaptureKernelStats()
+        inverter = self.pdm if self.pdm is not None else self.apc
+        levels = (
+            self.pdm.reference_levels()
+            if self.pdm is not None
+            else np.array([0.0])
+        )
+        self._fused = FusedCountKernel(
+            comparator=self.comparator,
+            levels=levels,
+            repetitions=config.repetitions,
+            invert=inverter.invert,
+            dtype=config.np_dtype,
+            budget=self._BERNOULLI_BUDGET,
+            cache_size=config.reflection_cache_size,
+        )
+        self._probe_edge: Optional[Waveform] = None
 
     # ------------------------------------------------------------------
     # geometry helpers
     # ------------------------------------------------------------------
     def probe_edge(self) -> Waveform:
-        """The probe edge on the ETS grid, with settling tail."""
-        return self.edge.rising(
-            self.pll.phase_step, settle=self.config.edge_rise_time
-        )
+        """The probe edge on the ETS grid, with settling tail.
+
+        The edge is a pure function of the frozen config, so it is
+        rendered once and reused — the capture hot path asks for it on
+        every call (record-length arithmetic, solve-key digest).
+        """
+        if self._probe_edge is None:
+            self.kernel_stats.dense_renders += 1
+            self._probe_edge = self.edge.rising(
+                self.pll.phase_step, settle=self.config.edge_rise_time
+            )
+        return self._probe_edge
 
     def record_length(self, line: TransmissionLine) -> int:
         """Record length in ETS-grid points covering the full round trip."""
@@ -256,6 +311,21 @@ class ITDR:
         any in-place mutation of the line or its modifiers hashes
         differently and triggers a fresh solve.
         """
+        return self._true_reflection_keyed(line, modifiers, engine)[0]
+
+    def _true_reflection_keyed(
+        self,
+        line: TransmissionLine,
+        modifiers: Sequence = (),
+        engine: str = "born",
+    ) -> tuple:
+        """:meth:`true_reflection` plus the content-addressed solve key.
+
+        The key doubles as the fused kernel's decision-table cache key, so
+        the table cache inherits the reflection cache's integrity contract
+        for free: any state mutation re-keys, a stale table can never be
+        served.
+        """
         profile = line.profile_under(modifiers)
         n_out = self.record_length(line)
         key = self._solve_key(profile.content_hash(), engine, n_out)
@@ -264,9 +334,10 @@ class ITDR:
         if cached is not None:
             self._reflection_cache.move_to_end(key)
             solves.record_hit()
-            return cached
+            return cached, key
         wave = solves.get(key)
         if wave is None:
+            self.kernel_stats.dense_renders += 1
             wave = line.reflected_waveform(
                 self.probe_edge(), engine=engine, n_out=n_out, profile=profile
             )
@@ -275,7 +346,7 @@ class ITDR:
         if len(self._reflection_cache) >= self._reflection_cache_max:
             self._reflection_cache.popitem(last=False)
         self._reflection_cache[key] = wave
-        return wave
+        return wave, key
 
     # ------------------------------------------------------------------
     # measurement cost
@@ -347,13 +418,36 @@ class ITDR:
         :meth:`capture`, so averaging/monitoring consumers get loop-path
         statistics at batch-path cost.
 
+        Static, interference-free states take the fused count kernel
+        (``config.capture_kernel == "fused"``): counts come straight from
+        cached per-level decision tables and a count→voltage lookup, with
+        no per-call dense-grid work — byte-identical (at float64) to the
+        ``"grid"`` reference path because both consume the generator
+        stream in the same order against the same CDF bits.  Jitter and
+        interference materialise per-row voltages and therefore always
+        run the dense path.
+
         ``interference`` is an optional
         :class:`~repro.env.emi.EMIEnvironment` adding per-trial aggressor
         voltage at the comparator input.
         """
         if n_captures < 1:
             raise ValueError("n_captures must be >= 1")
-        true_wave = self.true_reflection(line, modifiers, engine=engine)
+        true_wave, key = self._true_reflection_keyed(
+            line, modifiers, engine=engine
+        )
+        if (
+            self.config.capture_kernel == "fused"
+            and interference is None
+            and self.config.phase_jitter_rms <= 0
+        ):
+            est = self._fused.estimate(
+                key, true_wave.samples, n_captures, self.rng,
+                self.kernel_stats,
+            )
+            self.kernel_stats.fused_calls += 1
+            self.kernel_stats.fused_captures += n_captures
+            return est
         v_batch = np.broadcast_to(
             true_wave.samples, (n_captures, len(true_wave))
         )
@@ -449,10 +543,11 @@ class ITDR:
         if len(z_batch) != n_captures:
             raise ValueError("z_batch rows must equal n_captures")
         n_out = self.record_length(line)
+        self.kernel_stats.dense_renders += n_captures
         v_batch = (
             line.batch_reflected_waveforms(
                 self.probe_edge(), z_batch, tau_batch, n_out=n_out,
-                engine=engine,
+                engine=engine, dtype=self.config.np_dtype,
             )
             * self.config.coupling
         )
@@ -461,25 +556,34 @@ class ITDR:
     def _estimate_batch(
         self, v_batch: np.ndarray, interference=None
     ) -> np.ndarray:
-        """Vectorised APC/PDM estimation over a (C, N) voltage matrix."""
-        v_batch = self._apply_jitter(np.asarray(v_batch, dtype=float))
+        """Vectorised APC/PDM estimation over a (C, N) voltage matrix.
+
+        This is the dense ("grid") path: per-call probability tables over
+        the full voltage matrix.  It remains the byte-identity reference
+        the fused kernel is pinned against, and the only path for jitter,
+        interference, and per-capture perturbed states.
+        """
+        self.kernel_stats.grid_calls += 1
+        self.kernel_stats.grid_captures += int(np.shape(v_batch)[0])
+        v_batch = self._apply_jitter(
+            np.asarray(v_batch, dtype=self.config.np_dtype)
+        )
         r = self.config.repetitions
         if interference is not None:
             return self._estimate_batch_with_interference(v_batch, interference)
         if self.pdm is not None:
             levels = self.pdm.reference_levels()
-            q = len(levels)
-            base, extra = divmod(r, q)
+            split = self.pdm.trial_split(r)
             counts = np.zeros(v_batch.shape, dtype=np.int64)
-            for j, level in enumerate(levels):
-                n_j = base + (1 if j < extra else 0)
+            for level, n_j in zip(levels, split):
                 if n_j:
-                    counts += self._count_ones_batch(v_batch, level, n_j)
+                    counts += self._count_ones_batch(v_batch, level, int(n_j))
             flat = self.pdm.invert((counts / r).ravel())
-            return flat.reshape(v_batch.shape)
-        counts = self._count_ones_batch(v_batch, 0.0, r)
-        flat = self.apc.invert((counts / r).ravel())
-        return flat.reshape(v_batch.shape)
+        else:
+            counts = self._count_ones_batch(v_batch, 0.0, r)
+            flat = self.apc.invert((counts / r).ravel())
+        est = flat.reshape(v_batch.shape)
+        return est.astype(self.config.np_dtype, copy=False)
 
     #: Element budget for the Bernoulli-trial sampling shortcut; above it
     #: the per-trial uniforms would not fit comfortably in cache/memory and
@@ -496,20 +600,20 @@ class ITDR:
         Bernoulli probabilities, so P(Y=1) is computed once per point
         rather than once per (capture, point).  Counts are then drawn by
         inverse-CDF sampling — one uniform per element against the shared
-        per-point binomial CDF, which is exactly Binomial(n, p) in
+        per-point binomial CDF (built by the numerically stable
+        :func:`~repro.core.capturekernel.binomial_cdf_table`, safe at any
+        repetition count), which is exactly Binomial(n, p) in
         distribution — falling back to direct binomial sampling when the
         comparison tensor would be too large.
         """
+        dtype = self.config.np_dtype
         if v_batch.ndim == 2 and v_batch.strides[0] == 0:
-            p = self.comparator.probability_of_one(v_batch[0], level)
+            p = self.comparator.probability_of_one(
+                v_batch[0], level, dtype=dtype
+            )
             if n_trials * v_batch.size <= self._BERNOULLI_BUDGET:
-                q = 1.0 - p
-                pmf = [
-                    math.comb(n_trials, k) * p**k * q ** (n_trials - k)
-                    for k in range(n_trials)
-                ]
-                cdf = np.cumsum(pmf, axis=0)
-                u = self.rng.random(v_batch.shape)
+                cdf = binomial_cdf_table(n_trials, p, dtype=dtype)
+                u = self.rng.random(v_batch.shape, dtype=dtype)
                 counts = np.zeros(v_batch.shape, dtype=np.int64)
                 for k in range(n_trials):
                     counts += u > cdf[k]

@@ -145,6 +145,23 @@ class PDMScheme:
         """Number of distinct reference levels (q for coprime p, q)."""
         return len(self.reference_levels())
 
+    def trial_split(self, repetitions: int) -> np.ndarray:
+        """Trials assigned to each sorted reference level, ``(q,)``.
+
+        ``repetitions`` trials distribute over the levels as the Vernier
+        cycling distributes them: as evenly as integer division allows,
+        with the remainder spread over the first levels (exactly what
+        happens when the trial count is not a multiple of q).  Every
+        counting path — looped, batched, and the fused count kernel —
+        shares this split, which is what keeps their statistics (and for
+        the fused/grid pair, their bits) interchangeable.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        q = self.n_levels
+        base, extra = divmod(repetitions, q)
+        return base + (np.arange(q) < extra).astype(np.int64)
+
     # ------------------------------------------------------------------
     def measure_counts(
         self,
@@ -154,23 +171,18 @@ class PDMScheme:
     ) -> np.ndarray:
         """Total Y=1 counts per point with references cycling per trial.
 
-        ``repetitions`` trials are distributed over the reference levels as
-        the Vernier cycling distributes them: as evenly as integer division
-        allows, with the remainder spread over the first levels (exactly
-        what happens when the trial count is not a multiple of q).
+        References cycle through the sorted ladder with the
+        :meth:`trial_split` allocation of trials per level.
         """
-        if repetitions < 1:
-            raise ValueError("repetitions must be >= 1")
         v_true = np.asarray(v_true, dtype=float)
         levels = self.reference_levels()
-        q = len(levels)
-        base = repetitions // q
-        extra = repetitions % q
+        split = self.trial_split(repetitions)
         counts = np.zeros(v_true.shape, dtype=np.int64)
-        for j, level in enumerate(levels):
-            n_j = base + (1 if j < extra else 0)
+        for level, n_j in zip(levels, split):
             if n_j:
-                counts += self.comparator.count_ones(v_true, level, n_j, rng)
+                counts += self.comparator.count_ones(
+                    v_true, level, int(n_j), rng
+                )
         return counts
 
     def estimate_voltage(
@@ -186,6 +198,10 @@ class PDMScheme:
     def invert(self, p_hat) -> np.ndarray:
         """Mixture-CDF inversion for externally obtained probabilities."""
         return self._inverter.invert(p_hat)
+
+    def count_lookup(self, repetitions: int) -> np.ndarray:
+        """Count→voltage table — see :meth:`MixtureCdfInverter.count_lookup`."""
+        return self._inverter.count_lookup(repetitions)
 
     # ------------------------------------------------------------------
     def linear_window(self, threshold: float = 0.1) -> Tuple[float, float]:

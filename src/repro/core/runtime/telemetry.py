@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..capturekernel import CaptureKernelStats
 from ..divot import Action
 from ..solvecache import SolveCache, process_solve_cache
 from .events import EventLog, MonitorEvent
@@ -59,7 +60,10 @@ class Telemetry:
         ``solve_cache`` section: ``process`` is this process's live
         solve-memo counters (hits/misses/evictions/occupancy), and
         ``workers`` accumulates the per-shard deltas fleet dispatches
-        shipped home; all-zero with an empty wall-time map for
+        shipped home, and the ``capture_kernel`` section accumulates
+        the per-shard fused/grid/dense-render counter deltas (see
+        :class:`~repro.core.capturekernel.CaptureKernelStats`);
+        all-zero with an empty wall-time map for
         single-datapath workloads, so the snapshot shape stays
         identical across every workload;
     ``detection``
@@ -96,6 +100,9 @@ class Telemetry:
         self._health = {key: 0 for key in self.HEALTH_KEYS}
         self._shard_wall: Dict[int, Dict[str, float]] = {}
         self._solve_cache = {key: 0 for key in SolveCache.COUNTER_KEYS}
+        self._capture_kernel = {
+            key: 0 for key in CaptureKernelStats.COUNTER_KEYS
+        }
         self._campaigns: Dict[str, dict] = {}
 
     # -- sink protocol -------------------------------------------------
@@ -122,6 +129,19 @@ class Telemetry:
         """
         for key in self._solve_cache:
             self._solve_cache[key] += int(counters.get(key, 0))
+
+    def record_kernel(self, counters: Dict[str, int]) -> None:
+        """Fold one shard's capture-kernel counter delta in.
+
+        Same shipping discipline as :meth:`record_cache`: worker
+        processes own their iTDRs, so each dispatch returns the
+        fused/grid/dense-render counter movement its visits produced and
+        the parent accumulates it here — the surface the fusion
+        booby-trap test reads to prove fleet scans render no dense grids
+        in the steady state.
+        """
+        for key in self._capture_kernel:
+            self._capture_kernel[key] += int(counters.get(key, 0))
 
     def record_campaign(self, key: str, cell: dict) -> None:
         """Fold one campaign arm's frontier summary into the snapshot.
@@ -233,6 +253,7 @@ class Telemetry:
                     "process": process_solve_cache().stats(),
                     "workers": dict(self._solve_cache),
                 },
+                "capture_kernel": dict(self._capture_kernel),
             },
             "detection": detection,
             "campaigns": {

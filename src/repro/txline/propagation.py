@@ -40,7 +40,8 @@ __all__ = ["LatticeEngine", "BornEngine", "reflected_waveform"]
 
 
 def _deposit_impulses(
-    times: np.ndarray, amps: np.ndarray, grid_dt: float, n_out: int
+    times: np.ndarray, amps: np.ndarray, grid_dt: float, n_out: int,
+    dtype=float,
 ) -> np.ndarray:
     """Deposit ``(C, E)`` timed impulses onto the analog grid, ``(C, n_out)``.
 
@@ -49,9 +50,11 @@ def _deposit_impulses(
     by which temperature stretch moves echoes.  Impulses falling outside
     the record are dropped.  Shared by both engines: Born deposits one
     impulse per echo, the lattice deposits one per output time step.
+    ``dtype`` sets the rendered grid's precision (timing/amplitude
+    arithmetic stays float64; only the deposit accumulates narrower).
     """
     c = times.shape[0]
-    h = np.zeros((c, n_out))
+    h = np.zeros((c, n_out), dtype=dtype)
     pos = times / grid_dt
     idx0 = np.floor(pos).astype(int)
     frac = pos - idx0
@@ -276,12 +279,16 @@ class LatticeEngine:
         *,
         r_src=0.0,
         n_steps: Optional[int] = None,
+        dtype=float,
     ) -> np.ndarray:
         """Lattice reflection sequences for a batch of states, ``(C, N)``.
 
         API parity with :meth:`BornEngine.batch_impulse_sequences`; extra
         keyword-only knobs expose the lattice-specific inputs (``r_src``
-        re-reflection at the driver, explicit step count).
+        re-reflection at the driver, explicit step count).  ``dtype``
+        narrows only the *rendered* output grid; the time-stepper itself
+        always runs float64 so its bitwise pin against the scalar
+        reference loop is dtype-independent.
 
         On the native grid (``grid_dt is None``) all rows must share one
         segment delay (the common output grid) and the result has one
@@ -303,9 +310,10 @@ class LatticeEngine:
                 )
             if n_steps is None:
                 n_steps = n_out if n_out is not None else self._default_steps(s)
-            return self._batch_lattice_sequences(
+            seq = self._batch_lattice_sequences(
                 z2, r_load, r_src, loss, n_steps, tap="source"
             )
+            return seq.astype(dtype, copy=False)
         if n_steps is None:
             n_steps = self._default_steps(s)
             if n_out is not None:
@@ -323,7 +331,7 @@ class LatticeEngine:
             z2, r_load, r_src, loss, n_steps, tap="source"
         )
         times = taus[:, None] * np.arange(n_steps)[None, :]
-        return _deposit_impulses(times, seq, self.grid_dt, n_out)
+        return _deposit_impulses(times, seq, self.grid_dt, n_out, dtype=dtype)
 
     def batch_reflection_responses(
         self,
@@ -335,6 +343,7 @@ class LatticeEngine:
         n_out: Optional[int] = None,
         *,
         r_src=0.0,
+        dtype=float,
     ) -> np.ndarray:
         """Reflected waveforms for a batch of states, shape ``(C, N)``."""
         z2, tau2, taus = self._batch_states(z, tau)
@@ -344,14 +353,18 @@ class LatticeEngine:
                 span = 2.0 * float(np.max(np.sum(tau2, axis=1)))
                 n_out = int(np.ceil(span / self.grid_dt)) + len(incident) + 2
             h = self.batch_impulse_sequences(
-                z2, tau2, r_load, loss, n_out=n_out, r_src=r_src
+                z2, tau2, r_load, loss, n_out=n_out, r_src=r_src, dtype=dtype
             )
-            return batch_convolve_full(h, incident.samples)[:, :n_out]
+            return batch_convolve_full(
+                h, incident.samples, dtype=dtype
+            )[:, :n_out]
         self._validate_grid(incident.dt, taus, "segment delay")
         h = self.batch_impulse_sequences(
-            z2, tau2, r_load, loss, n_out=n_out, r_src=r_src
+            z2, tau2, r_load, loss, n_out=n_out, r_src=r_src, dtype=dtype
         )
-        return batch_convolve_full(h, incident.samples)[:, : h.shape[1]]
+        return batch_convolve_full(
+            h, incident.samples, dtype=dtype
+        )[:, : h.shape[1]]
 
     # ------------------------------------------------------------------
     # single-profile surface
@@ -527,12 +540,15 @@ class BornEngine:
         r_load,
         loss: float,
         n_out: Optional[int] = None,
+        dtype=float,
     ) -> np.ndarray:
         """Reflection sequences for a batch of line states, shape ``(C, N)``.
 
         Echo amplitudes are deposited onto the analog grid with linear
         interpolation between the two bracketing bins, preserving sub-grid
         timing (the mechanism by which temperature stretch moves echoes).
+        ``dtype`` narrows only the rendered grid; echo timing/amplitude
+        arithmetic stays float64.
         """
         z = np.atleast_2d(np.asarray(z, dtype=float))
         tau = np.atleast_2d(np.asarray(tau, dtype=float))
@@ -544,7 +560,7 @@ class BornEngine:
             amps = amps[:, :-1]
         if n_out is None:
             n_out = int(np.ceil(np.max(times) / self.grid_dt)) + 2
-        return _deposit_impulses(times, amps, self.grid_dt, n_out)
+        return _deposit_impulses(times, amps, self.grid_dt, n_out, dtype=dtype)
 
     # ------------------------------------------------------------------
     def reflection_response(
@@ -572,6 +588,7 @@ class BornEngine:
         loss: float,
         incident: Waveform,
         n_out: Optional[int] = None,
+        dtype=float,
     ) -> np.ndarray:
         """Reflected waveforms for a batch of states, shape ``(C, N)``."""
         if not np.isclose(incident.dt, self.grid_dt, rtol=1e-6, atol=0.0):
@@ -583,8 +600,10 @@ class BornEngine:
         if n_out is None:
             span = 2.0 * float(np.max(np.sum(tau2, axis=1)))
             n_out = int(np.ceil(span / self.grid_dt)) + len(incident) + 2
-        h = self.batch_impulse_sequences(z2, tau2, r_load, loss, n_out=n_out)
-        out = batch_convolve_full(h, incident.samples)
+        h = self.batch_impulse_sequences(
+            z2, tau2, r_load, loss, n_out=n_out, dtype=dtype
+        )
+        out = batch_convolve_full(h, incident.samples, dtype=dtype)
         return out[:, :n_out]
 
 

@@ -66,6 +66,36 @@ class TestETSSampler:
         with pytest.raises(ValueError):
             sampler.interleave(sampler.acquire(analog)[:2])
 
+    def test_interleave_rejects_mismatched_record_lengths(self):
+        """Records that are not the phase-stepped decimations of one
+        waveform used to be written through truncating strided slices
+        into an uninitialised buffer — garbage samples, no error."""
+        sampler = self.make(4)
+        analog = Waveform(np.arange(21, dtype=float), dt=1e-12)
+        records = list(sampler.acquire(analog))
+        short = records[1]
+        records[1] = Waveform(short.samples[:-1], short.dt, short.t0)
+        with pytest.raises(ValueError, match="record 0"):
+            sampler.interleave(records)
+
+    def test_interleave_rejects_wrong_phase_assignment(self):
+        """Right total length, wrong per-phase split: phase 0 of a
+        21-sample, 4-phase interleave must hold 6 samples, not 5."""
+        sampler = self.make(4)
+        analog = Waveform(np.arange(21, dtype=float), dt=1e-12)
+        records = sampler.acquire(analog)
+        rotated = records[1:] + records[:1]
+        with pytest.raises(ValueError, match="phase-stepped decimations"):
+            sampler.interleave(rotated)
+
+    def test_interleave_rejects_mismatched_grids(self):
+        sampler = self.make(4)
+        analog = Waveform(np.arange(20, dtype=float), dt=1e-12)
+        records = list(sampler.acquire(analog))
+        records[2] = Waveform(records[2].samples, dt=2e-12, t0=records[2].t0)
+        with pytest.raises(ValueError, match="sample spacing"):
+            sampler.interleave(records)
+
     def test_measurement_passes(self):
         sampler = self.make(8)
         assert sampler.measurement_passes(3) == 3

@@ -31,6 +31,14 @@ class TestConfig:
         itdr = ITDR(ITDRConfig(pdm_vernier=(2, 4)))
         assert itdr.pdm.n_levels >= 2
 
+    def test_capture_kernel_and_dtype_validated(self):
+        with pytest.raises(ValueError):
+            ITDRConfig(capture_kernel="warp")
+        with pytest.raises(ValueError):
+            ITDRConfig(dtype="float16")
+        assert ITDRConfig(dtype="float32").np_dtype == np.float32
+        assert ITDRConfig().np_dtype == np.float64
+
 
 class TestGeometry:
     def test_record_covers_round_trip(self, line, itdr):
@@ -109,6 +117,25 @@ class TestCapture:
         itdr = prototype_itdr(rng=np.random.default_rng(0), use_pdm=False)
         cap = itdr.capture(line, interference=nearby_digital_circuit())
         assert np.isfinite(cap.waveform.samples).all()
+
+    def test_large_repetition_budget_regression(self, line):
+        """repetitions=2048 used to raise OverflowError building the
+        binomial inverse-CDF via ``math.comb`` term products (bare-APC
+        mode puts all 2048 trials on one comparator level); the stable
+        CDF path must survive it in both kernel configurations."""
+        fused = prototype_itdr(
+            rng=np.random.default_rng(6), repetitions=2048, use_pdm=False
+        )
+        grid = prototype_itdr(
+            rng=np.random.default_rng(6),
+            repetitions=2048,
+            use_pdm=False,
+            capture_kernel="grid",
+        )
+        a = fused.capture(line).waveform.samples
+        b = grid.capture(line).waveform.samples
+        assert np.isfinite(a).all()
+        assert a.tobytes() == b.tobytes()
 
 
 class TestCaptureAveraged:

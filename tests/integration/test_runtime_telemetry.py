@@ -104,7 +104,7 @@ TOP_KEYS = {"endpoints", "buses", "shards", "protocols", "totals",
 HEALTH_KEYS = {"dispatches", "degraded_dispatches", "retries",
                "serial_fallbacks", "pool_rebuilds", "timeouts",
                "broken_pools", "crashes", "errors", "per_shard_wall_s",
-               "solve_cache"}
+               "solve_cache", "capture_kernel"}
 DETECTION_KEYS = {"onset_s", "first_alert_s", "latency_s", "per_side"}
 
 
@@ -178,7 +178,9 @@ class TestSharedTelemetrySurface:
             assert snap["health"]["per_shard_wall_s"] == {}
             assert all(
                 v == 0 for k, v in snap["health"].items()
-                if k not in ("per_shard_wall_s", "solve_cache")
+                if k not in (
+                    "per_shard_wall_s", "solve_cache", "capture_kernel"
+                )
             )
             # The solve-cache section: live process counters plus the
             # worker-delta accumulator, which no single-datapath
@@ -190,6 +192,13 @@ class TestSharedTelemetrySurface:
             }
             assert cache["workers"] == {
                 "hits": 0, "misses": 0, "evictions": 0
+            }
+            # Same for the capture-kernel accumulator: only sharded
+            # fleet dispatches ship counter deltas home.
+            from repro.core.capturekernel import CaptureKernelStats
+
+            assert snap["health"]["capture_kernel"] == {
+                key: 0 for key in CaptureKernelStats.COUNTER_KEYS
             }
 
     def test_detection_latency_reads_identically(self, workloads):

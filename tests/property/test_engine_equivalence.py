@@ -1,6 +1,7 @@
 """Property pins for the physics engines: batched ≡ scalar, lattice ≈ Born.
 
-Two contracts guard the batched lattice kernel:
+Two contracts guard the batched lattice kernel (plus a third for the
+fused capture kernel riding on top of either engine):
 
 (a) **Exactness** — :meth:`LatticeEngine.batch_impulse_sequences` is a
     pure vectorisation of the reference scalar loop
@@ -17,12 +18,18 @@ Two contracts guard the batched lattice kernel:
     self-scaling tolerance that stays meaningful whether hypothesis draws
     a near-matched line (bound ~1e-4) or a coherent 2 % staircase
     (bound ~0.25, still far below the O(r) echo amplitudes themselves).
+
+(c) **Capture fusion** — whichever engine renders the reflection, the
+    fused count-only capture kernel is bit-for-bit the dense-grid
+    estimate path.  The kernel only changes how comparator counts are
+    materialised, never which physics produced the waveform under them.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.config import prototype_itdr
 from repro.txline.profile import ImpedanceProfile
 from repro.txline.propagation import BornEngine, LatticeEngine
 
@@ -165,3 +172,39 @@ class TestLatticeMatchesBorn:
         ) ** 2
         assert h_lat.shape == h_born.shape == (1, n_out)
         assert np.max(np.abs(h_lat - h_born)) <= bound
+
+
+class TestFusedCaptureMatchesGridOnBothEngines:
+    """(c): engine choice and count fusion are orthogonal, bit for bit."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_captures=st.integers(1, 12),
+        engine=st.sampled_from(["born", "lattice"]),
+    )
+    @settings(max_examples=16, deadline=None)
+    def test_capture_stack_bitwise_equal(self, line, seed, n_captures, engine):
+        fused = prototype_itdr(rng=np.random.default_rng(seed))
+        grid = prototype_itdr(
+            rng=np.random.default_rng(seed), capture_kernel="grid"
+        )
+        a = fused.capture_stack(line, n_captures, engine=engine)
+        b = grid.capture_stack(line, n_captures, engine=engine)
+        assert fused.kernel_stats.fused_calls == 1
+        assert grid.kernel_stats.grid_calls == 1
+        assert a.tobytes() == b.tobytes()
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_engines_swap_without_stale_tables(self, line, seed):
+        """One iTDR alternating engines must rebuild tables per solve key
+        — a stale CDF table for the other engine's waveform would break
+        byte-identity immediately."""
+        fused = prototype_itdr(rng=np.random.default_rng(seed))
+        grid = prototype_itdr(
+            rng=np.random.default_rng(seed), capture_kernel="grid"
+        )
+        for engine in ("born", "lattice", "born", "lattice"):
+            a = fused.capture_stack(line, 2, engine=engine)
+            b = grid.capture_stack(line, 2, engine=engine)
+            assert a.tobytes() == b.tobytes()
