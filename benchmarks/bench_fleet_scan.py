@@ -40,6 +40,11 @@ CAPTURES_PER_CHECK = 64
 FIRST_SEED = 900
 ROOT_SEED = 11
 SPEEDUP_FLOOR = 2.0
+#: Weaker floor enforced when the host has cores for *some* overlap
+#: (>= 2) but fewer than the shard count — a 4-shard scan on 2 cores
+#: tops out near 2x, so demanding the full floor there would be gating
+#: on hardware, not on the code.
+PARTIAL_SPEEDUP_FLOOR = 1.2
 
 
 def available_cores() -> int:
@@ -47,6 +52,23 @@ def available_cores() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # non-Linux fallback
         return os.cpu_count() or 1
+
+
+def affinity_cores():
+    """The scheduler-visible core set, or None where unsupported."""
+    try:
+        return sorted(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return None
+
+
+def resolved_speedup_floor(cores: int):
+    """The honest floor for this host, or None when one core ungates it."""
+    if cores >= SHARDS:
+        return SPEEDUP_FLOOR
+    if cores >= 2:
+        return PARTIAL_SPEEDUP_FLOOR
+    return None
 
 
 def _make_executor(lines, shards, backend):
@@ -106,7 +128,8 @@ def test_fleet_scan_throughput(benchmark, record_fleet_result):
     assert len(sharded_outcome.records) == N_BUSES
 
     speedup = serial_s / sharded_s
-    gate_speedup = cores >= SHARDS and not smoke_mode()
+    floor = resolved_speedup_floor(cores)
+    gate_speedup = floor is not None and not smoke_mode()
     record_fleet_result(
         "fleet_scan_throughput",
         {
@@ -114,10 +137,13 @@ def test_fleet_scan_throughput(benchmark, record_fleet_result):
             "shards": SHARDS,
             "captures_per_check": CAPTURES_PER_CHECK,
             "cores_available": cores,
+            "os_cpu_count": os.cpu_count(),
+            "sched_affinity": affinity_cores(),
             "serial_scan_s": serial_s,
             "sharded_scan_s": sharded_s,
             "speedup": speedup,
-            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_floor": floor,
+            "speedup_floor_full": SPEEDUP_FLOOR,
             "speedup_gated": gate_speedup,
             "byte_identical": True,
         },
@@ -126,13 +152,14 @@ def test_fleet_scan_throughput(benchmark, record_fleet_result):
         "FLEET SCAN THROUGHPUT — serial vs 4-shard process pool",
         f"fleet size               : {N_BUSES} buses\n"
         f"captures per check       : {CAPTURES_PER_CHECK}\n"
-        f"cores available          : {cores}\n"
+        f"cores available          : {cores} "
+        f"(cpu_count={os.cpu_count()}, affinity={affinity_cores()})\n"
         f"serial scan              : {serial_s * 1e3:10.1f} ms\n"
         f"{SHARDS}-shard scan             : {sharded_s * 1e3:10.1f} ms\n"
         f"speedup                  : {speedup:10.2f}x "
-        f"(floor: {SPEEDUP_FLOOR}x, "
+        f"(floor: {floor}x, "
         f"{'enforced' if gate_speedup else f'not enforced on {cores} core(s)'})"
         "\nserial/sharded outcomes  : byte-identical",
     )
     if gate_speedup:
-        assert speedup >= SPEEDUP_FLOOR
+        assert speedup >= floor

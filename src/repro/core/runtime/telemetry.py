@@ -17,6 +17,7 @@ import numpy as np
 from ..capturekernel import CaptureKernelStats
 from ..divot import Action
 from ..solvecache import SolveCache, process_solve_cache
+from ..transport import TRANSPORT_COUNTER_KEYS
 from .events import EventLog, MonitorEvent
 
 __all__ = ["Telemetry", "SCORE_BINS"]
@@ -62,9 +63,14 @@ class Telemetry:
         ``workers`` accumulates the per-shard deltas fleet dispatches
         shipped home, and the ``capture_kernel`` section accumulates
         the per-shard fused/grid/dense-render counter deltas (see
-        :class:`~repro.core.capturekernel.CaptureKernelStats`);
-        all-zero with an empty wall-time map for
-        single-datapath workloads, so the snapshot shape stays
+        :class:`~repro.core.capturekernel.CaptureKernelStats`), and
+        the ``transport`` section accumulates the shard-transport
+        movement ledger (segments created/reused/unlinked, bytes moved
+        through pickle streams vs. bytes referenced through
+        shared-memory descriptors, payloads packed/reused, and
+        worker-side materializations vs. digest-cache hits — see
+        :mod:`repro.core.transport`); all-zero with an empty wall-time
+        map for single-datapath workloads, so the snapshot shape stays
         identical across every workload;
     ``detection``
         ``onset_s``, ``first_alert_s``, overall ``latency_s`` and
@@ -103,6 +109,7 @@ class Telemetry:
         self._capture_kernel = {
             key: 0 for key in CaptureKernelStats.COUNTER_KEYS
         }
+        self._transport = {key: 0 for key in TRANSPORT_COUNTER_KEYS}
         self._campaigns: Dict[str, dict] = {}
 
     # -- sink protocol -------------------------------------------------
@@ -142,6 +149,18 @@ class Telemetry:
         """
         for key in self._capture_kernel:
             self._capture_kernel[key] += int(counters.get(key, 0))
+
+    def record_transport(self, counters: Dict[str, int]) -> None:
+        """Fold one dispatch's shard-transport counter movement in.
+
+        The parent-owned arenas count segment lifecycle and byte
+        movement directly; worker materialization counters arrive as
+        per-shard deltas like :meth:`record_cache`.  Both land here so
+        the ``health.transport`` ledger in :meth:`snapshot` reflects the
+        whole transport regardless of backend.
+        """
+        for key in self._transport:
+            self._transport[key] += int(counters.get(key, 0))
 
     def record_campaign(self, key: str, cell: dict) -> None:
         """Fold one campaign arm's frontier summary into the snapshot.
@@ -254,6 +273,7 @@ class Telemetry:
                     "workers": dict(self._solve_cache),
                 },
                 "capture_kernel": dict(self._capture_kernel),
+                "transport": dict(self._transport),
             },
             "detection": detection,
             "campaigns": {

@@ -33,6 +33,7 @@ def build_protocol_fleet(
     seed: int = 0,
     shards: int = 1,
     backend: str = "auto",
+    transport: str = "auto",
     captures_per_check: Optional[int] = None,
     authenticator: Optional[Authenticator] = None,
     tamper_detector: Optional[TamperDetector] = None,
@@ -47,8 +48,8 @@ def build_protocol_fleet(
         buses_per_protocol: Fleet width per protocol; lines manufacture
             from consecutive seeds starting at ``first_seed`` and are
             named ``<protocol>-<k>``.
-        seed / shards / backend / captures_per_check / retry_policy /
-            fault_injector: Forwarded to the executor.
+        seed / shards / backend / transport / captures_per_check /
+            retry_policy / fault_injector: Forwarded to the executor.
 
     Decision policies default to the *specs' own* tuning when every
     selected spec agrees (one executor ships one policy set to its
@@ -105,6 +106,7 @@ def build_protocol_fleet(
         captures_per_check=captures_per_check,
         shards=shards,
         backend=backend,
+        transport=transport,
         seed=seed,
         retry_policy=retry_policy,
         fault_injector=fault_injector,

@@ -1,0 +1,363 @@
+"""Shared-memory shard transport: arenas, descriptors, and the leak contract.
+
+The contracts (ISSUE 10):
+
+(a) every outcome — enroll, scan, identify — is **byte-identical**
+    across ``transport="pickle"`` and ``transport="shm"``, on both the
+    serial and process backends (the property suite extends this across
+    shard counts and fault schedules);
+(b) segments never leak: a normal ``close()``, a worker crash, a pool
+    rebuild, a serial fallback, and the terminal rung of the recovery
+    ladder all end with zero ``repro-`` entries in ``/dev/shm``;
+(c) re-scanning an unchanged fleet ships only seeds and indices — the
+    worker-side content-digest cache reports zero new materializations;
+(d) ``Telemetry.snapshot()["health"]["transport"]`` carries the full
+    counter ledger.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Authenticator,
+    FaultInjector,
+    FaultSpec,
+    FleetDispatchError,
+    FleetScanExecutor,
+    RetryPolicy,
+    ShardArena,
+    TamperDetector,
+    prototype_itdr_config,
+    shared_memory_available,
+)
+from repro.core.itdr import ITDR
+from repro.core.transport import (
+    SEGMENT_PREFIX,
+    TRANSPORT_COUNTER_KEYS,
+    materialize,
+    pack_into,
+    pack_seed,
+    read_array,
+    unpack,
+    unpack_seed,
+    worker_transport_stats,
+    writable_array,
+)
+from repro.txline.materials import FR4
+
+N_BUSES = 4
+FIRST_SEED = 440
+ROOT_SEED = 13
+
+FAST_POLICY = RetryPolicy(
+    max_retries=2,
+    backoff_base_s=0.01,
+    backoff_max_s=0.05,
+    shard_timeout_base_s=30.0,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="platform cannot create POSIX shared memory",
+)
+
+
+def shm_segments():
+    """Names of every live ``repro-`` segment on this host."""
+    root = pathlib.Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-POSIX fallback
+        return set()
+    return {p.name for p in root.iterdir()
+            if p.name.startswith(SEGMENT_PREFIX)}
+
+
+def make_executor(factory, shards=1, backend="serial", transport="auto",
+                  policy=None, injector=None, first_seed=FIRST_SEED):
+    config = prototype_itdr_config()
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=ITDR(config).probe_edge().duration,
+    )
+    executor = FleetScanExecutor(
+        Authenticator(0.85),
+        detector,
+        itdr_config=config,
+        captures_per_check=4,
+        shards=shards,
+        backend=backend,
+        transport=transport,
+        seed=ROOT_SEED,
+        retry_policy=policy,
+        fault_injector=injector,
+    )
+    for line in factory.manufacture_batch(N_BUSES, first_seed=first_seed):
+        executor.register(line)
+    return executor
+
+
+class TestShardArena:
+    def test_place_and_read_back_bitwise(self):
+        rng = np.random.default_rng(0)
+        samples = rng.standard_normal(257)
+        with ShardArena() as arena:
+            ref = arena.reserve(samples.shape, "float64")
+            view = writable_array(ref)
+            view[:] = samples
+            del view
+            out = read_array(ref)
+        assert out.tobytes() == samples.tobytes()
+
+    def test_buffers_are_cache_line_aligned(self):
+        with ShardArena() as arena:
+            first = arena.place_buffer(b"x" * 3)
+            second = arena.place_buffer(b"y" * 5)
+        assert first.offset % 64 == 0
+        assert second.offset % 64 == 0
+        assert second.offset >= first.offset + first.length
+
+    def test_growth_adds_segments_and_reset_recycles(self):
+        with ShardArena(initial_bytes=1 << 16) as arena:
+            arena.place_buffer(b"a" * (1 << 15))
+            assert len(arena.segment_names) == 1
+            # Larger than the remaining room: a second segment appears.
+            arena.place_buffer(b"b" * (1 << 17))
+            assert len(arena.segment_names) == 2
+            assert arena.counters["segments_created"] == 2
+            grown = arena.capacity_bytes
+            arena.reset()
+            assert arena.counters["segments_reused"] == 2
+            # Recycled, not regrown: the next scan reuses the segments.
+            arena.place_buffer(b"c" * (1 << 15))
+            assert arena.capacity_bytes == grown
+            assert arena.counters["segments_created"] == 2
+
+    def test_close_unlinks_and_is_idempotent(self):
+        arena = ShardArena()
+        arena.place_buffer(b"payload")
+        names = set(arena.segment_names)
+        assert names <= shm_segments()
+        arena.close()
+        arena.close()
+        assert not (names & shm_segments())
+        assert arena.counters["segments_unlinked"] == len(names)
+        with pytest.raises(RuntimeError):
+            arena.place_buffer(b"late")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ShardArena(initial_bytes=0)
+        with ShardArena() as arena:
+            with pytest.raises(ValueError):
+                arena._allocate(-1)
+
+
+class TestPackUnpack:
+    def test_roundtrip_preserves_array_bits(self):
+        rng = np.random.default_rng(1)
+        obj = {"samples": rng.standard_normal(300), "dt": 1e-11, "tag": "x"}
+        with ShardArena() as arena:
+            payload = pack_into(arena, obj)
+            assert payload.referenced_bytes == obj["samples"].nbytes
+            out = unpack(payload)
+        assert out["tag"] == "x" and out["dt"] == obj["dt"]
+        assert out["samples"].tobytes() == obj["samples"].tobytes()
+
+    def test_unpacked_object_outlives_the_arena(self):
+        rng = np.random.default_rng(2)
+        samples = rng.standard_normal(64)
+        with ShardArena() as arena:
+            out = unpack(pack_into(arena, samples))
+        assert out.tobytes() == samples.tobytes()
+
+    def test_materialize_caches_by_content_digest(self):
+        rng = np.random.default_rng(3)
+        obj = rng.standard_normal(128)
+        stats = worker_transport_stats()
+        with ShardArena() as arena:
+            payload = pack_into(arena, obj)
+            before = stats.snapshot()
+            first = materialize(payload)
+            second = materialize(payload)
+        delta = stats.delta(before)
+        assert second is first
+        assert delta["worker_materializations"] == 1
+        assert delta["worker_cache_hits"] == 1
+
+    def test_pack_seed_is_bit_exact(self):
+        root = np.random.SeedSequence(1234)
+        for seed in root.spawn(3):
+            rebuilt = unpack_seed(pack_seed(seed))
+            assert np.array_equal(
+                rebuilt.generate_state(8), seed.generate_state(8)
+            )
+            assert (
+                np.random.default_rng(rebuilt).standard_normal(16).tobytes()
+                == np.random.default_rng(seed).standard_normal(16).tobytes()
+            )
+            # Spawn trees match too (n_children_spawned rides along).
+            seed.spawn(1)
+            rebuilt = unpack_seed(pack_seed(seed))
+            assert np.array_equal(
+                rebuilt.spawn(1)[0].generate_state(4),
+                seed.spawn(1)[0].generate_state(4),
+            )
+
+
+class TestTransportSelection:
+    def test_invalid_transport_rejected(self, factory):
+        with pytest.raises(ValueError):
+            make_executor(factory, transport="carrier-pigeon")
+
+    def test_auto_uses_shm_only_with_process_pool(self, factory):
+        with make_executor(factory, shards=1, backend="serial") as ex:
+            assert ex.resolved_transport() == "pickle"
+        with make_executor(factory, shards=2, backend="process") as ex:
+            assert ex.resolved_transport() == "shm"
+
+    def test_explicit_shm_works_on_serial_backend(self, factory):
+        with make_executor(factory, backend="serial",
+                           transport="shm") as ex:
+            assert ex.resolved_transport() == "shm"
+            ex.enroll(n_captures=4)
+            shm_scan = ex.scan()
+        with make_executor(factory, backend="serial",
+                           transport="pickle") as ref:
+            ref.enroll(n_captures=4)
+            assert shm_scan.canonical_bytes() == \
+                ref.scan().canonical_bytes()
+
+
+class TestByteIdentity:
+    @pytest.fixture(scope="class")
+    def reference(self, factory):
+        """Pickle-transport artefacts every shm run must reproduce."""
+        with make_executor(factory, shards=2, backend="serial",
+                           transport="pickle") as ex:
+            fingerprints = ex.enroll(n_captures=4)
+            scan = ex.scan()
+            identify = ex.identify_scan()
+        return fingerprints, scan, identify
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_shm_matches_pickle(self, factory, reference, backend):
+        ref_fps, ref_scan, ref_identify = reference
+        with make_executor(factory, shards=2, backend=backend,
+                           transport="shm") as ex:
+            fingerprints = ex.enroll(n_captures=4)
+            scan = ex.scan()
+            identify = ex.identify_scan()
+        assert scan.canonical_bytes() == ref_scan.canonical_bytes()
+        assert identify.canonical_bytes() == ref_identify.canonical_bytes()
+        for name, fp in ref_fps.items():
+            assert fingerprints[name].samples.tobytes() == \
+                fp.samples.tobytes()
+            assert fingerprints[name].digest() == fp.digest()
+
+
+class TestDigestCache:
+    def test_rescan_ships_no_new_materializations(self, factory):
+        # Serial backend: the "worker" cache is this process's, so the
+        # telemetry deltas observe it directly.  Unique line seeds keep
+        # other tests' cached content out of the ledger.
+        with make_executor(factory, backend="serial", transport="shm",
+                           first_seed=4400) as ex:
+            ex.enroll(n_captures=4)
+            ex.scan()
+            before = ex.telemetry.snapshot()["health"]["transport"]
+            ex.scan()
+            after = ex.telemetry.snapshot()["health"]["transport"]
+        assert after["worker_materializations"] == \
+            before["worker_materializations"]
+        assert after["worker_cache_hits"] >= \
+            before["worker_cache_hits"] + N_BUSES
+        assert after["payloads_reused"] > before["payloads_reused"]
+
+    def test_health_carries_the_full_counter_ledger(self, factory):
+        with make_executor(factory, backend="serial",
+                           transport="shm") as ex:
+            ex.enroll(n_captures=4)
+            ex.scan()
+            cell = ex.telemetry.snapshot()["health"]["transport"]
+        assert set(cell) == set(TRANSPORT_COUNTER_KEYS)
+        assert cell["payloads_packed"] > 0
+        assert cell["bytes_referenced"] > 0
+
+
+class TestLeakContract:
+    def test_normal_close_unlinks_everything(self, factory):
+        before = shm_segments()
+        with make_executor(factory, backend="serial",
+                           transport="shm") as ex:
+            ex.enroll(n_captures=4)
+            ex.scan()
+            assert shm_segments() - before  # arenas are really live
+        assert shm_segments() == before
+
+    def test_worker_crash_and_pool_rebuild_leak_nothing(self, factory):
+        before = shm_segments()
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=0, mode="scan",
+                             attempts=(0,)),)
+        )
+        with make_executor(factory, shards=2, backend="process",
+                           transport="shm", policy=FAST_POLICY,
+                           injector=injector) as ex:
+            ex.enroll(n_captures=4)
+            outcome = ex.scan()
+            assert outcome.degraded
+            health = ex.telemetry.snapshot()["health"]
+            assert health["pool_rebuilds"] >= 1
+            # The recovered scan and a healthy pickle scan agree.
+            with make_executor(factory, shards=2, backend="serial",
+                               transport="pickle") as ref:
+                ref.enroll(n_captures=4)
+                assert outcome.canonical_bytes() == \
+                    ref.scan().canonical_bytes()
+        assert shm_segments() == before
+
+    def test_serial_fallback_still_resolves_descriptors(self, factory):
+        before = shm_segments()
+        # Crash every pool attempt; the serial rung runs the same
+        # prepared shm tasks in the parent.
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=0, mode="scan",
+                             attempts=(0, 1, 2)),)
+        )
+        with make_executor(factory, shards=2, backend="process",
+                           transport="shm", policy=FAST_POLICY,
+                           injector=injector) as ex:
+            ex.enroll(n_captures=4)
+            outcome = ex.scan()
+            assert outcome.degraded
+            assert ex.telemetry.snapshot()["health"]["serial_fallbacks"] >= 1
+            with make_executor(factory, shards=2, backend="serial",
+                               transport="pickle") as ref:
+                ref.enroll(n_captures=4)
+                assert outcome.canonical_bytes() == \
+                    ref.scan().canonical_bytes()
+        assert shm_segments() == before
+
+    def test_terminal_failure_releases_arenas(self, factory):
+        before = shm_segments()
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=0, mode="scan",
+                             attempts=(0, 1)),)
+        )
+        policy = RetryPolicy(
+            max_retries=1, backoff_base_s=0.01, backoff_max_s=0.05,
+            shard_timeout_base_s=30.0, serial_fallback=False,
+        )
+        with make_executor(factory, shards=2, backend="process",
+                           transport="shm", policy=policy,
+                           injector=injector) as ex:
+            ex.enroll(n_captures=4)
+            with pytest.raises(FleetDispatchError):
+                ex.scan()
+            # The terminal rung released the arenas before raising —
+            # nothing waits for close() to stop leaking.
+            assert shm_segments() == before
+        assert shm_segments() == before

@@ -104,7 +104,7 @@ TOP_KEYS = {"endpoints", "buses", "shards", "protocols", "totals",
 HEALTH_KEYS = {"dispatches", "degraded_dispatches", "retries",
                "serial_fallbacks", "pool_rebuilds", "timeouts",
                "broken_pools", "crashes", "errors", "per_shard_wall_s",
-               "solve_cache", "capture_kernel"}
+               "solve_cache", "capture_kernel", "transport"}
 DETECTION_KEYS = {"onset_s", "first_alert_s", "latency_s", "per_side"}
 
 
@@ -179,8 +179,14 @@ class TestSharedTelemetrySurface:
             assert all(
                 v == 0 for k, v in snap["health"].items()
                 if k not in (
-                    "per_shard_wall_s", "solve_cache", "capture_kernel"
+                    "per_shard_wall_s", "solve_cache", "capture_kernel",
+                    "transport",
                 )
+            )
+            # Single-datapath workloads never move shard payloads: the
+            # transport ledger is present (same key shape) but zeroed.
+            assert all(
+                v == 0 for v in snap["health"]["transport"].values()
             )
             # The solve-cache section: live process counters plus the
             # worker-delta accumulator, which no single-datapath

@@ -1,0 +1,184 @@
+"""Property pins for the shard transport: shm is invisible, always.
+
+The transport contract (ISSUE 10) is that ``transport="shm"`` may change
+*how* bytes cross the process boundary, never *which* values arrive.
+Hypothesis drives the real measurement path — tiny fleets, real physics —
+across shard counts and injected-fault schedules and pins:
+
+* enroll, scan, and identify outcomes are byte-identical between
+  ``transport="pickle"`` and ``transport="shm"`` for every shard count;
+* enrolled fingerprints match bitwise (not just to tolerance);
+* fault schedules (retries and the serial-fallback rung) never break
+  descriptor resolution or the identity;
+* the packing primitives round-trip arbitrary float arrays and seed
+  states bit-exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    Authenticator,
+    FaultInjector,
+    FaultSpec,
+    FleetScanExecutor,
+    RetryPolicy,
+    ShardArena,
+    TamperDetector,
+    prototype_itdr_config,
+    prototype_line_factory,
+    shared_memory_available,
+)
+from repro.core.itdr import ITDR
+from repro.core.transport import pack_into, pack_seed, unpack, unpack_seed
+from repro.txline.materials import FR4
+
+N_BUSES = 3
+FIRST_SEED = 470
+ROOT_SEED = 23
+
+# max_retries=2 makes the serial fallback attempt 3, so every schedule
+# drawn from attempts {0, 1, 2} is recoverable by construction.
+FAST_POLICY = RetryPolicy(
+    max_retries=2,
+    backoff_base_s=0.01,
+    backoff_max_s=0.02,
+    shard_timeout_base_s=30.0,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="platform cannot create POSIX shared memory",
+)
+
+_LINES = None
+
+
+def fleet_lines():
+    global _LINES
+    if _LINES is None:
+        _LINES = prototype_line_factory().manufacture_batch(
+            N_BUSES, first_seed=FIRST_SEED
+        )
+    return _LINES
+
+
+def make_executor(transport, shards, backend="serial", injector=None,
+                  policy=None):
+    config = prototype_itdr_config()
+    detector = TamperDetector(
+        threshold=2.5e-3,
+        velocity=FR4.velocity_at(FR4.t_ref_c),
+        smooth_window=7,
+        alignment_offset_s=ITDR(config).probe_edge().duration,
+    )
+    executor = FleetScanExecutor(
+        Authenticator(0.85),
+        detector,
+        itdr_config=config,
+        captures_per_check=2,
+        shards=shards,
+        backend=backend,
+        transport=transport,
+        seed=ROOT_SEED,
+        retry_policy=policy,
+        fault_injector=injector,
+    )
+    for line in fleet_lines():
+        executor.register(line)
+    return executor
+
+
+def run_fleet(transport, shards, backend="serial", injector=None,
+              policy=None):
+    with make_executor(transport, shards, backend=backend,
+                       injector=injector, policy=policy) as ex:
+        fingerprints = ex.enroll(n_captures=2)
+        scan = ex.scan()
+        identify = ex.identify_scan()
+    return fingerprints, scan, identify
+
+
+class TestTransportEquivalence:
+    @given(shards=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_shm_equals_pickle_for_every_shard_count(self, shards):
+        ref_fps, ref_scan, ref_identify = run_fleet("pickle", shards)
+        fps, scan, identify = run_fleet("shm", shards)
+        assert scan.canonical_bytes() == ref_scan.canonical_bytes()
+        assert identify.canonical_bytes() == ref_identify.canonical_bytes()
+        for name in ref_fps:
+            assert fps[name].samples.tobytes() == \
+                ref_fps[name].samples.tobytes()
+
+    @given(
+        shards=st.integers(min_value=1, max_value=4),
+        other=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_shm_outcomes_agree_across_shard_counts(self, shards, other):
+        _, scan_a, _ = run_fleet("shm", shards)
+        _, scan_b, _ = run_fleet("shm", other)
+        assert scan_a.canonical_bytes() == scan_b.canonical_bytes()
+
+
+class TestFaultScheduleEquivalence:
+    @given(
+        shard=st.integers(min_value=0, max_value=1),
+        attempts=st.sets(
+            st.integers(min_value=0, max_value=2), min_size=1, max_size=3
+        ),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_injected_faults_never_break_the_identity(self, shard, attempts):
+        # "error" faults walk the same retry/serial-fallback ladder as
+        # crashes without genuinely killing pool processes, so hypothesis
+        # can afford to sweep schedules; real crash recovery under shm is
+        # pinned in tests/core/test_transport.py.
+        _, ref_scan, _ = run_fleet("pickle", 2)
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="error", shard=shard, mode="scan",
+                             attempts=tuple(sorted(attempts))),)
+        )
+        with make_executor("shm", 2, backend="process",
+                           injector=injector, policy=FAST_POLICY) as ex:
+            ex.enroll(n_captures=2)
+            scan = ex.scan()
+        assert scan.canonical_bytes() == ref_scan.canonical_bytes()
+        if set(attempts) >= {0, 1, 2}:
+            assert scan.degraded
+
+
+class TestPackingPrimitives:
+    @given(
+        samples=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=0, max_value=512),
+            elements=st.floats(
+                allow_nan=False, width=64, min_value=-1e9, max_value=1e9
+            ),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pack_roundtrip_is_bitwise(self, samples):
+        with ShardArena() as arena:
+            out = unpack(pack_into(arena, samples))
+        assert out.dtype == samples.dtype
+        assert out.tobytes() == samples.tobytes()
+
+    @given(
+        entropy=st.integers(min_value=0, max_value=2**128 - 1),
+        spawns=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pack_seed_roundtrip_is_bit_exact(self, entropy, spawns):
+        seed = np.random.SeedSequence(entropy)
+        children = seed.spawn(spawns) if spawns else [seed]
+        for child in children:
+            rebuilt = unpack_seed(pack_seed(child))
+            assert np.array_equal(
+                rebuilt.generate_state(8), child.generate_state(8)
+            )
